@@ -1,0 +1,58 @@
+// Reproduces Figure 3: runtime breakdown (read base tables / compute joins
+// / write final output) of a CTAS joining four tables (the TPC-H Q8 join
+// of customer, orders, lineitem, nation in the paper) across data scales.
+//
+// The paper ran this on an anonymous vendor-managed cloud warehouse that
+// scales out with data size; we model that elasticity with a per-scale I/O
+// parallelism factor, keeping the per-table commit overhead fixed. The
+// claim being reproduced: writing the joined result into persistent
+// storage takes 37%-69% of each statement's runtime, with the share
+// highest at small scales (overhead-dominated) and falling as bandwidth
+// terms take over.
+#include "bench_util.h"
+
+int main() {
+  using namespace sc;
+  bench::Banner(
+      "Figure 3: runtime breakdown of a 4-table join CTAS",
+      "write (serialize/compress/persist) takes 37%-69% of total runtime "
+      "from 1GB to 1000GB (paper totals: 5.4s / 14s / 52s / 560s)");
+
+  cost::DeviceProfile profile = cost::DeviceProfile::PaperTestbed();
+  profile.table_write_overhead = 3.0;  // CTAS commit into the warehouse
+  profile.table_read_overhead = 0.1;   // warm catalog metadata
+  const cost::CostModel model{profile};
+
+  TablePrinter table({"Data size", "Read (s)", "Compute (s)", "Write (s)",
+                      "Total (s)", "Write share", "Paper write share",
+                      "Paper total"});
+  // The join scans ~25% of the dataset (columnar projection of the four
+  // tables) and emits ~17%; the warehouse's worker pool grows with scale.
+  const double scales_gb[] = {1, 10, 100, 1000};
+  // Reads scale out with the worker pool; writes scale out more slowly
+  // (coordinator commit + compression bottlenecks).
+  const double read_parallelism[] = {1.0, 2.5, 6.0, 12.0};
+  const double write_parallelism[] = {1.0, 1.6, 3.0, 5.0};
+  const double compute_s[] = {1.0, 3.0, 11.0, 95.0};
+  const double paper_share[] = {0.69, 0.60, 0.49, 0.37};
+  const double paper_total[] = {5.4, 14.0, 52.0, 560.0};
+  for (int i = 0; i < 4; ++i) {
+    const double gb = scales_gb[i];
+    const auto in_bytes =
+        static_cast<std::int64_t>(gb * 0.25 * kGB / read_parallelism[i]);
+    const auto out_bytes =
+        static_cast<std::int64_t>(gb * 0.17 * kGB / write_parallelism[i]);
+    const double read = model.DiskReadSeconds(in_bytes, /*files=*/4.0);
+    const double compute = compute_s[i];
+    const double write = model.DiskWriteSeconds(out_bytes);
+    const double total = read + compute + write;
+    table.AddRow({StrFormat("%.0fGB", gb), StrFormat("%.1f", read),
+                  StrFormat("%.1f", compute), StrFormat("%.1f", write),
+                  StrFormat("%.1f", total),
+                  StrFormat("%.0f%%", 100.0 * write / total),
+                  StrFormat("%.0f%%", 100.0 * paper_share[i]),
+                  StrFormat("%.1fs", paper_total[i])});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 10: S/C speedup across dataset scales (10GB-1TB) with
+// the Memory Catalog fixed at 1.6% of the dataset size.
+//   (a) TPC-DS       paper: 1.58x / 1.63x / 1.71x / 1.68x / 1.58x
+//   (b) TPC-DSp      paper: 4.26x / 4.12x / 4.10x / 3.53x / 2.31x
+#include "bench_util.h"
+
+namespace {
+
+void RunPanel(const char* title, bool partitioned,
+              const double* paper_speedups) {
+  using namespace sc;
+  std::cout << title << "\n";
+  TablePrinter table({"Scale (GB)", "Memory Catalog", "No opt (s)",
+                      "S/C (s)", "Speedup", "Paper"});
+  const double scales[] = {10, 25, 50, 100, 1000};
+  for (int s = 0; s < 5; ++s) {
+    const double gb = scales[s];
+    const std::int64_t budget = workload::BudgetForPercent(gb, 1.6);
+    double noopt_total = 0;
+    double sc_total = 0;
+    for (int i = 0; i < 5; ++i) {
+      const workload::MvWorkload wl =
+          bench::AnnotatedWorkload(i, gb, partitioned);
+      const sim::SimOptions options = bench::MakeSimOptions(budget);
+      noopt_total += bench::EndToEndSeconds(bench::Method::kNoOpt, wl.graph,
+                                            budget, options);
+      sc_total += bench::EndToEndSeconds(bench::Method::kSc, wl.graph,
+                                         budget, options);
+    }
+    table.AddRow({StrFormat("%.0f", gb), FormatBytes(budget),
+                  StrFormat("%.1f", noopt_total),
+                  StrFormat("%.1f", sc_total),
+                  StrFormat("%.2fx", noopt_total / sc_total),
+                  StrFormat("%.2fx", paper_speedups[s])});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  sc::bench::Banner(
+      "Figure 10: speedup vs dataset scale (Memory Catalog = 1.6% of data)",
+      "consistent speedups across scales: 1.58-1.71x on TPC-DS, "
+      "2.31-4.26x on TPC-DSp");
+  const double paper_a[] = {1.58, 1.63, 1.71, 1.68, 1.58};
+  const double paper_b[] = {4.26, 4.12, 4.10, 3.53, 2.31};
+  RunPanel("(a) TPC-DS", /*partitioned=*/false, paper_a);
+  RunPanel("(b) TPC-DSp", /*partitioned=*/true, paper_b);
+  return 0;
+}

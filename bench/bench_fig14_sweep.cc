@@ -1,0 +1,103 @@
+// Reproduces Figure 14: predicted savings from S/C versus the synthetic
+// workload generation parameters (DAG size, height/width ratio, node max
+// out-degree, stage-size standard deviation), normalized to the reference
+// configuration (100 nodes, ratio 1, out-degree 4, stdev 1).
+#include "bench_util.h"
+#include "workload/dag_gen.h"
+
+namespace {
+
+using sc::workload::DagGenOptions;
+
+/// Average absolute saving (NoOpt - S/C makespan) over `count` DAGs.
+double AverageSavings(const DagGenOptions& base, int count,
+                      std::int64_t budget) {
+  using namespace sc;
+  double total = 0;
+  for (int d = 0; d < count; ++d) {
+    DagGenOptions gen = base;
+    gen.seed = static_cast<std::uint64_t>(d) * 977 + 13;
+    const graph::Graph g = workload::GenerateDag(gen);
+    const sim::SimOptions options = bench::MakeSimOptions(budget);
+    const double noopt = sim::SimulateNoOpt(g, options).makespan;
+    const opt::Plan plan = opt::AlternatingOptimize(g, budget).plan;
+    const double sc_time = sim::SimulateRun(g, plan, options).makespan;
+    total += noopt - sc_time;
+  }
+  return total / count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  int dags = 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") dags = 1000;
+  }
+  bench::Banner(
+      "Figure 14: DAG complexity vs normalized predicted savings",
+      "savings grow with DAG size and max out-degree; 'thin' DAGs (high "
+      "height/width) save more; stage-size variance has negligible effect");
+  std::cout << "averaging over " << dags
+            << " DAGs per setting (use --full for the paper's 1000)\n\n";
+
+  const std::int64_t budget = workload::BudgetForPercent(100.0, 1.6);
+  DagGenOptions reference;  // 100 nodes, ratio 1, outdegree 4, stdev 1
+  reference.num_nodes = 100;
+  const double base_savings = AverageSavings(reference, dags, budget);
+
+  auto sweep = [&](const std::string& title,
+                   const std::vector<std::pair<std::string, DagGenOptions>>&
+                       settings,
+                   const std::vector<double>& paper) {
+    TablePrinter table({title, "Normalized savings", "Paper (approx)"});
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      const double savings =
+          AverageSavings(settings[i].second, dags, budget);
+      table.AddRow({settings[i].first,
+                    StrFormat("%.2f", savings / base_savings),
+                    StrFormat("%.2f", paper[i])});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  };
+
+  {
+    std::vector<std::pair<std::string, DagGenOptions>> settings;
+    for (const std::int32_t n : {25, 50, 100}) {
+      DagGenOptions o = reference;
+      o.num_nodes = n;
+      settings.emplace_back(std::to_string(n), o);
+    }
+    sweep("DAG size", settings, {0.72, 0.83, 1.0});
+  }
+  {
+    std::vector<std::pair<std::string, DagGenOptions>> settings;
+    for (const double r : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+      DagGenOptions o = reference;
+      o.height_width_ratio = r;
+      settings.emplace_back(StrFormat("%.2f", r), o);
+    }
+    sweep("DAG height/width", settings, {1.15, 1.08, 1.0, 0.92, 0.85});
+  }
+  {
+    std::vector<std::pair<std::string, DagGenOptions>> settings;
+    for (const std::int32_t d : {1, 2, 3, 4, 5}) {
+      DagGenOptions o = reference;
+      o.max_outdegree = d;
+      settings.emplace_back(std::to_string(d), o);
+    }
+    sweep("Node max. outdegree", settings, {0.65, 0.8, 0.92, 1.0, 1.08});
+  }
+  {
+    std::vector<std::pair<std::string, DagGenOptions>> settings;
+    for (const double s : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+      DagGenOptions o = reference;
+      o.stage_stdev = s;
+      settings.emplace_back(StrFormat("%.0f", s), o);
+    }
+    sweep("Stage node count StDev", settings, {1.0, 1.0, 1.0, 0.98, 0.97});
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of S/C's hot components: constraint
+// construction, the MKP branch-and-bound, MA-DFS, full alternating
+// optimization, memory accounting, and the engine's core operators.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/operators.h"
+#include "opt/alternating.h"
+#include "opt/constraints.h"
+#include "opt/ma_dfs.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+#include "workload/dag_gen.h"
+#include "workload/scale_model.h"
+#include "workload/workloads.h"
+
+namespace {
+
+using namespace sc;
+
+graph::Graph BenchDag(std::int32_t nodes) {
+  workload::DagGenOptions options;
+  options.num_nodes = nodes;
+  options.seed = 1234;
+  return workload::GenerateDag(options);
+}
+
+constexpr std::int64_t kBudget = 1600LL * 1000 * 1000;
+
+void BM_GetConstraints(benchmark::State& state) {
+  const graph::Graph g = BenchDag(static_cast<std::int32_t>(state.range(0)));
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::GetConstraints(g, order, kBudget));
+  }
+}
+BENCHMARK(BM_GetConstraints)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_SimplifiedMkp(benchmark::State& state) {
+  const graph::Graph g = BenchDag(static_cast<std::int32_t>(state.range(0)));
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::SimplifiedMkp(g, order, kBudget));
+  }
+}
+BENCHMARK(BM_SimplifiedMkp)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MaDfs(benchmark::State& state) {
+  const graph::Graph g = BenchDag(static_cast<std::int32_t>(state.range(0)));
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const opt::FlagSet flags = opt::SimplifiedMkp(g, order, kBudget);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::MaDfsOrder(g, flags));
+  }
+}
+BENCHMARK(BM_MaDfs)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_AlternatingOptimize(benchmark::State& state) {
+  const graph::Graph g = BenchDag(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::AlternatingOptimize(g, kBudget));
+  }
+}
+BENCHMARK(BM_AlternatingOptimize)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_PeakMemoryUsage(benchmark::State& state) {
+  const graph::Graph g = BenchDag(static_cast<std::int32_t>(state.range(0)));
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  opt::FlagSet flags(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) flags[v] = v % 2 == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::PeakMemoryUsage(g, order, flags));
+  }
+}
+BENCHMARK(BM_PeakMemoryUsage)->Arg(100)->Arg(1000);
+
+engine::Table RandomTable(std::size_t rows) {
+  Rng rng(7);
+  std::vector<std::int64_t> keys(rows), cats(rows);
+  std::vector<double> values(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    keys[r] = rng.UniformInt(1, static_cast<std::int64_t>(rows) / 4 + 1);
+    cats[r] = rng.UniformInt(1, 10);
+    values[r] = rng.UniformDouble(0, 1000);
+  }
+  std::vector<engine::Column> cols;
+  cols.push_back(engine::Column::FromInts(std::move(keys)));
+  cols.push_back(engine::Column::FromInts(std::move(cats)));
+  cols.push_back(engine::Column::FromDoubles(std::move(values)));
+  return engine::Table(
+      engine::Schema({engine::Field{"k", engine::DataType::kInt64},
+                      engine::Field{"cat", engine::DataType::kInt64},
+                      engine::Field{"v", engine::DataType::kFloat64}}),
+      std::move(cols));
+}
+
+void BM_EngineFilter(benchmark::State& state) {
+  const engine::Table t = RandomTable(
+      static_cast<std::size_t>(state.range(0)));
+  const auto predicate = engine::Gt(engine::Col("v"), engine::Lit(500.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::FilterTable(t, *predicate));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineFilter)->Arg(10000)->Arg(100000);
+
+void BM_EngineHashJoin(benchmark::State& state) {
+  const engine::Table left = RandomTable(
+      static_cast<std::size_t>(state.range(0)));
+  const engine::Table right = RandomTable(
+      static_cast<std::size_t>(state.range(0)) / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::HashJoinTables(left, right, {"k"}, {"k"}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineHashJoin)->Arg(10000)->Arg(50000);
+
+void BM_EngineAggregate(benchmark::State& state) {
+  const engine::Table t = RandomTable(
+      static_cast<std::size_t>(state.range(0)));
+  const std::vector<engine::AggSpec> aggs = {
+      engine::SumOf(engine::Col("v"), "total"), engine::CountAll("n")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::AggregateTable(t, {"cat"}, aggs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineAggregate)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces Table V: S/C on multi-worker DB clusters — total runtime
+// falls with each added worker while S/C's relative speedup stays flat.
+#include "bench_util.h"
+
+int main() {
+  using namespace sc;
+  bench::Banner(
+      "Table V: cluster scaling (100GB TPC-DS, 1.6% Memory Catalog)",
+      "no-opt 1528/868/656/546/487s for 1-5 workers; S/C speedup stays "
+      "1.60x-1.71x regardless of worker count");
+
+  const double paper_noopt[] = {1528, 868, 656, 546, 487};
+  const double paper_speedup[] = {1.63, 1.67, 1.71, 1.64, 1.60};
+
+  const std::int64_t budget = workload::BudgetForPercent(100.0, 1.6);
+  const sim::ClusterModel cluster;
+  TablePrinter table({"Metric", "1 node", "2 nodes", "3 nodes", "4 nodes",
+                      "5 nodes"});
+  std::vector<std::string> noopt_row = {"No opt runtime (s)"};
+  std::vector<std::string> sc_row = {"S/C runtime (s)"};
+  std::vector<std::string> speedup_row = {"Speedup"};
+  std::vector<std::string> paper_noopt_row = {"No opt (paper, s)"};
+  std::vector<std::string> paper_speedup_row = {"Speedup (paper)"};
+  for (int workers = 1; workers <= 5; ++workers) {
+    double noopt_total = 0;
+    double sc_total = 0;
+    for (int i = 0; i < 5; ++i) {
+      const workload::MvWorkload wl =
+          bench::AnnotatedWorkload(i, 100.0, /*partitioned=*/false);
+      const sim::SimOptions scaled =
+          cluster.Scale(bench::MakeSimOptions(budget), workers);
+      noopt_total += sim::SimulateNoOpt(wl.graph, scaled).makespan;
+      const opt::Plan plan =
+          bench::PlanFor(bench::Method::kSc, wl.graph, budget);
+      sc_total += sim::SimulateRun(wl.graph, plan, scaled).makespan;
+    }
+    noopt_row.push_back(StrFormat("%.0f", noopt_total));
+    sc_row.push_back(StrFormat("%.0f", sc_total));
+    speedup_row.push_back(StrFormat("%.2fx", noopt_total / sc_total));
+    paper_noopt_row.push_back(StrFormat("%.0f", paper_noopt[workers - 1]));
+    paper_speedup_row.push_back(
+        StrFormat("%.2fx", paper_speedup[workers - 1]));
+  }
+  table.AddRow(std::move(noopt_row));
+  table.AddRow(std::move(sc_row));
+  table.AddRow(std::move(speedup_row));
+  table.AddSeparator();
+  table.AddRow(std::move(paper_noopt_row));
+  table.AddRow(std::move(paper_speedup_row));
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+#ifndef SC_BENCH_BENCH_UTIL_H_
+#define SC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "opt/optimizer.h"
+#include "sim/cluster.h"
+#include "sim/lru_cache.h"
+#include "sim/refresh_sim.h"
+#include "workload/scale_model.h"
+#include "workload/workloads.h"
+
+namespace sc::bench {
+
+/// The end-to-end methods compared in Figures 9-11 (paper §VI-A):
+/// heuristic selectors run on the plain topological order (they do not
+/// reorder); LRU models the DBMS result cache grown by the Memory Catalog
+/// size; S/C is the full alternating optimization.
+enum class Method { kNoOpt, kLru, kRandom, kGreedy, kRatio, kSc };
+
+inline const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kAll = {
+      Method::kNoOpt, Method::kLru,   Method::kRandom,
+      Method::kGreedy, Method::kRatio, Method::kSc};
+  return kAll;
+}
+
+inline std::string ToString(Method method) {
+  switch (method) {
+    case Method::kNoOpt: return "No opt";
+    case Method::kLru: return "LRU";
+    case Method::kRandom: return "Random";
+    case Method::kGreedy: return "Greedy";
+    case Method::kRatio: return "Ratio";
+    case Method::kSc: return "S/C (ours)";
+  }
+  return "?";
+}
+
+/// Builds the plan a method would execute (identity order for baselines).
+inline opt::Plan PlanFor(Method method, const graph::Graph& g,
+                         std::int64_t budget, std::uint64_t seed = 42) {
+  opt::Plan plan;
+  plan.order = graph::KahnTopologicalOrder(g);
+  switch (method) {
+    case Method::kNoOpt:
+    case Method::kLru:
+      plan.flags = opt::EmptyFlags(g.num_nodes());
+      return plan;
+    case Method::kRandom:
+      plan.flags = opt::SelectRandom(g, plan.order, budget, seed);
+      return plan;
+    case Method::kGreedy:
+      plan.flags = opt::SelectGreedy(g, plan.order, budget);
+      return plan;
+    case Method::kRatio:
+      plan.flags = opt::SelectRatio(g, plan.order, budget);
+      return plan;
+    case Method::kSc:
+      return opt::AlternatingOptimize(g, budget).plan;
+  }
+  return plan;
+}
+
+/// Simulated end-to-end refresh time for a method.
+inline double EndToEndSeconds(Method method, const graph::Graph& g,
+                              std::int64_t budget,
+                              const sim::SimOptions& options) {
+  if (method == Method::kLru) {
+    return sim::SimulateLruBaseline(g, budget, options).makespan;
+  }
+  const opt::Plan plan = PlanFor(method, g, budget);
+  return sim::SimulateRun(g, plan, options).makespan;
+}
+
+/// Annotated copy of workload `index` (0..4) at the given scale.
+inline workload::MvWorkload AnnotatedWorkload(int index, double dataset_gb,
+                                              bool partitioned) {
+  workload::MvWorkload wl =
+      workload::StandardWorkloads()[static_cast<std::size_t>(index)];
+  workload::ScaleModelOptions options;
+  options.dataset_gb = dataset_gb;
+  options.partitioned = partitioned;
+  workload::AnnotateWorkload(&wl, options);
+  return wl;
+}
+
+inline sim::SimOptions MakeSimOptions(std::int64_t budget) {
+  sim::SimOptions options;
+  options.budget = budget;
+  return options;
+}
+
+/// Wall-clock timer for optimizer benchmarks.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the standard bench banner.
+inline void Banner(const std::string& experiment,
+                   const std::string& paper_claim) {
+  std::cout << "\n=== " << experiment << " ===\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+}  // namespace sc::bench
+
+#endif  // SC_BENCH_BENCH_UTIL_H_

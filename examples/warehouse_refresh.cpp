@@ -1,0 +1,97 @@
+// End-to-end warehouse scenario on the REAL execution substrate: generate
+// TPC-DS-like data, persist base tables to (throttled) external storage,
+// profile a refresh run to collect execution metadata, optimize with S/C,
+// and re-run — verifying both the wall-clock speedup and that every
+// materialized MV is byte-identical to the unoptimized run.
+//
+//   $ ./examples/warehouse_refresh [scale]   (default 0.3 ~ a few MB)
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "api/sc.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+
+  // Slow NFS-like storage so that I/O short-circuiting is visible at
+  // laptop scale (80/50 MB/s, 2ms latency).
+  storage::DiskProfile profile;
+  profile.read_bw = 80e6;
+  profile.write_bw = 50e6;
+  profile.latency = 2e-3;
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "sc_warehouse_example";
+  std::filesystem::remove_all(dir);
+
+  std::cout << "generating TPC-DS data at micro-scale " << scale << "...\n";
+  workload::DataGenOptions datagen;
+  datagen.scale = scale;
+  const auto base_tables = workload::GenerateTpcdsData(datagen);
+
+  storage::ThrottledDisk disk(dir, profile);
+  runtime::ControllerOptions options;
+  options.budget = 24LL * 1024 * 1024;  // 24 MiB Memory Catalog
+  runtime::Controller controller(&disk, options);
+  controller.LoadBaseTables(base_tables);
+
+  workload::MvWorkload wl = workload::BuildIo1();
+  std::cout << "workload " << wl.name << ": " << wl.num_nodes()
+            << " MVs from TPC-DS queries 5/77/80\n";
+
+  // Run 1 (unoptimized) doubles as the profiling run collecting the
+  // execution metadata S/C Opt consumes.
+  std::cout << "profiling run (no optimization)...\n";
+  const runtime::RunReport baseline = controller.ProfileAndAnnotate(&wl);
+  if (!baseline.ok) {
+    std::cerr << "baseline failed: " << baseline.error << "\n";
+    return 1;
+  }
+  std::cout << StrFormat("  wall time %.2fs (read %.2fs, compute %.2fs, "
+                         "write %.2fs)\n",
+                         baseline.wall_seconds,
+                         baseline.TotalReadSeconds(),
+                         baseline.TotalComputeSeconds(),
+                         baseline.TotalWriteSeconds());
+
+  // Keep a copy of every materialized MV for the correctness check.
+  std::map<std::string, engine::Table> reference;
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    reference.emplace(name, disk.ReadTable(name));
+  }
+
+  // Optimize and re-run.
+  const opt::AlternatingResult result =
+      opt::Optimizer{}.Optimize(wl.graph, options.budget);
+  std::cout << "\nS/C plan: "
+            << opt::FlaggedNodes(result.plan.flags).size()
+            << " MVs flagged for the " << FormatBytes(options.budget)
+            << " Memory Catalog\n";
+
+  std::cout << "optimized run...\n";
+  const runtime::RunReport optimized = controller.Run(wl, result.plan);
+  if (!optimized.ok) {
+    std::cerr << "optimized run failed: " << optimized.error << "\n";
+    return 1;
+  }
+  std::cout << StrFormat("  wall time %.2fs (peak Memory Catalog %s)\n",
+                         optimized.wall_seconds,
+                         FormatBytes(optimized.peak_memory).c_str());
+  std::cout << StrFormat("\nend-to-end speedup: %.2fx\n",
+                         baseline.wall_seconds / optimized.wall_seconds);
+
+  // Correctness: all MVs materialized identically (§I: "S/C still
+  // materializes all data exactly as defined in MV definitions").
+  for (const auto& [name, expected] : reference) {
+    const engine::Table actual = disk.ReadTable(name);
+    if (!(actual == expected)) {
+      std::cerr << "MISMATCH in MV " << name << "\n";
+      return 1;
+    }
+  }
+  std::cout << "verified: all " << reference.size()
+            << " MVs byte-identical to the unoptimized run\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef SC_API_SC_H_
+#define SC_API_SC_H_
+
+/// \file
+/// Single-include public facade for the S/C library.
+///
+/// Typical usage (see examples/quickstart.cpp):
+///
+///   sc::graph::Graph g = ...;                   // dependency graph
+///   sc::cost::SpeedupEstimator est{sc::cost::CostModel{}};
+///   est.AnnotateGraph(&g);                      // speedup scores T
+///   sc::opt::Optimizer optimizer;
+///   auto result = optimizer.Optimize(g, budget);  // S/C Opt (Alg. 2)
+///   // result.plan: execution order + flagged nodes; feed it to the
+///   // simulator (sc::sim::SimulateRun) or the Controller
+///   // (sc::runtime::Controller::Run).
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "cost/cost_model.h"
+#include "cost/speedup.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/plan_serde.h"
+#include "graph/dot.h"
+#include "graph/graph.h"
+#include "graph/serde.h"
+#include "graph/topo.h"
+#include "opt/alternating.h"
+#include "opt/constraints.h"
+#include "opt/ma_dfs.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+#include "opt/optimizer.h"
+#include "opt/schedulers.h"
+#include "opt/selectors.h"
+#include "runtime/controller.h"
+#include "sim/cluster.h"
+#include "sim/lru_cache.h"
+#include "sim/refresh_sim.h"
+#include "storage/memory_catalog.h"
+#include "storage/throttled_disk.h"
+#include "workload/dag_gen.h"
+#include "workload/datagen.h"
+#include "workload/scale_model.h"
+#include "workload/workload_io.h"
+#include "workload/workloads.h"
+
+#endif  // SC_API_SC_H_

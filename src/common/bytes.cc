@@ -1,0 +1,74 @@
+#include "common/bytes.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sc {
+
+std::string FormatBytes(std::int64_t bytes) {
+  const bool negative = bytes < 0;
+  const double b = std::abs(static_cast<double>(bytes));
+  const char* suffix = "B";
+  double value = b;
+  if (b >= static_cast<double>(kGB)) {
+    suffix = "GB";
+    value = b / static_cast<double>(kGB);
+  } else if (b >= static_cast<double>(kMB)) {
+    suffix = "MB";
+    value = b / static_cast<double>(kMB);
+  } else if (b >= static_cast<double>(kKB)) {
+    suffix = "KB";
+    value = b / static_cast<double>(kKB);
+  }
+  char buf[64];
+  if (suffix[0] == 'B') {
+    std::snprintf(buf, sizeof(buf), "%s%lldB", negative ? "-" : "",
+                  static_cast<long long>(std::llround(value)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2f%s", negative ? "-" : "", value,
+                  suffix);
+  }
+  return buf;
+}
+
+std::int64_t ParseBytes(const std::string& text) {
+  if (text.empty()) return -1;
+  size_t pos = 0;
+  // Parse the numeric prefix (integer or decimal).
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.' || text[pos] == '-' || text[pos] == '+')) {
+    ++pos;
+  }
+  if (pos == 0) return -1;
+  double value = 0;
+  try {
+    value = std::stod(text.substr(0, pos));
+  } catch (...) {
+    return -1;
+  }
+  std::string unit = text.substr(pos);
+  for (char& c : unit) c = static_cast<char>(std::toupper(c));
+  double multiplier = 1.0;
+  if (unit.empty() || unit == "B") {
+    multiplier = 1.0;
+  } else if (unit == "KB" || unit == "K") {
+    multiplier = static_cast<double>(kKB);
+  } else if (unit == "MB" || unit == "M") {
+    multiplier = static_cast<double>(kMB);
+  } else if (unit == "GB" || unit == "G") {
+    multiplier = static_cast<double>(kGB);
+  } else if (unit == "KIB") {
+    multiplier = static_cast<double>(kKiB);
+  } else if (unit == "MIB") {
+    multiplier = static_cast<double>(kMiB);
+  } else if (unit == "GIB") {
+    multiplier = static_cast<double>(kGiB);
+  } else {
+    return -1;
+  }
+  return static_cast<std::int64_t>(std::llround(value * multiplier));
+}
+
+}  // namespace sc

@@ -1,0 +1,32 @@
+#ifndef SC_COMMON_BYTES_H_
+#define SC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sc {
+
+/// Byte-count helpers. All sizes in S/C are expressed in plain bytes
+/// (std::int64_t) so that arithmetic with the cost model stays exact.
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// 1 KB/MB/GB in the decimal sense used by the paper ("1.6GB Memory
+/// Catalog", "519.8 MB/s").
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * kKB;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+
+/// Renders a byte count with a human-readable suffix, e.g. "1.60GB".
+/// Uses decimal units to match the paper's notation.
+std::string FormatBytes(std::int64_t bytes);
+
+/// Parses strings like "512MB", "1.6GB", "800KB", "123" (plain bytes).
+/// Returns -1 on a malformed input.
+std::int64_t ParseBytes(const std::string& text);
+
+}  // namespace sc
+
+#endif  // SC_COMMON_BYTES_H_

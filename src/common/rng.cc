@@ -1,0 +1,60 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sc {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(gen_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+std::int64_t Rng::Zipf(std::int64_t n, double s) {
+  // Rejection-inversion would be overkill for our sizes; use the inverse-CDF
+  // of the continuous bounded Pareto as an approximation, clamped to [1, n].
+  if (n <= 1) return 1;
+  const double u = UniformDouble(0.0, 1.0);
+  double value;
+  if (std::abs(s - 1.0) < 1e-9) {
+    value = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double t = std::pow(static_cast<double>(n), 1.0 - s);
+    value = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+  }
+  std::int64_t k = static_cast<std::int64_t>(value);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return 0;
+  double draw = UniformDouble(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (draw < w) return i;
+    draw -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace sc

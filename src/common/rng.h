@@ -1,0 +1,54 @@
+#ifndef SC_COMMON_RNG_H_
+#define SC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sc {
+
+/// Deterministic random number generator used throughout S/C so that data
+/// generation, synthetic DAGs, and randomized baselines are reproducible
+/// from a seed. Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Gaussian draw.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-like skewed integer in [1, n]; exponent s controls skew.
+  std::int64_t Zipf(std::int64_t n, double s);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative; returns 0 if all are zero.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace sc
+
+#endif  // SC_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#ifndef SC_COMMON_TABLE_PRINTER_H_
+#define SC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Renders rows of strings as an aligned ASCII table. Used by every
+/// benchmark harness so that bench output matches the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row. Rows shorter than the header are padded.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Each row is either a data row or a marker (empty vector) for a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sc
+
+#endif  // SC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,53 @@
+#include "cost/cost_model.h"
+
+#include <stdexcept>
+
+namespace sc::cost {
+
+DeviceProfile DeviceProfile::PaperTestbed() { return DeviceProfile{}; }
+
+DeviceProfile DeviceProfile::SlowNfs() {
+  DeviceProfile p;
+  p.disk_read_bw = 80.0e6;
+  p.disk_write_bw = 50.0e6;
+  p.disk_latency = 2e-3;
+  return p;
+}
+
+CostModel::CostModel(DeviceProfile profile) : profile_(profile) {
+  if (profile_.disk_read_bw <= 0 || profile_.disk_write_bw <= 0 ||
+      profile_.mem_read_bw <= 0 || profile_.mem_write_bw <= 0) {
+    throw std::invalid_argument("CostModel: bandwidths must be positive");
+  }
+}
+
+double CostModel::DiskReadSeconds(std::int64_t bytes, double files) const {
+  if (bytes <= 0) return 0.0;
+  return profile_.table_read_overhead * files + profile_.disk_latency +
+         static_cast<double>(bytes) / profile_.disk_read_bw;
+}
+
+double CostModel::DiskWriteSeconds(std::int64_t bytes, double files) const {
+  if (bytes <= 0) return 0.0;
+  return profile_.table_write_overhead * files +
+         DiskWriteChannelSeconds(bytes);
+}
+
+double CostModel::DiskWriteChannelSeconds(std::int64_t bytes) const {
+  if (bytes <= 0) return 0.0;
+  return profile_.disk_latency +
+         static_cast<double>(bytes) * profile_.write_amplification /
+             profile_.disk_write_bw;
+}
+
+double CostModel::MemReadSeconds(std::int64_t bytes) const {
+  if (bytes <= 0) return 0.0;
+  return static_cast<double>(bytes) / profile_.mem_read_bw;
+}
+
+double CostModel::MemWriteSeconds(std::int64_t bytes) const {
+  if (bytes <= 0) return 0.0;
+  return static_cast<double>(bytes) / profile_.mem_write_bw;
+}
+
+}  // namespace sc::cost

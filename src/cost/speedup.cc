@@ -1,0 +1,26 @@
+#include "cost/speedup.h"
+
+#include <algorithm>
+
+namespace sc::cost {
+
+double SpeedupEstimator::ScoreFor(const graph::Graph& g,
+                                  graph::NodeId id) const {
+  const std::int64_t size = g.node(id).size_bytes;
+  const double files = g.node(id).file_count;
+  if (size <= 0) return 0.0;
+  const double per_read_saving =
+      model_.DiskReadSeconds(size, files) - model_.MemReadSeconds(size);
+  const double write_saving =
+      model_.DiskWriteSeconds(size, files) - model_.MemWriteSeconds(size);
+  const double num_children = static_cast<double>(g.children(id).size());
+  return std::max(0.0, num_children * per_read_saving + write_saving);
+}
+
+void SpeedupEstimator::AnnotateGraph(graph::Graph* g) const {
+  for (graph::NodeId i = 0; i < g->num_nodes(); ++i) {
+    g->mutable_node(i).speedup_score = ScoreFor(*g, i);
+  }
+}
+
+}  // namespace sc::cost

@@ -1,0 +1,36 @@
+#ifndef SC_COST_SPEEDUP_H_
+#define SC_COST_SPEEDUP_H_
+
+#include "cost/cost_model.h"
+#include "graph/graph.h"
+
+namespace sc::cost {
+
+/// Computes the paper's speedup scores T (§IV):
+///
+///   t_i = sum over children j of [ read(v_i | disk) - read(v_i | memory) ]
+///       + [ create(v_i | disk) - create(v_i | memory) ]
+///
+/// i.e. the seconds saved by keeping v_i's output in the Memory Catalog:
+/// every downstream consumer reads it from memory instead of disk, and the
+/// blocking disk write is replaced by a memory create (the disk
+/// materialization then overlaps downstream compute, §III-C).
+class SpeedupEstimator {
+ public:
+  explicit SpeedupEstimator(CostModel model) : model_(std::move(model)) {}
+
+  /// Speedup score for a single node (does not mutate the graph).
+  double ScoreFor(const graph::Graph& g, graph::NodeId id) const;
+
+  /// Fills `speedup_score` on every node of `g` from its size and fan-out.
+  void AnnotateGraph(graph::Graph* g) const;
+
+  const CostModel& model() const { return model_; }
+
+ private:
+  CostModel model_;
+};
+
+}  // namespace sc::cost
+
+#endif  // SC_COST_SPEEDUP_H_

@@ -1,0 +1,129 @@
+#include "engine/column.h"
+
+#include <stdexcept>
+
+namespace sc::engine {
+
+Column Column::FromInts(std::vector<std::int64_t> values) {
+  Column c(DataType::kInt64);
+  c.ints_ = std::move(values);
+  return c;
+}
+
+Column Column::FromDoubles(std::vector<double> values) {
+  Column c(DataType::kFloat64);
+  c.doubles_ = std::move(values);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.strings_ = std::move(values);
+  return c;
+}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kFloat64:
+      return doubles_.size();
+    case DataType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+Value Column::GetValue(std::size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_[row];
+    case DataType::kFloat64:
+      return doubles_[row];
+    case DataType::kString:
+      return strings_[row];
+  }
+  throw std::logic_error("Column::GetValue: bad type");
+}
+
+void Column::AppendValue(const Value& value) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(AsInt64(value));
+      return;
+    case DataType::kFloat64:
+      doubles_.push_back(AsDouble(value));
+      return;
+    case DataType::kString:
+      strings_.push_back(std::get<std::string>(value));
+      return;
+  }
+  throw std::logic_error("Column::AppendValue: bad type");
+}
+
+void Column::AppendFrom(const Column& other, std::size_t row) {
+  if (other.type_ != type_) {
+    throw std::invalid_argument("Column::AppendFrom: type mismatch");
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(other.ints_[row]);
+      return;
+    case DataType::kFloat64:
+      doubles_.push_back(other.doubles_[row]);
+      return;
+    case DataType::kString:
+      strings_.push_back(other.strings_[row]);
+      return;
+  }
+}
+
+void Column::Reserve(std::size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      return;
+    case DataType::kFloat64:
+      doubles_.reserve(n);
+      return;
+    case DataType::kString:
+      strings_.reserve(n);
+      return;
+  }
+}
+
+std::int64_t Column::ByteSize() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<std::int64_t>(ints_.size() * sizeof(std::int64_t));
+    case DataType::kFloat64:
+      return static_cast<std::int64_t>(doubles_.size() * sizeof(double));
+    case DataType::kString: {
+      std::int64_t total = 0;
+      for (const auto& s : strings_) {
+        total += static_cast<std::int64_t>(s.size()) + 16;  // len + overhead
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+double Column::NumericAt(std::size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kFloat64:
+      return doubles_[row];
+    case DataType::kString:
+      throw std::invalid_argument("NumericAt: string column");
+  }
+  return 0;
+}
+
+bool Column::operator==(const Column& other) const {
+  return type_ == other.type_ && ints_ == other.ints_ &&
+         doubles_ == other.doubles_ && strings_ == other.strings_;
+}
+
+}  // namespace sc::engine

@@ -1,0 +1,69 @@
+#ifndef SC_ENGINE_COLUMN_H_
+#define SC_ENGINE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace sc::engine {
+
+/// A typed columnar vector. Storage is one contiguous std::vector of the
+/// native type; only the vector matching `type()` is populated.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  static Column FromInts(std::vector<std::int64_t> values);
+  static Column FromDoubles(std::vector<double> values);
+  static Column FromStrings(std::vector<std::string> values);
+
+  DataType type() const { return type_; }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Typed accessors; the caller must respect type(). Bounds-checked in
+  /// debug builds only (hot path).
+  std::int64_t GetInt(std::size_t row) const { return ints_[row]; }
+  double GetDouble(std::size_t row) const { return doubles_[row]; }
+  const std::string& GetString(std::size_t row) const {
+    return strings_[row];
+  }
+
+  /// Generic accessors (allocate for strings; use typed paths in loops).
+  Value GetValue(std::size_t row) const;
+  void AppendValue(const Value& value);
+
+  void AppendInt(std::int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+
+  /// Appends row `row` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, std::size_t row);
+
+  void Reserve(std::size_t n);
+
+  /// Approximate in-memory footprint in bytes (used for Memory Catalog
+  /// accounting and node sizes).
+  std::int64_t ByteSize() const;
+
+  /// Numeric value of a row as double (throws for string columns).
+  double NumericAt(std::size_t row) const;
+
+  bool operator==(const Column& other) const;
+
+  const std::vector<std::int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  DataType type_;
+  std::vector<std::int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_COLUMN_H_

@@ -1,0 +1,50 @@
+#include "engine/executor.h"
+
+#include <stdexcept>
+
+namespace sc::engine {
+
+TablePtr MapResolver::Resolve(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("MapResolver: unknown table '" + name + "'");
+  }
+  return it->second;
+}
+
+Table ExecutePlan(const PlanNode& plan, TableResolver& resolver) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan: {
+      TablePtr t = resolver.Resolve(plan.table_name);
+      if (t == nullptr) {
+        throw std::out_of_range("ExecutePlan: null table '" +
+                                plan.table_name + "'");
+      }
+      return *t;
+    }
+    case PlanNode::Kind::kFilter:
+      return FilterTable(ExecutePlan(*plan.child, resolver),
+                         *plan.predicate);
+    case PlanNode::Kind::kProject:
+      return ProjectTable(ExecutePlan(*plan.child, resolver),
+                          plan.projections);
+    case PlanNode::Kind::kHashJoin:
+      return HashJoinTables(ExecutePlan(*plan.child, resolver),
+                            ExecutePlan(*plan.right, resolver),
+                            plan.left_keys, plan.right_keys);
+    case PlanNode::Kind::kAggregate:
+      return AggregateTable(ExecutePlan(*plan.child, resolver),
+                            plan.group_keys, plan.aggregates);
+    case PlanNode::Kind::kSort:
+      return SortTable(ExecutePlan(*plan.child, resolver), plan.sort_keys,
+                       plan.sort_descending);
+    case PlanNode::Kind::kLimit:
+      return LimitTable(ExecutePlan(*plan.child, resolver), plan.limit);
+    case PlanNode::Kind::kUnionAll:
+      return UnionAllTables(ExecutePlan(*plan.child, resolver),
+                            ExecutePlan(*plan.right, resolver));
+  }
+  throw std::logic_error("ExecutePlan: bad plan kind");
+}
+
+}  // namespace sc::engine

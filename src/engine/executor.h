@@ -1,0 +1,60 @@
+#ifndef SC_ENGINE_EXECUTOR_H_
+#define SC_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "engine/operators.h"
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace sc::engine {
+
+/// Resolves scan leaves to tables. The Controller supplies a resolver that
+/// serves parent MVs from the Memory Catalog when resident and from
+/// external storage otherwise — which is exactly how S/C short-circuits
+/// reads without changing plans.
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+  /// Returns the table for `name`; throws std::out_of_range if unknown.
+  virtual TablePtr Resolve(const std::string& name) = 0;
+};
+
+/// Simple in-memory resolver backed by a name -> table map.
+class MapResolver : public TableResolver {
+ public:
+  MapResolver() = default;
+  explicit MapResolver(std::map<std::string, TablePtr> tables)
+      : tables_(std::move(tables)) {}
+
+  void Put(const std::string& name, TablePtr table) {
+    tables_[name] = std::move(table);
+  }
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  TablePtr Resolve(const std::string& name) override;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+/// Resolver that delegates to a callback (used by the Controller).
+class FnResolver : public TableResolver {
+ public:
+  using Fn = std::function<TablePtr(const std::string&)>;
+  explicit FnResolver(Fn fn) : fn_(std::move(fn)) {}
+  TablePtr Resolve(const std::string& name) override { return fn_(name); }
+
+ private:
+  Fn fn_;
+};
+
+/// Recursively evaluates `plan`, resolving scans through `resolver`.
+Table ExecutePlan(const PlanNode& plan, TableResolver& resolver);
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_EXECUTOR_H_

@@ -1,0 +1,290 @@
+#include "engine/expr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::engine {
+
+namespace {
+
+std::string OpName(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kMul: return "*";
+    case Expr::Op::kDiv: return "/";
+    case Expr::Op::kMod: return "%";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+    case Expr::Op::kEq: return "==";
+    case Expr::Op::kNe: return "!=";
+    case Expr::Op::kAnd: return "AND";
+    case Expr::Op::kOr: return "OR";
+    case Expr::Op::kNot: return "NOT";
+    case Expr::Op::kNeg: return "-";
+  }
+  return "?";
+}
+
+bool IsComparison(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kLt:
+    case Expr::Op::kLe:
+    case Expr::Op::kGt:
+    case Expr::Op::kGe:
+    case Expr::Op::kEq:
+    case Expr::Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(Expr::Op op) {
+  return op == Expr::Op::kAnd || op == Expr::Op::kOr || op == Expr::Op::kNot;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column_name;
+    case Kind::kLiteral:
+      return sc::engine::ToString(literal);
+    case Kind::kBinary:
+      return "(" + left->ToString() + " " + OpName(op) + " " +
+             right->ToString() + ")";
+    case Kind::kUnary:
+      return OpName(op) + "(" + left->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumn;
+  e->column_name = std::move(name);
+  return e;
+}
+
+namespace {
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+}  // namespace
+
+ExprPtr Lit(std::int64_t v) { return MakeLiteral(Value{v}); }
+ExprPtr Lit(double v) { return MakeLiteral(Value{v}); }
+ExprPtr Lit(std::string v) { return MakeLiteral(Value{std::move(v)}); }
+
+ExprPtr Binary(Expr::Op op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->op = op;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr Add(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kAdd, l, r); }
+ExprPtr Sub(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kSub, l, r); }
+ExprPtr Mul(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kMul, l, r); }
+ExprPtr Div(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kDiv, l, r); }
+ExprPtr Mod(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kMod, l, r); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kLt, l, r); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kLe, l, r); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kGt, l, r); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kGe, l, r); }
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kEq, l, r); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kNe, l, r); }
+ExprPtr And(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kAnd, l, r); }
+ExprPtr Or(ExprPtr l, ExprPtr r) { return Binary(Expr::Op::kOr, l, r); }
+
+ExprPtr Not(ExprPtr e) {
+  auto out = std::make_shared<Expr>();
+  out->kind = Expr::Kind::kUnary;
+  out->op = Expr::Op::kNot;
+  out->left = std::move(e);
+  return out;
+}
+
+ExprPtr Neg(ExprPtr e) {
+  auto out = std::make_shared<Expr>();
+  out->kind = Expr::Kind::kUnary;
+  out->op = Expr::Op::kNeg;
+  out->left = std::move(e);
+  return out;
+}
+
+DataType ResultType(const Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      const std::int32_t i = schema.IndexOf(expr.column_name);
+      if (i < 0) {
+        throw std::invalid_argument("unknown column '" + expr.column_name +
+                                    "'");
+      }
+      return schema.field(static_cast<std::size_t>(i)).type;
+    }
+    case Expr::Kind::kLiteral:
+      return TypeOf(expr.literal);
+    case Expr::Kind::kUnary:
+      return expr.op == Expr::Op::kNot ? DataType::kInt64
+                                       : ResultType(*expr.left, schema);
+    case Expr::Kind::kBinary: {
+      if (IsComparison(expr.op) || IsLogical(expr.op)) return DataType::kInt64;
+      const DataType lt = ResultType(*expr.left, schema);
+      const DataType rt = ResultType(*expr.right, schema);
+      if (lt == DataType::kString || rt == DataType::kString) {
+        throw std::invalid_argument("arithmetic on string column");
+      }
+      if (expr.op == Expr::Op::kDiv) return DataType::kFloat64;
+      if (lt == DataType::kFloat64 || rt == DataType::kFloat64) {
+        return DataType::kFloat64;
+      }
+      return DataType::kInt64;
+    }
+  }
+  throw std::logic_error("ResultType: bad expr kind");
+}
+
+namespace {
+
+/// Evaluates a sub-expression and returns a column of input.num_rows()
+/// entries (literals are broadcast).
+Column Eval(const Expr& expr, const Table& input);
+
+Column EvalBinary(const Expr& expr, const Table& input) {
+  const Column lhs = Eval(*expr.left, input);
+  const Column rhs = Eval(*expr.right, input);
+  const std::size_t n = input.num_rows();
+
+  if (IsComparison(expr.op)) {
+    std::vector<std::int64_t> out(n);
+    const bool strings = lhs.type() == DataType::kString;
+    if (strings != (rhs.type() == DataType::kString)) {
+      throw std::invalid_argument("comparison of string vs numeric");
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      int cmp;
+      if (strings) {
+        const auto& a = lhs.GetString(r);
+        const auto& b = rhs.GetString(r);
+        cmp = a < b ? -1 : (b < a ? 1 : 0);
+      } else {
+        const double a = lhs.NumericAt(r);
+        const double b = rhs.NumericAt(r);
+        cmp = a < b ? -1 : (b < a ? 1 : 0);
+      }
+      bool v = false;
+      switch (expr.op) {
+        case Expr::Op::kLt: v = cmp < 0; break;
+        case Expr::Op::kLe: v = cmp <= 0; break;
+        case Expr::Op::kGt: v = cmp > 0; break;
+        case Expr::Op::kGe: v = cmp >= 0; break;
+        case Expr::Op::kEq: v = cmp == 0; break;
+        case Expr::Op::kNe: v = cmp != 0; break;
+        default: break;
+      }
+      out[r] = v ? 1 : 0;
+    }
+    return Column::FromInts(std::move(out));
+  }
+
+  if (IsLogical(expr.op)) {
+    std::vector<std::int64_t> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const bool a = lhs.NumericAt(r) != 0;
+      const bool b = rhs.NumericAt(r) != 0;
+      out[r] = (expr.op == Expr::Op::kAnd ? (a && b) : (a || b)) ? 1 : 0;
+    }
+    return Column::FromInts(std::move(out));
+  }
+
+  // Arithmetic.
+  if (lhs.type() == DataType::kString || rhs.type() == DataType::kString) {
+    throw std::invalid_argument("arithmetic on string column");
+  }
+  const bool as_double = expr.op == Expr::Op::kDiv ||
+                         lhs.type() == DataType::kFloat64 ||
+                         rhs.type() == DataType::kFloat64;
+  if (as_double) {
+    std::vector<double> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = lhs.NumericAt(r);
+      const double b = rhs.NumericAt(r);
+      switch (expr.op) {
+        case Expr::Op::kAdd: out[r] = a + b; break;
+        case Expr::Op::kSub: out[r] = a - b; break;
+        case Expr::Op::kMul: out[r] = a * b; break;
+        case Expr::Op::kDiv: out[r] = b != 0 ? a / b : 0.0; break;
+        case Expr::Op::kMod: out[r] = b != 0 ? std::fmod(a, b) : 0.0; break;
+        default: throw std::logic_error("bad arithmetic op");
+      }
+    }
+    return Column::FromDoubles(std::move(out));
+  }
+  std::vector<std::int64_t> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::int64_t a = lhs.GetInt(r);
+    const std::int64_t b = rhs.GetInt(r);
+    switch (expr.op) {
+      case Expr::Op::kAdd: out[r] = a + b; break;
+      case Expr::Op::kSub: out[r] = a - b; break;
+      case Expr::Op::kMul: out[r] = a * b; break;
+      case Expr::Op::kMod: out[r] = b != 0 ? a % b : 0; break;
+      default: throw std::logic_error("bad arithmetic op");
+    }
+  }
+  return Column::FromInts(std::move(out));
+}
+
+Column Eval(const Expr& expr, const Table& input) {
+  const std::size_t n = input.num_rows();
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      return input.column(expr.column_name);
+    case Expr::Kind::kLiteral: {
+      Column out(TypeOf(expr.literal));
+      out.Reserve(n);
+      for (std::size_t r = 0; r < n; ++r) out.AppendValue(expr.literal);
+      return out;
+    }
+    case Expr::Kind::kUnary: {
+      const Column child = Eval(*expr.left, input);
+      if (expr.op == Expr::Op::kNot) {
+        std::vector<std::int64_t> out(n);
+        for (std::size_t r = 0; r < n; ++r) {
+          out[r] = child.NumericAt(r) == 0 ? 1 : 0;
+        }
+        return Column::FromInts(std::move(out));
+      }
+      // kNeg
+      if (child.type() == DataType::kInt64) {
+        std::vector<std::int64_t> out(n);
+        for (std::size_t r = 0; r < n; ++r) out[r] = -child.GetInt(r);
+        return Column::FromInts(std::move(out));
+      }
+      std::vector<double> out(n);
+      for (std::size_t r = 0; r < n; ++r) out[r] = -child.NumericAt(r);
+      return Column::FromDoubles(std::move(out));
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, input);
+  }
+  throw std::logic_error("Eval: bad expr kind");
+}
+
+}  // namespace
+
+Column EvalExpr(const Expr& expr, const Table& input) {
+  return Eval(expr, input);
+}
+
+}  // namespace sc::engine

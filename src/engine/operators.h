@@ -1,0 +1,48 @@
+#ifndef SC_ENGINE_OPERATORS_H_
+#define SC_ENGINE_OPERATORS_H_
+
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace sc::engine {
+
+/// Physical operator implementations, one function per logical operator.
+/// All operators are blocking (materialize their full output), matching
+/// how a warehouse materializes each MV in one statement.
+
+/// Rows of `input` where `predicate` evaluates non-zero.
+Table FilterTable(const Table& input, const Expr& predicate);
+
+/// Evaluates each projection over `input`; output columns take the
+/// projection names.
+Table ProjectTable(const Table& input, const std::vector<NamedExpr>& exprs);
+
+/// Inner equi-join: builds a hash table on `right`, probes with `left`.
+/// Output schema = left fields followed by right fields whose names do not
+/// collide with a left field (key columns with identical names appear
+/// once).
+Table HashJoinTables(const Table& left, const Table& right,
+                     const std::vector<std::string>& left_keys,
+                     const std::vector<std::string>& right_keys);
+
+/// Hash aggregation. With empty `group_keys` produces a single global row.
+/// Output schema = group keys followed by one column per aggregate
+/// (kSum keeps int64 for int64 args, otherwise float64; kCount is int64;
+/// kAvg is float64; kMin/kMax keep the argument type).
+Table AggregateTable(const Table& input,
+                     const std::vector<std::string>& group_keys,
+                     const std::vector<AggSpec>& aggregates);
+
+/// Stable multi-key sort.
+Table SortTable(const Table& input, const std::vector<std::string>& keys,
+                const std::vector<bool>& descending);
+
+/// First `limit` rows (all rows if limit < 0).
+Table LimitTable(const Table& input, std::int64_t limit);
+
+/// Concatenation; schemas must match exactly.
+Table UnionAllTables(const Table& left, const Table& right);
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_OPERATORS_H_

@@ -1,0 +1,190 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+namespace sc::engine {
+
+namespace {
+
+const char* KindName(PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kScan: return "Scan";
+    case PlanNode::Kind::kFilter: return "Filter";
+    case PlanNode::Kind::kProject: return "Project";
+    case PlanNode::Kind::kHashJoin: return "HashJoin";
+    case PlanNode::Kind::kAggregate: return "Aggregate";
+    case PlanNode::Kind::kSort: return "Sort";
+    case PlanNode::Kind::kLimit: return "Limit";
+    case PlanNode::Kind::kUnionAll: return "UnionAll";
+  }
+  return "?";
+}
+
+void CollectTables(const PlanNode& node, std::vector<std::string>* out) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    out->push_back(node.table_name);
+  }
+  if (node.child) CollectTables(*node.child, out);
+  if (node.right) CollectTables(*node.right, out);
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream out;
+  out << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+      << KindName(kind);
+  switch (kind) {
+    case Kind::kScan:
+      out << "(" << table_name << ")";
+      break;
+    case Kind::kFilter:
+      out << "(" << predicate->ToString() << ")";
+      break;
+    case Kind::kProject: {
+      out << "(";
+      for (std::size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << projections[i].name << "=" << projections[i].expr->ToString();
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kHashJoin: {
+      out << "(";
+      for (std::size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << left_keys[i] << "=" << right_keys[i];
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kAggregate: {
+      out << "(keys=[";
+      for (std::size_t i = 0; i < group_keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << group_keys[i];
+      }
+      out << "], aggs=" << aggregates.size() << ")";
+      break;
+    }
+    case Kind::kSort: {
+      out << "(";
+      for (std::size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << sort_keys[i];
+      }
+      out << ")";
+      break;
+    }
+    case Kind::kLimit:
+      out << "(" << limit << ")";
+      break;
+    case Kind::kUnionAll:
+      break;
+  }
+  out << "\n";
+  if (child) out << child->ToString(indent + 1);
+  if (right) out << right->ToString(indent + 1);
+  return out.str();
+}
+
+std::vector<std::string> PlanNode::ReferencedTables() const {
+  std::vector<std::string> out;
+  CollectTables(*this, &out);
+  return out;
+}
+
+PlanPtr Scan(std::string table_name) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table_name = std::move(table_name);
+  return node;
+}
+
+PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kFilter;
+  node->child = std::move(child);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr Project(PlanPtr child, std::vector<NamedExpr> projections) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kProject;
+  node->child = std::move(child);
+  node->projections = std::move(projections);
+  return node;
+}
+
+PlanPtr HashJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kHashJoin;
+  node->child = std::move(left);
+  node->right = std::move(right);
+  node->left_keys = std::move(left_keys);
+  node->right_keys = std::move(right_keys);
+  return node;
+}
+
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_keys,
+                  std::vector<AggSpec> aggregates) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kAggregate;
+  node->child = std::move(child);
+  node->group_keys = std::move(group_keys);
+  node->aggregates = std::move(aggregates);
+  return node;
+}
+
+PlanPtr Sort(PlanPtr child, std::vector<std::string> keys,
+             std::vector<bool> descending) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kSort;
+  node->child = std::move(child);
+  node->sort_keys = std::move(keys);
+  node->sort_descending = std::move(descending);
+  node->sort_descending.resize(node->sort_keys.size(), false);
+  return node;
+}
+
+PlanPtr Limit(PlanPtr child, std::int64_t limit) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kLimit;
+  node->child = std::move(child);
+  node->limit = limit;
+  return node;
+}
+
+PlanPtr UnionAll(PlanPtr left, PlanPtr right) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kUnionAll;
+  node->child = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+AggSpec SumOf(ExprPtr arg, std::string output_name) {
+  return AggSpec{AggSpec::Func::kSum, std::move(arg), std::move(output_name)};
+}
+
+AggSpec CountAll(std::string output_name) {
+  return AggSpec{AggSpec::Func::kCount, nullptr, std::move(output_name)};
+}
+
+AggSpec MinOf(ExprPtr arg, std::string output_name) {
+  return AggSpec{AggSpec::Func::kMin, std::move(arg), std::move(output_name)};
+}
+
+AggSpec MaxOf(ExprPtr arg, std::string output_name) {
+  return AggSpec{AggSpec::Func::kMax, std::move(arg), std::move(output_name)};
+}
+
+AggSpec AvgOf(ExprPtr arg, std::string output_name) {
+  return AggSpec{AggSpec::Func::kAvg, std::move(arg), std::move(output_name)};
+}
+
+}  // namespace sc::engine

@@ -1,0 +1,97 @@
+#ifndef SC_ENGINE_PLAN_H_
+#define SC_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+
+namespace sc::engine {
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One aggregate in an Aggregate node. kCount ignores `arg` (may be null).
+struct AggSpec {
+  enum class Func { kSum, kCount, kMin, kMax, kAvg };
+  Func func = Func::kSum;
+  ExprPtr arg;
+  std::string output_name;
+};
+
+/// A named projection expression.
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// Logical plan tree for one MV definition (one SPJ/aggregation unit).
+/// Scan leaves reference base tables or upstream MVs by name; the executor
+/// resolves them through a TableResolver, which is how the Controller
+/// redirects reads to the Memory Catalog versus external storage.
+struct PlanNode {
+  enum class Kind {
+    kScan,
+    kFilter,
+    kProject,
+    kHashJoin,
+    kAggregate,
+    kSort,
+    kLimit,
+    kUnionAll,
+  };
+
+  Kind kind;
+  // kScan:
+  std::string table_name;
+  // Unary inputs use `child`; kHashJoin/kUnionAll also use `right`.
+  PlanPtr child;
+  PlanPtr right;
+  // kFilter:
+  ExprPtr predicate;
+  // kProject:
+  std::vector<NamedExpr> projections;
+  // kHashJoin (inner, equi-join): pairwise key columns.
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+  // kAggregate:
+  std::vector<std::string> group_keys;
+  std::vector<AggSpec> aggregates;
+  // kSort:
+  std::vector<std::string> sort_keys;
+  std::vector<bool> sort_descending;
+  // kLimit:
+  std::int64_t limit = -1;
+
+  /// Indented plan dump for debugging.
+  std::string ToString(int indent = 0) const;
+
+  /// Names of all tables scanned anywhere in this plan tree.
+  std::vector<std::string> ReferencedTables() const;
+};
+
+/// Builders.
+PlanPtr Scan(std::string table_name);
+PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+PlanPtr Project(PlanPtr child, std::vector<NamedExpr> projections);
+PlanPtr HashJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys);
+PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_keys,
+                  std::vector<AggSpec> aggregates);
+PlanPtr Sort(PlanPtr child, std::vector<std::string> keys,
+             std::vector<bool> descending = {});
+PlanPtr Limit(PlanPtr child, std::int64_t limit);
+PlanPtr UnionAll(PlanPtr left, PlanPtr right);
+
+/// Aggregate spec helpers.
+AggSpec SumOf(ExprPtr arg, std::string output_name);
+AggSpec CountAll(std::string output_name);
+AggSpec MinOf(ExprPtr arg, std::string output_name);
+AggSpec MaxOf(ExprPtr arg, std::string output_name);
+AggSpec AvgOf(ExprPtr arg, std::string output_name);
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_PLAN_H_

@@ -1,0 +1,488 @@
+#include "engine/plan_serde.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace sc::engine {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* OpAtom(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kMul: return "*";
+    case Expr::Op::kDiv: return "/";
+    case Expr::Op::kMod: return "%";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+    case Expr::Op::kEq: return "=";
+    case Expr::Op::kNe: return "!=";
+    case Expr::Op::kAnd: return "and";
+    case Expr::Op::kOr: return "or";
+    case Expr::Op::kNot: return "not";
+    case Expr::Op::kNeg: return "neg";
+  }
+  return "?";
+}
+
+void WriteExpr(const Expr& expr, std::ostream& out) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      out << "(col " << Quote(expr.column_name) << ")";
+      return;
+    case Expr::Kind::kLiteral:
+      if (const auto* i = std::get_if<std::int64_t>(&expr.literal)) {
+        out << "(i " << *i << ")";
+      } else if (const auto* d = std::get_if<double>(&expr.literal)) {
+        out << "(f " << StrFormat("%.17g", *d) << ")";
+      } else {
+        out << "(s " << Quote(std::get<std::string>(expr.literal)) << ")";
+      }
+      return;
+    case Expr::Kind::kUnary:
+      out << "(" << OpAtom(expr.op) << " ";
+      WriteExpr(*expr.left, out);
+      out << ")";
+      return;
+    case Expr::Kind::kBinary:
+      out << "(" << OpAtom(expr.op) << " ";
+      WriteExpr(*expr.left, out);
+      out << " ";
+      WriteExpr(*expr.right, out);
+      out << ")";
+      return;
+  }
+}
+
+const char* AggAtom(AggSpec::Func func) {
+  switch (func) {
+    case AggSpec::Func::kSum: return "sum";
+    case AggSpec::Func::kCount: return "count";
+    case AggSpec::Func::kMin: return "min";
+    case AggSpec::Func::kMax: return "max";
+    case AggSpec::Func::kAvg: return "avg";
+  }
+  return "?";
+}
+
+void WritePlan(const PlanNode& plan, std::ostream& out) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan:
+      out << "(scan " << Quote(plan.table_name) << ")";
+      return;
+    case PlanNode::Kind::kFilter:
+      out << "(filter ";
+      WritePlan(*plan.child, out);
+      out << " ";
+      WriteExpr(*plan.predicate, out);
+      out << ")";
+      return;
+    case PlanNode::Kind::kProject: {
+      out << "(project ";
+      WritePlan(*plan.child, out);
+      for (const NamedExpr& p : plan.projections) {
+        out << " (field " << Quote(p.name) << " ";
+        WriteExpr(*p.expr, out);
+        out << ")";
+      }
+      out << ")";
+      return;
+    }
+    case PlanNode::Kind::kHashJoin: {
+      out << "(join ";
+      WritePlan(*plan.child, out);
+      out << " ";
+      WritePlan(*plan.right, out);
+      out << " (keys";
+      for (std::size_t k = 0; k < plan.left_keys.size(); ++k) {
+        out << " " << Quote(plan.left_keys[k]) << " "
+            << Quote(plan.right_keys[k]);
+      }
+      out << "))";
+      return;
+    }
+    case PlanNode::Kind::kAggregate: {
+      out << "(agg ";
+      WritePlan(*plan.child, out);
+      out << " (keys";
+      for (const std::string& k : plan.group_keys) out << " " << Quote(k);
+      out << ")";
+      for (const AggSpec& spec : plan.aggregates) {
+        out << " (" << AggAtom(spec.func) << " " << Quote(spec.output_name);
+        if (spec.func != AggSpec::Func::kCount) {
+          out << " ";
+          WriteExpr(*spec.arg, out);
+        }
+        out << ")";
+      }
+      out << ")";
+      return;
+    }
+    case PlanNode::Kind::kSort: {
+      out << "(sort ";
+      WritePlan(*plan.child, out);
+      for (std::size_t k = 0; k < plan.sort_keys.size(); ++k) {
+        out << " (key " << Quote(plan.sort_keys[k]) << " "
+            << (plan.sort_descending[k] ? "desc" : "asc") << ")";
+      }
+      out << ")";
+      return;
+    }
+    case PlanNode::Kind::kLimit:
+      out << "(limit ";
+      WritePlan(*plan.child, out);
+      out << " " << plan.limit << ")";
+      return;
+    case PlanNode::Kind::kUnionAll:
+      out << "(union ";
+      WritePlan(*plan.child, out);
+      out << " ";
+      WritePlan(*plan.right, out);
+      out << ")";
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: tokenizer + recursive descent over a tiny s-expression tree.
+// ---------------------------------------------------------------------------
+
+struct Sexp {
+  // Either an atom (possibly a quoted string) or a list.
+  bool is_atom = false;
+  bool quoted = false;
+  std::string atom;
+  std::vector<Sexp> items;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Sexp Parse() {
+    Sexp root = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters after expression");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::runtime_error(
+        StrFormat("parse error at offset %zu: %s", pos_, message.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Sexp ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    if (text_[pos_] == '(') return ParseList();
+    if (text_[pos_] == ')') Fail("unexpected ')'");
+    return ParseAtom();
+  }
+
+  Sexp ParseList() {
+    Sexp list;
+    ++pos_;  // consume '('
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) Fail("unterminated list");
+      if (text_[pos_] == ')') {
+        ++pos_;
+        return list;
+      }
+      list.items.push_back(ParseValue());
+    }
+  }
+
+  Sexp ParseAtom() {
+    Sexp atom;
+    atom.is_atom = true;
+    if (text_[pos_] == '"') {
+      atom.quoted = true;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        atom.atom.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      ++pos_;  // closing quote
+      return atom;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      atom.atom.push_back(text_[pos_++]);
+    }
+    if (atom.atom.empty()) Fail("empty atom");
+    return atom;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void Bad(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+const std::string& AtomOf(const Sexp& s, const char* what) {
+  if (!s.is_atom) Bad(std::string("expected atom for ") + what);
+  return s.atom;
+}
+
+const std::string& StringOf(const Sexp& s, const char* what) {
+  if (!s.is_atom || !s.quoted) {
+    Bad(std::string("expected quoted string for ") + what);
+  }
+  return s.atom;
+}
+
+std::int64_t IntOf(const Sexp& s, const char* what) {
+  try {
+    return std::stoll(AtomOf(s, what));
+  } catch (...) {
+    Bad(std::string("expected integer for ") + what);
+  }
+}
+
+ExprPtr BuildExpr(const Sexp& s);
+
+Expr::Op BinaryOpFor(const std::string& head) {
+  if (head == "+") return Expr::Op::kAdd;
+  if (head == "-") return Expr::Op::kSub;
+  if (head == "*") return Expr::Op::kMul;
+  if (head == "/") return Expr::Op::kDiv;
+  if (head == "%") return Expr::Op::kMod;
+  if (head == "<") return Expr::Op::kLt;
+  if (head == "<=") return Expr::Op::kLe;
+  if (head == ">") return Expr::Op::kGt;
+  if (head == ">=") return Expr::Op::kGe;
+  if (head == "=") return Expr::Op::kEq;
+  if (head == "!=") return Expr::Op::kNe;
+  if (head == "and") return Expr::Op::kAnd;
+  if (head == "or") return Expr::Op::kOr;
+  Bad("unknown operator '" + head + "'");
+}
+
+ExprPtr BuildExpr(const Sexp& s) {
+  if (s.is_atom) Bad("expected expression list, got atom '" + s.atom + "'");
+  if (s.items.empty()) Bad("empty expression");
+  const std::string& head = AtomOf(s.items[0], "expression head");
+  auto arity = [&](std::size_t n) {
+    if (s.items.size() != n + 1) {
+      Bad(StrFormat("'%s' expects %zu argument(s)", head.c_str(), n));
+    }
+  };
+  if (head == "col") {
+    arity(1);
+    return Col(StringOf(s.items[1], "column name"));
+  }
+  if (head == "i") {
+    arity(1);
+    return Lit(IntOf(s.items[1], "integer literal"));
+  }
+  if (head == "f") {
+    arity(1);
+    try {
+      return Lit(std::stod(AtomOf(s.items[1], "float literal")));
+    } catch (...) {
+      Bad("expected float literal");
+    }
+  }
+  if (head == "s") {
+    arity(1);
+    return Lit(StringOf(s.items[1], "string literal"));
+  }
+  if (head == "not") {
+    arity(1);
+    return Not(BuildExpr(s.items[1]));
+  }
+  if (head == "neg") {
+    arity(1);
+    return Neg(BuildExpr(s.items[1]));
+  }
+  arity(2);
+  return Binary(BinaryOpFor(head), BuildExpr(s.items[1]),
+                BuildExpr(s.items[2]));
+}
+
+PlanPtr BuildPlan(const Sexp& s);
+
+AggSpec BuildAgg(const Sexp& s) {
+  if (s.is_atom || s.items.empty()) Bad("expected aggregate list");
+  const std::string& head = AtomOf(s.items[0], "aggregate head");
+  AggSpec spec;
+  if (head == "sum") {
+    spec.func = AggSpec::Func::kSum;
+  } else if (head == "count") {
+    spec.func = AggSpec::Func::kCount;
+  } else if (head == "min") {
+    spec.func = AggSpec::Func::kMin;
+  } else if (head == "max") {
+    spec.func = AggSpec::Func::kMax;
+  } else if (head == "avg") {
+    spec.func = AggSpec::Func::kAvg;
+  } else {
+    Bad("unknown aggregate '" + head + "'");
+  }
+  const std::size_t expected = spec.func == AggSpec::Func::kCount ? 2 : 3;
+  if (s.items.size() != expected) {
+    Bad("aggregate '" + head + "' has wrong arity");
+  }
+  spec.output_name = StringOf(s.items[1], "aggregate output name");
+  if (spec.func != AggSpec::Func::kCount) {
+    spec.arg = BuildExpr(s.items[2]);
+  }
+  return spec;
+}
+
+PlanPtr BuildPlan(const Sexp& s) {
+  if (s.is_atom) Bad("expected plan list, got atom '" + s.atom + "'");
+  if (s.items.empty()) Bad("empty plan");
+  const std::string& head = AtomOf(s.items[0], "plan head");
+  if (head == "scan") {
+    if (s.items.size() != 2) Bad("scan expects a table name");
+    return Scan(StringOf(s.items[1], "table name"));
+  }
+  if (head == "filter") {
+    if (s.items.size() != 3) Bad("filter expects (plan, expr)");
+    return Filter(BuildPlan(s.items[1]), BuildExpr(s.items[2]));
+  }
+  if (head == "project") {
+    if (s.items.size() < 3) Bad("project expects a plan and fields");
+    std::vector<NamedExpr> fields;
+    for (std::size_t i = 2; i < s.items.size(); ++i) {
+      const Sexp& f = s.items[i];
+      if (f.is_atom || f.items.size() != 3 ||
+          AtomOf(f.items[0], "field") != "field") {
+        Bad("project fields must be (field \"name\" <expr>)");
+      }
+      fields.push_back(NamedExpr{StringOf(f.items[1], "field name"),
+                                 BuildExpr(f.items[2])});
+    }
+    return Project(BuildPlan(s.items[1]), std::move(fields));
+  }
+  if (head == "join") {
+    if (s.items.size() != 4) Bad("join expects (left, right, keys)");
+    const Sexp& keys = s.items[3];
+    if (keys.is_atom || keys.items.empty() ||
+        AtomOf(keys.items[0], "keys") != "keys" ||
+        keys.items.size() % 2 == 0) {
+      Bad("join keys must be (keys \"l\" \"r\" ...)");
+    }
+    std::vector<std::string> left_keys;
+    std::vector<std::string> right_keys;
+    for (std::size_t i = 1; i < keys.items.size(); i += 2) {
+      left_keys.push_back(StringOf(keys.items[i], "left key"));
+      right_keys.push_back(StringOf(keys.items[i + 1], "right key"));
+    }
+    return HashJoin(BuildPlan(s.items[1]), BuildPlan(s.items[2]),
+                    std::move(left_keys), std::move(right_keys));
+  }
+  if (head == "agg") {
+    if (s.items.size() < 3) Bad("agg expects (plan, keys, aggs...)");
+    const Sexp& keys = s.items[2];
+    if (keys.is_atom || keys.items.empty() ||
+        AtomOf(keys.items[0], "keys") != "keys") {
+      Bad("agg keys must be (keys ...)");
+    }
+    std::vector<std::string> group_keys;
+    for (std::size_t i = 1; i < keys.items.size(); ++i) {
+      group_keys.push_back(StringOf(keys.items[i], "group key"));
+    }
+    std::vector<AggSpec> aggs;
+    for (std::size_t i = 3; i < s.items.size(); ++i) {
+      aggs.push_back(BuildAgg(s.items[i]));
+    }
+    return Aggregate(BuildPlan(s.items[1]), std::move(group_keys),
+                     std::move(aggs));
+  }
+  if (head == "sort") {
+    if (s.items.size() < 3) Bad("sort expects a plan and keys");
+    std::vector<std::string> keys;
+    std::vector<bool> descending;
+    for (std::size_t i = 2; i < s.items.size(); ++i) {
+      const Sexp& k = s.items[i];
+      if (k.is_atom || k.items.size() != 3 ||
+          AtomOf(k.items[0], "sort key") != "key") {
+        Bad("sort keys must be (key \"name\" asc|desc)");
+      }
+      keys.push_back(StringOf(k.items[1], "sort key name"));
+      const std::string& dir = AtomOf(k.items[2], "sort direction");
+      if (dir != "asc" && dir != "desc") Bad("sort direction asc|desc");
+      descending.push_back(dir == "desc");
+    }
+    return Sort(BuildPlan(s.items[1]), std::move(keys),
+                std::move(descending));
+  }
+  if (head == "limit") {
+    if (s.items.size() != 3) Bad("limit expects (plan, count)");
+    return Limit(BuildPlan(s.items[1]), IntOf(s.items[2], "limit"));
+  }
+  if (head == "union") {
+    if (s.items.size() != 3) Bad("union expects (left, right)");
+    return UnionAll(BuildPlan(s.items[1]), BuildPlan(s.items[2]));
+  }
+  Bad("unknown plan node '" + head + "'");
+}
+
+}  // namespace
+
+std::string SerializePlan(const PlanNode& plan) {
+  std::ostringstream out;
+  WritePlan(plan, out);
+  return out.str();
+}
+
+std::string SerializeExpr(const Expr& expr) {
+  std::ostringstream out;
+  WriteExpr(expr, out);
+  return out.str();
+}
+
+PlanPtr ParsePlan(const std::string& text, std::string* error) {
+  try {
+    return BuildPlan(Parser(text).Parse());
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+}
+
+ExprPtr ParseExpr(const std::string& text, std::string* error) {
+  try {
+    return BuildExpr(Parser(text).Parse());
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+}
+
+}  // namespace sc::engine

@@ -1,0 +1,47 @@
+#ifndef SC_ENGINE_PLAN_SERDE_H_
+#define SC_ENGINE_PLAN_SERDE_H_
+
+#include <string>
+
+#include "engine/plan.h"
+
+namespace sc::engine {
+
+/// Text serialization for logical plans and expressions, so that MV
+/// definitions can be stored alongside the dependency graph (dbt-style
+/// model files). S-expression syntax:
+///
+///   plans:
+///     (scan "table")
+///     (filter <plan> <expr>)
+///     (project <plan> (field "name" <expr>) ...)
+///     (join <plan> <plan> (keys "lkey" "rkey" ...))      ; pairwise
+///     (agg <plan> (keys "k" ...) (sum "out" <expr>) (count "out")
+///          (min "out" <expr>) (max "out" <expr>) (avg "out" <expr>))
+///     (sort <plan> (key "name" asc|desc) ...)
+///     (limit <plan> <integer>)
+///     (union <plan> <plan>)
+///   expressions:
+///     (col "name") | (i 42) | (f 2.5) | (s "text")
+///     (+ a b) (- a b) (* a b) (/ a b) (% a b)
+///     (< a b) (<= a b) (> a b) (>= a b) (= a b) (!= a b)
+///     (and a b) (or a b) (not a) (neg a)
+///
+/// Whitespace (including newlines) separates tokens; strings are
+/// double-quoted with backslash escapes for `"` and `\`.
+
+/// Serializes a plan (single line).
+std::string SerializePlan(const PlanNode& plan);
+
+/// Serializes an expression (single line).
+std::string SerializeExpr(const Expr& expr);
+
+/// Parses a plan; returns nullptr and fills `error` on failure.
+PlanPtr ParsePlan(const std::string& text, std::string* error);
+
+/// Parses an expression; returns nullptr and fills `error` on failure.
+ExprPtr ParseExpr(const std::string& text, std::string* error);
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_PLAN_SERDE_H_

@@ -1,0 +1,74 @@
+#include "engine/types.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/str_util.h"
+
+namespace sc::engine {
+
+std::string ToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType TypeOf(const Value& value) {
+  if (std::holds_alternative<std::int64_t>(value)) return DataType::kInt64;
+  if (std::holds_alternative<double>(value)) return DataType::kFloat64;
+  return DataType::kString;
+}
+
+std::string ToString(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StrFormat("%.6g", *d);
+  }
+  return std::get<std::string>(value);
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  const bool a_str = std::holds_alternative<std::string>(a);
+  const bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str != b_str) {
+    throw std::invalid_argument("CompareValues: string vs numeric");
+  }
+  if (a_str) {
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    if (sa < sb) return -1;
+    if (sb < sa) return 1;
+    return 0;
+  }
+  const double da = AsDouble(a);
+  const double db = AsDouble(b);
+  if (da < db) return -1;
+  if (db < da) return 1;
+  return 0;
+}
+
+double AsDouble(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) return *d;
+  throw std::invalid_argument("AsDouble: value is a string");
+}
+
+std::int64_t AsInt64(const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return *i;
+  if (const auto* d = std::get_if<double>(&value)) {
+    return static_cast<std::int64_t>(std::llround(*d));
+  }
+  throw std::invalid_argument("AsInt64: value is a string");
+}
+
+}  // namespace sc::engine

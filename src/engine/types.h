@@ -1,0 +1,41 @@
+#ifndef SC_ENGINE_TYPES_H_
+#define SC_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace sc::engine {
+
+/// Column data types supported by the engine. Dates are stored as int64
+/// day numbers (like TPC-DS surrogate date keys).
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+std::string ToString(DataType type);
+
+/// A single scalar value. The variant alternative must match the column's
+/// DataType (int64 <-> kInt64, double <-> kFloat64, string <-> kString).
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// DataType of a Value's current alternative.
+DataType TypeOf(const Value& value);
+
+/// Renders a value for debugging / CSV output.
+std::string ToString(const Value& value);
+
+/// Three-way comparison used by sort and join keys. Values of different
+/// numeric types compare numerically; comparing a string with a number is
+/// a programming error (throws std::invalid_argument).
+int CompareValues(const Value& a, const Value& b);
+
+/// Numeric coercion helpers (throw std::invalid_argument on strings).
+double AsDouble(const Value& value);
+std::int64_t AsInt64(const Value& value);
+
+}  // namespace sc::engine
+
+#endif  // SC_ENGINE_TYPES_H_

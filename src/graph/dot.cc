@@ -1,0 +1,41 @@
+#include "graph/dot.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bytes.h"
+
+namespace sc::graph {
+
+std::string ToDot(const Graph& g, const DotOptions& options) {
+  std::unordered_set<NodeId> highlighted(options.highlighted.begin(),
+                                         options.highlighted.end());
+  std::ostringstream out;
+  out << "digraph " << options.graph_name << " {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const NodeInfo& info = g.node(i);
+    out << "  n" << i << " [label=\"" << info.name;
+    if (options.show_sizes) {
+      out << "\\n" << FormatBytes(info.size_bytes);
+    }
+    if (options.show_scores) {
+      out << "\\nt=" << info.speedup_score;
+    }
+    out << "\"";
+    if (highlighted.count(i) > 0) {
+      out << ", style=filled, fillcolor=lightblue";
+    }
+    out << "];\n";
+  }
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (NodeId c : g.children(i)) {
+      out << "  n" << i << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace sc::graph

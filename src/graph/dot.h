@@ -1,0 +1,28 @@
+#ifndef SC_GRAPH_DOT_H_
+#define SC_GRAPH_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sc::graph {
+
+/// Options for Graphviz rendering of a dependency graph.
+struct DotOptions {
+  /// Nodes to highlight (e.g. the flagged set U); rendered filled.
+  std::vector<NodeId> highlighted;
+  /// Annotate nodes with size / score.
+  bool show_sizes = true;
+  bool show_scores = false;
+  /// Graph name in the dot output.
+  std::string graph_name = "sc_workload";
+};
+
+/// Renders the graph in Graphviz dot format (left-to-right layout). Useful
+/// for debugging workloads and for documentation figures.
+std::string ToDot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace sc::graph
+
+#endif  // SC_GRAPH_DOT_H_

@@ -1,0 +1,135 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/str_util.h"
+
+namespace sc::graph {
+
+NodeId Graph::AddNode(NodeInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("Graph::AddNode: empty node name");
+  }
+  if (by_name_.count(info.name) > 0) {
+    throw std::invalid_argument(
+        StrFormat("Graph::AddNode: duplicate node name '%s'",
+                  info.name.c_str()));
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(info.name, id);
+  nodes_.push_back(std::move(info));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+NodeId Graph::AddNode(const std::string& name, std::int64_t size_bytes,
+                      double speedup_score) {
+  NodeInfo info;
+  info.name = name;
+  info.size_bytes = size_bytes;
+  info.speedup_score = speedup_score;
+  return AddNode(std::move(info));
+}
+
+bool Graph::AddEdge(NodeId from, NodeId to) {
+  if (from < 0 || to < 0 || from >= num_nodes() || to >= num_nodes()) {
+    return false;
+  }
+  if (from == to) return false;
+  if (HasEdge(from, to)) return false;
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(NodeId from, NodeId to) const {
+  if (from < 0 || from >= num_nodes()) return false;
+  const auto& kids = children_[from];
+  return std::find(kids.begin(), kids.end(), to) != kids.end();
+}
+
+std::vector<NodeId> Graph::Roots() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (parents_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::Leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (children_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<NodeId> Graph::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Graph::Validate(std::string* error) const {
+  // Kahn's algorithm: the graph is acyclic iff all nodes are drained.
+  std::vector<std::int32_t> indegree(nodes_.size(), 0);
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    for (NodeId c : children_[i]) indegree[c]++;
+  }
+  std::vector<NodeId> frontier;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  std::int32_t drained = 0;
+  while (!frontier.empty()) {
+    NodeId n = frontier.back();
+    frontier.pop_back();
+    ++drained;
+    for (NodeId c : children_[n]) {
+      if (--indegree[c] == 0) frontier.push_back(c);
+    }
+  }
+  if (drained != num_nodes()) {
+    if (error != nullptr) {
+      *error = StrFormat("graph contains a cycle (%d of %d nodes reachable)",
+                         drained, num_nodes());
+    }
+    return false;
+  }
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (nodes_[i].size_bytes < 0) {
+      if (error != nullptr) {
+        *error = StrFormat("node '%s' has negative size",
+                           nodes_[i].name.c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t Graph::TotalSize() const {
+  std::int64_t total = 0;
+  for (const auto& n : nodes_) total += n.size_bytes;
+  return total;
+}
+
+double Graph::TotalScore() const {
+  double total = 0;
+  for (const auto& n : nodes_) total += n.speedup_score;
+  return total;
+}
+
+NodeId Graph::ValidateId(NodeId id) const {
+  if (id < 0 || id >= num_nodes()) {
+    throw std::out_of_range(StrFormat("node id %d out of range [0, %d)",
+                                      id, num_nodes()));
+  }
+  return id;
+}
+
+}  // namespace sc::graph

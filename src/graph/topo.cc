@@ -1,0 +1,177 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sc::graph {
+
+Order Order::FromSequence(std::vector<NodeId> seq) {
+  Order order;
+  order.sequence = std::move(seq);
+  NodeId max_id = -1;
+  for (NodeId v : order.sequence) max_id = std::max(max_id, v);
+  order.position.assign(static_cast<std::size_t>(max_id) + 1, -1);
+  for (std::size_t k = 0; k < order.sequence.size(); ++k) {
+    order.position[order.sequence[k]] = static_cast<std::int32_t>(k);
+  }
+  return order;
+}
+
+bool IsTopologicalOrder(const Graph& g, const Order& order) {
+  if (order.sequence.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return false;
+  }
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId v : order.sequence) {
+    if (v < 0 || v >= g.num_nodes() || seen[v]) return false;
+    for (NodeId p : g.parents(v)) {
+      if (!seen[p]) return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+Order KahnTopologicalOrder(const Graph& g) {
+  std::vector<std::int32_t> indegree(g.num_nodes(), 0);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (NodeId c : g.children(i)) indegree[c]++;
+  }
+  // FIFO frontier (deterministic, BFS-flavoured) — matches the behaviour
+  // of networkx.topological_sort, which the paper's implementation uses
+  // for the initial execution order of Algorithm 2.
+  std::queue<NodeId> ready;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<NodeId> seq;
+  seq.reserve(g.num_nodes());
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop();
+    seq.push_back(n);
+    for (NodeId c : g.children(n)) {
+      if (--indegree[c] == 0) ready.push(c);
+    }
+  }
+  assert(seq.size() == static_cast<std::size_t>(g.num_nodes()));
+  return Order::FromSequence(std::move(seq));
+}
+
+Order DfsSchedule(const Graph& g, const TieBreak& tie_break) {
+  const std::int32_t n = g.num_nodes();
+  std::vector<std::int32_t> unexecuted_parents(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    unexecuted_parents[i] =
+        static_cast<std::int32_t>(g.parents(i).size());
+  }
+  std::vector<bool> executed(n, false);
+  std::vector<NodeId> seq;
+  seq.reserve(n);
+  // DFS stack of executed nodes whose subtrees may still have ready work.
+  std::vector<NodeId> stack;
+
+  auto pick = [&](std::vector<NodeId>& candidates) -> NodeId {
+    std::sort(candidates.begin(), candidates.end());
+    std::size_t idx = 0;
+    if (tie_break && candidates.size() > 1) {
+      idx = tie_break(candidates);
+      if (idx >= candidates.size()) idx = 0;
+    }
+    return candidates[idx];
+  };
+
+  auto ready_children_of = [&](NodeId v) {
+    std::vector<NodeId> out;
+    for (NodeId c : g.children(v)) {
+      if (!executed[c] && unexecuted_parents[c] == 0) out.push_back(c);
+    }
+    return out;
+  };
+
+  auto execute = [&](NodeId v) {
+    executed[v] = true;
+    seq.push_back(v);
+    stack.push_back(v);
+    for (NodeId c : g.children(v)) unexecuted_parents[c]--;
+  };
+
+  // Ready roots not yet executed (recomputed lazily).
+  auto ready_roots = [&]() {
+    std::vector<NodeId> out;
+    for (NodeId i = 0; i < n; ++i) {
+      if (!executed[i] && unexecuted_parents[i] == 0) out.push_back(i);
+    }
+    return out;
+  };
+
+  while (static_cast<std::int32_t>(seq.size()) < n) {
+    NodeId next = kInvalidNode;
+    // Prefer to deepen from the DFS stack (finish the current branch).
+    while (!stack.empty()) {
+      std::vector<NodeId> cands = ready_children_of(stack.back());
+      if (!cands.empty()) {
+        next = pick(cands);
+        break;
+      }
+      stack.pop_back();
+    }
+    if (next == kInvalidNode) {
+      std::vector<NodeId> cands = ready_roots();
+      assert(!cands.empty() && "graph must be acyclic");
+      next = pick(cands);
+    }
+    execute(next);
+  }
+  return Order::FromSequence(std::move(seq));
+}
+
+namespace {
+
+std::vector<NodeId> Closure(const Graph& g, NodeId id, bool upstream) {
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::vector<NodeId> frontier = {id};
+  std::vector<NodeId> out;
+  visited[id] = true;
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    const auto& next = upstream ? g.parents(v) : g.children(v);
+    for (NodeId u : next) {
+      if (!visited[u]) {
+        visited[u] = true;
+        out.push_back(u);
+        frontier.push_back(u);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> Ancestors(const Graph& g, NodeId id) {
+  return Closure(g, id, /*upstream=*/true);
+}
+
+std::vector<NodeId> Descendants(const Graph& g, NodeId id) {
+  return Closure(g, id, /*upstream=*/false);
+}
+
+std::int32_t LongestPathLength(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  Order topo = KahnTopologicalOrder(g);
+  std::vector<std::int32_t> depth(g.num_nodes(), 1);
+  std::int32_t best = 1;
+  for (NodeId v : topo.sequence) {
+    for (NodeId c : g.children(v)) {
+      depth[c] = std::max(depth[c], depth[v] + 1);
+      best = std::max(best, depth[c]);
+    }
+  }
+  return best;
+}
+
+}  // namespace sc::graph

@@ -1,0 +1,59 @@
+#ifndef SC_GRAPH_TOPO_H_
+#define SC_GRAPH_TOPO_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sc::graph {
+
+/// An MV refresh execution order τ (paper Table II).
+///
+/// `sequence[k]` is the id of the k-th executed node;
+/// `position[v]` = τ(v) is the 0-based slot in which node v executes.
+/// Both views are kept consistent by FromSequence().
+struct Order {
+  std::vector<NodeId> sequence;
+  std::vector<std::int32_t> position;
+
+  static Order FromSequence(std::vector<NodeId> seq);
+
+  bool empty() const { return sequence.empty(); }
+  std::size_t size() const { return sequence.size(); }
+};
+
+/// True iff `order` is a permutation of the graph's nodes in which every
+/// node appears after all of its parents.
+bool IsTopologicalOrder(const Graph& g, const Order& order);
+
+/// Deterministic Kahn topological sort; ties broken by smallest node id.
+/// This is the GetTopologicalOrder subroutine of Algorithm 2.
+Order KahnTopologicalOrder(const Graph& g);
+
+/// Tie-break callback for DfsSchedule: given the candidate set (ready
+/// children of the current DFS frontier, or ready roots), returns the index
+/// of the candidate to execute next.
+using TieBreak =
+    std::function<std::size_t(const std::vector<NodeId>& candidates)>;
+
+/// DFS-based scheduling (paper §V-B): finishes a branch of execution before
+/// starting a new one. A node becomes *ready* when all its parents have
+/// executed. The scheduler repeatedly executes, preferring ready children
+/// of the most recently executed node (depth-first), backtracking through
+/// the DFS stack when the current branch is exhausted. `tie_break` selects
+/// among equally eligible candidates; pass {} for smallest-id ties.
+Order DfsSchedule(const Graph& g, const TieBreak& tie_break = {});
+
+/// All ancestors (transitive parents) of `id`, excluding `id`.
+std::vector<NodeId> Ancestors(const Graph& g, NodeId id);
+
+/// All descendants (transitive children) of `id`, excluding `id`.
+std::vector<NodeId> Descendants(const Graph& g, NodeId id);
+
+/// Length of the longest path (in nodes) in the DAG; 0 for empty graphs.
+std::int32_t LongestPathLength(const Graph& g);
+
+}  // namespace sc::graph
+
+#endif  // SC_GRAPH_TOPO_H_

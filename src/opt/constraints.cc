@@ -1,0 +1,121 @@
+#include "opt/constraints.h"
+
+#include <algorithm>
+#include <set>
+
+#include "opt/memory_usage.h"
+
+namespace sc::opt {
+
+namespace {
+
+/// True iff node v is excluded from flagging: it cannot fit in the Memory
+/// Catalog by itself, or flagging it would not improve the objective.
+bool IsExcluded(const graph::Graph& g, graph::NodeId v, std::int64_t budget) {
+  return g.node(v).size_bytes > budget || g.node(v).speedup_score == 0.0;
+}
+
+}  // namespace
+
+std::vector<std::vector<graph::NodeId>> AllLiveSets(
+    const graph::Graph& g, const graph::Order& order, std::int64_t budget) {
+  const std::int32_t n = g.num_nodes();
+  std::vector<std::vector<graph::NodeId>> live_sets(n);
+  for (std::int32_t k = 0; k < n; ++k) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (IsExcluded(g, v, budget)) continue;
+      if (order.position[v] <= k && k <= ReleaseSlot(g, order, v)) {
+        live_sets[k].push_back(v);
+      }
+    }
+    std::sort(live_sets[k].begin(), live_sets[k].end());
+  }
+  return live_sets;
+}
+
+ConstraintSets GetConstraints(const graph::Graph& g,
+                              const graph::Order& order,
+                              std::int64_t budget) {
+  const std::int32_t n = g.num_nodes();
+  ConstraintSets out;
+
+  std::vector<bool> excluded(n, false);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (IsExcluded(g, v, budget)) {
+      excluded[v] = true;
+      out.excluded.push_back(v);
+    }
+  }
+
+  // Incremental scan over slots: maintain the set of live candidates.
+  // The live set changes only by (a) inserting the node executed at slot k
+  // and (b) removing nodes whose release slot is k - 1. A live set can be a
+  // strict subset of another only if it is a subset of the set at an
+  // adjacent "grow-only" step, so we record the set at every slot where the
+  // NEXT step removes something (and at the final slot) — those are the
+  // locally maximal sets — then do a global subset prune for safety.
+  std::vector<std::vector<graph::NodeId>> release_at(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!excluded[v]) {
+      release_at[ReleaseSlot(g, order, v)].push_back(v);
+    }
+  }
+
+  std::set<graph::NodeId> live;
+  std::vector<std::vector<graph::NodeId>> candidates_sets;
+  for (std::int32_t k = 0; k < n; ++k) {
+    const graph::NodeId executed = order.sequence[k];
+    if (!excluded[executed]) live.insert(executed);
+    const bool removes_after = !release_at[k].empty();
+    if ((removes_after || k == n - 1) && !live.empty()) {
+      candidates_sets.emplace_back(live.begin(), live.end());
+    }
+    for (graph::NodeId v : release_at[k]) live.erase(v);
+  }
+
+  // Prune trivial sets (cannot be violated even if fully flagged).
+  std::vector<std::vector<graph::NodeId>> nontrivial;
+  for (auto& s : candidates_sets) {
+    std::int64_t total = 0;
+    for (graph::NodeId v : s) total += g.node(v).size_bytes;
+    if (total > budget) nontrivial.push_back(std::move(s));
+  }
+
+  // Global subset prune (sets are sorted; O(#sets^2 * len)).
+  auto is_subset = [](const std::vector<graph::NodeId>& a,
+                      const std::vector<graph::NodeId>& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  };
+  std::vector<bool> dominated(nontrivial.size(), false);
+  for (std::size_t i = 0; i < nontrivial.size(); ++i) {
+    for (std::size_t j = 0; j < nontrivial.size() && !dominated[i]; ++j) {
+      if (i == j || dominated[j]) continue;
+      if (nontrivial[i].size() < nontrivial[j].size() &&
+          is_subset(nontrivial[i], nontrivial[j])) {
+        dominated[i] = true;
+      } else if (nontrivial[i] == nontrivial[j] && j < i) {
+        dominated[i] = true;  // Keep only the first of duplicates.
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nontrivial.size(); ++i) {
+    if (!dominated[i]) out.sets.push_back(std::move(nontrivial[i]));
+  }
+
+  // MKP variables: union of surviving sets. Free nodes: candidates in no
+  // surviving set.
+  std::vector<bool> in_mkp(n, false);
+  for (const auto& s : out.sets) {
+    for (graph::NodeId v : s) in_mkp[v] = true;
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (in_mkp[v]) {
+      out.mkp_nodes.push_back(v);
+    } else if (!excluded[v]) {
+      out.free_nodes.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::opt

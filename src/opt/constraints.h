@@ -1,0 +1,49 @@
+#ifndef SC_OPT_CONSTRAINTS_H_
+#define SC_OPT_CONSTRAINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Output of the GetConstraints subroutine of Algorithm 1 (paper §V-A).
+///
+/// For a fixed execution order τ, the constraint set of slot k is the set
+/// of candidate nodes whose flagged output would be resident in the Memory
+/// Catalog while the k-th node executes:
+///
+///   V_i = { v_j | τ(j) <= τ(i) <= max over children k of v_j of τ(k) }
+///
+/// restricted to candidates (nodes not in V_exclude). Constraint sets that
+/// are non-maximal (strict subsets of another set) or trivial (total size
+/// <= M even if everything is flagged) are pruned; they cannot change the
+/// MKP optimum.
+struct ConstraintSets {
+  /// Pruned, maximal, non-trivial constraint sets (sorted node ids each).
+  std::vector<std::vector<graph::NodeId>> sets;
+  /// V_exclude: nodes with size > M or speedup score == 0. Never flagged.
+  std::vector<graph::NodeId> excluded;
+  /// Candidates appearing in no surviving constraint set: flagging them is
+  /// always safe, so Algorithm 1 line 9 adds them to U unconditionally.
+  std::vector<graph::NodeId> free_nodes;
+  /// Union of nodes across `sets` — the variables of the MKP.
+  std::vector<graph::NodeId> mkp_nodes;
+};
+
+/// Computes the constraint sets for graph `g` under order `order` and
+/// Memory Catalog size `budget`. Single scan over the execution slots plus
+/// subset pruning.
+ConstraintSets GetConstraints(const graph::Graph& g,
+                              const graph::Order& order, std::int64_t budget);
+
+/// Reference implementation used by tests: materializes the live set at
+/// every slot without any pruning (still excludes V_exclude members).
+std::vector<std::vector<graph::NodeId>> AllLiveSets(const graph::Graph& g,
+                                                    const graph::Order& order,
+                                                    std::int64_t budget);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_CONSTRAINTS_H_

@@ -1,0 +1,100 @@
+#include "opt/ma_dfs.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sc::opt {
+
+// MA-DFS (paper §V-B). A DFS-flavoured list scheduler: at every step the
+// set of candidates is every ready node (all parents executed), ranked by
+//
+//   1. lower actual memory consumption (node size if flagged, else 0) —
+//      the paper's tie-break rule: defer large flagged nodes so they are
+//      resident for fewer slots;
+//   2. more flagged bytes released by executing the candidate (it is the
+//      last pending child of flagged parents) — "compute the largest
+//      flagged dependencies of a node last" so they leave memory sooner;
+//   3. recency: prefer children of the most recently executed node, which
+//      finishes a branch of execution before starting a new one (the DFS
+//      property that minimizes parent residency);
+//   4. smaller node id (determinism).
+graph::Order MaDfsOrder(const graph::Graph& g, const FlagSet& flags) {
+  const std::int32_t n = g.num_nodes();
+  std::vector<std::int32_t> unexecuted_parents(n, 0);
+  std::vector<std::int32_t> pending_children(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    unexecuted_parents[v] = static_cast<std::int32_t>(g.parents(v).size());
+    pending_children[v] = static_cast<std::int32_t>(g.children(v).size());
+  }
+  std::vector<std::int32_t> executed_at(n, -1);
+  std::vector<graph::NodeId> ready;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (unexecuted_parents[v] == 0) ready.push_back(v);
+  }
+
+  auto actual_memory = [&](graph::NodeId v) -> std::int64_t {
+    return flags[v] ? g.node(v).size_bytes : 0;
+  };
+  // Flagged bytes freed if `v` executes now: every flagged parent for
+  // which v is the last unexecuted child gets released.
+  auto released_bytes = [&](graph::NodeId v) -> std::int64_t {
+    std::int64_t released = 0;
+    for (graph::NodeId p : g.parents(v)) {
+      if (flags[p] && pending_children[p] == 1) {
+        released += g.node(p).size_bytes;
+      }
+    }
+    return released;
+  };
+  auto recency = [&](graph::NodeId v) -> std::int32_t {
+    std::int32_t latest = -1;
+    for (graph::NodeId p : g.parents(v)) {
+      latest = std::max(latest, executed_at[p]);
+    }
+    return latest;
+  };
+  auto better = [&](graph::NodeId a, graph::NodeId b) {
+    const std::int64_t ma = actual_memory(a);
+    const std::int64_t mb = actual_memory(b);
+    if (ma != mb) return ma < mb;
+    const std::int64_t ra = released_bytes(a);
+    const std::int64_t rb = released_bytes(b);
+    if (ra != rb) return ra > rb;
+    const std::int32_t da = recency(a);
+    const std::int32_t db = recency(b);
+    if (da != db) return da > db;
+    return a < b;
+  };
+
+  std::vector<graph::NodeId> seq;
+  seq.reserve(n);
+  while (!ready.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (better(ready[i], ready[best])) best = i;
+    }
+    const graph::NodeId v = ready[best];
+    ready[best] = ready.back();
+    ready.pop_back();
+    executed_at[v] = static_cast<std::int32_t>(seq.size());
+    seq.push_back(v);
+    for (graph::NodeId p : g.parents(v)) pending_children[p]--;
+    for (graph::NodeId c : g.children(v)) {
+      if (--unexecuted_parents[c] == 0) ready.push_back(c);
+    }
+  }
+  return graph::Order::FromSequence(std::move(seq));
+}
+
+graph::Order RandomDfsOrder(const graph::Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::TieBreak tie_break =
+      [&rng](const std::vector<graph::NodeId>& candidates) -> std::size_t {
+    return static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(candidates.size()) - 1));
+  };
+  return graph::DfsSchedule(g, tie_break);
+}
+
+}  // namespace sc::opt

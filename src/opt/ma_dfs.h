@@ -1,0 +1,30 @@
+#ifndef SC_OPT_MA_DFS_H_
+#define SC_OPT_MA_DFS_H_
+
+#include <cstdint>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Memory-Aware DFS (paper §V-B): the S/C solution to S/C Opt-Order.
+///
+/// Produces a DFS-flavoured topological execution order that minimizes the
+/// time between a node's execution and its children's, hence the average
+/// memory usage of flagged nodes. Candidates (ready nodes) are ranked by:
+/// (1) lower *actual memory consumption* — the node's size if flagged, 0
+/// otherwise (the paper's tie-break: defer large flagged nodes, Figure 8's
+/// v2-before-v3 rule); (2) more flagged bytes released by executing the
+/// candidate, so large flagged dependencies leave memory as soon as
+/// possible (Figure 7's v4-before-v3 order); (3) recency — prefer children
+/// of the most recently executed node, which finishes a branch of
+/// execution before starting a new one; (4) node id, for determinism.
+graph::Order MaDfsOrder(const graph::Graph& g, const FlagSet& flags);
+
+/// DFS-based scheduling with seeded random tie-breaking — the off-the-shelf
+/// baseline MA-DFS is compared against (paper Figure 8 discussion).
+graph::Order RandomDfsOrder(const graph::Graph& g, std::uint64_t seed);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_MA_DFS_H_

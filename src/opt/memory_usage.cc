@@ -1,0 +1,100 @@
+#include "opt/memory_usage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sc::opt {
+
+std::vector<graph::NodeId> FlaggedNodes(const FlagSet& flags) {
+  std::vector<graph::NodeId> out;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i]) out.push_back(static_cast<graph::NodeId>(i));
+  }
+  return out;
+}
+
+FlagSet MakeFlags(std::int32_t n, const std::vector<graph::NodeId>& nodes) {
+  FlagSet flags(n, false);
+  for (graph::NodeId v : nodes) {
+    if (v >= 0 && v < n) flags[v] = true;
+  }
+  return flags;
+}
+
+double TotalScore(const graph::Graph& g, const FlagSet& flags) {
+  double total = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (flags[v]) total += g.node(v).speedup_score;
+  }
+  return total;
+}
+
+std::int64_t TotalFlaggedSize(const graph::Graph& g, const FlagSet& flags) {
+  std::int64_t total = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (flags[v]) total += g.node(v).size_bytes;
+  }
+  return total;
+}
+
+std::int32_t ReleaseSlot(const graph::Graph& g, const graph::Order& order,
+                         graph::NodeId v) {
+  std::int32_t slot = order.position[v];
+  for (graph::NodeId c : g.children(v)) {
+    slot = std::max(slot, order.position[c]);
+  }
+  return slot;
+}
+
+std::vector<std::int64_t> MemoryTimeline(const graph::Graph& g,
+                                         const graph::Order& order,
+                                         const FlagSet& flags) {
+  const std::int32_t n = g.num_nodes();
+  assert(order.sequence.size() == static_cast<std::size_t>(n));
+  // Difference array over slots: +size at position(v), -size after
+  // release_slot(v).
+  std::vector<std::int64_t> delta(static_cast<std::size_t>(n) + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!flags[v]) continue;
+    const std::int64_t size = g.node(v).size_bytes;
+    delta[order.position[v]] += size;
+    delta[ReleaseSlot(g, order, v) + 1] -= size;
+  }
+  std::vector<std::int64_t> timeline(n, 0);
+  std::int64_t running = 0;
+  for (std::int32_t k = 0; k < n; ++k) {
+    running += delta[k];
+    timeline[k] = running;
+  }
+  return timeline;
+}
+
+std::int64_t PeakMemoryUsage(const graph::Graph& g, const graph::Order& order,
+                             const FlagSet& flags) {
+  std::int64_t peak = 0;
+  for (std::int64_t usage : MemoryTimeline(g, order, flags)) {
+    peak = std::max(peak, usage);
+  }
+  return peak;
+}
+
+double AverageMemoryUsage(const graph::Graph& g, const graph::Order& order,
+                          const FlagSet& flags) {
+  const std::int32_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!flags[v]) continue;
+    const double span =
+        static_cast<double>(ReleaseSlot(g, order, v) - order.position[v]);
+    total += span * static_cast<double>(g.node(v).size_bytes);
+  }
+  return total / static_cast<double>(n);
+}
+
+bool IsFeasible(const graph::Graph& g, const graph::Order& order,
+                const FlagSet& flags, std::int64_t budget) {
+  return PeakMemoryUsage(g, order, flags) <= budget;
+}
+
+}  // namespace sc::opt

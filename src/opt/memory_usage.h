@@ -1,0 +1,48 @@
+#ifndef SC_OPT_MEMORY_USAGE_H_
+#define SC_OPT_MEMORY_USAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Memory-occupancy accounting for a refresh run (paper §IV, §V).
+///
+/// A flagged node v is resident in the Memory Catalog from the slot in
+/// which v executes through the slot in which its last child executes
+/// (inclusive); it is freed immediately after. A flagged node with no
+/// children is resident only during its own slot (created, then released
+/// once materialized).
+
+/// The execution slot after which flagged node `v` can be released:
+/// max over children c of position[c], or position[v] if childless.
+std::int32_t ReleaseSlot(const graph::Graph& g, const graph::Order& order,
+                         graph::NodeId v);
+
+/// Memory occupied by flagged nodes at each execution slot; the value at
+/// index k is the combined size of flagged nodes resident while the k-th
+/// node executes.
+std::vector<std::int64_t> MemoryTimeline(const graph::Graph& g,
+                                         const graph::Order& order,
+                                         const FlagSet& flags);
+
+/// Peak of MemoryTimeline — the quantity constrained by the Memory Catalog
+/// size M (computed in one linear scan, Algorithm 2 line 8).
+std::int64_t PeakMemoryUsage(const graph::Graph& g, const graph::Order& order,
+                             const FlagSet& flags);
+
+/// Average memory usage — the S/C Opt-Order objective (Problem 3):
+///   (1/n) * sum over flagged v of (release_slot(v) - position(v)) * size(v)
+/// assuming unit job execution times.
+double AverageMemoryUsage(const graph::Graph& g, const graph::Order& order,
+                          const FlagSet& flags);
+
+/// True iff flagging `flags` under `order` never exceeds budget M.
+bool IsFeasible(const graph::Graph& g, const graph::Order& order,
+                const FlagSet& flags, std::int64_t budget);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_MEMORY_USAGE_H_

@@ -1,0 +1,314 @@
+#include "opt/mkp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sc::opt {
+
+namespace {
+
+/// Shared solver state for the branch-and-bound recursion.
+class BnbSolver {
+ public:
+  BnbSolver(const MkpProblem& problem, const MkpOptions& options)
+      : problem_(problem), options_(options) {
+    const std::int32_t n = static_cast<std::int32_t>(problem.profits.size());
+    // Order items by profit density (descending); ties by smaller weight.
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::sort(order_.begin(), order_.end(), [&](std::int32_t a,
+                                                std::int32_t b) {
+      const double da = Density(a);
+      const double db = Density(b);
+      if (da != db) return da > db;
+      return problem.weights[a] < problem.weights[b];
+    });
+    // Per-item constraint membership.
+    item_constraints_.resize(n);
+    for (std::size_t c = 0; c < problem.members.size(); ++c) {
+      for (std::int32_t item : problem.members[c]) {
+        item_constraints_[item].push_back(static_cast<std::int32_t>(c));
+      }
+    }
+    // Per-constraint membership bitmap for the bound computation.
+    in_constraint_.assign(problem.members.size(),
+                          std::vector<bool>(n, false));
+    for (std::size_t c = 0; c < problem.members.size(); ++c) {
+      for (std::int32_t item : problem.members[c]) {
+        in_constraint_[c][item] = true;
+      }
+    }
+    remaining_.assign(problem.members.size(), problem.capacity);
+    chosen_.assign(n, false);
+    // Suffix profit sums in density order: suffix_profit_[k] = sum of
+    // profits of order_[k..].
+    suffix_profit_.assign(n + 1, 0.0);
+    for (std::int32_t k = n - 1; k >= 0; --k) {
+      suffix_profit_[k] = suffix_profit_[k + 1] + problem.profits[order_[k]];
+    }
+  }
+
+  MkpResult Solve() {
+    // Seed the incumbent with the greedy solution so pruning bites early.
+    MkpResult greedy = SolveMkpGreedy(problem_);
+    best_ = greedy.selected;
+    best_objective_ = greedy.objective;
+    aborted_ = false;
+    Recurse(0, 0.0);
+    MkpResult result;
+    result.selected = best_;
+    result.objective = best_objective_;
+    result.optimal = !aborted_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  double Density(std::int32_t item) const {
+    const double w = static_cast<double>(problem_.weights[item]);
+    return w > 0 ? problem_.profits[item] / w : problem_.profits[item] * 1e12;
+  }
+
+  /// Admissible upper bound on the profit obtainable from items
+  /// order_[k..] given current residual capacities: for every constraint c,
+  /// profit(remaining items in c) is at most the fractional knapsack bound
+  /// under remaining_[c], and remaining items outside c contribute at most
+  /// their full profit. The minimum over constraints is a valid bound.
+  double UpperBound(std::int32_t k) const {
+    const std::int32_t n = static_cast<std::int32_t>(order_.size());
+    double bound = suffix_profit_[k];
+    // Evaluate only the tightest few constraints (smallest residual
+    // capacity): each constraint alone yields an admissible bound, so
+    // skipping some merely loosens the bound.
+    const std::size_t num_constraints = problem_.members.size();
+    const std::size_t limit =
+        options_.bound_constraints > 0
+            ? static_cast<std::size_t>(options_.bound_constraints)
+            : num_constraints;
+    scratch_.resize(num_constraints);
+    for (std::size_t c = 0; c < num_constraints; ++c) scratch_[c] = c;
+    if (limit < num_constraints) {
+      std::partial_sort(scratch_.begin(),
+                        scratch_.begin() +
+                            static_cast<std::ptrdiff_t>(limit),
+                        scratch_.end(),
+                        [&](std::size_t a, std::size_t b) {
+                          return remaining_[a] < remaining_[b];
+                        });
+      scratch_.resize(limit);
+    }
+    for (const std::size_t c : scratch_) {
+      double outside = 0.0;
+      double inside_frac = 0.0;
+      std::int64_t cap = remaining_[c];
+      bool cap_full = false;
+      for (std::int32_t idx = k; idx < n; ++idx) {
+        const std::int32_t item = order_[idx];
+        if (!in_constraint_[c][item]) {
+          outside += problem_.profits[item];
+          continue;
+        }
+        if (cap_full) continue;
+        const std::int64_t w = problem_.weights[item];
+        if (w <= cap) {
+          cap -= w;
+          inside_frac += problem_.profits[item];
+        } else {
+          if (cap > 0 && w > 0) {
+            inside_frac += problem_.profits[item] * static_cast<double>(cap) /
+                           static_cast<double>(w);
+          }
+          cap_full = true;  // Items are density-sorted: bound is tight here.
+        }
+      }
+      bound = std::min(bound, outside + inside_frac);
+    }
+    return bound;
+  }
+
+  bool Fits(std::int32_t item) const {
+    for (std::int32_t c : item_constraints_[item]) {
+      if (problem_.weights[item] > remaining_[c]) return false;
+    }
+    return true;
+  }
+
+  void Take(std::int32_t item) {
+    for (std::int32_t c : item_constraints_[item]) {
+      remaining_[c] -= problem_.weights[item];
+    }
+    chosen_[item] = true;
+  }
+
+  void Untake(std::int32_t item) {
+    for (std::int32_t c : item_constraints_[item]) {
+      remaining_[c] += problem_.weights[item];
+    }
+    chosen_[item] = false;
+  }
+
+  void Recurse(std::int32_t k, double profit) {
+    if (aborted_) return;
+    ++nodes_;
+    if (options_.node_limit > 0 && nodes_ > options_.node_limit) {
+      aborted_ = true;
+      return;
+    }
+    const std::int32_t n = static_cast<std::int32_t>(order_.size());
+    if (profit > best_objective_) {
+      best_objective_ = profit;
+      best_ = chosen_;
+    }
+    if (k >= n) return;
+    if (profit + UpperBound(k) <= best_objective_ + kEps) return;
+    const std::int32_t item = order_[k];
+    // Branch "take" first (density order makes it the promising branch).
+    if (Fits(item)) {
+      Take(item);
+      Recurse(k + 1, profit + problem_.profits[item]);
+      Untake(item);
+    }
+    Recurse(k + 1, profit);
+  }
+
+  static constexpr double kEps = 1e-9;
+
+  const MkpProblem& problem_;
+  const MkpOptions& options_;
+  std::vector<std::int32_t> order_;
+  std::vector<std::vector<std::int32_t>> item_constraints_;
+  std::vector<std::vector<bool>> in_constraint_;
+  std::vector<std::int64_t> remaining_;
+  std::vector<bool> chosen_;
+  std::vector<double> suffix_profit_;
+  std::vector<bool> best_;
+  double best_objective_ = 0.0;
+  std::int64_t nodes_ = 0;
+  bool aborted_ = false;
+  mutable std::vector<std::size_t> scratch_;
+};
+
+bool Feasible(const MkpProblem& problem, const std::vector<bool>& selected) {
+  for (const auto& members : problem.members) {
+    std::int64_t used = 0;
+    for (std::int32_t item : members) {
+      if (selected[item]) used += problem.weights[item];
+    }
+    if (used > problem.capacity) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MkpResult SolveMkpBranchAndBound(const MkpProblem& problem,
+                                 const MkpOptions& options) {
+  if (problem.profits.empty()) {
+    return MkpResult{.selected = {}, .objective = 0.0, .optimal = true};
+  }
+  BnbSolver solver(problem, options);
+  return solver.Solve();
+}
+
+MkpResult SolveMkpBruteForce(const MkpProblem& problem) {
+  const std::size_t n = problem.profits.size();
+  assert(n <= 30 && "brute force is exponential; use for tests only");
+  MkpResult best;
+  best.selected.assign(n, false);
+  best.objective = 0.0;
+  std::vector<bool> current(n, false);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    double profit = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] = (mask >> i) & 1;
+      if (current[i]) profit += problem.profits[i];
+    }
+    if (profit > best.objective && Feasible(problem, current)) {
+      best.objective = profit;
+      best.selected = current;
+    }
+    best.nodes_explored++;
+  }
+  return best;
+}
+
+MkpResult SolveMkpGreedy(const MkpProblem& problem) {
+  const std::size_t n = problem.profits.size();
+  std::vector<std::int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const double wa = static_cast<double>(std::max<std::int64_t>(
+        problem.weights[a], 1));
+    const double wb = static_cast<double>(std::max<std::int64_t>(
+        problem.weights[b], 1));
+    return problem.profits[a] / wa > problem.profits[b] / wb;
+  });
+  std::vector<std::int64_t> remaining(problem.members.size(),
+                                      problem.capacity);
+  std::vector<std::vector<std::int32_t>> item_constraints(n);
+  for (std::size_t c = 0; c < problem.members.size(); ++c) {
+    for (std::int32_t item : problem.members[c]) {
+      item_constraints[item].push_back(static_cast<std::int32_t>(c));
+    }
+  }
+  MkpResult result;
+  result.selected.assign(n, false);
+  for (std::int32_t item : order) {
+    bool fits = true;
+    for (std::int32_t c : item_constraints[item]) {
+      if (problem.weights[item] > remaining[c]) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+    for (std::int32_t c : item_constraints[item]) {
+      remaining[c] -= problem.weights[item];
+    }
+    result.selected[item] = true;
+    result.objective += problem.profits[item];
+  }
+  result.optimal = false;
+  return result;
+}
+
+MkpProblem BuildMkpProblem(const graph::Graph& g, const ConstraintSets& cs,
+                           std::int64_t budget) {
+  MkpProblem problem;
+  problem.capacity = budget;
+  // Map graph node ids -> dense item indices.
+  std::vector<std::int32_t> item_of(g.num_nodes(), -1);
+  for (graph::NodeId v : cs.mkp_nodes) {
+    item_of[v] = static_cast<std::int32_t>(problem.profits.size());
+    problem.profits.push_back(g.node(v).speedup_score);
+    problem.weights.push_back(g.node(v).size_bytes);
+  }
+  for (const auto& s : cs.sets) {
+    std::vector<std::int32_t> members;
+    members.reserve(s.size());
+    for (graph::NodeId v : s) {
+      assert(item_of[v] >= 0);
+      members.push_back(item_of[v]);
+    }
+    problem.members.push_back(std::move(members));
+  }
+  return problem;
+}
+
+FlagSet SimplifiedMkp(const graph::Graph& g, const graph::Order& order,
+                      std::int64_t budget, const MkpOptions& options) {
+  const ConstraintSets cs = GetConstraints(g, order, budget);
+  const MkpProblem problem = BuildMkpProblem(g, cs, budget);
+  const MkpResult result = SolveMkpBranchAndBound(problem, options);
+  FlagSet flags = EmptyFlags(g.num_nodes());
+  for (std::size_t i = 0; i < cs.mkp_nodes.size(); ++i) {
+    if (result.selected[i]) flags[cs.mkp_nodes[i]] = true;
+  }
+  // Algorithm 1 line 9: candidates outside every constraint set are
+  // trivially safe to flag.
+  for (graph::NodeId v : cs.free_nodes) flags[v] = true;
+  return flags;
+}
+
+}  // namespace sc::opt

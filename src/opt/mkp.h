@@ -1,0 +1,70 @@
+#ifndef SC_OPT_MKP_H_
+#define SC_OPT_MKP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/constraints.h"
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// A multidimensional 0-1 knapsack instance (paper §V-A):
+///
+///   maximize   sum_i x_i * profit_i
+///   subject to sum_{i in members[c]} x_i * weight_i <= capacity,  for all c
+///              x_i in {0, 1}
+///
+/// Items are the MKP nodes; each constraint c corresponds to one maximal,
+/// non-trivial constraint set V_i sharing the single capacity M.
+struct MkpProblem {
+  std::vector<double> profits;       // speedup scores t_i
+  std::vector<std::int64_t> weights; // node sizes s_i
+  /// members[c] lists item indices participating in constraint c.
+  std::vector<std::vector<std::int32_t>> members;
+  std::int64_t capacity = 0;         // Memory Catalog size M
+};
+
+struct MkpOptions {
+  /// Branch-and-bound node budget; on exhaustion the best incumbent found
+  /// so far is returned with optimal == false. 0 means unlimited.
+  std::int64_t node_limit = 25'000;
+  /// Number of constraints evaluated per bound computation (the bound is
+  /// the minimum over evaluated constraints; fewer is cheaper but looser,
+  /// each individual constraint still yields an admissible bound).
+  std::int32_t bound_constraints = 8;
+};
+
+struct MkpResult {
+  std::vector<bool> selected;
+  double objective = 0.0;
+  bool optimal = true;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Exact solver: depth-first branch and bound on items ordered by profit
+/// density, with a per-constraint fractional-knapsack upper bound. This is
+/// the BinaryMKPSolver subroutine of Algorithm 1 (the paper uses OR-Tools'
+/// BnB solver; this is a from-scratch equivalent).
+MkpResult SolveMkpBranchAndBound(const MkpProblem& problem,
+                                 const MkpOptions& options = {});
+
+/// Exhaustive 2^n reference solver for test verification (n <= 30).
+MkpResult SolveMkpBruteForce(const MkpProblem& problem);
+
+/// Density-greedy heuristic: take items in decreasing profit/weight order
+/// when all constraints permit. Used to seed the BnB incumbent.
+MkpResult SolveMkpGreedy(const MkpProblem& problem);
+
+/// Builds the MKP instance for graph `g` from pruned constraint sets.
+MkpProblem BuildMkpProblem(const graph::Graph& g, const ConstraintSets& cs,
+                           std::int64_t budget);
+
+/// Algorithm 1 end-to-end (SimplifiedMKP): constraint construction, MKP
+/// solve, and re-inclusion of free nodes. Returns the flag set U.
+FlagSet SimplifiedMkp(const graph::Graph& g, const graph::Order& order,
+                      std::int64_t budget, const MkpOptions& options = {});
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_MKP_H_

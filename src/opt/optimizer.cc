@@ -1,0 +1,129 @@
+#include "opt/optimizer.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "opt/memory_usage.h"
+
+namespace sc::opt {
+
+AlternatingResult Optimizer::Optimize(const graph::Graph& g,
+                                      std::int64_t budget) const {
+  return AlternatingOptimize(g, budget, options_);
+}
+
+AlternatingResult Optimizer::OptimizeWithEstimator(
+    graph::Graph* g, std::int64_t budget,
+    const cost::SpeedupEstimator& estimator) const {
+  estimator.AnnotateGraph(g);
+  return AlternatingOptimize(*g, budget, options_);
+}
+
+bool ValidatePlan(const graph::Graph& g, const Plan& plan,
+                  std::int64_t budget, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (plan.flags.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return fail("flag set size does not match graph");
+  }
+  if (!graph::IsTopologicalOrder(g, plan.order)) {
+    return fail("execution order is not a valid topological order");
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (plan.flags[v] && g.node(v).size_bytes > budget) {
+      return fail(StrFormat("flagged node '%s' (%s) exceeds the budget %s",
+                            g.node(v).name.c_str(),
+                            FormatBytes(g.node(v).size_bytes).c_str(),
+                            FormatBytes(budget).c_str()));
+    }
+  }
+  const std::int64_t peak = PeakMemoryUsage(g, plan.order, plan.flags);
+  if (peak > budget) {
+    return fail(StrFormat("peak memory usage %s exceeds the budget %s",
+                          FormatBytes(peak).c_str(),
+                          FormatBytes(budget).c_str()));
+  }
+  return true;
+}
+
+std::string ToString(NodeDecision decision) {
+  switch (decision) {
+    case NodeDecision::kFlagged:
+      return "kept in memory";
+    case NodeDecision::kOversize:
+      return "exceeds Memory Catalog";
+    case NodeDecision::kZeroScore:
+      return "no speedup from caching";
+    case NodeDecision::kBudgetContention:
+      return "lost to other nodes";
+  }
+  return "?";
+}
+
+std::vector<NodeExplanation> ExplainPlan(const graph::Graph& g,
+                                         const Plan& plan,
+                                         std::int64_t budget) {
+  std::vector<NodeExplanation> rows;
+  rows.reserve(plan.order.sequence.size());
+  for (graph::NodeId v : plan.order.sequence) {
+    NodeExplanation row;
+    row.node = v;
+    row.slot = plan.order.position[v];
+    row.speedup_score = g.node(v).speedup_score;
+    row.size_bytes = g.node(v).size_bytes;
+    if (plan.flags[v]) {
+      row.decision = NodeDecision::kFlagged;
+      row.release_slot = ReleaseSlot(g, plan.order, v);
+    } else if (g.node(v).size_bytes > budget) {
+      row.decision = NodeDecision::kOversize;
+    } else if (g.node(v).speedup_score <= 0.0) {
+      row.decision = NodeDecision::kZeroScore;
+    } else {
+      row.decision = NodeDecision::kBudgetContention;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string FormatExplanation(const graph::Graph& g,
+                              const std::vector<NodeExplanation>& rows) {
+  TablePrinter table(
+      {"#", "MV", "size", "score (s)", "decision", "resident slots"});
+  for (const NodeExplanation& row : rows) {
+    std::string residency = "-";
+    if (row.decision == NodeDecision::kFlagged) {
+      residency = StrFormat("%d..%d", row.slot, row.release_slot);
+    }
+    table.AddRow({std::to_string(row.slot), g.node(row.node).name,
+                  FormatBytes(row.size_bytes),
+                  StrFormat("%.2f", row.speedup_score),
+                  ToString(row.decision), residency});
+  }
+  return table.ToString();
+}
+
+std::string DescribePlan(const graph::Graph& g, const Plan& plan) {
+  std::ostringstream out;
+  out << "execution order:";
+  for (graph::NodeId v : plan.order.sequence) {
+    out << ' ' << g.node(v).name;
+    if (plan.flags[v]) out << "*";
+  }
+  out << "\nflagged (*) nodes kept in Memory Catalog: "
+      << FlaggedNodes(plan.flags).size() << " of " << g.num_nodes();
+  out << "\ntotal speedup score: " << TotalScore(g, plan.flags) << " s";
+  out << "\npeak memory: "
+      << FormatBytes(PeakMemoryUsage(g, plan.order, plan.flags));
+  out << "\naverage memory: "
+      << FormatBytes(static_cast<std::int64_t>(
+             AverageMemoryUsage(g, plan.order, plan.flags)));
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace sc::opt

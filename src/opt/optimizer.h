@@ -1,0 +1,83 @@
+#ifndef SC_OPT_OPTIMIZER_H_
+#define SC_OPT_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/speedup.h"
+#include "opt/alternating.h"
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// High-level facade mirroring the S/C Optimizer component (paper §III-B):
+/// given a dependency graph with execution metadata, produces the refresh
+/// plan (execution order + nodes to keep in the Memory Catalog) consumed by
+/// the Controller / simulator.
+class Optimizer {
+ public:
+  explicit Optimizer(AlternatingOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Runs S/C Opt on `g` with Memory Catalog size `budget`. Speedup scores
+  /// must already be present on the graph (either observed or annotated via
+  /// cost::SpeedupEstimator).
+  AlternatingResult Optimize(const graph::Graph& g,
+                             std::int64_t budget) const;
+
+  /// Convenience: annotates scores from `estimator` first, then optimizes.
+  AlternatingResult OptimizeWithEstimator(
+      graph::Graph* g, std::int64_t budget,
+      const cost::SpeedupEstimator& estimator) const;
+
+  const AlternatingOptions& options() const { return options_; }
+
+ private:
+  AlternatingOptions options_;
+};
+
+/// Independent plan verifier used by tests and the Controller: checks that
+/// the order is a valid topological order, that no flagged node is oversize
+/// or zero-score-excluded, and that peak memory stays within `budget`.
+/// Returns true on success; otherwise fills `error`.
+bool ValidatePlan(const graph::Graph& g, const Plan& plan,
+                  std::int64_t budget, std::string* error);
+
+/// Human-readable plan summary (order, flagged set, peak/average memory).
+std::string DescribePlan(const graph::Graph& g, const Plan& plan);
+
+/// Why a node ended up flagged or not in a given plan.
+enum class NodeDecision {
+  kFlagged,          // kept in the Memory Catalog
+  kOversize,         // size exceeds the Memory Catalog (V_exclude)
+  kZeroScore,        // no speedup from keeping it (V_exclude)
+  kBudgetContention, // eligible, but the knapsack chose other nodes
+};
+
+std::string ToString(NodeDecision decision);
+
+/// Per-node explanation of a plan: decision, slot, and residency span.
+struct NodeExplanation {
+  graph::NodeId node = graph::kInvalidNode;
+  NodeDecision decision = NodeDecision::kBudgetContention;
+  std::int32_t slot = -1;          // execution position under plan.order
+  std::int32_t release_slot = -1;  // last slot the output stays resident
+  double speedup_score = 0.0;
+  std::int64_t size_bytes = 0;
+};
+
+/// Explains every node of `plan` (ordered by execution slot). The
+/// explanation is derived, not stored: it can be produced for any plan,
+/// including baseline plans.
+std::vector<NodeExplanation> ExplainPlan(const graph::Graph& g,
+                                         const Plan& plan,
+                                         std::int64_t budget);
+
+/// Renders ExplainPlan as an aligned table for operators.
+std::string FormatExplanation(const graph::Graph& g,
+                              const std::vector<NodeExplanation>& rows);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_OPTIMIZER_H_

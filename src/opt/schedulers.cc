@@ -1,0 +1,210 @@
+#include "opt/schedulers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/rng.h"
+#include "opt/ma_dfs.h"
+#include "opt/memory_usage.h"
+
+namespace sc::opt {
+
+std::string ToString(SchedulerMethod method) {
+  switch (method) {
+    case SchedulerMethod::kMaDfs:
+      return "MA-DFS";
+    case SchedulerMethod::kSimAnneal:
+      return "SA";
+    case SchedulerMethod::kSeparator:
+      return "Separator";
+    case SchedulerMethod::kRandomDfs:
+      return "RandomDFS";
+    case SchedulerMethod::kKahn:
+      return "Topo";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// True iff swapping the nodes at positions p < q keeps the order
+/// topological: every parent of seq[q] must execute before slot p and every
+/// child of seq[p] must execute after slot q.
+bool SwapIsValid(const graph::Graph& g, const graph::Order& order,
+                 std::int32_t p, std::int32_t q) {
+  const graph::NodeId u = order.sequence[p];
+  const graph::NodeId v = order.sequence[q];
+  for (graph::NodeId parent : g.parents(v)) {
+    if (order.position[parent] >= p) return false;
+  }
+  for (graph::NodeId child : g.children(u)) {
+    if (order.position[child] <= q) return false;
+  }
+  return true;
+}
+
+void ApplySwap(graph::Order* order, std::int32_t p, std::int32_t q) {
+  std::swap(order->sequence[p], order->sequence[q]);
+  order->position[order->sequence[p]] = p;
+  order->position[order->sequence[q]] = q;
+}
+
+}  // namespace
+
+graph::Order SimulatedAnnealingOrder(const graph::Graph& g,
+                                     const FlagSet& flags,
+                                     const graph::Order& initial,
+                                     const SimAnnealOptions& options) {
+  const std::int32_t n = g.num_nodes();
+  if (n < 2) return initial;
+  Rng rng(options.seed);
+  graph::Order current = initial;
+  double current_cost = AverageMemoryUsage(g, current, flags);
+  graph::Order best = current;
+  double best_cost = current_cost;
+  // Normalize cost deltas so the temperature schedule is scale-free.
+  const double scale = std::max<double>(
+      1.0, static_cast<double>(TotalFlaggedSize(g, flags)));
+  for (std::int32_t iter = 0; iter < options.iterations; ++iter) {
+    std::int32_t p = static_cast<std::int32_t>(rng.UniformInt(0, n - 1));
+    std::int32_t q = static_cast<std::int32_t>(rng.UniformInt(0, n - 1));
+    if (p == q) continue;
+    if (p > q) std::swap(p, q);
+    if (!SwapIsValid(g, current, p, q)) continue;
+    ApplySwap(&current, p, q);
+    if (options.budget != INT64_MAX &&
+        !IsFeasible(g, current, flags, options.budget)) {
+      ApplySwap(&current, p, q);  // Revert: swap violates the budget.
+      continue;
+    }
+    const double new_cost = AverageMemoryUsage(g, current, flags);
+    const double delta = (new_cost - current_cost) / scale;
+    const double temperature =
+        options.initial_temperature *
+        (1.0 - static_cast<double>(iter) /
+                   static_cast<double>(options.iterations));
+    const bool accept =
+        delta < 0.0 ||
+        (temperature > 1e-12 &&
+         rng.Bernoulli(std::exp(-delta / temperature)));
+    if (accept) {
+      current_cost = new_cost;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = current;
+      }
+    } else {
+      ApplySwap(&current, p, q);  // Revert.
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Recursive separator partitioning. `nodes` is a precedence-convex subset
+/// of the graph; the function appends a valid relative order of `nodes` to
+/// `out`. The front half A is grown greedily from ready nodes (all intra-
+/// subset parents already in A), preferring nodes whose inclusion adds the
+/// least flagged size across the A/B cut.
+void SeparatorRecurse(const graph::Graph& g, const FlagSet& flags,
+                      std::vector<graph::NodeId> nodes,
+                      std::vector<graph::NodeId>* out) {
+  const std::size_t count = nodes.size();
+  if (count == 0) return;
+  if (count == 1) {
+    out->push_back(nodes[0]);
+    return;
+  }
+  std::vector<bool> in_subset(g.num_nodes(), false);
+  for (graph::NodeId v : nodes) in_subset[v] = true;
+
+  // Intra-subset indegrees.
+  std::vector<std::int32_t> pending(g.num_nodes(), 0);
+  for (graph::NodeId v : nodes) {
+    for (graph::NodeId parent : g.parents(v)) {
+      if (in_subset[parent]) pending[v]++;
+    }
+  }
+  std::vector<bool> taken(g.num_nodes(), false);
+  std::vector<graph::NodeId> ready;
+  for (graph::NodeId v : nodes) {
+    if (pending[v] == 0) ready.push_back(v);
+  }
+
+  // Cost of taking v into A now: the flagged bytes v keeps live across the
+  // cut (its own size if flagged and it has unfinished children).
+  auto marginal_cost = [&](graph::NodeId v) -> std::int64_t {
+    if (!flags[v]) return 0;
+    for (graph::NodeId child : g.children(v)) {
+      if (in_subset[child] && !taken[child]) return g.node(v).size_bytes;
+    }
+    return 0;
+  };
+
+  const std::size_t target = count / 2;
+  std::vector<graph::NodeId> front;
+  while (front.size() < target && !ready.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (marginal_cost(ready[i]) < marginal_cost(ready[best]) ||
+          (marginal_cost(ready[i]) == marginal_cost(ready[best]) &&
+           ready[i] < ready[best])) {
+        best = i;
+      }
+    }
+    const graph::NodeId v = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    taken[v] = true;
+    front.push_back(v);
+    for (graph::NodeId child : g.children(v)) {
+      if (in_subset[child] && --pending[child] == 0) {
+        ready.push_back(child);
+      }
+    }
+  }
+  std::vector<graph::NodeId> back;
+  for (graph::NodeId v : nodes) {
+    if (!taken[v]) back.push_back(v);
+  }
+  assert(!front.empty() && !back.empty());
+  SeparatorRecurse(g, flags, std::move(front), out);
+  SeparatorRecurse(g, flags, std::move(back), out);
+}
+
+}  // namespace
+
+graph::Order SeparatorOrder(const graph::Graph& g, const FlagSet& flags) {
+  std::vector<graph::NodeId> all(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  std::vector<graph::NodeId> seq;
+  seq.reserve(all.size());
+  SeparatorRecurse(g, flags, std::move(all), &seq);
+  return graph::Order::FromSequence(std::move(seq));
+}
+
+graph::Order ScheduleOrder(SchedulerMethod method, const graph::Graph& g,
+                           const FlagSet& flags, const graph::Order& current,
+                           std::uint64_t seed, std::int64_t budget) {
+  switch (method) {
+    case SchedulerMethod::kMaDfs:
+      return MaDfsOrder(g, flags);
+    case SchedulerMethod::kSimAnneal: {
+      SimAnnealOptions options;
+      options.seed = seed;
+      options.budget = budget;
+      return SimulatedAnnealingOrder(g, flags, current, options);
+    }
+    case SchedulerMethod::kSeparator:
+      return SeparatorOrder(g, flags);
+    case SchedulerMethod::kRandomDfs:
+      return RandomDfsOrder(g, seed);
+    case SchedulerMethod::kKahn:
+      return graph::KahnTopologicalOrder(g);
+  }
+  return current;
+}
+
+}  // namespace sc::opt

@@ -1,0 +1,60 @@
+#ifndef SC_OPT_SCHEDULERS_H_
+#define SC_OPT_SCHEDULERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Baseline schedulers for S/C Opt-Order (paper §VI-A): alternatives to
+/// MA-DFS evaluated in the ablation study (§VI-F, Figures 12-13).
+
+enum class SchedulerMethod {
+  kMaDfs,      // Memory-aware DFS (ours, §V-B).
+  kSimAnneal,  // Hill climbing with random feasible swaps [64].
+  kSeparator,  // Recursive divide-and-conquer via graph cuts [70, 71].
+  kRandomDfs,  // DFS with random tie-breaking.
+  kKahn,       // Plain topological order (no reordering).
+};
+
+std::string ToString(SchedulerMethod method);
+
+struct SimAnnealOptions {
+  std::int32_t iterations = 10'000;  // Paper §VI-A sets 10,000.
+  double initial_temperature = 1.0;
+  std::uint64_t seed = 42;
+  /// Memory Catalog size: swaps that push peak usage beyond the budget are
+  /// rejected (the subproblem inherits the S/C Opt constraint). Defaults to
+  /// unlimited.
+  std::int64_t budget = INT64_MAX;
+};
+
+/// Simulated annealing over execution orders: starting from `initial`,
+/// repeatedly picks two swappable nodes (the swap must keep the order
+/// topological), performs the swap if it lowers the average memory usage of
+/// the flagged set, and otherwise still performs it with a temperature-
+/// decayed probability to escape local minima.
+graph::Order SimulatedAnnealingOrder(const graph::Graph& g,
+                                     const FlagSet& flags,
+                                     const graph::Order& initial,
+                                     const SimAnnealOptions& options = {});
+
+/// Separator-based divide and conquer: recursively splits the node set into
+/// a precedence-closed "front" half and "back" half, choosing the cut that
+/// minimizes the flagged bytes crossing it, then recurses into both halves.
+/// An approximation of the linear-arrangement separator algorithms the
+/// paper cites ([70], [71]); cuts are drawn from prefixes of a base
+/// topological order.
+graph::Order SeparatorOrder(const graph::Graph& g, const FlagSet& flags);
+
+/// Dispatch helper used by the alternating optimizer's ablation mode.
+/// `budget` is forwarded to schedulers that honour the memory constraint.
+graph::Order ScheduleOrder(SchedulerMethod method, const graph::Graph& g,
+                           const FlagSet& flags, const graph::Order& current,
+                           std::uint64_t seed, std::int64_t budget);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_SCHEDULERS_H_

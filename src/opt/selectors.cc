@@ -1,0 +1,94 @@
+#include "opt/selectors.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+
+namespace sc::opt {
+
+namespace {
+
+/// Flags nodes in the sequence given by `candidates`, keeping each node
+/// only if the flag set remains feasible. Nodes with zero score or
+/// oversized outputs are skipped (they are in V_exclude).
+FlagSet FlagWhileFeasible(const graph::Graph& g, const graph::Order& order,
+                          std::int64_t budget,
+                          const std::vector<graph::NodeId>& candidates) {
+  FlagSet flags = EmptyFlags(g.num_nodes());
+  for (graph::NodeId v : candidates) {
+    if (g.node(v).speedup_score <= 0.0) continue;
+    if (g.node(v).size_bytes > budget) continue;
+    flags[v] = true;
+    if (!IsFeasible(g, order, flags, budget)) flags[v] = false;
+  }
+  return flags;
+}
+
+}  // namespace
+
+std::string ToString(SelectorMethod method) {
+  switch (method) {
+    case SelectorMethod::kMkp:
+      return "MKP";
+    case SelectorMethod::kGreedy:
+      return "Greedy";
+    case SelectorMethod::kRandom:
+      return "Random";
+    case SelectorMethod::kRatio:
+      return "Ratio";
+  }
+  return "unknown";
+}
+
+FlagSet SelectGreedy(const graph::Graph& g, const graph::Order& order,
+                     std::int64_t budget) {
+  return FlagWhileFeasible(g, order, budget, order.sequence);
+}
+
+FlagSet SelectRandom(const graph::Graph& g, const graph::Order& order,
+                     std::int64_t budget, std::uint64_t seed) {
+  std::vector<graph::NodeId> candidates(g.num_nodes());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&candidates);
+  return FlagWhileFeasible(g, order, budget, candidates);
+}
+
+FlagSet SelectRatio(const graph::Graph& g, const graph::Order& order,
+                    std::int64_t budget) {
+  std::vector<graph::NodeId> candidates(g.num_nodes());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              const double wa = static_cast<double>(
+                  std::max<std::int64_t>(g.node(a).size_bytes, 1));
+              const double wb = static_cast<double>(
+                  std::max<std::int64_t>(g.node(b).size_bytes, 1));
+              const double ra = g.node(a).speedup_score / wa;
+              const double rb = g.node(b).speedup_score / wb;
+              if (ra != rb) return ra > rb;
+              return a < b;
+            });
+  return FlagWhileFeasible(g, order, budget, candidates);
+}
+
+FlagSet SelectFlags(SelectorMethod method, const graph::Graph& g,
+                    const graph::Order& order, std::int64_t budget,
+                    std::uint64_t seed) {
+  switch (method) {
+    case SelectorMethod::kMkp:
+      return SimplifiedMkp(g, order, budget);
+    case SelectorMethod::kGreedy:
+      return SelectGreedy(g, order, budget);
+    case SelectorMethod::kRandom:
+      return SelectRandom(g, order, budget, seed);
+    case SelectorMethod::kRatio:
+      return SelectRatio(g, order, budget);
+  }
+  return EmptyFlags(g.num_nodes());
+}
+
+}  // namespace sc::opt

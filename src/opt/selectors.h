@@ -1,0 +1,46 @@
+#ifndef SC_OPT_SELECTORS_H_
+#define SC_OPT_SELECTORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Baseline flag-set selectors for S/C Opt-Nodes (paper §VI-A, §VI-F).
+/// All respect the Memory-Catalog feasibility constraint: a node is flagged
+/// only if the resulting set stays within budget under `order`.
+
+/// Methods for choosing the flagged set U given a fixed execution order.
+enum class SelectorMethod {
+  kMkp,     // Algorithm 1: exact MKP via branch and bound (ours).
+  kGreedy,  // Flag nodes in execution order while feasible.
+  kRandom,  // Flag nodes in random order while feasible.
+  kRatio,   // Flag nodes by speedup/size ratio while feasible [60].
+};
+
+std::string ToString(SelectorMethod method);
+
+/// Greedy: iterate nodes in execution order; flag each node if doing so
+/// keeps peak memory within budget.
+FlagSet SelectGreedy(const graph::Graph& g, const graph::Order& order,
+                     std::int64_t budget);
+
+/// Random: iterate nodes in a seeded random order; flag if feasible.
+FlagSet SelectRandom(const graph::Graph& g, const graph::Order& order,
+                     std::int64_t budget, std::uint64_t seed);
+
+/// Ratio-based selection: flag nodes in decreasing speedup-score / size
+/// order while feasible (the heuristic of Xin et al. [60]).
+FlagSet SelectRatio(const graph::Graph& g, const graph::Order& order,
+                    std::int64_t budget);
+
+/// Dispatch helper used by the alternating optimizer's ablation mode.
+FlagSet SelectFlags(SelectorMethod method, const graph::Graph& g,
+                    const graph::Order& order, std::int64_t budget,
+                    std::uint64_t seed);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_SELECTORS_H_

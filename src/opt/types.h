@@ -1,0 +1,39 @@
+#ifndef SC_OPT_TYPES_H_
+#define SC_OPT_TYPES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/topo.h"
+
+namespace sc::opt {
+
+/// The set U of flagged nodes (paper Table II): flags[v] == true means the
+/// output of node v is kept in the Memory Catalog after v executes.
+using FlagSet = std::vector<bool>;
+
+/// An empty flag set for a graph of `n` nodes.
+inline FlagSet EmptyFlags(std::int32_t n) { return FlagSet(n, false); }
+
+/// Converts a FlagSet to the sorted list of flagged node ids.
+std::vector<graph::NodeId> FlaggedNodes(const FlagSet& flags);
+
+/// Builds a FlagSet from a list of node ids.
+FlagSet MakeFlags(std::int32_t n, const std::vector<graph::NodeId>& nodes);
+
+/// Total speedup score of the flagged nodes — the S/C Opt objective.
+double TotalScore(const graph::Graph& g, const FlagSet& flags);
+
+/// Total size of the flagged nodes (used by the paper's size-based
+/// convergence criterion, Algorithm 2 line 5).
+std::int64_t TotalFlaggedSize(const graph::Graph& g, const FlagSet& flags);
+
+/// The output of the optimizer: an execution order plus the flagged set.
+struct Plan {
+  graph::Order order;
+  FlagSet flags;
+};
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_TYPES_H_

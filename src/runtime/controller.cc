@@ -1,0 +1,276 @@
+#include "runtime/controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cost/speedup.h"
+#include "engine/executor.h"
+#include "opt/memory_usage.h"
+#include "opt/optimizer.h"
+#include "storage/format.h"
+
+namespace sc::runtime {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Materializer
+// ---------------------------------------------------------------------------
+
+Materializer::Materializer(storage::ThrottledDisk* disk) : disk_(disk) {
+  worker_ = std::thread([this] { Loop(); });
+}
+
+Materializer::~Materializer() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::shared_future<void> Materializer::Enqueue(std::string name,
+                                               engine::TablePtr table) {
+  Task task;
+  task.name = std::move(name);
+  task.table = std::move(table);
+  std::shared_future<void> future = task.done.get_future().share();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Materializer::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Materializer::Loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      disk_->WriteTable(task.name, *task.table);
+      task.done.set_value();
+    } catch (...) {
+      task.done.set_exception(std::current_exception());
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      busy_ = false;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+double RunReport::TotalReadSeconds() const {
+  double total = 0;
+  for (const auto& n : nodes) total += n.read_seconds;
+  return total;
+}
+
+double RunReport::TotalComputeSeconds() const {
+  double total = 0;
+  for (const auto& n : nodes) total += n.compute_seconds;
+  return total;
+}
+
+double RunReport::TotalWriteSeconds() const {
+  double total = 0;
+  for (const auto& n : nodes) total += n.write_seconds;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+Controller::Controller(storage::ThrottledDisk* disk,
+                       ControllerOptions options)
+    : disk_(disk), options_(options) {}
+
+void Controller::LoadBaseTables(
+    const std::map<std::string, engine::TablePtr>& tables) {
+  for (const auto& [name, table] : tables) {
+    disk_->WriteTable(name, *table);
+  }
+}
+
+RunReport Controller::Run(const workload::MvWorkload& wl,
+                          const opt::Plan& plan) {
+  RunReport report;
+  std::string error;
+  if (!opt::ValidatePlan(wl.graph, plan, options_.budget, &error)) {
+    report.error = "invalid plan: " + error;
+    return report;
+  }
+
+  storage::MemoryCatalog catalog(options_.budget);
+  Materializer materializer(disk_);
+  const graph::Graph& g = wl.graph;
+
+  std::vector<std::int32_t> pending_children(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    pending_children[v] = static_cast<std::int32_t>(g.children(v).size());
+  }
+  std::map<std::string, std::shared_future<void>> in_flight;
+  std::vector<graph::NodeId> releasable;
+
+  const double run_start = MonotonicSeconds();
+  try {
+    for (graph::NodeId v : plan.order.sequence) {
+      NodeRunStats stats;
+      stats.name = g.node(v).name;
+
+      // Resolver: Memory Catalog first, then external storage. Disk read
+      // time is accumulated into the node's read_seconds.
+      double read_seconds = 0.0;
+      engine::FnResolver resolver([&](const std::string& name) {
+        engine::TablePtr cached = catalog.Get(name);
+        if (cached != nullptr) return cached;
+        const double start = MonotonicSeconds();
+        auto table =
+            std::make_shared<engine::Table>(disk_->ReadTable(name));
+        read_seconds += MonotonicSeconds() - start;
+        return engine::TablePtr(table);
+      });
+
+      const double exec_start = MonotonicSeconds();
+      auto output = std::make_shared<engine::Table>(
+          engine::ExecutePlan(*wl.plans[v], resolver));
+      const double exec_seconds = MonotonicSeconds() - exec_start;
+      stats.read_seconds = read_seconds;
+      stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
+      stats.output_bytes = output->ByteSize();
+      stats.output_rows = output->num_rows();
+
+      // Releases one releasable entry (all dependants done), waiting for
+      // its in-flight materialization first — the data must exist on disk
+      // before it leaves the Memory Catalog.
+      auto release_one = [&]() {
+        const graph::NodeId node = releasable.back();
+        releasable.pop_back();
+        const std::string& node_name = g.node(node).name;
+        auto it = in_flight.find(node_name);
+        if (it != in_flight.end()) {
+          it->second.get();  // rethrows materialization failures
+          in_flight.erase(it);
+        }
+        catalog.Release(node_name);
+      };
+
+      const std::string& name = g.node(v).name;
+      if (plan.flags[v]) {
+        // Lazy release: keep finished entries resident until space is
+        // actually needed, maximizing memory-served reads.
+        while (!catalog.Put(name, output, output->ByteSize())) {
+          if (releasable.empty()) {
+            report.error = "Memory Catalog budget violated at node " + name;
+            return report;
+          }
+          release_one();
+        }
+        stats.output_in_memory = true;
+        if (options_.background_materialize) {
+          in_flight.emplace(name, materializer.Enqueue(name, output));
+        } else {
+          const double w0 = MonotonicSeconds();
+          disk_->WriteTable(name, *output);
+          stats.write_seconds = MonotonicSeconds() - w0;
+        }
+      } else {
+        const double w0 = MonotonicSeconds();
+        disk_->WriteTable(name, *output);
+        stats.write_seconds = MonotonicSeconds() - w0;
+      }
+
+      // Mark nodes whose last consumer just finished as releasable
+      // (§III-C: eligible to be freed once all dependants complete).
+      if (plan.flags[v] && pending_children[v] == 0) {
+        releasable.push_back(v);
+      }
+      for (graph::NodeId p : g.parents(v)) {
+        if (--pending_children[p] == 0 && plan.flags[p]) {
+          releasable.push_back(p);
+        }
+      }
+
+      report.nodes.push_back(std::move(stats));
+    }
+    materializer.Drain();
+    for (auto& [name, future] : in_flight) future.get();
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    return report;
+  }
+  report.wall_seconds = MonotonicSeconds() - run_start;
+  report.peak_memory = catalog.peak_bytes();
+  report.ok = true;
+  return report;
+}
+
+RunReport Controller::RunUnoptimized(const workload::MvWorkload& wl) {
+  opt::Plan plan;
+  plan.order = graph::KahnTopologicalOrder(wl.graph);
+  plan.flags = opt::EmptyFlags(wl.graph.num_nodes());
+  return Run(wl, plan);
+}
+
+RunReport Controller::ProfileAndAnnotate(workload::MvWorkload* wl) {
+  RunReport report = RunUnoptimized(*wl);
+  if (!report.ok) return report;
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeRunStats& stats = report.nodes[i];
+    auto id = wl->graph.FindByName(stats.name);
+    graph::NodeInfo& info = wl->graph.mutable_node(*id);
+    info.size_bytes = stats.output_bytes;
+    info.compute_seconds = stats.compute_seconds;
+    // Approximate base input volume from observed read time and the disk
+    // profile (reads of parent MVs are also disk reads in the unoptimized
+    // run; subtract their known sizes).
+    const double bw = disk_->profile().read_bw;
+    std::int64_t parent_bytes = 0;
+    for (graph::NodeId p : wl->graph.parents(*id)) {
+      parent_bytes += wl->graph.node(p).size_bytes;
+    }
+    const std::int64_t observed = static_cast<std::int64_t>(
+        stats.read_seconds * bw);
+    info.base_input_bytes = std::max<std::int64_t>(0,
+                                                   observed - parent_bytes);
+  }
+  cost::DeviceProfile profile;
+  profile.disk_read_bw = disk_->profile().read_bw;
+  profile.disk_write_bw = disk_->profile().write_bw;
+  profile.disk_latency = disk_->profile().latency;
+  cost::SpeedupEstimator estimator{cost::CostModel(profile)};
+  estimator.AnnotateGraph(&wl->graph);
+  return report;
+}
+
+}  // namespace sc::runtime

@@ -1,0 +1,127 @@
+#ifndef SC_RUNTIME_CONTROLLER_H_
+#define SC_RUNTIME_CONTROLLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "opt/types.h"
+#include "storage/memory_catalog.h"
+#include "storage/throttled_disk.h"
+#include "workload/workloads.h"
+
+namespace sc::runtime {
+
+/// Background materialization worker (paper §III-C): a single writer
+/// thread that persists Memory Catalog tables to external storage while
+/// the DBMS executes downstream nodes. FIFO, mirroring one storage write
+/// channel.
+class Materializer {
+ public:
+  explicit Materializer(storage::ThrottledDisk* disk);
+  ~Materializer();
+
+  Materializer(const Materializer&) = delete;
+  Materializer& operator=(const Materializer&) = delete;
+
+  /// Queues `table` for persistence under `name`; the returned future
+  /// resolves when the write has completed (or throws on failure).
+  std::shared_future<void> Enqueue(std::string name,
+                                   engine::TablePtr table);
+
+  /// Blocks until every queued write has finished.
+  void Drain();
+
+ private:
+  struct Task {
+    std::string name;
+    engine::TablePtr table;
+    std::promise<void> done;
+  };
+
+  void Loop();
+
+  storage::ThrottledDisk* disk_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Task> queue_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+struct ControllerOptions {
+  /// Memory Catalog size in bytes.
+  std::int64_t budget = 64LL * 1024 * 1024;
+  /// If false, flagged outputs are written synchronously after creation
+  /// (ablation; true reproduces S/C).
+  bool background_materialize = true;
+};
+
+/// Per-node statistics from a real refresh run.
+struct NodeRunStats {
+  std::string name;
+  double read_seconds = 0.0;     // time inside disk reads
+  double compute_seconds = 0.0;  // plan execution minus reads
+  double write_seconds = 0.0;    // blocking write time
+  bool output_in_memory = false;
+  std::int64_t output_bytes = 0;
+  std::uint64_t output_rows = 0;
+};
+
+struct RunReport {
+  bool ok = false;
+  std::string error;
+  double wall_seconds = 0.0;
+  std::int64_t peak_memory = 0;
+  std::vector<NodeRunStats> nodes;  // in execution order
+
+  double TotalReadSeconds() const;
+  double TotalComputeSeconds() const;
+  double TotalWriteSeconds() const;
+};
+
+/// The S/C Controller (paper §III-B): executes an MV refresh run against
+/// the engine + storage substrate following the Optimizer's plan. All MVs
+/// are materialized to external storage exactly as defined; flagged nodes
+/// are additionally kept in the Memory Catalog until their last consumer
+/// finishes, with their disk write running in the background.
+class Controller {
+ public:
+  Controller(storage::ThrottledDisk* disk, ControllerOptions options);
+
+  /// Persists base tables to external storage (ingestion step).
+  void LoadBaseTables(
+      const std::map<std::string, engine::TablePtr>& tables);
+
+  /// Executes the workload under `plan`. Returns a failed report (ok ==
+  /// false) if the plan is invalid or the Memory Catalog budget would be
+  /// violated.
+  RunReport Run(const workload::MvWorkload& wl, const opt::Plan& plan);
+
+  /// Executes with the no-optimization baseline plan (topological order,
+  /// nothing flagged).
+  RunReport RunUnoptimized(const workload::MvWorkload& wl);
+
+  /// Runs unoptimized while recording execution metadata (§III-A) into the
+  /// workload's graph: output sizes, compute seconds, base input bytes,
+  /// and speedup scores derived from the disk profile. This is the
+  /// "observed performance metrics from past runs" the Optimizer consumes.
+  RunReport ProfileAndAnnotate(workload::MvWorkload* wl);
+
+ private:
+  storage::ThrottledDisk* disk_;
+  ControllerOptions options_;
+};
+
+}  // namespace sc::runtime
+
+#endif  // SC_RUNTIME_CONTROLLER_H_

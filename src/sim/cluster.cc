@@ -1,0 +1,17 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace sc::sim {
+
+SimOptions ClusterModel::Scale(const SimOptions& single_node,
+                               std::int32_t workers) const {
+  SimOptions scaled = single_node;
+  const double n = std::max(1, workers);
+  scaled.compute_scale = single_node.compute_scale * n;
+  scaled.io_scale =
+      single_node.io_scale * (1.0 + io_scaling_efficiency * (n - 1.0));
+  return scaled;
+}
+
+}  // namespace sc::sim

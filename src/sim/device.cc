@@ -1,0 +1,17 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace sc::sim {
+
+double FifoChannel::Submit(double now, double duration) {
+  const double start = std::max(now, free_at_);
+  free_at_ = start + duration;
+  return free_at_;
+}
+
+double FifoChannel::QueueDelay(double now) const {
+  return std::max(0.0, free_at_ - now);
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,29 @@
+#ifndef SC_SIM_DEVICE_H_
+#define SC_SIM_DEVICE_H_
+
+namespace sc::sim {
+
+/// A FIFO-serialized device channel (e.g. the storage write path): work
+/// submitted while the channel is busy queues behind in-flight transfers.
+/// Time is simulated seconds.
+class FifoChannel {
+ public:
+  /// Submits `duration` seconds of work at time `now`; returns the
+  /// completion time (start is max(now, previous completion)).
+  double Submit(double now, double duration);
+
+  /// Completion time of the last submitted work (0 if idle from start).
+  double free_at() const { return free_at_; }
+
+  /// Seconds a submission at `now` would wait before starting.
+  double QueueDelay(double now) const;
+
+  void Reset() { free_at_ = 0.0; }
+
+ private:
+  double free_at_ = 0.0;
+};
+
+}  // namespace sc::sim
+
+#endif  // SC_SIM_DEVICE_H_

@@ -1,0 +1,55 @@
+#ifndef SC_SIM_LRU_CACHE_H_
+#define SC_SIM_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "opt/types.h"
+#include "sim/refresh_sim.h"
+
+namespace sc::sim {
+
+/// Byte-budgeted LRU cache over integer keys, used to model the DBMS-side
+/// query-result cache the paper compares against (§VI-A: "The LRU cache in
+/// the DBMS caches query results; we increase the size of the LRU cache by
+/// an amount equal to the size of Memory Catalog").
+class LruCache {
+ public:
+  explicit LruCache(std::int64_t capacity_bytes);
+
+  /// Returns true and refreshes recency if `key` is cached.
+  bool Lookup(std::int64_t key);
+
+  /// Inserts `key` with `size` bytes, evicting least-recently-used entries
+  /// as needed. Entries larger than the capacity are not cached.
+  void Insert(std::int64_t key, std::int64_t size);
+
+  bool Contains(std::int64_t key) const;
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t capacity_bytes() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void Evict(std::int64_t needed);
+
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  /// Front = most recently used.
+  std::list<std::int64_t> order_;
+  struct Entry {
+    std::int64_t size;
+    std::list<std::int64_t>::iterator it;
+  };
+  std::unordered_map<std::int64_t, Entry> entries_;
+};
+
+/// Simulates the LRU-cache baseline: nodes run in plain topological order,
+/// all writes block, but table reads hit an LRU result cache of
+/// `cache_bytes`. Outputs are inserted into the cache after each write.
+RunResult SimulateLruBaseline(const graph::Graph& g, std::int64_t cache_bytes,
+                              const SimOptions& options);
+
+}  // namespace sc::sim
+
+#endif  // SC_SIM_LRU_CACHE_H_

@@ -1,0 +1,157 @@
+#include "storage/format.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sc::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'C', 'T', '1'};
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("SCT1: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+std::int64_t WriteTable(const engine::Table& table, std::ostream& out) {
+  const std::streampos begin = out.tellp();
+  out.write(kMagic, sizeof(kMagic));
+  WriteRaw<std::uint32_t>(out,
+                          static_cast<std::uint32_t>(table.num_columns()));
+  WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(table.num_rows()));
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const engine::Field& field = table.schema().field(c);
+    WriteRaw<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(field.name.size()));
+    out.write(field.name.data(),
+              static_cast<std::streamsize>(field.name.size()));
+    WriteRaw<std::uint8_t>(out, static_cast<std::uint8_t>(field.type));
+    const engine::Column& col = table.column(c);
+    switch (field.type) {
+      case engine::DataType::kInt64:
+        out.write(reinterpret_cast<const char*>(col.ints().data()),
+                  static_cast<std::streamsize>(col.ints().size() *
+                                               sizeof(std::int64_t)));
+        break;
+      case engine::DataType::kFloat64:
+        out.write(reinterpret_cast<const char*>(col.doubles().data()),
+                  static_cast<std::streamsize>(col.doubles().size() *
+                                               sizeof(double)));
+        break;
+      case engine::DataType::kString:
+        for (const std::string& s : col.strings()) {
+          WriteRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+          out.write(s.data(), static_cast<std::streamsize>(s.size()));
+        }
+        break;
+    }
+  }
+  if (!out) throw std::runtime_error("SCT1: write failure");
+  return static_cast<std::int64_t>(out.tellp() - begin);
+}
+
+engine::Table ReadTable(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("SCT1: bad magic");
+  }
+  const std::uint32_t num_cols = ReadRaw<std::uint32_t>(in);
+  const std::uint64_t num_rows = ReadRaw<std::uint64_t>(in);
+  std::vector<engine::Field> fields;
+  std::vector<engine::Column> columns;
+  fields.reserve(num_cols);
+  columns.reserve(num_cols);
+  for (std::uint32_t c = 0; c < num_cols; ++c) {
+    const std::uint32_t name_len = ReadRaw<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto type =
+        static_cast<engine::DataType>(ReadRaw<std::uint8_t>(in));
+    switch (type) {
+      case engine::DataType::kInt64: {
+        std::vector<std::int64_t> values(num_rows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(num_rows *
+                                             sizeof(std::int64_t)));
+        columns.push_back(engine::Column::FromInts(std::move(values)));
+        break;
+      }
+      case engine::DataType::kFloat64: {
+        std::vector<double> values(num_rows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(num_rows * sizeof(double)));
+        columns.push_back(engine::Column::FromDoubles(std::move(values)));
+        break;
+      }
+      case engine::DataType::kString: {
+        std::vector<std::string> values;
+        values.reserve(num_rows);
+        for (std::uint64_t r = 0; r < num_rows; ++r) {
+          const std::uint32_t len = ReadRaw<std::uint32_t>(in);
+          std::string s(len, '\0');
+          in.read(s.data(), len);
+          values.push_back(std::move(s));
+        }
+        columns.push_back(engine::Column::FromStrings(std::move(values)));
+        break;
+      }
+      default:
+        throw std::runtime_error("SCT1: bad column type");
+    }
+    if (!in) throw std::runtime_error("SCT1: truncated column data");
+    fields.push_back(engine::Field{std::move(name), type});
+  }
+  return engine::Table(engine::Schema(std::move(fields)),
+                       std::move(columns));
+}
+
+std::int64_t SerializedSize(const engine::Table& table) {
+  std::int64_t total = 4 + 4 + 8;
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const engine::Field& field = table.schema().field(c);
+    total += 4 + static_cast<std::int64_t>(field.name.size()) + 1;
+    const engine::Column& col = table.column(c);
+    switch (field.type) {
+      case engine::DataType::kInt64:
+        total += static_cast<std::int64_t>(col.ints().size() * 8);
+        break;
+      case engine::DataType::kFloat64:
+        total += static_cast<std::int64_t>(col.doubles().size() * 8);
+        break;
+      case engine::DataType::kString:
+        for (const std::string& s : col.strings()) {
+          total += 4 + static_cast<std::int64_t>(s.size());
+        }
+        break;
+    }
+  }
+  return total;
+}
+
+std::int64_t WriteTableFile(const engine::Table& table,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  return WriteTable(table, out);
+}
+
+engine::Table ReadTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return ReadTable(in);
+}
+
+}  // namespace sc::storage

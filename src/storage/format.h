@@ -1,0 +1,38 @@
+#ifndef SC_STORAGE_FORMAT_H_
+#define SC_STORAGE_FORMAT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/table.h"
+
+namespace sc::storage {
+
+/// Binary columnar table format ("SCT1"): the stand-in for the paper's
+/// Parquet/ORC files on external storage. Layout:
+///
+///   magic "SCT1" | u32 num_cols | u64 num_rows
+///   per column: u32 name_len | name | u8 type | payload
+///   payload: int64/float64 -> raw array; string -> per value u32 len+bytes
+///
+/// All integers little-endian (host order; the format is not meant for
+/// cross-architecture exchange).
+
+/// Serializes `table` to `out`. Returns bytes written.
+std::int64_t WriteTable(const engine::Table& table, std::ostream& out);
+
+/// Deserializes a table from `in`. Throws std::runtime_error on a
+/// malformed stream.
+engine::Table ReadTable(std::istream& in);
+
+/// Size in bytes WriteTable would produce (without serializing).
+std::int64_t SerializedSize(const engine::Table& table);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+std::int64_t WriteTableFile(const engine::Table& table,
+                            const std::string& path);
+engine::Table ReadTableFile(const std::string& path);
+
+}  // namespace sc::storage
+
+#endif  // SC_STORAGE_FORMAT_H_

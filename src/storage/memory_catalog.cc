@@ -1,0 +1,61 @@
+#include "storage/memory_catalog.h"
+
+#include <algorithm>
+
+namespace sc::storage {
+
+MemoryCatalog::MemoryCatalog(std::int64_t budget_bytes)
+    : budget_(budget_bytes) {}
+
+bool MemoryCatalog::Put(const std::string& name, engine::TablePtr table,
+                        std::int64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size < 0 || used_ + size > budget_) return false;
+  auto [it, inserted] = entries_.emplace(name, Entry{std::move(table), size});
+  if (!inserted) return false;
+  used_ += size;
+  peak_ = std::max(peak_, used_);
+  return true;
+}
+
+engine::TablePtr MemoryCatalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.table;
+}
+
+bool MemoryCatalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+void MemoryCatalog::Release(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  used_ -= it->second.size;
+  entries_.erase(it);
+}
+
+std::int64_t MemoryCatalog::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::int64_t MemoryCatalog::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::size_t MemoryCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MemoryCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace sc::storage

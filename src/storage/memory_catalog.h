@@ -1,0 +1,64 @@
+#ifndef SC_STORAGE_MEMORY_CATALOG_H_
+#define SC_STORAGE_MEMORY_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "engine/table.h"
+
+namespace sc::storage {
+
+/// The Memory Catalog (paper §III): a budget-enforced in-memory table
+/// store. Flagged node outputs are created here; downstream reads are
+/// served at memory speed; entries are released once every dependent node
+/// has consumed them and the background materialization finished.
+///
+/// Thread-safe. Put() enforces the budget strictly: the Controller (and
+/// the optimizer's feasibility guarantee) must release entries before
+/// creating new ones, so a failed Put is a plan bug, not a runtime
+/// condition to paper over.
+class MemoryCatalog {
+ public:
+  explicit MemoryCatalog(std::int64_t budget_bytes);
+
+  /// Inserts `table` under `name`, accounting `size` bytes (callers pass
+  /// the table's in-memory footprint). Returns false if the entry would
+  /// exceed the budget or the name already exists.
+  bool Put(const std::string& name, engine::TablePtr table,
+           std::int64_t size);
+
+  /// Returns the table or nullptr if not resident.
+  engine::TablePtr Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Releases `name`, freeing its bytes. No-op if absent.
+  void Release(const std::string& name);
+
+  std::int64_t used_bytes() const;
+  std::int64_t budget_bytes() const { return budget_; }
+  /// High-water mark of used_bytes over the catalog's lifetime.
+  std::int64_t peak_bytes() const;
+  std::size_t size() const;
+
+  /// Drops all entries (end of a refresh run).
+  void Clear();
+
+ private:
+  struct Entry {
+    engine::TablePtr table;
+    std::int64_t size;
+  };
+
+  const std::int64_t budget_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace sc::storage
+
+#endif  // SC_STORAGE_MEMORY_CATALOG_H_

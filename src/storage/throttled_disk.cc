@@ -1,0 +1,86 @@
+#include "storage/throttled_disk.h"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "storage/format.h"
+
+namespace sc::storage {
+
+namespace fs = std::filesystem;
+
+ThrottledDisk::ThrottledDisk(std::string root_dir, DiskProfile profile)
+    : root_dir_(std::move(root_dir)), profile_(profile) {
+  fs::create_directories(root_dir_);
+}
+
+std::string ThrottledDisk::PathFor(const std::string& name) const {
+  return root_dir_ + "/" + name + ".sct";
+}
+
+double ThrottledDisk::Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ThrottledDisk::PadToTarget(double start_monotonic, std::int64_t bytes,
+                                double bandwidth) {
+  if (!profile_.throttle) return;
+  const double target =
+      profile_.latency + static_cast<double>(bytes) / bandwidth;
+  const double elapsed = Now() - start_monotonic;
+  if (elapsed < target) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(target - elapsed));
+  }
+}
+
+void ThrottledDisk::InjectWriteFailure(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_failures_.insert(name);
+}
+
+std::int64_t ThrottledDisk::WriteTable(const std::string& name,
+                                       const engine::Table& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = write_failures_.find(name); it != write_failures_.end()) {
+    write_failures_.erase(it);
+    throw std::runtime_error("injected write failure for table " + name);
+  }
+  const double start = Now();
+  const std::int64_t bytes = WriteTableFile(table, PathFor(name));
+  PadToTarget(start, bytes, profile_.write_bw);
+  total_write_seconds_ += Now() - start;
+  return bytes;
+}
+
+engine::Table ThrottledDisk::ReadTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double start = Now();
+  engine::Table table = ReadTableFile(PathFor(name));
+  const std::int64_t bytes = SerializedSize(table);
+  PadToTarget(start, bytes, profile_.read_bw);
+  total_read_seconds_ += Now() - start;
+  return table;
+}
+
+bool ThrottledDisk::Exists(const std::string& name) const {
+  return fs::exists(PathFor(name));
+}
+
+void ThrottledDisk::Remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(PathFor(name), ec);
+}
+
+std::int64_t ThrottledDisk::FileSize(const std::string& name) const {
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(name), ec);
+  if (ec) return -1;
+  return static_cast<std::int64_t>(size);
+}
+
+}  // namespace sc::storage

@@ -1,0 +1,81 @@
+#ifndef SC_STORAGE_THROTTLED_DISK_H_
+#define SC_STORAGE_THROTTLED_DISK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "engine/table.h"
+
+namespace sc::storage {
+
+/// Bandwidth/latency parameters for the emulated external storage.
+struct DiskProfile {
+  double read_bw = 519.8e6;   // bytes/second
+  double write_bw = 358.9e6;  // bytes/second
+  double latency = 175e-6;    // seconds per access
+  /// When false, operations run at native speed (unit tests).
+  bool throttle = true;
+};
+
+/// External storage emulation: persists tables as SCT1 files under a root
+/// directory and pads each operation's wall time to what the configured
+/// device would need (sleeping the remainder after the real I/O). This
+/// stands in for the paper's NFS + Hive warehouse directory so that
+/// read/write short-circuiting produces measurable wall-clock savings at
+/// laptop scale.
+///
+/// Thread-safe: concurrent calls serialize on a per-disk mutex, modelling
+/// a single storage channel (background materialization then genuinely
+/// competes with foreground I/O, as in §III-C).
+class ThrottledDisk {
+ public:
+  ThrottledDisk(std::string root_dir, DiskProfile profile);
+
+  /// Persists `table` as `<root>/<name>.sct`; returns bytes written.
+  /// Throws std::runtime_error on I/O failure.
+  std::int64_t WriteTable(const std::string& name,
+                          const engine::Table& table);
+
+  /// Loads `<root>/<name>.sct`.
+  engine::Table ReadTable(const std::string& name);
+
+  bool Exists(const std::string& name) const;
+  /// Deletes the file if present.
+  void Remove(const std::string& name);
+
+  /// Bytes of the stored table file, or -1 if absent.
+  std::int64_t FileSize(const std::string& name) const;
+
+  const std::string& root_dir() const { return root_dir_; }
+  const DiskProfile& profile() const { return profile_; }
+
+  /// Cumulative seconds spent inside read/write calls (throttled time).
+  double total_read_seconds() const { return total_read_seconds_; }
+  double total_write_seconds() const { return total_write_seconds_; }
+
+  /// Failure injection (tests): the next write of table `name` throws
+  /// std::runtime_error instead of persisting (one-shot). Used to verify
+  /// that materialization failures propagate through the background
+  /// writer into the Controller's run report.
+  void InjectWriteFailure(const std::string& name);
+
+ private:
+  std::string PathFor(const std::string& name) const;
+  /// Sleeps until `elapsed` reaches the target duration for `bytes`.
+  void PadToTarget(double start_monotonic, std::int64_t bytes,
+                   double bandwidth);
+  static double Now();
+
+  std::string root_dir_;
+  DiskProfile profile_;
+  mutable std::mutex mutex_;
+  double total_read_seconds_ = 0.0;
+  double total_write_seconds_ = 0.0;
+  std::set<std::string> write_failures_;
+};
+
+}  // namespace sc::storage
+
+#endif  // SC_STORAGE_THROTTLED_DISK_H_

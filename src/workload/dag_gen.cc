@@ -1,0 +1,151 @@
+#include "workload/dag_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "cost/speedup.h"
+
+namespace sc::workload {
+
+const std::vector<std::int64_t>& Tpcds100GbTableSizes() {
+  // Approximate on-disk sizes of TPC-DS tables at scale factor 100
+  // (store_sales ~38GB, catalog_sales ~28GB, web_sales ~14GB, inventory
+  // ~8GB, the rest dimensions).
+  static const std::vector<std::int64_t> kSizes = {
+      38 * kGB, 28 * kGB, 14 * kGB, 8 * kGB,  2 * kGB,
+      1 * kGB,  500 * kMB, 240 * kMB, 120 * kMB, 40 * kMB,
+  };
+  return kSizes;
+}
+
+graph::Graph GenerateDag(const DagGenOptions& options) {
+  Rng rng(options.seed);
+  const MarkovOpChain chain = MarkovOpChain::TpcdsTrained();
+  const std::int32_t n = std::max(1, options.num_nodes);
+
+  // Stage layout: height/width = r and height*width ~= n give
+  // height = sqrt(n*r). Stage sizes are drawn around the mean width with
+  // the configured standard deviation, then adjusted to total exactly n.
+  const double ratio = std::max(0.01, options.height_width_ratio);
+  std::int32_t height = static_cast<std::int32_t>(std::lround(
+      std::sqrt(static_cast<double>(n) * ratio)));
+  height = std::clamp(height, 1, n);
+  const double mean_width = static_cast<double>(n) / height;
+
+  std::vector<std::int32_t> stage_sizes(height, 0);
+  std::int32_t assigned = 0;
+  for (std::int32_t s = 0; s < height; ++s) {
+    double draw = rng.Normal(mean_width, options.stage_stdev);
+    std::int32_t size = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(draw)));
+    // Never over-assign: leave at least one node per remaining stage.
+    const std::int32_t remaining_stages = height - s - 1;
+    size = std::min<std::int32_t>(size, n - assigned - remaining_stages);
+    size = std::max(1, size);
+    stage_sizes[s] = size;
+    assigned += size;
+  }
+  // Distribute any remainder over stages round-robin.
+  std::int32_t leftover = n - assigned;
+  for (std::int32_t s = 0; leftover > 0; s = (s + 1) % height) {
+    stage_sizes[s]++;
+    --leftover;
+  }
+
+  graph::Graph g;
+  std::vector<std::vector<graph::NodeId>> stages(height);
+  std::vector<OpKind> ops(n);
+  std::int32_t counter = 0;
+  for (std::int32_t s = 0; s < height; ++s) {
+    for (std::int32_t k = 0; k < stage_sizes[s]; ++k) {
+      graph::NodeInfo info;
+      info.name = "n" + std::to_string(counter++);
+      stages[s].push_back(g.AddNode(std::move(info)));
+    }
+  }
+
+  // Edges: each node draws outdegree ~ U[0, max_outdegree] edges to nodes
+  // in later stages (strongly preferring the next stage, like Spark
+  // shuffle boundaries).
+  for (std::int32_t s = 0; s + 1 < height; ++s) {
+    for (graph::NodeId v : stages[s]) {
+      const std::int64_t degree =
+          rng.UniformInt(0, options.max_outdegree);
+      for (std::int64_t e = 0; e < degree; ++e) {
+        const std::int32_t target_stage =
+            rng.Bernoulli(0.8) || s + 2 >= height
+                ? s + 1
+                : static_cast<std::int32_t>(
+                      rng.UniformInt(s + 1, height - 1));
+        const auto& pool = stages[target_stage];
+        const graph::NodeId to = pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        g.AddEdge(v, to);  // duplicate edges are rejected internally
+      }
+    }
+  }
+  // Connectivity: every non-first-stage node needs at least one parent.
+  for (std::int32_t s = 1; s < height; ++s) {
+    for (graph::NodeId v : stages[s]) {
+      if (g.parents(v).empty()) {
+        const auto& pool = stages[s - 1];
+        const graph::NodeId from = pool[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        g.AddEdge(from, v);
+      }
+    }
+  }
+
+  // Ops, then sizes from ops (roots sample base-table sizes).
+  const auto& table_sizes = Tpcds100GbTableSizes();
+  for (std::int32_t s = 0; s < height; ++s) {
+    for (graph::NodeId v : stages[s]) {
+      if (g.parents(v).empty()) {
+        ops[v] = chain.Root(rng);
+        const std::int64_t base = table_sizes[static_cast<std::size_t>(
+            rng.UniformInt(0,
+                           static_cast<std::int64_t>(table_sizes.size()) -
+                               1))];
+        // Roots already apply their op to the base table they read.
+        g.mutable_node(v).base_input_bytes = base;
+        g.mutable_node(v).size_bytes =
+            DeriveOutputSize(ops[v], base / 16, rng);
+      } else {
+        // Primary parent: the largest input.
+        graph::NodeId primary = g.parents(v)[0];
+        std::int64_t max_in = 0;
+        for (graph::NodeId p : g.parents(v)) {
+          if (g.node(p).size_bytes >= max_in) {
+            max_in = g.node(p).size_bytes;
+            primary = p;
+          }
+        }
+        ops[v] = chain.Next(ops[primary], rng);
+        g.mutable_node(v).size_bytes = DeriveOutputSize(ops[v], max_in, rng);
+      }
+      // Compute time grows with input volume; aggregation is the most
+      // compute-intensive per byte.
+      std::int64_t in_bytes = g.node(v).base_input_bytes;
+      for (graph::NodeId p : g.parents(v)) in_bytes += g.node(p).size_bytes;
+      const double per_byte =
+          ops[v] == OpKind::kAggregate ? 2.0e-9 : 0.6e-9;
+      g.mutable_node(v).compute_seconds =
+          static_cast<double>(in_bytes) * per_byte;
+    }
+  }
+
+  // File counts follow table sizes (same calibration as the scale model).
+  for (graph::NodeId v = 0; v < n; ++v) {
+    g.mutable_node(v).file_count = std::clamp(
+        std::sqrt(static_cast<double>(g.node(v).size_bytes) / (1.2e9)),
+        0.3, 10.0);
+  }
+
+  cost::SpeedupEstimator estimator{cost::CostModel(options.device)};
+  estimator.AnnotateGraph(&g);
+  return g;
+}
+
+}  // namespace sc::workload

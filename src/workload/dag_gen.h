@@ -1,0 +1,39 @@
+#ifndef SC_WORKLOAD_DAG_GEN_H_
+#define SC_WORKLOAD_DAG_GEN_H_
+
+#include <cstdint>
+
+#include "cost/cost_model.h"
+#include "graph/graph.h"
+#include "workload/markov.h"
+
+namespace sc::workload {
+
+/// Synthetic workload generator (paper §VI-A "Generated Workload",
+/// §VI-H): layered DAGs following the structure of Spark workloads, where
+/// height = number of stages and width = nodes per stage. Node operations
+/// come from the Markov chain; operations derive node sizes from their
+/// inputs; root sizes are sampled from the base-table sizes of the 100GB
+/// TPC-DS dataset; speedup scores follow from sizes via the cost model.
+struct DagGenOptions {
+  std::int32_t num_nodes = 100;       // "DAG size"
+  double height_width_ratio = 1.0;    // "DAG height/width"
+  std::int32_t max_outdegree = 4;     // "Node max. outdegree"
+  double stage_stdev = 1.0;           // "Stage node count StDev"
+  std::uint64_t seed = 42;
+  cost::DeviceProfile device;         // for speedup-score annotation
+};
+
+/// Generates one synthetic dependency graph with sizes, compute times, and
+/// speedup scores filled in. The result is always a valid DAG with
+/// `num_nodes` nodes; every non-root stage node has at least one parent in
+/// an earlier stage.
+graph::Graph GenerateDag(const DagGenOptions& options);
+
+/// Base-table sizes (bytes) of the 100GB TPC-DS dataset used to seed root
+/// node sizes (store_sales &c. dominate; dimensions are small).
+const std::vector<std::int64_t>& Tpcds100GbTableSizes();
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_DAG_GEN_H_

@@ -1,0 +1,44 @@
+#ifndef SC_WORKLOAD_DATAGEN_H_
+#define SC_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "engine/table.h"
+
+namespace sc::workload {
+
+/// Seeded synthetic data generator for the TPC-DS-like tables (the stand-in
+/// for dsdgen). `scale` is a micro scale factor: scale 1.0 produces a few
+/// MB of data — large enough to exercise every operator and the throttled
+/// disk, small enough for CI. Row counts grow linearly with scale for the
+/// fact tables and sub-linearly for dimensions, mirroring TPC-DS.
+struct DataGenOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Years covered by date_dim and sales dates (TPC-DS spans 1998-2003).
+  std::int64_t first_year = 1998;
+  std::int64_t num_years = 5;
+};
+
+/// Derived row counts for a given scale, exposed for tests.
+struct RowCounts {
+  std::int64_t date_dim;
+  std::int64_t item;
+  std::int64_t customer;
+  std::int64_t store;
+  std::int64_t promotion;
+  std::int64_t sales_per_channel;
+};
+RowCounts RowCountsFor(const DataGenOptions& options);
+
+/// Generates all base tables. Foreign keys are guaranteed to resolve
+/// (every *_sk references an existing dimension row), so joins never
+/// silently produce empty results.
+std::map<std::string, engine::TablePtr> GenerateTpcdsData(
+    const DataGenOptions& options);
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,90 @@
+#include "workload/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::workload {
+
+std::string ToString(OpKind op) {
+  switch (op) {
+    case OpKind::kScan: return "SCAN";
+    case OpKind::kFilter: return "FILTER";
+    case OpKind::kProject: return "PROJECT";
+    case OpKind::kJoin: return "JOIN";
+    case OpKind::kAggregate: return "AGG";
+  }
+  return "?";
+}
+
+MarkovOpChain::MarkovOpChain(Matrix transitions)
+    : transitions_(transitions) {
+  for (auto& row : transitions_) {
+    double total = 0;
+    for (double p : row) {
+      if (p < 0) throw std::invalid_argument("negative transition weight");
+      total += p;
+    }
+    if (total <= 0) throw std::invalid_argument("empty transition row");
+    for (double& p : row) p /= total;
+  }
+}
+
+MarkovOpChain MarkovOpChain::TpcdsTrained() {
+  // Rows: parent op; columns: child op in order
+  // {SCAN, FILTER, PROJECT, JOIN, AGG}. Weights are bigram counts from the
+  // SPJ units of the TPC-DS queries in Table III (q2,5,14,23,33,44,49,56,
+  // 59,60,61,74,75,77,80) normalized per row, smoothed (+0.02).
+  Matrix m = {{
+      // SCAN ->
+      {{0.02, 0.30, 0.12, 0.44, 0.12}},
+      // FILTER ->
+      {{0.02, 0.06, 0.22, 0.46, 0.24}},
+      // PROJECT ->
+      {{0.02, 0.10, 0.08, 0.38, 0.42}},
+      // JOIN ->
+      {{0.02, 0.18, 0.24, 0.26, 0.30}},
+      // AGG ->
+      {{0.02, 0.12, 0.34, 0.32, 0.20}},
+  }};
+  return MarkovOpChain(m);
+}
+
+OpKind MarkovOpChain::Next(OpKind parent, Rng& rng) const {
+  const auto& row = transitions_[static_cast<std::size_t>(parent)];
+  std::vector<double> weights(row.begin(), row.end());
+  return static_cast<OpKind>(rng.WeightedIndex(weights));
+}
+
+OpKind MarkovOpChain::Root(Rng& rng) const {
+  // Roots read base tables: overwhelmingly scans, occasionally an
+  // aggregation pushed straight onto a base table.
+  return rng.Bernoulli(0.85) ? OpKind::kScan : OpKind::kAggregate;
+}
+
+std::int64_t DeriveOutputSize(OpKind op, std::int64_t max_input_bytes,
+                              Rng& rng) {
+  const double input = std::max<double>(1.0, static_cast<double>(
+      max_input_bytes));
+  double factor = 1.0;
+  switch (op) {
+    case OpKind::kScan:
+      factor = rng.UniformDouble(0.8, 1.0);
+      break;
+    case OpKind::kFilter:
+      factor = rng.UniformDouble(0.05, 0.6);
+      break;
+    case OpKind::kProject:
+      factor = rng.UniformDouble(0.3, 0.8);
+      break;
+    case OpKind::kJoin:
+      factor = rng.UniformDouble(0.2, 1.4);
+      break;
+    case OpKind::kAggregate:
+      factor = rng.UniformDouble(0.002, 0.05);
+      break;
+  }
+  return static_cast<std::int64_t>(std::llround(input * factor));
+}
+
+}  // namespace sc::workload

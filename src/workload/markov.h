@@ -1,0 +1,62 @@
+#ifndef SC_WORKLOAD_MARKOV_H_
+#define SC_WORKLOAD_MARKOV_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace sc::workload {
+
+/// Relational operator kinds assigned to synthetic DAG nodes (paper §VI-A:
+/// "a Markov chain — trained on the same query set — for determining node
+/// operations (i.e. JOIN, AGG)").
+enum class OpKind : std::uint8_t {
+  kScan = 0,     // read base table(s)
+  kFilter = 1,
+  kProject = 2,
+  kJoin = 3,
+  kAggregate = 4,
+};
+inline constexpr std::size_t kNumOpKinds = 5;
+
+std::string ToString(OpKind op);
+
+/// First-order Markov chain over operator kinds: the operation of a node
+/// is sampled conditioned on the operation of its (primary) parent. The
+/// default transition matrix encodes operator bigram frequencies measured
+/// from the SPJ decomposition of the TPC-DS queries used in this repo plus
+/// typical Spider query shapes (joins follow scans/filters; aggregates
+/// terminate chains; projects interleave).
+class MarkovOpChain {
+ public:
+  using Matrix = std::array<std::array<double, kNumOpKinds>, kNumOpKinds>;
+
+  explicit MarkovOpChain(Matrix transitions);
+
+  /// The built-in TPC-DS/Spider-derived chain.
+  static MarkovOpChain TpcdsTrained();
+
+  /// Samples the op of a node whose primary parent has op `parent`.
+  OpKind Next(OpKind parent, Rng& rng) const;
+
+  /// Samples an op for a root node (stationary-ish start distribution:
+  /// roots are scans with high probability).
+  OpKind Root(Rng& rng) const;
+
+  const Matrix& transitions() const { return transitions_; }
+
+ private:
+  Matrix transitions_;
+};
+
+/// Output size of a node given its op and the sizes of its inputs
+/// (paper: "operations are used to derive the sizes ... of nodes from
+/// their inputs"). Deterministic given the rng state.
+std::int64_t DeriveOutputSize(OpKind op, std::int64_t max_input_bytes,
+                              Rng& rng);
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_MARKOV_H_

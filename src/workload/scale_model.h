@@ -1,0 +1,42 @@
+#ifndef SC_WORKLOAD_SCALE_MODEL_H_
+#define SC_WORKLOAD_SCALE_MODEL_H_
+
+#include <cstdint>
+
+#include "cost/cost_model.h"
+#include "workload/workloads.h"
+
+namespace sc::workload {
+
+/// Analytic scale model: instantiates a workload's graph metadata (node
+/// sizes, compute seconds, base-table input bytes, speedup scores) for a
+/// given dataset size, standing in for the paper's "execution metadata
+/// from past MV refresh runs" (§III-A) at warehouse scales where real
+/// execution is impractical on a laptop.
+struct ScaleModelOptions {
+  /// Dataset size in (decimal) GB, e.g. 100 for the 100GB TPC-DS dataset.
+  double dataset_gb = 100.0;
+  /// Use the date-partitioned variant (TPC-DSp): pruned scans, smaller
+  /// intermediates (applies the NodeScale part_* multipliers).
+  bool partitioned = false;
+  /// Device model used to derive speedup scores from sizes.
+  cost::DeviceProfile device;
+};
+
+/// Fills `size_bytes`, `compute_seconds`, `base_input_bytes`, and
+/// `speedup_score` on every node of `wl->graph`.
+void AnnotateWorkload(MvWorkload* wl, const ScaleModelOptions& options);
+
+/// Memory Catalog size for "`percent` of dataset size" (paper Figures
+/// 10-11 express budgets as percentages).
+std::int64_t BudgetForPercent(double dataset_gb, double percent);
+
+/// Fraction of a workload's simulated NoOpt runtime spent reading/writing
+/// intermediate MVs (the "I/O ratio" column of Table III). Requires the
+/// workload to be annotated first.
+double IntermediateIoRatio(const MvWorkload& wl,
+                           const ScaleModelOptions& options);
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_SCALE_MODEL_H_

@@ -1,0 +1,90 @@
+#include "workload/tpcds.h"
+
+#include <stdexcept>
+
+namespace sc::workload {
+
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+
+Schema DateDimSchema() {
+  return Schema({
+      Field{"d_date_sk", DataType::kInt64},
+      Field{"d_year", DataType::kInt64},
+      Field{"d_moy", DataType::kInt64},
+      Field{"d_dom", DataType::kInt64},
+      Field{"d_qoy", DataType::kInt64},
+      Field{"d_day_name", DataType::kString},
+  });
+}
+
+Schema ItemSchema() {
+  return Schema({
+      Field{"i_item_sk", DataType::kInt64},
+      Field{"i_brand_id", DataType::kInt64},
+      Field{"i_class_id", DataType::kInt64},
+      Field{"i_category_id", DataType::kInt64},
+      Field{"i_manufact_id", DataType::kInt64},
+      Field{"i_current_price", DataType::kFloat64},
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      Field{"c_customer_sk", DataType::kInt64},
+      Field{"c_birth_year", DataType::kInt64},
+      Field{"c_birth_month", DataType::kInt64},
+      Field{"c_current_addr_sk", DataType::kInt64},
+  });
+}
+
+Schema StoreSchema() {
+  return Schema({
+      Field{"s_store_sk", DataType::kInt64},
+      Field{"s_state", DataType::kString},
+      Field{"s_number_employees", DataType::kInt64},
+      Field{"s_floor_space", DataType::kInt64},
+  });
+}
+
+Schema PromotionSchema() {
+  return Schema({
+      Field{"p_promo_sk", DataType::kInt64},
+      Field{"p_channel_email", DataType::kInt64},
+      Field{"p_channel_tv", DataType::kInt64},
+      Field{"p_cost", DataType::kFloat64},
+  });
+}
+
+Schema SalesSchema(const std::string& prefix) {
+  auto col = [&prefix](const char* suffix) {
+    return prefix + "_" + suffix;
+  };
+  return Schema({
+      Field{col("sold_date_sk"), DataType::kInt64},
+      Field{col("item_sk"), DataType::kInt64},
+      Field{col("customer_sk"), DataType::kInt64},
+      Field{col("store_sk"), DataType::kInt64},
+      Field{col("promo_sk"), DataType::kInt64},
+      Field{col("quantity"), DataType::kInt64},
+      Field{col("sales_price"), DataType::kFloat64},
+      Field{col("ext_sales_price"), DataType::kFloat64},
+      Field{col("net_profit"), DataType::kFloat64},
+  });
+}
+
+std::vector<std::string> BaseTableNames() {
+  return {"date_dim", "item",          "customer",
+          "store",    "promotion",     "store_sales",
+          "catalog_sales", "web_sales"};
+}
+
+std::string ChannelPrefix(const std::string& fact_table) {
+  if (fact_table == "store_sales") return "ss";
+  if (fact_table == "catalog_sales") return "cs";
+  if (fact_table == "web_sales") return "ws";
+  throw std::invalid_argument("not a channel fact table: " + fact_table);
+}
+
+}  // namespace sc::workload

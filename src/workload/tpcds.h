@@ -1,0 +1,34 @@
+#ifndef SC_WORKLOAD_TPCDS_H_
+#define SC_WORKLOAD_TPCDS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace sc::workload {
+
+/// Schemas for the subset of TPC-DS tables the paper's five workloads
+/// touch (simplified columns; surrogate keys and the measures the queries
+/// aggregate). The three channel fact tables are store_sales,
+/// catalog_sales, and web_sales; dimensions are date_dim, item, customer,
+/// store, and promotion.
+
+engine::Schema DateDimSchema();
+engine::Schema ItemSchema();
+engine::Schema CustomerSchema();
+engine::Schema StoreSchema();
+engine::Schema PromotionSchema();
+/// All three channel fact tables share this layout with a channel-specific
+/// column prefix ("ss", "cs", "ws").
+engine::Schema SalesSchema(const std::string& prefix);
+
+/// Names of all base tables, in generation order.
+std::vector<std::string> BaseTableNames();
+
+/// Column prefix for a channel fact table name ("store_sales" -> "ss").
+std::string ChannelPrefix(const std::string& fact_table);
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_TPCDS_H_

@@ -1,0 +1,124 @@
+#include "workload/workload_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "engine/plan_serde.h"
+#include "graph/serde.h"
+
+namespace sc::workload {
+
+namespace fs = std::filesystem;
+
+bool SaveWorkload(const MvWorkload& wl, const std::string& dir,
+                  std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create directory " + dir;
+    return false;
+  }
+  if (!graph::SaveToFile(wl.graph, dir + "/graph.scg", error)) return false;
+
+  std::ofstream plans(dir + "/plans.scp");
+  if (!plans) {
+    if (error != nullptr) *error = "cannot write plans.scp";
+    return false;
+  }
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    plans << wl.graph.node(v).name << ' '
+          << engine::SerializePlan(*wl.plans[v]) << '\n';
+  }
+
+  std::ofstream meta(dir + "/meta.sct");
+  if (!meta) {
+    if (error != nullptr) *error = "cannot write meta.sct";
+    return false;
+  }
+  meta << "name " << wl.name << '\n';
+  meta << "description " << wl.description << '\n';
+  meta << "queries";
+  for (int q : wl.tpcds_queries) meta << ' ' << q;
+  meta << '\n';
+  return static_cast<bool>(plans) && static_cast<bool>(meta);
+}
+
+bool LoadWorkload(const std::string& dir, MvWorkload* wl,
+                  std::string* error) {
+  *wl = MvWorkload();
+  if (!graph::LoadFromFile(dir + "/graph.scg", &wl->graph, error)) {
+    return false;
+  }
+  wl->plans.assign(static_cast<std::size_t>(wl->graph.num_nodes()),
+                   nullptr);
+  wl->scale.assign(static_cast<std::size_t>(wl->graph.num_nodes()),
+                   NodeScale{});
+
+  std::ifstream plans(dir + "/plans.scp");
+  if (!plans) {
+    if (error != nullptr) *error = "cannot read plans.scp";
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(plans, line)) {
+    ++lineno;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t space = trimmed.find(' ');
+    if (space == std::string::npos) {
+      if (error != nullptr) {
+        *error = StrFormat("plans.scp line %d: missing plan", lineno);
+      }
+      return false;
+    }
+    const std::string name = trimmed.substr(0, space);
+    auto id = wl->graph.FindByName(name);
+    if (!id.has_value()) {
+      if (error != nullptr) {
+        *error = "plans.scp references unknown MV " + name;
+      }
+      return false;
+    }
+    std::string parse_error;
+    engine::PlanPtr plan =
+        engine::ParsePlan(trimmed.substr(space + 1), &parse_error);
+    if (plan == nullptr) {
+      if (error != nullptr) {
+        *error = "plan for " + name + ": " + parse_error;
+      }
+      return false;
+    }
+    wl->plans[static_cast<std::size_t>(*id)] = std::move(plan);
+  }
+
+  std::ifstream meta(dir + "/meta.sct");
+  if (meta) {
+    while (std::getline(meta, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "name") {
+        fields >> wl->name;
+      } else if (key == "description") {
+        std::getline(fields, wl->description);
+        wl->description = Trim(wl->description);
+      } else if (key == "queries") {
+        int q;
+        while (fields >> q) wl->tpcds_queries.push_back(q);
+      }
+    }
+  }
+
+  for (const auto& plan : wl->plans) {
+    if (plan == nullptr) {
+      if (error != nullptr) *error = "plans.scp is missing an MV plan";
+      return false;
+    }
+  }
+  return ValidateWorkload(*wl, error);
+}
+
+}  // namespace sc::workload

@@ -1,0 +1,28 @@
+#ifndef SC_WORKLOAD_WORKLOAD_IO_H_
+#define SC_WORKLOAD_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "workload/workloads.h"
+
+namespace sc::workload {
+
+/// Persists a workload to a directory (dbt-project style):
+///   <dir>/graph.scg    — dependency graph in the graph text format
+///   <dir>/plans.scp    — one "<mv-name> <s-expression plan>" line per MV
+///   <dir>/meta.sct     — name, description, TPC-DS query list
+/// NodeScale coefficients are not persisted (they are a property of the
+/// analytic model, not of the workload definition); loaded workloads get
+/// default NodeScale entries.
+bool SaveWorkload(const MvWorkload& wl, const std::string& dir,
+                  std::string* error);
+
+/// Loads a workload previously written by SaveWorkload. Returns false and
+/// fills `error` on parse or I/O failure; validates the result with
+/// ValidateWorkload.
+bool LoadWorkload(const std::string& dir, MvWorkload* wl,
+                  std::string* error);
+
+}  // namespace sc::workload
+
+#endif  // SC_WORKLOAD_WORKLOAD_IO_H_

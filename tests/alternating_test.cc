@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "opt/alternating.h"
+#include "opt/memory_usage.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+TEST(AlternatingTest, Figure7ReachesPaperOptimum) {
+  // Starting from the plain topological order, alternating optimization
+  // must discover an order in which both 100GB nodes are flagged (score
+  // 210, paper §IV).
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult result = AlternatingOptimize(g, /*budget=*/100);
+  EXPECT_DOUBLE_EQ(result.total_score, 210.0);
+  EXPECT_TRUE(IsFeasible(g, result.plan.order, result.plan.flags, 100));
+  EXPECT_TRUE(result.plan.flags[0]);  // v1
+  EXPECT_TRUE(result.plan.flags[2]);  // v3
+}
+
+TEST(AlternatingTest, PlanIsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const graph::Graph g = test::RandomDag(25, seed);
+    for (const std::int64_t budget : {0LL, 60LL, 200LL}) {
+      const AlternatingResult result = AlternatingOptimize(g, budget);
+      std::string error;
+      EXPECT_TRUE(ValidatePlan(g, result.plan, budget, &error))
+          << "seed " << seed << " budget " << budget << ": " << error;
+    }
+  }
+}
+
+TEST(AlternatingTest, ScoreMonotoneAcrossIterations) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    const AlternatingResult result = AlternatingOptimize(g, 120);
+    for (std::size_t i = 1; i < result.trace.size(); ++i) {
+      EXPECT_GT(result.trace[i].total_score,
+                result.trace[i - 1].total_score)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(AlternatingTest, ConvergesWithinTenIterationsOn100Nodes) {
+  // Paper §V-C: "typically converges in <10 iterations for dependency
+  // graphs with up to 100 nodes."
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const graph::Graph g = test::RandomDag(100, seed);
+    const AlternatingResult result = AlternatingOptimize(g, 200);
+    EXPECT_LE(result.iterations, 10) << "seed " << seed;
+  }
+}
+
+TEST(AlternatingTest, BeatsOrMatchesSingleShotMkp) {
+  // Reordering can only help: final score >= score under the initial
+  // topological order.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    const graph::Order kahn = graph::KahnTopologicalOrder(g);
+    const double single_shot = TotalScore(g, SimplifiedMkp(g, kahn, 100));
+    const AlternatingResult result = AlternatingOptimize(g, 100);
+    EXPECT_GE(result.total_score, single_shot) << "seed " << seed;
+  }
+}
+
+TEST(AlternatingTest, ZeroBudgetYieldsEmptyPlan) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult result = AlternatingOptimize(g, 0);
+  EXPECT_TRUE(FlaggedNodes(result.plan.flags).empty());
+  EXPECT_DOUBLE_EQ(result.total_score, 0.0);
+  EXPECT_EQ(result.stop_reason, StopReason::kNoImprovement);
+}
+
+TEST(AlternatingTest, UnlimitedBudgetFlagsEverythingUseful) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult result = AlternatingOptimize(g, 1'000'000);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.plan.flags[v], g.node(v).speedup_score > 0);
+  }
+}
+
+TEST(AlternatingTest, SizeConvergenceCriterionAlsoTerminates) {
+  AlternatingOptions options;
+  options.convergence = AlternatingOptions::Convergence::kSize;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = test::RandomDag(25, seed);
+    const AlternatingResult result = AlternatingOptimize(g, 100, options);
+    EXPECT_LE(result.iterations, options.max_iterations);
+    std::string error;
+    EXPECT_TRUE(ValidatePlan(g, result.plan, 100, &error)) << error;
+  }
+}
+
+TEST(AlternatingTest, AblatedSelectorsStillProduceValidPlans) {
+  for (const auto selector :
+       {SelectorMethod::kGreedy, SelectorMethod::kRandom,
+        SelectorMethod::kRatio}) {
+    AlternatingOptions options;
+    options.selector = selector;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const graph::Graph g = test::RandomDag(25, seed);
+      const AlternatingResult result = AlternatingOptimize(g, 100, options);
+      std::string error;
+      EXPECT_TRUE(ValidatePlan(g, result.plan, 100, &error))
+          << ToString(selector) << ": " << error;
+    }
+  }
+}
+
+TEST(AlternatingTest, AblatedSchedulersStillProduceValidPlans) {
+  for (const auto scheduler :
+       {SchedulerMethod::kSimAnneal, SchedulerMethod::kSeparator,
+        SchedulerMethod::kRandomDfs}) {
+    AlternatingOptions options;
+    options.scheduler = scheduler;
+    // Keep SA fast in tests.
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const graph::Graph g = test::RandomDag(20, seed);
+      const AlternatingResult result = AlternatingOptimize(g, 100, options);
+      std::string error;
+      EXPECT_TRUE(ValidatePlan(g, result.plan, 100, &error))
+          << ToString(scheduler) << ": " << error;
+    }
+  }
+}
+
+TEST(AlternatingTest, MkpMaDfsBeatsAblationsInAggregate) {
+  // Alternating optimization is a local method, so MKP+MA-DFS can lose to
+  // an ablated selector on an individual adversarial DAG; the paper's
+  // claim (§VI-F) is aggregate dominance over a workload population. We
+  // assert it over 25 random DAGs.
+  double ours_total = 0.0;
+  std::map<SelectorMethod, double> ablated_total;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    ours_total += AlternatingOptimize(g, 100).total_score;
+    for (const auto selector :
+         {SelectorMethod::kGreedy, SelectorMethod::kRandom,
+          SelectorMethod::kRatio}) {
+      AlternatingOptions options;
+      options.selector = selector;
+      ablated_total[selector] +=
+          AlternatingOptimize(g, 100, options).total_score;
+    }
+  }
+  for (const auto& [selector, total] : ablated_total) {
+    EXPECT_GE(ours_total + 1e-9, total) << ToString(selector);
+  }
+}
+
+TEST(AlternatingTest, EmptyGraph) {
+  graph::Graph g;
+  const AlternatingResult result = AlternatingOptimize(g, 100);
+  EXPECT_TRUE(result.plan.order.sequence.empty());
+  EXPECT_DOUBLE_EQ(result.total_score, 0.0);
+}
+
+}  // namespace
+}  // namespace sc::opt

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "opt/constraints.h"
+#include "opt/memory_usage.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+using graph::Order;
+
+TEST(AllLiveSetsTest, DiamondFlagRootLiveUntilLastChild) {
+  const graph::Graph g = test::DiamondGraph();
+  const Order order = Order::FromSequence({0, 1, 2, 3});
+  const auto live = AllLiveSets(g, order, /*budget=*/1000);
+  // a (id 0) is live at slots 0,1,2 (children b@1, c@2); d's slot has
+  // b? b is childless except d... b's child d is at slot 3, so b live 1..3.
+  EXPECT_EQ(live[0], (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(live[1], (std::vector<graph::NodeId>{0, 1}));
+  EXPECT_EQ(live[2], (std::vector<graph::NodeId>{0, 1, 2}));
+  EXPECT_EQ(live[3], (std::vector<graph::NodeId>{1, 2, 3}));
+}
+
+TEST(AllLiveSetsTest, ExcludesOversizeAndZeroScore) {
+  graph::Graph g;
+  const auto big = g.AddNode("big", 1000, 5.0);
+  const auto zero = g.AddNode("zero", 10, 0.0);
+  const auto ok = g.AddNode("ok", 10, 5.0);
+  g.AddEdge(big, ok);
+  g.AddEdge(zero, ok);
+  const Order order = graph::KahnTopologicalOrder(g);
+  const auto live = AllLiveSets(g, order, /*budget=*/100);
+  for (const auto& s : live) {
+    EXPECT_EQ(std::count(s.begin(), s.end(), big), 0);
+    EXPECT_EQ(std::count(s.begin(), s.end(), zero), 0);
+  }
+}
+
+TEST(GetConstraintsTest, ExcludedNodesListed) {
+  graph::Graph g;
+  g.AddNode("big", 1000, 5.0);
+  g.AddNode("zero", 10, 0.0);
+  g.AddNode("ok", 10, 5.0);
+  const Order order = graph::KahnTopologicalOrder(g);
+  const ConstraintSets cs = GetConstraints(g, order, /*budget=*/100);
+  EXPECT_EQ(cs.excluded, (std::vector<graph::NodeId>{0, 1}));
+}
+
+TEST(GetConstraintsTest, TrivialSetsPruned) {
+  // Total size well under budget: every live set is trivial; all
+  // candidates become free nodes.
+  const graph::Graph g = test::DiamondGraph(/*size=*/10);
+  const Order order = graph::KahnTopologicalOrder(g);
+  const ConstraintSets cs = GetConstraints(g, order, /*budget=*/1000);
+  EXPECT_TRUE(cs.sets.empty());
+  EXPECT_EQ(cs.free_nodes.size(), 4u);
+  EXPECT_TRUE(cs.mkp_nodes.empty());
+}
+
+TEST(GetConstraintsTest, NonMaximalSetsPruned) {
+  const graph::Graph g = test::DiamondGraph(/*size=*/10);
+  const Order order = Order::FromSequence({0, 1, 2, 3});
+  // Budget 15: sets {0},{0,1},{0,1,2},{1,2,3} -> only maximal+nontrivial
+  // survive: {0,1,2} and {1,2,3}.
+  const ConstraintSets cs = GetConstraints(g, order, /*budget=*/15);
+  ASSERT_EQ(cs.sets.size(), 2u);
+  EXPECT_EQ(cs.sets[0], (std::vector<graph::NodeId>{0, 1, 2}));
+  EXPECT_EQ(cs.sets[1], (std::vector<graph::NodeId>{1, 2, 3}));
+  EXPECT_TRUE(cs.free_nodes.empty());
+  EXPECT_EQ(cs.mkp_nodes.size(), 4u);
+}
+
+TEST(GetConstraintsTest, EverySlotCoveredByRecordedSet) {
+  // Property: for each slot, the slot's live set must be a subset of some
+  // recorded (pre-pruning trivial/maximal logic aside, after restoring
+  // trivial sets this must hold). We verify against surviving sets plus
+  // trivial ones implied by budget.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(20, seed);
+    const Order order = graph::KahnTopologicalOrder(g);
+    const std::int64_t budget = 120;
+    const ConstraintSets cs = GetConstraints(g, order, budget);
+    const auto live = AllLiveSets(g, order, budget);
+    for (const auto& slot_set : live) {
+      std::int64_t total = 0;
+      for (graph::NodeId v : slot_set) total += g.node(v).size_bytes;
+      if (total <= budget) continue;  // trivial: pruning is safe
+      const bool covered = std::any_of(
+          cs.sets.begin(), cs.sets.end(),
+          [&](const std::vector<graph::NodeId>& s) {
+            return std::includes(s.begin(), s.end(), slot_set.begin(),
+                                 slot_set.end());
+          });
+      EXPECT_TRUE(covered) << "seed " << seed;
+    }
+  }
+}
+
+TEST(GetConstraintsTest, FreeNodesReallyAreSafe) {
+  // Flagging every free node alone can never violate the budget.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(20, seed);
+    const Order order = graph::KahnTopologicalOrder(g);
+    const std::int64_t budget = 150;
+    const ConstraintSets cs = GetConstraints(g, order, budget);
+    const FlagSet flags = MakeFlags(g.num_nodes(), cs.free_nodes);
+    EXPECT_TRUE(IsFeasible(g, order, flags, budget)) << "seed " << seed;
+  }
+}
+
+TEST(GetConstraintsTest, MkpNodesDisjointFromExcludedAndFree) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    const Order order = graph::KahnTopologicalOrder(g);
+    const ConstraintSets cs = GetConstraints(g, order, 100);
+    std::set<graph::NodeId> mkp(cs.mkp_nodes.begin(), cs.mkp_nodes.end());
+    for (graph::NodeId v : cs.excluded) EXPECT_EQ(mkp.count(v), 0u);
+    for (graph::NodeId v : cs.free_nodes) EXPECT_EQ(mkp.count(v), 0u);
+    // Partition covers all nodes.
+    EXPECT_EQ(cs.mkp_nodes.size() + cs.excluded.size() +
+                  cs.free_nodes.size(),
+              static_cast<std::size_t>(g.num_nodes()));
+  }
+}
+
+TEST(GetConstraintsTest, SetsAreSortedAndUnique) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = test::RandomDag(25, seed);
+    const Order order = graph::KahnTopologicalOrder(g);
+    const ConstraintSets cs = GetConstraints(g, order, 80);
+    for (const auto& s : cs.sets) {
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+    }
+    // No set is a subset of another.
+    for (std::size_t i = 0; i < cs.sets.size(); ++i) {
+      for (std::size_t j = 0; j < cs.sets.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(std::includes(cs.sets[j].begin(), cs.sets[j].end(),
+                                   cs.sets[i].begin(), cs.sets[i].end()))
+            << "set " << i << " subset of " << j << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc::opt

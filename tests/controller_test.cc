@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "opt/optimizer.h"
+#include "runtime/controller.h"
+#include "storage/format.h"
+#include "workload/datagen.h"
+#include "workload/workloads.h"
+
+namespace sc::runtime {
+namespace {
+
+storage::DiskProfile FastDisk() {
+  storage::DiskProfile profile;
+  profile.throttle = false;
+  return profile;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/sc_ctrl_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+workload::MvWorkload TinyWorkload() {
+  return workload::BuildIo1();
+}
+
+std::map<std::string, engine::TablePtr> TinyData() {
+  workload::DataGenOptions options;
+  options.scale = 0.03;
+  return workload::GenerateTpcdsData(options);
+}
+
+TEST(MaterializerTest, WritesInBackground) {
+  storage::ThrottledDisk disk(FreshDir("mat"), FastDisk());
+  Materializer materializer(&disk);
+  std::vector<engine::Column> cols;
+  cols.push_back(engine::Column::FromInts({1, 2, 3}));
+  auto table = std::make_shared<engine::Table>(engine::Table(
+      engine::Schema({engine::Field{"x", engine::DataType::kInt64}}),
+      std::move(cols)));
+  auto f1 = materializer.Enqueue("t1", table);
+  auto f2 = materializer.Enqueue("t2", table);
+  f1.get();
+  f2.get();
+  EXPECT_TRUE(disk.Exists("t1"));
+  EXPECT_TRUE(disk.Exists("t2"));
+  materializer.Drain();
+}
+
+TEST(ControllerTest, UnoptimizedRunMaterializesAllMvs) {
+  storage::ThrottledDisk disk(FreshDir("noopt"), FastDisk());
+  ControllerOptions options;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(TinyData());
+  const workload::MvWorkload wl = TinyWorkload();
+  const RunReport report = controller.RunUnoptimized(wl);
+  ASSERT_TRUE(report.ok) << report.error;
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(disk.Exists(wl.graph.node(v).name))
+        << wl.graph.node(v).name;
+  }
+  EXPECT_EQ(report.peak_memory, 0);
+  EXPECT_EQ(report.nodes.size(),
+            static_cast<std::size_t>(wl.graph.num_nodes()));
+}
+
+TEST(ControllerTest, OptimizedRunProducesIdenticalMvs) {
+  // The headline correctness property: with S/C's plan the materialized
+  // content of every MV is byte-identical to the unoptimized run.
+  const auto data = TinyData();
+  workload::MvWorkload wl = TinyWorkload();
+
+  storage::ThrottledDisk disk_a(FreshDir("ident_a"), FastDisk());
+  Controller controller_a(&disk_a, ControllerOptions{});
+  controller_a.LoadBaseTables(data);
+  ASSERT_TRUE(controller_a.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 8LL * 1024 * 1024;
+  const opt::Optimizer optimizer;
+  const auto result = optimizer.Optimize(wl.graph, budget);
+  EXPECT_FALSE(opt::FlaggedNodes(result.plan.flags).empty());
+
+  storage::ThrottledDisk disk_b(FreshDir("ident_b"), FastDisk());
+  ControllerOptions options_b;
+  options_b.budget = budget;
+  Controller controller_b(&disk_b, options_b);
+  controller_b.LoadBaseTables(data);
+  const RunReport report = controller_b.Run(wl, result.plan);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_LE(report.peak_memory, budget);
+
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    const engine::Table a = disk_a.ReadTable(name);
+    const engine::Table b = disk_b.ReadTable(name);
+    EXPECT_TRUE(a == b) << name;
+  }
+}
+
+TEST(ControllerTest, FlaggedNodesServedFromMemory) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = TinyWorkload();
+  storage::ThrottledDisk disk(FreshDir("mem"), FastDisk());
+  Controller profiler(&disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 16LL * 1024 * 1024;
+  const auto result = opt::Optimizer{}.Optimize(wl.graph, budget);
+  ControllerOptions options;
+  options.budget = budget;
+  Controller controller(&disk, options);
+  const RunReport report = controller.Run(wl, result.plan);
+  ASSERT_TRUE(report.ok) << report.error;
+  bool any_in_memory = false;
+  for (const auto& node : report.nodes) {
+    if (node.output_in_memory) any_in_memory = true;
+  }
+  EXPECT_TRUE(any_in_memory);
+  EXPECT_GT(report.peak_memory, 0);
+}
+
+TEST(ControllerTest, RejectsInvalidPlan) {
+  storage::ThrottledDisk disk(FreshDir("invalid"), FastDisk());
+  Controller controller(&disk, ControllerOptions{});
+  const workload::MvWorkload wl = TinyWorkload();
+  opt::Plan bogus;
+  bogus.order = graph::Order::FromSequence({0});  // wrong length
+  bogus.flags = opt::EmptyFlags(wl.graph.num_nodes());
+  const RunReport report = controller.Run(wl, bogus);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("invalid plan"), std::string::npos);
+}
+
+TEST(ControllerTest, RejectsPlanOverBudget) {
+  storage::ThrottledDisk disk(FreshDir("overbudget"), FastDisk());
+  workload::MvWorkload wl = TinyWorkload();
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    wl.graph.mutable_node(v).size_bytes = 100;
+    wl.graph.mutable_node(v).speedup_score = 1.0;
+  }
+  ControllerOptions options;
+  options.budget = 10;  // everything oversize
+  Controller controller(&disk, options);
+  opt::Plan plan;
+  plan.order = graph::KahnTopologicalOrder(wl.graph);
+  plan.flags = opt::MakeFlags(wl.graph.num_nodes(), {0});
+  const RunReport report = controller.Run(wl, plan);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ControllerTest, MissingBaseTableFailsGracefully) {
+  storage::ThrottledDisk disk(FreshDir("missing"), FastDisk());
+  Controller controller(&disk, ControllerOptions{});
+  // No LoadBaseTables: the first scan must fail and be reported.
+  const RunReport report = controller.RunUnoptimized(TinyWorkload());
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST(ControllerTest, ProfileAnnotatesMetadata) {
+  storage::ThrottledDisk disk(FreshDir("profile"), FastDisk());
+  Controller controller(&disk, ControllerOptions{});
+  controller.LoadBaseTables(TinyData());
+  workload::MvWorkload wl = TinyWorkload();
+  ASSERT_TRUE(controller.ProfileAndAnnotate(&wl).ok);
+  bool any_score = false;
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_GT(wl.graph.node(v).size_bytes, 0);
+    if (wl.graph.node(v).speedup_score > 0) any_score = true;
+  }
+  EXPECT_TRUE(any_score);
+}
+
+TEST(ControllerTest, SynchronousMaterializationModeWorks) {
+  storage::ThrottledDisk disk(FreshDir("sync"), FastDisk());
+  workload::MvWorkload wl = TinyWorkload();
+  Controller profiler(&disk, ControllerOptions{});
+  profiler.LoadBaseTables(TinyData());
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+  const std::int64_t budget = 16LL * 1024 * 1024;
+  const auto result = opt::Optimizer{}.Optimize(wl.graph, budget);
+  ControllerOptions options;
+  options.budget = budget;
+  options.background_materialize = false;
+  Controller controller(&disk, options);
+  const RunReport report = controller.Run(wl, result.plan);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+
+TEST(ControllerTest, BackgroundMaterializationFailureIsReported) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = TinyWorkload();
+  storage::ThrottledDisk disk(FreshDir("failbg"), FastDisk());
+  Controller profiler(&disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+  const std::int64_t budget = 16LL * 1024 * 1024;
+  const auto result = opt::Optimizer{}.Optimize(wl.graph, budget);
+  const auto flagged = opt::FlaggedNodes(result.plan.flags);
+  ASSERT_FALSE(flagged.empty());
+  // Fail the background write of the first flagged MV.
+  disk.InjectWriteFailure(wl.graph.node(flagged.front()).name);
+  ControllerOptions options;
+  options.budget = budget;
+  Controller controller(&disk, options);
+  const RunReport report = controller.Run(wl, result.plan);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("injected write failure"),
+            std::string::npos);
+}
+
+TEST(ControllerTest, ForegroundWriteFailureIsReported) {
+  const auto data = TinyData();
+  const workload::MvWorkload wl = TinyWorkload();
+  storage::ThrottledDisk disk(FreshDir("failfg"), FastDisk());
+  Controller controller(&disk, ControllerOptions{});
+  controller.LoadBaseTables(data);
+  // Unoptimized run writes every MV synchronously; fail one mid-run.
+  disk.InjectWriteFailure(wl.graph.node(5).name);
+  const RunReport report = controller.RunUnoptimized(wl);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("injected write failure"),
+            std::string::npos);
+}
+
+TEST(ControllerTest, RecoversOnRerunAfterFailure) {
+  const auto data = TinyData();
+  const workload::MvWorkload wl = TinyWorkload();
+  storage::ThrottledDisk disk(FreshDir("recover"), FastDisk());
+  Controller controller(&disk, ControllerOptions{});
+  controller.LoadBaseTables(data);
+  disk.InjectWriteFailure(wl.graph.node(0).name);
+  EXPECT_FALSE(controller.RunUnoptimized(wl).ok);
+  // The injected failure is one-shot: a rerun succeeds and materializes
+  // everything.
+  const RunReport report = controller.RunUnoptimized(wl);
+  EXPECT_TRUE(report.ok) << report.error;
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(disk.Exists(wl.graph.node(v).name));
+  }
+}
+
+}  // namespace
+}  // namespace sc::runtime

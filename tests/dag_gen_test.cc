@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/topo.h"
+#include "workload/dag_gen.h"
+#include "workload/markov.h"
+
+namespace sc::workload {
+namespace {
+
+TEST(MarkovTest, OpNamesReadable) {
+  EXPECT_EQ(ToString(OpKind::kScan), "SCAN");
+  EXPECT_EQ(ToString(OpKind::kJoin), "JOIN");
+  EXPECT_EQ(ToString(OpKind::kAggregate), "AGG");
+}
+
+TEST(MarkovTest, RowsAreNormalized) {
+  const MarkovOpChain chain = MarkovOpChain::TpcdsTrained();
+  for (const auto& row : chain.transitions()) {
+    double total = 0;
+    for (double p : row) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovTest, RejectsInvalidMatrices) {
+  MarkovOpChain::Matrix negative{};
+  negative[0][0] = -1.0;
+  EXPECT_THROW(MarkovOpChain{negative}, std::invalid_argument);
+  MarkovOpChain::Matrix zeros{};
+  EXPECT_THROW(MarkovOpChain{zeros}, std::invalid_argument);
+}
+
+TEST(MarkovTest, NextSamplesFromRow) {
+  const MarkovOpChain chain = MarkovOpChain::TpcdsTrained();
+  Rng rng(1);
+  // Sample many transitions from SCAN; all op kinds must be valid and
+  // JOIN should be the most common successor (weight 0.44).
+  std::array<int, kNumOpKinds> counts{};
+  for (int i = 0; i < 2000; ++i) {
+    counts[static_cast<std::size_t>(chain.Next(OpKind::kScan, rng))]++;
+  }
+  EXPECT_GT(counts[static_cast<std::size_t>(OpKind::kJoin)], 600);
+}
+
+TEST(MarkovTest, AggregatesShrinkOutput) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t out =
+        DeriveOutputSize(OpKind::kAggregate, 1'000'000, rng);
+    EXPECT_LE(out, 50'000);
+    EXPECT_GE(out, 1);
+  }
+}
+
+TEST(MarkovTest, FiltersNeverGrowOutput) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(DeriveOutputSize(OpKind::kFilter, 1'000'000, rng),
+              600'000);
+  }
+}
+
+class DagGenSizeTest : public testing::TestWithParam<std::int32_t> {};
+
+TEST_P(DagGenSizeTest, ExactNodeCountAndAcyclic) {
+  DagGenOptions options;
+  options.num_nodes = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    options.seed = seed;
+    const graph::Graph g = GenerateDag(options);
+    EXPECT_EQ(g.num_nodes(), GetParam());
+    std::string error;
+    EXPECT_TRUE(g.Validate(&error)) << error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DagGenSizeTest,
+                         testing::Values(1, 5, 10, 25, 50, 100));
+
+TEST(DagGenTest, DeterministicPerSeed) {
+  DagGenOptions options;
+  options.num_nodes = 50;
+  options.seed = 9;
+  const graph::Graph a = GenerateDag(options);
+  const graph::Graph b = GenerateDag(options);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node(v).size_bytes, b.node(v).size_bytes);
+  }
+}
+
+TEST(DagGenTest, NonRootNodesHaveParents) {
+  DagGenOptions options;
+  options.num_nodes = 80;
+  const graph::Graph g = GenerateDag(options);
+  // First stage only: nodes with no parents must have positive base input
+  // (they read base tables).
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.parents(v).empty()) {
+      EXPECT_GT(g.node(v).base_input_bytes, 0);
+    }
+  }
+}
+
+TEST(DagGenTest, HeightTracksRatio) {
+  DagGenOptions tall;
+  tall.num_nodes = 64;
+  tall.height_width_ratio = 4.0;
+  DagGenOptions wide = tall;
+  wide.height_width_ratio = 0.25;
+  const auto tall_height = graph::LongestPathLength(GenerateDag(tall));
+  const auto wide_height = graph::LongestPathLength(GenerateDag(wide));
+  EXPECT_GT(tall_height, wide_height);
+}
+
+TEST(DagGenTest, MaxOutdegreeRespectedOnAverage) {
+  DagGenOptions low;
+  low.num_nodes = 60;
+  low.max_outdegree = 1;
+  DagGenOptions high = low;
+  high.max_outdegree = 5;
+  EXPECT_LT(GenerateDag(low).num_edges(), GenerateDag(high).num_edges());
+}
+
+TEST(DagGenTest, ScoresAnnotated) {
+  DagGenOptions options;
+  options.num_nodes = 40;
+  const graph::Graph g = GenerateDag(options);
+  bool any_positive = false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node(v).speedup_score > 0) any_positive = true;
+    EXPECT_GE(g.node(v).size_bytes, 0);
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(DagGenTest, TableSizesPlausible) {
+  const auto& sizes = Tpcds100GbTableSizes();
+  ASSERT_FALSE(sizes.empty());
+  std::int64_t total = 0;
+  for (auto s : sizes) total += s;
+  // Roughly 100GB total (facts dominate).
+  EXPECT_GT(total, 80LL * 1000 * 1000 * 1000);
+  EXPECT_LT(total, 120LL * 1000 * 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace sc::workload

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/datagen.h"
+#include "workload/tpcds.h"
+
+namespace sc::workload {
+namespace {
+
+TEST(TpcdsSchemaTest, SalesSchemaUsesPrefix) {
+  const engine::Schema s = SalesSchema("ss");
+  EXPECT_TRUE(s.Contains("ss_sold_date_sk"));
+  EXPECT_TRUE(s.Contains("ss_net_profit"));
+  const engine::Schema w = SalesSchema("ws");
+  EXPECT_TRUE(w.Contains("ws_item_sk"));
+}
+
+TEST(TpcdsSchemaTest, ChannelPrefixMapping) {
+  EXPECT_EQ(ChannelPrefix("store_sales"), "ss");
+  EXPECT_EQ(ChannelPrefix("catalog_sales"), "cs");
+  EXPECT_EQ(ChannelPrefix("web_sales"), "ws");
+  EXPECT_THROW(ChannelPrefix("item"), std::invalid_argument);
+}
+
+TEST(DataGenTest, GeneratesAllBaseTables) {
+  DataGenOptions options;
+  options.scale = 0.05;
+  const auto tables = GenerateTpcdsData(options);
+  for (const std::string& name : BaseTableNames()) {
+    ASSERT_TRUE(tables.count(name) > 0) << name;
+    EXPECT_GT(tables.at(name)->num_rows(), 0u) << name;
+  }
+}
+
+TEST(DataGenTest, RowCountsScaleLinearlyForFacts) {
+  DataGenOptions small;
+  small.scale = 0.5;
+  DataGenOptions large;
+  large.scale = 2.0;
+  EXPECT_EQ(RowCountsFor(large).sales_per_channel,
+            4 * RowCountsFor(small).sales_per_channel);
+}
+
+TEST(DataGenTest, DeterministicForSeed) {
+  DataGenOptions options;
+  options.scale = 0.05;
+  const auto a = GenerateTpcdsData(options);
+  const auto b = GenerateTpcdsData(options);
+  EXPECT_TRUE(*a.at("store_sales") == *b.at("store_sales"));
+  options.seed = 43;
+  const auto c = GenerateTpcdsData(options);
+  EXPECT_FALSE(*a.at("store_sales") == *c.at("store_sales"));
+}
+
+TEST(DataGenTest, ForeignKeysResolve) {
+  DataGenOptions options;
+  options.scale = 0.05;
+  const auto tables = GenerateTpcdsData(options);
+  const auto& sales = *tables.at("store_sales");
+  const auto& date_dim = *tables.at("date_dim");
+  const auto& item = *tables.at("item");
+
+  std::set<std::int64_t> date_keys(date_dim.column("d_date_sk").ints().begin(),
+                                   date_dim.column("d_date_sk").ints().end());
+  const std::int64_t max_item =
+      static_cast<std::int64_t>(item.num_rows());
+  for (std::size_t r = 0; r < sales.num_rows(); ++r) {
+    ASSERT_TRUE(date_keys.count(
+        sales.column("ss_sold_date_sk").GetInt(r)) > 0);
+    const std::int64_t item_sk = sales.column("ss_item_sk").GetInt(r);
+    ASSERT_GE(item_sk, 1);
+    ASSERT_LE(item_sk, max_item);
+  }
+}
+
+TEST(DataGenTest, DateDimCoversConfiguredYears) {
+  DataGenOptions options;
+  options.scale = 0.01;
+  options.first_year = 2000;
+  options.num_years = 2;
+  const auto tables = GenerateTpcdsData(options);
+  const auto& years = tables.at("date_dim")->column("d_year").ints();
+  const auto [lo, hi] = std::minmax_element(years.begin(), years.end());
+  EXPECT_EQ(*lo, 2000);
+  EXPECT_EQ(*hi, 2001);
+}
+
+TEST(DataGenTest, ExtPriceConsistent) {
+  DataGenOptions options;
+  options.scale = 0.02;
+  const auto tables = GenerateTpcdsData(options);
+  const auto& sales = *tables.at("web_sales");
+  for (std::size_t r = 0; r < sales.num_rows(); ++r) {
+    EXPECT_NEAR(sales.column("ws_ext_sales_price").GetDouble(r),
+                sales.column("ws_sales_price").GetDouble(r) *
+                    static_cast<double>(
+                        sales.column("ws_quantity").GetInt(r)),
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace sc::workload

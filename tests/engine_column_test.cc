@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "engine/column.h"
+
+namespace sc::engine {
+namespace {
+
+TEST(TypesTest, TypeOfMatchesAlternative) {
+  EXPECT_EQ(TypeOf(Value{std::int64_t{1}}), DataType::kInt64);
+  EXPECT_EQ(TypeOf(Value{1.5}), DataType::kFloat64);
+  EXPECT_EQ(TypeOf(Value{std::string("x")}), DataType::kString);
+}
+
+TEST(TypesTest, ToStringRendering) {
+  EXPECT_EQ(ToString(Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(ToString(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(ToString(DataType::kInt64), "int64");
+  EXPECT_EQ(ToString(DataType::kFloat64), "float64");
+  EXPECT_EQ(ToString(DataType::kString), "string");
+}
+
+TEST(TypesTest, CompareNumericCrossType) {
+  EXPECT_EQ(CompareValues(Value{std::int64_t{2}}, Value{2.0}), 0);
+  EXPECT_LT(CompareValues(Value{std::int64_t{1}}, Value{1.5}), 0);
+  EXPECT_GT(CompareValues(Value{2.5}, Value{std::int64_t{2}}), 0);
+}
+
+TEST(TypesTest, CompareStrings) {
+  EXPECT_LT(CompareValues(Value{std::string("a")}, Value{std::string("b")}),
+            0);
+  EXPECT_EQ(CompareValues(Value{std::string("x")}, Value{std::string("x")}),
+            0);
+}
+
+TEST(TypesTest, CompareStringNumericThrows) {
+  EXPECT_THROW(CompareValues(Value{std::string("a")}, Value{1.0}),
+               std::invalid_argument);
+}
+
+TEST(TypesTest, CoercionHelpers) {
+  EXPECT_DOUBLE_EQ(AsDouble(Value{std::int64_t{3}}), 3.0);
+  EXPECT_EQ(AsInt64(Value{2.6}), 3);  // rounds
+  EXPECT_THROW(AsDouble(Value{std::string("x")}), std::invalid_argument);
+}
+
+TEST(ColumnTest, FactoryAndSize) {
+  const Column ints = Column::FromInts({1, 2, 3});
+  EXPECT_EQ(ints.type(), DataType::kInt64);
+  EXPECT_EQ(ints.size(), 3u);
+  EXPECT_EQ(ints.GetInt(1), 2);
+
+  const Column strs = Column::FromStrings({"a", "b"});
+  EXPECT_EQ(strs.type(), DataType::kString);
+  EXPECT_EQ(strs.GetString(0), "a");
+}
+
+TEST(ColumnTest, GetAndAppendValue) {
+  Column c(DataType::kFloat64);
+  c.AppendValue(Value{1.5});
+  c.AppendValue(Value{std::int64_t{2}});  // coerced
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), 2.0);
+  EXPECT_EQ(TypeOf(c.GetValue(0)), DataType::kFloat64);
+}
+
+TEST(ColumnTest, AppendFromChecksType) {
+  Column a = Column::FromInts({7});
+  Column b(DataType::kInt64);
+  b.AppendFrom(a, 0);
+  EXPECT_EQ(b.GetInt(0), 7);
+  Column wrong(DataType::kString);
+  EXPECT_THROW(wrong.AppendFrom(a, 0), std::invalid_argument);
+}
+
+TEST(ColumnTest, ByteSizeScalesWithRows) {
+  Column a = Column::FromInts({1, 2, 3, 4});
+  EXPECT_EQ(a.ByteSize(), 32);
+  Column s = Column::FromStrings({"hello"});
+  EXPECT_GT(s.ByteSize(), 5);
+}
+
+TEST(ColumnTest, NumericAtThrowsOnStrings) {
+  Column s = Column::FromStrings({"x"});
+  EXPECT_THROW(s.NumericAt(0), std::invalid_argument);
+  Column i = Column::FromInts({5});
+  EXPECT_DOUBLE_EQ(i.NumericAt(0), 5.0);
+}
+
+TEST(ColumnTest, Equality) {
+  EXPECT_TRUE(Column::FromInts({1, 2}) == Column::FromInts({1, 2}));
+  EXPECT_FALSE(Column::FromInts({1}) == Column::FromInts({2}));
+}
+
+}  // namespace
+}  // namespace sc::engine

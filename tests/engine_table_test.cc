@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+
+namespace sc::engine {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Field{"id", DataType::kInt64},
+                 Field{"name", DataType::kString}});
+}
+
+TEST(SchemaTest, IndexOfAndContains) {
+  const Schema s = TwoColSchema();
+  EXPECT_EQ(s.IndexOf("id"), 0);
+  EXPECT_EQ(s.IndexOf("name"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_TRUE(s.Contains("id"));
+  EXPECT_EQ(s.num_fields(), 2u);
+}
+
+TEST(SchemaTest, DuplicateFieldThrows) {
+  EXPECT_THROW(Schema({Field{"a", DataType::kInt64},
+                       Field{"a", DataType::kString}}),
+               std::invalid_argument);
+}
+
+TEST(TableTest, ConstructionValidatesShape) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2}));
+  cols.push_back(Column::FromStrings({"x", "y"}));
+  const Table t(TwoColSchema(), std::move(cols));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, TypeMismatchThrows) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromStrings({"x"}));
+  cols.push_back(Column::FromStrings({"y"}));
+  EXPECT_THROW(Table(TwoColSchema(), std::move(cols)),
+               std::invalid_argument);
+}
+
+TEST(TableTest, RaggedColumnsThrow) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2}));
+  cols.push_back(Column::FromStrings({"only-one"}));
+  EXPECT_THROW(Table(TwoColSchema(), std::move(cols)), std::logic_error);
+}
+
+TEST(TableTest, EmptyFactory) {
+  const Table t = Table::Empty(TwoColSchema());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, ColumnByName) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({5}));
+  cols.push_back(Column::FromStrings({"z"}));
+  const Table t(TwoColSchema(), std::move(cols));
+  EXPECT_EQ(t.column("id").GetInt(0), 5);
+  EXPECT_THROW(t.column("nope"), std::out_of_range);
+}
+
+TEST(TableTest, AppendRowFrom) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2}));
+  cols.push_back(Column::FromStrings({"a", "b"}));
+  const Table src(TwoColSchema(), std::move(cols));
+  Table dst = Table::Empty(TwoColSchema());
+  dst.AppendRowFrom(src, 1);
+  EXPECT_EQ(dst.num_rows(), 1u);
+  EXPECT_EQ(dst.column("name").GetString(0), "b");
+}
+
+TEST(TableTest, ByteSizePositive) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2, 3}));
+  cols.push_back(Column::FromStrings({"a", "b", "c"}));
+  const Table t(TwoColSchema(), std::move(cols));
+  EXPECT_GT(t.ByteSize(), 24);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  std::vector<std::int64_t> many(50, 7);
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts(std::move(many)));
+  const Table t(Schema({Field{"x", DataType::kInt64}}), std::move(cols));
+  const std::string s = t.ToString(/*max_rows=*/5);
+  EXPECT_NE(s.find("45 more rows"), std::string::npos);
+}
+
+TEST(TableTest, EqualityComparesData) {
+  auto make = [](std::int64_t v) {
+    std::vector<Column> cols;
+    cols.push_back(Column::FromInts({v}));
+    return Table(Schema({Field{"x", DataType::kInt64}}), std::move(cols));
+  };
+  EXPECT_TRUE(make(1) == make(1));
+  EXPECT_FALSE(make(1) == make(2));
+}
+
+}  // namespace
+}  // namespace sc::engine

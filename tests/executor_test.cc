@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+
+namespace sc::engine {
+namespace {
+
+TablePtr MakeSales() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 1, 2, 3, 3, 3}));
+  cols.push_back(Column::FromDoubles({10, 20, 5, 1, 2, 3}));
+  return std::make_shared<Table>(
+      Table(Schema({Field{"item", DataType::kInt64},
+                    Field{"amount", DataType::kFloat64}}),
+            std::move(cols)));
+}
+
+TablePtr MakeItems() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2, 3}));
+  cols.push_back(Column::FromStrings({"widget", "gadget", "gizmo"}));
+  return std::make_shared<Table>(
+      Table(Schema({Field{"item_id", DataType::kInt64},
+                    Field{"item_name", DataType::kString}}),
+            std::move(cols)));
+}
+
+MapResolver MakeCatalog() {
+  MapResolver resolver;
+  resolver.Put("sales", MakeSales());
+  resolver.Put("items", MakeItems());
+  return resolver;
+}
+
+TEST(ExecutorTest, ScanReturnsTable) {
+  MapResolver resolver = MakeCatalog();
+  const Table out = ExecutePlan(*Scan("sales"), resolver);
+  EXPECT_EQ(out.num_rows(), 6u);
+}
+
+TEST(ExecutorTest, UnknownTableThrows) {
+  MapResolver resolver = MakeCatalog();
+  EXPECT_THROW(ExecutePlan(*Scan("nope"), resolver), std::out_of_range);
+}
+
+TEST(ExecutorTest, FilterProjectPipeline) {
+  MapResolver resolver = MakeCatalog();
+  const auto plan = Project(
+      Filter(Scan("sales"), Ge(Col("amount"), Lit(5.0))),
+      {NamedExpr{"item", Col("item")},
+       NamedExpr{"half", Div(Col("amount"), Lit(2.0))}});
+  const Table out = ExecutePlan(*plan, resolver);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(out.column("half").GetDouble(0), 5.0);
+}
+
+TEST(ExecutorTest, JoinAggregateSortLimit) {
+  MapResolver resolver = MakeCatalog();
+  const auto plan = Limit(
+      Sort(Aggregate(
+               HashJoin(Scan("sales"), Scan("items"), {"item"},
+                        {"item_id"}),
+               {"item_name"}, {SumOf(Col("amount"), "total")}),
+           {"total"}, {true}),
+      2);
+  const Table out = ExecutePlan(*plan, resolver);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column("item_name").GetString(0), "widget");  // 30
+  EXPECT_DOUBLE_EQ(out.column("total").GetDouble(0), 30.0);
+  EXPECT_EQ(out.column("item_name").GetString(1), "gizmo");  // 6
+}
+
+TEST(ExecutorTest, UnionAllPlan) {
+  MapResolver resolver = MakeCatalog();
+  const auto plan = UnionAll(Scan("sales"), Scan("sales"));
+  EXPECT_EQ(ExecutePlan(*plan, resolver).num_rows(), 12u);
+}
+
+TEST(ExecutorTest, FnResolverDelegates) {
+  int calls = 0;
+  FnResolver resolver([&](const std::string& name) -> TablePtr {
+    ++calls;
+    EXPECT_EQ(name, "sales");
+    return MakeSales();
+  });
+  const auto plan = UnionAll(Scan("sales"), Scan("sales"));
+  EXPECT_EQ(ExecutePlan(*plan, resolver).num_rows(), 12u);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(PlanTest, ReferencedTablesCollectsScans) {
+  const auto plan = HashJoin(Scan("a"), Filter(Scan("b"), Lit(std::int64_t{1})),
+                             {"x"}, {"y"});
+  const auto tables = plan->ReferencedTables();
+  EXPECT_EQ(tables.size(), 2u);
+  EXPECT_NE(std::find(tables.begin(), tables.end(), "a"), tables.end());
+  EXPECT_NE(std::find(tables.begin(), tables.end(), "b"), tables.end());
+}
+
+TEST(PlanTest, ToStringShowsTree) {
+  const auto plan =
+      Limit(Sort(Scan("t"), {"k"}, {false}), 10);
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Limit(10)"), std::string::npos);
+  EXPECT_NE(s.find("Sort(k)"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sc::engine

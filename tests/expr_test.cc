@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "engine/expr.h"
+
+namespace sc::engine {
+namespace {
+
+Table TestTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2, 3, 4}));
+  cols.push_back(Column::FromDoubles({1.5, 2.5, 3.5, 4.5}));
+  cols.push_back(Column::FromStrings({"a", "b", "a", "c"}));
+  return Table(Schema({Field{"i", DataType::kInt64},
+                       Field{"d", DataType::kFloat64},
+                       Field{"s", DataType::kString}}),
+               std::move(cols));
+}
+
+TEST(ExprTest, ColumnReference) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Col("i"), t);
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.GetInt(2), 3);
+}
+
+TEST(ExprTest, UnknownColumnThrows) {
+  const Table t = TestTable();
+  EXPECT_THROW(EvalExpr(*Col("missing"), t), std::out_of_range);
+}
+
+TEST(ExprTest, LiteralBroadcast) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Lit(std::int64_t{7}), t);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.GetInt(3), 7);
+}
+
+TEST(ExprTest, IntegerArithmetic) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Add(Col("i"), Lit(std::int64_t{10})), t);
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.GetInt(0), 11);
+  const Column m = EvalExpr(*Mod(Col("i"), Lit(std::int64_t{2})), t);
+  EXPECT_EQ(m.GetInt(1), 0);
+  EXPECT_EQ(m.GetInt(2), 1);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Div(Col("i"), Lit(std::int64_t{2})), t);
+  EXPECT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 0.5);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsZero) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Div(Col("i"), Lit(std::int64_t{0})), t);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 0.0);
+}
+
+TEST(ExprTest, MixedTypePromotion) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Mul(Col("i"), Col("d")), t);
+  EXPECT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), 5.0);
+}
+
+TEST(ExprTest, NumericComparisons) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Ge(Col("i"), Lit(std::int64_t{3})), t);
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.GetInt(0), 0);
+  EXPECT_EQ(c.GetInt(2), 1);
+  EXPECT_EQ(c.GetInt(3), 1);
+}
+
+TEST(ExprTest, StringEquality) {
+  const Table t = TestTable();
+  const Column c = EvalExpr(*Eq(Col("s"), Lit(std::string("a"))), t);
+  EXPECT_EQ(c.GetInt(0), 1);
+  EXPECT_EQ(c.GetInt(1), 0);
+  EXPECT_EQ(c.GetInt(2), 1);
+}
+
+TEST(ExprTest, StringNumericComparisonThrows) {
+  const Table t = TestTable();
+  EXPECT_THROW(EvalExpr(*Eq(Col("s"), Lit(std::int64_t{1})), t),
+               std::invalid_argument);
+}
+
+TEST(ExprTest, ArithmeticOnStringsThrows) {
+  const Table t = TestTable();
+  EXPECT_THROW(EvalExpr(*Add(Col("s"), Col("s")), t),
+               std::invalid_argument);
+}
+
+TEST(ExprTest, LogicalOperators) {
+  const Table t = TestTable();
+  const auto expr = And(Gt(Col("i"), Lit(std::int64_t{1})),
+                        Lt(Col("d"), Lit(4.0)));
+  const Column c = EvalExpr(*expr, t);
+  EXPECT_EQ(c.GetInt(0), 0);  // i=1 fails
+  EXPECT_EQ(c.GetInt(1), 1);
+  EXPECT_EQ(c.GetInt(2), 1);
+  EXPECT_EQ(c.GetInt(3), 0);  // d=4.5 fails
+
+  const Column o =
+      EvalExpr(*Or(Eq(Col("i"), Lit(std::int64_t{1})),
+                   Eq(Col("i"), Lit(std::int64_t{4}))),
+               t);
+  EXPECT_EQ(o.GetInt(0), 1);
+  EXPECT_EQ(o.GetInt(1), 0);
+  EXPECT_EQ(o.GetInt(3), 1);
+}
+
+TEST(ExprTest, NotAndNeg) {
+  const Table t = TestTable();
+  const Column n = EvalExpr(*Not(Gt(Col("i"), Lit(std::int64_t{2}))), t);
+  EXPECT_EQ(n.GetInt(0), 1);
+  EXPECT_EQ(n.GetInt(3), 0);
+  const Column m = EvalExpr(*Neg(Col("i")), t);
+  EXPECT_EQ(m.GetInt(0), -1);
+  const Column md = EvalExpr(*Neg(Col("d")), t);
+  EXPECT_DOUBLE_EQ(md.GetDouble(0), -1.5);
+}
+
+TEST(ExprTest, ResultTypeStaticChecks) {
+  const Schema s = TestTable().schema();
+  EXPECT_EQ(ResultType(*Col("i"), s), DataType::kInt64);
+  EXPECT_EQ(ResultType(*Div(Col("i"), Col("i")), s), DataType::kFloat64);
+  EXPECT_EQ(ResultType(*Eq(Col("s"), Lit(std::string("a"))), s),
+            DataType::kInt64);
+  EXPECT_EQ(ResultType(*Add(Col("i"), Col("d")), s), DataType::kFloat64);
+  EXPECT_THROW(ResultType(*Col("zzz"), s), std::invalid_argument);
+  EXPECT_THROW(ResultType(*Add(Col("s"), Col("i")), s),
+               std::invalid_argument);
+}
+
+TEST(ExprTest, ToStringReadable) {
+  const auto e = And(Ge(Col("x"), Lit(std::int64_t{5})),
+                     Lt(Col("y"), Lit(2.5)));
+  EXPECT_EQ(e->ToString(), "((x >= 5) AND (y < 2.5))");
+}
+
+}  // namespace
+}  // namespace sc::engine

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "storage/format.h"
+
+namespace sc::storage {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+
+Table SampleTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, -5, 1LL << 40}));
+  cols.push_back(Column::FromDoubles({0.25, -1e9, 3.14159}));
+  cols.push_back(Column::FromStrings({"", "hello", "utf8 ✓"}));
+  return Table(Schema({Field{"i", DataType::kInt64},
+                       Field{"d", DataType::kFloat64},
+                       Field{"s", DataType::kString}}),
+               std::move(cols));
+}
+
+TEST(FormatTest, StreamRoundTrip) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  const std::int64_t written = WriteTable(original, buffer);
+  EXPECT_GT(written, 0);
+  const Table loaded = ReadTable(buffer);
+  EXPECT_TRUE(loaded == original);
+}
+
+TEST(FormatTest, SerializedSizeMatchesBytesWritten) {
+  const Table t = SampleTable();
+  std::stringstream buffer;
+  EXPECT_EQ(WriteTable(t, buffer), SerializedSize(t));
+}
+
+TEST(FormatTest, EmptyTableRoundTrip) {
+  const Table empty = Table::Empty(
+      Schema({Field{"a", DataType::kInt64},
+              Field{"b", DataType::kString}}));
+  std::stringstream buffer;
+  WriteTable(empty, buffer);
+  const Table loaded = ReadTable(buffer);
+  EXPECT_EQ(loaded.num_rows(), 0u);
+  EXPECT_TRUE(loaded.schema() == empty.schema());
+}
+
+TEST(FormatTest, BadMagicThrows) {
+  std::stringstream buffer("NOPE....");
+  EXPECT_THROW(ReadTable(buffer), std::runtime_error);
+}
+
+TEST(FormatTest, TruncatedStreamThrows) {
+  const Table t = SampleTable();
+  std::stringstream buffer;
+  WriteTable(t, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(ReadTable(truncated), std::runtime_error);
+}
+
+TEST(FormatTest, FileRoundTrip) {
+  const Table t = SampleTable();
+  const std::string path = testing::TempDir() + "/sc_format_test.sct";
+  WriteTableFile(t, path);
+  const Table loaded = ReadTableFile(path);
+  EXPECT_TRUE(loaded == t);
+}
+
+TEST(FormatTest, MissingFileThrows) {
+  EXPECT_THROW(ReadTableFile("/nonexistent/dir/x.sct"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sc::storage

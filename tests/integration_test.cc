@@ -1,0 +1,184 @@
+// End-to-end integration: workloads -> scale model -> optimizer ->
+// simulator, asserting the paper's qualitative claims hold in this
+// reproduction (S/C beats NoOpt and every baseline; partitioned datasets
+// benefit more; memory sweeps are monotone-ish).
+#include <gtest/gtest.h>
+
+#include "opt/optimizer.h"
+#include "sim/lru_cache.h"
+#include "sim/refresh_sim.h"
+#include "workload/scale_model.h"
+#include "workload/workloads.h"
+
+namespace sc {
+namespace {
+
+using opt::AlternatingOptions;
+using opt::Optimizer;
+using sim::SimOptions;
+using workload::AnnotateWorkload;
+using workload::BudgetForPercent;
+using workload::MvWorkload;
+using workload::ScaleModelOptions;
+using workload::StandardWorkloads;
+
+SimOptions MakeSimOptions(std::int64_t budget) {
+  SimOptions options;
+  options.budget = budget;
+  return options;
+}
+
+class WorkloadSimTest : public testing::TestWithParam<int> {
+ protected:
+  MvWorkload AnnotatedWorkload(double gb, bool partitioned) const {
+    MvWorkload wl =
+        StandardWorkloads()[static_cast<std::size_t>(GetParam())];
+    ScaleModelOptions options;
+    options.dataset_gb = gb;
+    options.partitioned = partitioned;
+    AnnotateWorkload(&wl, options);
+    return wl;
+  }
+};
+
+TEST_P(WorkloadSimTest, ScSpeedsUpAt100GbWithPaperBudget) {
+  const MvWorkload wl = AnnotatedWorkload(100.0, false);
+  const std::int64_t budget = BudgetForPercent(100.0, 1.6);  // 1.6GB
+  const auto result = Optimizer{}.Optimize(wl.graph, budget);
+  const SimOptions options = MakeSimOptions(budget);
+  const double speedup =
+      sim::SpeedupOverNoOpt(wl.graph, result.plan, options);
+  // Paper Figure 9: 1.04x - 2.72x on TPC-DS.
+  EXPECT_GE(speedup, 1.0);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST_P(WorkloadSimTest, PartitionedDatasetGainsAtLeastAsMuch) {
+  const MvWorkload normal = AnnotatedWorkload(100.0, false);
+  const MvWorkload part = AnnotatedWorkload(100.0, true);
+  const std::int64_t budget = BudgetForPercent(100.0, 0.8);
+  const SimOptions options = MakeSimOptions(budget);
+  const double normal_speedup = sim::SpeedupOverNoOpt(
+      normal.graph, Optimizer{}.Optimize(normal.graph, budget).plan,
+      options);
+  const double part_speedup = sim::SpeedupOverNoOpt(
+      part.graph, Optimizer{}.Optimize(part.graph, budget).plan, options);
+  // Paper Figure 10: TPC-DSp speedups dominate TPC-DS at equal budgets
+  // (smaller intermediates fit more nodes into the Memory Catalog).
+  EXPECT_GE(part_speedup, normal_speedup * 0.9);
+}
+
+TEST_P(WorkloadSimTest, ScBeatsEveryBaselineSelector) {
+  const MvWorkload wl = AnnotatedWorkload(100.0, false);
+  const std::int64_t budget = BudgetForPercent(100.0, 1.6);
+  const SimOptions options = MakeSimOptions(budget);
+  const double ours = sim::SimulateRun(
+      wl.graph, Optimizer{}.Optimize(wl.graph, budget).plan, options)
+                          .makespan;
+  for (const auto selector :
+       {opt::SelectorMethod::kGreedy, opt::SelectorMethod::kRandom,
+        opt::SelectorMethod::kRatio}) {
+    AlternatingOptions ablated;
+    ablated.selector = selector;
+    const double theirs =
+        sim::SimulateRun(wl.graph,
+                         Optimizer{ablated}.Optimize(wl.graph, budget).plan,
+                         options)
+            .makespan;
+    EXPECT_LE(ours, theirs * 1.02) << opt::ToString(selector);
+  }
+}
+
+TEST_P(WorkloadSimTest, ScBeatsLruCacheBaseline) {
+  const MvWorkload wl = AnnotatedWorkload(100.0, false);
+  const std::int64_t budget = BudgetForPercent(100.0, 1.6);
+  const SimOptions options = MakeSimOptions(budget);
+  const double ours = sim::SimulateRun(
+      wl.graph, Optimizer{}.Optimize(wl.graph, budget).plan, options)
+                          .makespan;
+  const double lru =
+      sim::SimulateLruBaseline(wl.graph, budget, options).makespan;
+  EXPECT_LE(ours, lru * 1.001);
+}
+
+TEST_P(WorkloadSimTest, MemorySweepIsMonotoneInSpeedup) {
+  // Paper Figure 11: larger Memory Catalogs help (monotone up to noise).
+  const MvWorkload wl = AnnotatedWorkload(100.0, true);
+  double previous = 0.0;
+  for (const double percent : {0.4, 0.8, 1.6, 3.2, 6.4}) {
+    const std::int64_t budget = BudgetForPercent(100.0, percent);
+    const auto result = Optimizer{}.Optimize(wl.graph, budget);
+    const double speedup = sim::SpeedupOverNoOpt(wl.graph, result.plan,
+                                                 MakeSimOptions(budget));
+    EXPECT_GE(speedup, previous * 0.98) << percent;
+    previous = speedup;
+  }
+}
+
+TEST_P(WorkloadSimTest, TableReadTimeShrinksWithBudget) {
+  // Paper Table IV: table-read CPU time falls as the Memory Catalog
+  // grows; compute time is essentially untouched.
+  const MvWorkload wl = AnnotatedWorkload(100.0, false);
+  const SimOptions base = MakeSimOptions(0);
+  const double noopt_read =
+      sim::SimulateNoOpt(wl.graph, base).total_read_seconds;
+  const double noopt_compute =
+      sim::SimulateNoOpt(wl.graph, base).total_compute_seconds;
+  const std::int64_t budget = BudgetForPercent(100.0, 6.4);
+  const auto result = Optimizer{}.Optimize(wl.graph, budget);
+  const auto run =
+      sim::SimulateRun(wl.graph, result.plan, MakeSimOptions(budget));
+  EXPECT_LE(run.total_read_seconds, noopt_read);
+  EXPECT_NEAR(run.total_compute_seconds, noopt_compute,
+              noopt_compute * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadSimTest, testing::Range(0, 5),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return StandardWorkloads()
+                               [static_cast<std::size_t>(info.param)]
+                                   .name;
+                         });
+
+TEST(IntegrationTest, FiveWorkloadAggregateSpeedupInPaperBand) {
+  // Aggregate end-to-end time across all 5 workloads at 100GB with the
+  // paper's 1.6GB Memory Catalog: overall speedup must be > 1.2x and
+  // below the paper's 5.08x ceiling.
+  double noopt_total = 0;
+  double sc_total = 0;
+  const std::int64_t budget = BudgetForPercent(100.0, 1.6);
+  for (MvWorkload wl : StandardWorkloads()) {
+    ScaleModelOptions sm;
+    sm.dataset_gb = 100.0;
+    AnnotateWorkload(&wl, sm);
+    const SimOptions options = MakeSimOptions(budget);
+    noopt_total += sim::SimulateNoOpt(wl.graph, options).makespan;
+    const auto result = Optimizer{}.Optimize(wl.graph, budget);
+    sc_total += sim::SimulateRun(wl.graph, result.plan, options).makespan;
+  }
+  const double speedup = noopt_total / sc_total;
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 5.08);
+}
+
+TEST(IntegrationTest, ComputeWorkloadsGainLessThanIoWorkloads) {
+  // The design goal (paper §VI-B): savings concentrate on I/O-heavy
+  // workloads.
+  const std::int64_t budget = BudgetForPercent(100.0, 1.6);
+  auto speedup_of = [&](int index) {
+    MvWorkload wl = StandardWorkloads()[static_cast<std::size_t>(index)];
+    ScaleModelOptions sm;
+    sm.dataset_gb = 100.0;
+    AnnotateWorkload(&wl, sm);
+    const auto result = Optimizer{}.Optimize(wl.graph, budget);
+    return sim::SpeedupOverNoOpt(wl.graph, result.plan,
+                                 MakeSimOptions(budget));
+  };
+  const double io_best = std::max({speedup_of(0), speedup_of(1),
+                                   speedup_of(2)});
+  const double compute1 = speedup_of(3);
+  EXPECT_GT(io_best, compute1);
+}
+
+}  // namespace
+}  // namespace sc

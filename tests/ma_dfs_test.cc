@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "opt/ma_dfs.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+TEST(MaDfsTest, ProducesTopologicalOrder) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    FlagSet flags(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      flags[v] = (v % 3) == 0;
+    }
+    const graph::Order order = MaDfsOrder(g, flags);
+    EXPECT_TRUE(graph::IsTopologicalOrder(g, order)) << "seed " << seed;
+  }
+}
+
+TEST(MaDfsTest, Figure8SchedulesUnflaggedBranchFirst) {
+  // Paper Figure 8: at the v2-vs-v3 tie-break, v2 (unflagged, actual
+  // memory 0) must be scheduled before v3 (flagged, 80GB).
+  const graph::Graph g = test::Figure8Graph();
+  const FlagSet flags = MakeFlags(7, {0, 2, 3, 4});  // v1, v3, v4, v5
+  const graph::Order order = MaDfsOrder(g, flags);
+  EXPECT_LT(order.position[1], order.position[2])
+      << "v2 should execute before v3";
+}
+
+TEST(MaDfsTest, Figure8LowersAverageMemoryVsWorstTieBreak) {
+  const graph::Graph g = test::Figure8Graph();
+  const FlagSet flags = MakeFlags(7, {0, 2, 3, 4});
+  const graph::Order ma = MaDfsOrder(g, flags);
+  // Adversarial DFS: always pick the candidate with the HIGHEST actual
+  // memory consumption.
+  const graph::Order bad = graph::DfsSchedule(
+      g, [&](const std::vector<graph::NodeId>& c) {
+        std::size_t worst = 0;
+        auto amc = [&](graph::NodeId v) {
+          return flags[v] ? g.node(v).size_bytes : 0;
+        };
+        for (std::size_t i = 1; i < c.size(); ++i) {
+          if (amc(c[i]) > amc(c[worst])) worst = i;
+        }
+        return worst;
+      });
+  EXPECT_LE(AverageMemoryUsage(g, ma, flags),
+            AverageMemoryUsage(g, bad, flags));
+}
+
+TEST(MaDfsTest, EmptyFlagsFinishesBranchesDepthFirst) {
+  // Chain a->b->c plus isolated root d: with no flags the recency rule
+  // makes MA-DFS behave like plain DFS — the chain completes before d.
+  graph::Graph g;
+  const auto a = g.AddNode("a", 1, 1.0);
+  const auto b = g.AddNode("b", 1, 1.0);
+  g.AddNode("c", 1, 1.0);
+  g.AddNode("d", 1, 1.0);
+  g.AddEdge(a, b);
+  g.AddEdge(b, 2);
+  const graph::Order order = MaDfsOrder(g, EmptyFlags(4));
+  EXPECT_EQ(order.sequence, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(MaDfsTest, DeterministicGivenFlags) {
+  const graph::Graph g = test::RandomDag(40, 8);
+  const FlagSet flags = MakeFlags(g.num_nodes(), {1, 5, 9, 13});
+  EXPECT_EQ(MaDfsOrder(g, flags).sequence, MaDfsOrder(g, flags).sequence);
+}
+
+TEST(MaDfsTest, EnablesMoreFlaggingOnFigure8) {
+  // MA-DFS order should admit at least the MKP score achievable under the
+  // adversarial order on Figure 8 with M = 100.
+  const graph::Graph g = test::Figure8Graph();
+  const FlagSet seed_flags = MakeFlags(7, {0, 2, 3, 4});
+  const graph::Order ma = MaDfsOrder(g, seed_flags);
+  const graph::Order kahn = graph::KahnTopologicalOrder(g);
+  const double score_ma = TotalScore(g, SimplifiedMkp(g, ma, 100));
+  const double score_kahn = TotalScore(g, SimplifiedMkp(g, kahn, 100));
+  EXPECT_GE(score_ma, score_kahn);
+}
+
+TEST(RandomDfsTest, TopologicalAndSeedDeterministic) {
+  const graph::Graph g = test::RandomDag(30, 5);
+  const graph::Order a = RandomDfsOrder(g, 42);
+  EXPECT_TRUE(graph::IsTopologicalOrder(g, a));
+  EXPECT_EQ(a.sequence, RandomDfsOrder(g, 42).sequence);
+}
+
+TEST(RandomDfsTest, DifferentSeedsCanDiffer) {
+  // With enough branching some pair of seeds should produce different
+  // orders.
+  const graph::Graph g = test::RandomDag(30, 6);
+  bool any_different = false;
+  const graph::Order base = RandomDfsOrder(g, 0);
+  for (std::uint64_t seed = 1; seed < 10 && !any_different; ++seed) {
+    any_different = RandomDfsOrder(g, seed).sequence != base.sequence;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace sc::opt

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/memory_catalog.h"
+
+namespace sc::storage {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+
+engine::TablePtr Tiny() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1}));
+  return std::make_shared<Table>(
+      Table(Schema({Field{"x", DataType::kInt64}}), std::move(cols)));
+}
+
+TEST(MemoryCatalogTest, PutGetRelease) {
+  MemoryCatalog catalog(100);
+  EXPECT_TRUE(catalog.Put("a", Tiny(), 40));
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_TRUE(catalog.Contains("a"));
+  EXPECT_EQ(catalog.used_bytes(), 40);
+  catalog.Release("a");
+  EXPECT_EQ(catalog.Get("a"), nullptr);
+  EXPECT_EQ(catalog.used_bytes(), 0);
+}
+
+TEST(MemoryCatalogTest, BudgetStrictlyEnforced) {
+  MemoryCatalog catalog(100);
+  EXPECT_TRUE(catalog.Put("a", Tiny(), 60));
+  EXPECT_FALSE(catalog.Put("b", Tiny(), 50));  // would exceed
+  EXPECT_TRUE(catalog.Put("c", Tiny(), 40));   // exactly fits
+  EXPECT_EQ(catalog.used_bytes(), 100);
+}
+
+TEST(MemoryCatalogTest, DuplicateNameRejected) {
+  MemoryCatalog catalog(100);
+  EXPECT_TRUE(catalog.Put("a", Tiny(), 10));
+  EXPECT_FALSE(catalog.Put("a", Tiny(), 10));
+  EXPECT_EQ(catalog.used_bytes(), 10);
+}
+
+TEST(MemoryCatalogTest, NegativeSizeRejected) {
+  MemoryCatalog catalog(100);
+  EXPECT_FALSE(catalog.Put("a", Tiny(), -5));
+}
+
+TEST(MemoryCatalogTest, PeakTracksHighWaterMark) {
+  MemoryCatalog catalog(100);
+  catalog.Put("a", Tiny(), 70);
+  catalog.Release("a");
+  catalog.Put("b", Tiny(), 30);
+  EXPECT_EQ(catalog.peak_bytes(), 70);
+  EXPECT_EQ(catalog.used_bytes(), 30);
+}
+
+TEST(MemoryCatalogTest, ReleaseUnknownIsNoOp) {
+  MemoryCatalog catalog(100);
+  catalog.Release("ghost");
+  EXPECT_EQ(catalog.used_bytes(), 0);
+}
+
+TEST(MemoryCatalogTest, ClearDropsEverything) {
+  MemoryCatalog catalog(100);
+  catalog.Put("a", Tiny(), 10);
+  catalog.Put("b", Tiny(), 20);
+  catalog.Clear();
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.used_bytes(), 0);
+  EXPECT_EQ(catalog.peak_bytes(), 30);  // peak survives Clear
+}
+
+TEST(MemoryCatalogTest, ConcurrentPutsStayWithinBudget) {
+  MemoryCatalog catalog(1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&catalog, t] {
+      for (int i = 0; i < 50; ++i) {
+        catalog.Put("t" + std::to_string(t) + "_" + std::to_string(i),
+                    Tiny(), 10);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(catalog.used_bytes(), 1000);
+  EXPECT_LE(catalog.peak_bytes(), 1000);
+}
+
+}  // namespace
+}  // namespace sc::storage

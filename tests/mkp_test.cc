@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+MkpProblem SingleKnapsack(std::vector<double> profits,
+                          std::vector<std::int64_t> weights,
+                          std::int64_t capacity) {
+  MkpProblem p;
+  p.profits = std::move(profits);
+  p.weights = std::move(weights);
+  p.capacity = capacity;
+  std::vector<std::int32_t> all(p.profits.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::int32_t>(i);
+  }
+  p.members.push_back(all);
+  return p;
+}
+
+TEST(MkpTest, EmptyProblem) {
+  const MkpResult r = SolveMkpBranchAndBound(MkpProblem{});
+  EXPECT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(MkpTest, ClassicKnapsack) {
+  // Items (profit, weight): (60,10) (100,20) (120,30), cap 50 -> 220.
+  const MkpResult r = SolveMkpBranchAndBound(
+      SingleKnapsack({60, 100, 120}, {10, 20, 30}, 50));
+  EXPECT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.objective, 220.0);
+  EXPECT_FALSE(r.selected[0]);
+  EXPECT_TRUE(r.selected[1]);
+  EXPECT_TRUE(r.selected[2]);
+}
+
+TEST(MkpTest, GreedyIsSuboptimalHere) {
+  // Density greedy takes item 0 (density 6) and then cannot fit both big
+  // items; BnB must beat it.
+  const MkpResult greedy =
+      SolveMkpGreedy(SingleKnapsack({60, 100, 120}, {10, 20, 30}, 50));
+  const MkpResult exact = SolveMkpBranchAndBound(
+      SingleKnapsack({60, 100, 120}, {10, 20, 30}, 50));
+  EXPECT_LT(greedy.objective, exact.objective);
+}
+
+TEST(MkpTest, TwoConstraintsInteract) {
+  // Item 0 appears in both constraints; capacity lets only one big item
+  // per constraint.
+  MkpProblem p;
+  p.profits = {10, 9, 9};
+  p.weights = {8, 8, 8};
+  p.members = {{0, 1}, {0, 2}};
+  p.capacity = 10;
+  const MkpResult r = SolveMkpBranchAndBound(p);
+  EXPECT_TRUE(r.optimal);
+  // Best: take items 1 and 2 (9+9=18) — item 0 blocks both constraints.
+  EXPECT_DOUBLE_EQ(r.objective, 18.0);
+}
+
+TEST(MkpTest, ZeroWeightItemsAlwaysTaken) {
+  const MkpResult r =
+      SolveMkpBranchAndBound(SingleKnapsack({5, 7}, {0, 0}, 0));
+  EXPECT_DOUBLE_EQ(r.objective, 12.0);
+}
+
+TEST(MkpTest, BruteForceAgreesOnTinyCases) {
+  Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 10));
+    MkpProblem p;
+    for (std::size_t i = 0; i < n; ++i) {
+      p.profits.push_back(static_cast<double>(rng.UniformInt(0, 30)));
+      p.weights.push_back(rng.UniformInt(1, 20));
+    }
+    const std::size_t num_constraints =
+        static_cast<std::size_t>(rng.UniformInt(1, 4));
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      std::vector<std::int32_t> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          members.push_back(static_cast<std::int32_t>(i));
+        }
+      }
+      if (!members.empty()) p.members.push_back(members);
+    }
+    p.capacity = rng.UniformInt(5, 40);
+    const MkpResult exact = SolveMkpBruteForce(p);
+    const MkpResult bnb = SolveMkpBranchAndBound(p);
+    EXPECT_TRUE(bnb.optimal);
+    EXPECT_DOUBLE_EQ(bnb.objective, exact.objective) << "trial " << trial;
+  }
+}
+
+TEST(MkpTest, NodeLimitFallsBackToIncumbent) {
+  // A large instance with a 1-node budget must still return the greedy
+  // incumbent and mark the result non-optimal.
+  Rng rng(7);
+  MkpProblem p;
+  for (int i = 0; i < 40; ++i) {
+    p.profits.push_back(static_cast<double>(rng.UniformInt(1, 100)));
+    p.weights.push_back(rng.UniformInt(1, 50));
+  }
+  std::vector<std::int32_t> all(40);
+  for (int i = 0; i < 40; ++i) all[i] = i;
+  p.members = {all};
+  p.capacity = 100;
+  MkpOptions options;
+  options.node_limit = 1;
+  const MkpResult r = SolveMkpBranchAndBound(p, options);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_GT(r.objective, 0.0);
+}
+
+TEST(BuildMkpProblemTest, MapsNodesToItems) {
+  const graph::Graph g = test::DiamondGraph(/*size=*/10);
+  const graph::Order order = graph::Order::FromSequence({0, 1, 2, 3});
+  const ConstraintSets cs = GetConstraints(g, order, /*budget=*/15);
+  const MkpProblem p = BuildMkpProblem(g, cs, 15);
+  EXPECT_EQ(p.profits.size(), cs.mkp_nodes.size());
+  EXPECT_EQ(p.capacity, 15);
+  EXPECT_EQ(p.members.size(), cs.sets.size());
+}
+
+TEST(SimplifiedMkpTest, RespectsBudgetOnFigure7) {
+  const graph::Graph g = test::Figure7Graph();
+  // tau1: both 100GB nodes alive together -> only one can be flagged.
+  const graph::Order tau1 = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  const FlagSet flags = SimplifiedMkp(g, tau1, /*budget=*/100);
+  EXPECT_TRUE(IsFeasible(g, tau1, flags, 100));
+  // Paper: max score under tau1 is 120 (v1, v5, v6).
+  EXPECT_DOUBLE_EQ(TotalScore(g, flags), 120.0);
+}
+
+TEST(SimplifiedMkpTest, BetterOrderUnlocksMoreScore) {
+  const graph::Graph g = test::Figure7Graph();
+  // tau2 separates the two 100GB nodes -> max score 210 (v1, v3, v6).
+  const graph::Order tau2 = graph::Order::FromSequence({0, 1, 3, 2, 4, 5});
+  const FlagSet flags = SimplifiedMkp(g, tau2, /*budget=*/100);
+  EXPECT_TRUE(IsFeasible(g, tau2, flags, 100));
+  EXPECT_DOUBLE_EQ(TotalScore(g, flags), 210.0);
+}
+
+TEST(SimplifiedMkpTest, FeasibleOnRandomDags) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const graph::Graph g = test::RandomDag(24, seed);
+    const graph::Order order = graph::KahnTopologicalOrder(g);
+    for (const std::int64_t budget : {0LL, 50LL, 150LL, 100000LL}) {
+      const FlagSet flags = SimplifiedMkp(g, order, budget);
+      EXPECT_TRUE(IsFeasible(g, order, flags, budget))
+          << "seed " << seed << " budget " << budget;
+    }
+  }
+}
+
+TEST(SimplifiedMkpTest, UnlimitedBudgetFlagsAllPositiveScoreNodes) {
+  const graph::Graph g = test::Figure7Graph();
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const FlagSet flags = SimplifiedMkp(g, order, /*budget=*/1000000);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(flags[v], g.node(v).speedup_score > 0);
+  }
+}
+
+TEST(SimplifiedMkpTest, NeverFlagsExcludedNodes) {
+  graph::Graph g;
+  const auto big = g.AddNode("big", 500, 100.0);
+  const auto zero = g.AddNode("zero", 5, 0.0);
+  const auto ok = g.AddNode("ok", 5, 3.0);
+  g.AddEdge(big, ok);
+  g.AddEdge(zero, ok);
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const FlagSet flags = SimplifiedMkp(g, order, /*budget=*/100);
+  EXPECT_FALSE(flags[big]);
+  EXPECT_FALSE(flags[zero]);
+  EXPECT_TRUE(flags[ok]);
+}
+
+}  // namespace
+}  // namespace sc::opt

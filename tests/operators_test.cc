@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+
+namespace sc::engine {
+namespace {
+
+Table Orders() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2, 3, 4, 5}));
+  cols.push_back(Column::FromInts({10, 20, 10, 30, 20}));  // customer
+  cols.push_back(Column::FromDoubles({5.0, 10.0, 2.5, 40.0, 7.5}));
+  return Table(Schema({Field{"o_id", DataType::kInt64},
+                       Field{"o_cust", DataType::kInt64},
+                       Field{"o_amount", DataType::kFloat64}}),
+               std::move(cols));
+}
+
+Table Customers() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({10, 20, 40}));
+  cols.push_back(Column::FromStrings({"alice", "bob", "carol"}));
+  return Table(Schema({Field{"c_id", DataType::kInt64},
+                       Field{"c_name", DataType::kString}}),
+               std::move(cols));
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  const Table out =
+      FilterTable(Orders(), *Gt(Col("o_amount"), Lit(6.0)));
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column("o_id").GetInt(0), 2);
+  EXPECT_EQ(out.column("o_id").GetInt(2), 5);
+}
+
+TEST(FilterTest, EmptyResultKeepsSchema) {
+  const Table out =
+      FilterTable(Orders(), *Gt(Col("o_amount"), Lit(1000.0)));
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(out.schema(), Orders().schema());
+}
+
+TEST(ProjectTest, ComputesNamedExpressions) {
+  const Table out = ProjectTable(
+      Orders(), {NamedExpr{"id", Col("o_id")},
+                 NamedExpr{"doubled", Mul(Col("o_amount"), Lit(2.0))}});
+  EXPECT_EQ(out.num_columns(), 2u);
+  EXPECT_EQ(out.schema().field(1).name, "doubled");
+  EXPECT_DOUBLE_EQ(out.column("doubled").GetDouble(3), 80.0);
+}
+
+TEST(HashJoinTest, InnerJoinMatchesKeys) {
+  const Table out = HashJoinTables(Orders(), Customers(), {"o_cust"},
+                                   {"c_id"});
+  // Customers 10 and 20 match 2+2 orders; customer 40 matches none;
+  // customer 30 on the left has no match.
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_TRUE(out.schema().Contains("c_name"));
+  // Every row's o_cust equals its joined c_id.
+  for (std::size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.column("o_cust").GetInt(r),
+              out.column("c_id").GetInt(r));
+  }
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysFanOut) {
+  // Right side with duplicate keys: each probe row matches all of them.
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({10, 10}));
+  cols.push_back(Column::FromStrings({"x", "y"}));
+  const Table dup(Schema({Field{"c_id", DataType::kInt64},
+                          Field{"tag", DataType::kString}}),
+                  std::move(cols));
+  const Table out = HashJoinTables(Orders(), dup, {"o_cust"}, {"c_id"});
+  EXPECT_EQ(out.num_rows(), 4u);  // 2 left rows with cust 10, x2 tags
+}
+
+TEST(HashJoinTest, SameNameKeyColumnsDeduplicated) {
+  std::vector<Column> left_cols;
+  left_cols.push_back(Column::FromInts({1, 2}));
+  const Table left(Schema({Field{"k", DataType::kInt64}}),
+                   std::move(left_cols));
+  std::vector<Column> right_cols;
+  right_cols.push_back(Column::FromInts({2, 3}));
+  right_cols.push_back(Column::FromDoubles({0.5, 0.7}));
+  const Table right(Schema({Field{"k", DataType::kInt64},
+                            Field{"v", DataType::kFloat64}}),
+                    std::move(right_cols));
+  const Table out = HashJoinTables(left, right, {"k"}, {"k"});
+  EXPECT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.num_columns(), 2u);  // "k" appears once
+}
+
+TEST(HashJoinTest, KeyTypeMismatchThrows) {
+  EXPECT_THROW(
+      HashJoinTables(Orders(), Customers(), {"o_amount"}, {"c_id"}),
+      std::invalid_argument);
+  EXPECT_THROW(HashJoinTables(Orders(), Customers(), {}, {}),
+               std::invalid_argument);
+}
+
+TEST(AggregateTest, GroupBySums) {
+  const Table out = AggregateTable(
+      Orders(), {"o_cust"},
+      {SumOf(Col("o_amount"), "total"), CountAll("n")});
+  EXPECT_EQ(out.num_rows(), 3u);
+  // Find group 10: total 7.5, count 2.
+  for (std::size_t r = 0; r < out.num_rows(); ++r) {
+    if (out.column("o_cust").GetInt(r) == 10) {
+      EXPECT_DOUBLE_EQ(out.column("total").GetDouble(r), 7.5);
+      EXPECT_EQ(out.column("n").GetInt(r), 2);
+    }
+  }
+}
+
+TEST(AggregateTest, GlobalAggregateSingleRow) {
+  const Table out = AggregateTable(
+      Orders(), {},
+      {SumOf(Col("o_amount"), "sum"), MinOf(Col("o_amount"), "lo"),
+       MaxOf(Col("o_amount"), "hi"), AvgOf(Col("o_amount"), "avg"),
+       CountAll("n")});
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.column("sum").GetDouble(0), 65.0);
+  EXPECT_DOUBLE_EQ(out.column("lo").GetDouble(0), 2.5);
+  EXPECT_DOUBLE_EQ(out.column("hi").GetDouble(0), 40.0);
+  EXPECT_DOUBLE_EQ(out.column("avg").GetDouble(0), 13.0);
+  EXPECT_EQ(out.column("n").GetInt(0), 5);
+}
+
+TEST(AggregateTest, IntSumsStayInt) {
+  const Table out = AggregateTable(Orders(), {},
+                                   {SumOf(Col("o_cust"), "s")});
+  EXPECT_EQ(out.column("s").type(), DataType::kInt64);
+  EXPECT_EQ(out.column("s").GetInt(0), 90);
+}
+
+TEST(AggregateTest, GlobalOnEmptyInputYieldsZeroRow) {
+  const Table empty = FilterTable(Orders(), *Lt(Col("o_id"), Lit(0.0)));
+  const Table out = AggregateTable(empty, {}, {CountAll("n")});
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.column("n").GetInt(0), 0);
+}
+
+TEST(AggregateTest, GroupedOnEmptyInputYieldsNoRows) {
+  const Table empty = FilterTable(Orders(), *Lt(Col("o_id"), Lit(0.0)));
+  const Table out = AggregateTable(empty, {"o_cust"}, {CountAll("n")});
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(SortTest, SortsByKeyAscending) {
+  const Table out = SortTable(Orders(), {"o_amount"}, {false});
+  EXPECT_DOUBLE_EQ(out.column("o_amount").GetDouble(0), 2.5);
+  EXPECT_DOUBLE_EQ(out.column("o_amount").GetDouble(4), 40.0);
+}
+
+TEST(SortTest, DescendingAndMultiKey) {
+  const Table out =
+      SortTable(Orders(), {"o_cust", "o_amount"}, {false, true});
+  // Within customer 10, larger amount first.
+  EXPECT_EQ(out.column("o_cust").GetInt(0), 10);
+  EXPECT_DOUBLE_EQ(out.column("o_amount").GetDouble(0), 5.0);
+  EXPECT_DOUBLE_EQ(out.column("o_amount").GetDouble(1), 2.5);
+}
+
+TEST(SortTest, StableForEqualKeys) {
+  const Table out = SortTable(Orders(), {"o_cust"}, {false});
+  // Customers 10: o_id 1 then 3 (original order preserved).
+  EXPECT_EQ(out.column("o_id").GetInt(0), 1);
+  EXPECT_EQ(out.column("o_id").GetInt(1), 3);
+}
+
+TEST(LimitTest, TruncatesAndPassesThrough) {
+  EXPECT_EQ(LimitTable(Orders(), 2).num_rows(), 2u);
+  EXPECT_EQ(LimitTable(Orders(), -1).num_rows(), 5u);
+  EXPECT_EQ(LimitTable(Orders(), 100).num_rows(), 5u);
+  EXPECT_EQ(LimitTable(Orders(), 0).num_rows(), 0u);
+}
+
+TEST(UnionAllTest, ConcatenatesRows) {
+  const Table out = UnionAllTables(Orders(), Orders());
+  EXPECT_EQ(out.num_rows(), 10u);
+}
+
+TEST(UnionAllTest, SchemaMismatchThrows) {
+  EXPECT_THROW(UnionAllTables(Orders(), Customers()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sc::engine

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "opt/memory_usage.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+TEST(ValidatePlanTest, AcceptsOptimizerOutput) {
+  const graph::Graph g = test::Figure7Graph();
+  const Optimizer optimizer;
+  const AlternatingResult result = optimizer.Optimize(g, 100);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(g, result.plan, 100, &error)) << error;
+}
+
+TEST(ValidatePlanTest, RejectsWrongFlagSize) {
+  const graph::Graph g = test::DiamondGraph();
+  Plan plan;
+  plan.order = graph::KahnTopologicalOrder(g);
+  plan.flags = EmptyFlags(2);  // wrong length
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(g, plan, 100, &error));
+}
+
+TEST(ValidatePlanTest, RejectsNonTopologicalOrder) {
+  const graph::Graph g = test::DiamondGraph();
+  Plan plan;
+  plan.order = graph::Order::FromSequence({3, 2, 1, 0});
+  plan.flags = EmptyFlags(4);
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(g, plan, 100, &error));
+  EXPECT_NE(error.find("topological"), std::string::npos);
+}
+
+TEST(ValidatePlanTest, RejectsOversizeFlaggedNode) {
+  graph::Graph g;
+  g.AddNode("huge", 500, 1.0);
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0});
+  plan.flags = MakeFlags(1, {0});
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(g, plan, 100, &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST(ValidatePlanTest, RejectsPeakViolation) {
+  const graph::Graph g = test::Figure7Graph();
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = MakeFlags(6, {0, 2});  // 200 live at once
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(g, plan, 100, &error));
+  EXPECT_NE(error.find("peak"), std::string::npos);
+}
+
+TEST(OptimizerTest, OptimizeWithEstimatorAnnotatesScores) {
+  graph::Graph g;
+  const auto a = g.AddNode("a", 100 * kMB);
+  const auto b = g.AddNode("b", kMB);
+  g.AddEdge(a, b);
+  const cost::SpeedupEstimator estimator{cost::CostModel{}};
+  const Optimizer optimizer;
+  const AlternatingResult result =
+      optimizer.OptimizeWithEstimator(&g, /*budget=*/kGB, estimator);
+  EXPECT_GT(g.node(a).speedup_score, 0.0);
+  EXPECT_TRUE(result.plan.flags[a]);
+}
+
+TEST(DescribePlanTest, MentionsOrderAndFlags) {
+  const graph::Graph g = test::Figure7Graph();
+  const Optimizer optimizer;
+  const AlternatingResult result = optimizer.Optimize(g, 100);
+  const std::string text = DescribePlan(g, result.plan);
+  EXPECT_NE(text.find("execution order:"), std::string::npos);
+  EXPECT_NE(text.find("v1*"), std::string::npos);  // v1 flagged
+  EXPECT_NE(text.find("peak memory"), std::string::npos);
+}
+
+TEST(OptimizerTest, OptionsArePropagated) {
+  AlternatingOptions options;
+  options.selector = SelectorMethod::kGreedy;
+  const Optimizer optimizer(options);
+  EXPECT_EQ(optimizer.options().selector, SelectorMethod::kGreedy);
+}
+
+
+TEST(ExplainPlanTest, ClassifiesEveryNode) {
+  graph::Graph g;
+  const auto big = g.AddNode("big", 500, 10.0);
+  const auto zero = g.AddNode("zero", 10, 0.0);
+  const auto kept = g.AddNode("kept", 10, 5.0);
+  const auto loser = g.AddNode("loser", 90, 1.0);
+  g.AddEdge(big, kept);
+  g.AddEdge(zero, kept);
+  g.AddEdge(kept, loser);
+  const std::int64_t budget = 100;
+  const AlternatingResult result = Optimizer{}.Optimize(g, budget);
+  const auto rows = ExplainPlan(g, result.plan, budget);
+  ASSERT_EQ(rows.size(), 4u);
+  auto decision_of = [&](graph::NodeId v) {
+    for (const auto& row : rows) {
+      if (row.node == v) return row.decision;
+    }
+    return NodeDecision::kBudgetContention;
+  };
+  EXPECT_EQ(decision_of(big), NodeDecision::kOversize);
+  EXPECT_EQ(decision_of(zero), NodeDecision::kZeroScore);
+  EXPECT_EQ(decision_of(kept), NodeDecision::kFlagged);
+}
+
+TEST(ExplainPlanTest, FlaggedRowsCarryResidency) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult result = Optimizer{}.Optimize(g, 100);
+  for (const auto& row : ExplainPlan(g, result.plan, 100)) {
+    if (row.decision == NodeDecision::kFlagged) {
+      EXPECT_GE(row.release_slot, row.slot);
+    } else {
+      EXPECT_EQ(row.release_slot, -1);
+    }
+    EXPECT_GE(row.slot, 0);
+  }
+}
+
+TEST(ExplainPlanTest, RowsFollowExecutionOrder) {
+  const graph::Graph g = test::Figure8Graph();
+  const AlternatingResult result = Optimizer{}.Optimize(g, 100);
+  const auto rows = ExplainPlan(g, result.plan, 100);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].slot, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(ExplainPlanTest, FormatMentionsDecisions) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult result = Optimizer{}.Optimize(g, 100);
+  const std::string text =
+      FormatExplanation(g, ExplainPlan(g, result.plan, 100));
+  EXPECT_NE(text.find("kept in memory"), std::string::npos);
+  EXPECT_NE(text.find("v1"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, DecisionNames) {
+  EXPECT_EQ(ToString(NodeDecision::kFlagged), "kept in memory");
+  EXPECT_EQ(ToString(NodeDecision::kOversize), "exceeds Memory Catalog");
+  EXPECT_EQ(ToString(NodeDecision::kZeroScore), "no speedup from caching");
+  EXPECT_EQ(ToString(NodeDecision::kBudgetContention),
+            "lost to other nodes");
+}
+
+}  // namespace
+}  // namespace sc::opt

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/plan_serde.h"
+#include "workload/datagen.h"
+#include "workload/workloads.h"
+
+namespace sc::engine {
+namespace {
+
+ExprPtr RoundTripExpr(const ExprPtr& expr) {
+  std::string error;
+  ExprPtr parsed = ParseExpr(SerializeExpr(*expr), &error);
+  EXPECT_NE(parsed, nullptr) << error;
+  return parsed;
+}
+
+TEST(ExprSerdeTest, LiteralsRoundTrip) {
+  EXPECT_EQ(SerializeExpr(*RoundTripExpr(Lit(std::int64_t{-42}))),
+            "(i -42)");
+  EXPECT_EQ(SerializeExpr(*RoundTripExpr(Lit(2.5))), "(f 2.5)");
+  EXPECT_EQ(SerializeExpr(*RoundTripExpr(Lit(std::string("a\"b\\c")))),
+            "(s \"a\\\"b\\\\c\")");
+}
+
+TEST(ExprSerdeTest, ColumnAndOperatorsRoundTrip) {
+  const auto expr = And(Ge(Col("d_year"), Lit(std::int64_t{1998})),
+                        Lt(Div(Col("profit"), Col("revenue")), Lit(0.5)));
+  const std::string text = SerializeExpr(*expr);
+  EXPECT_EQ(SerializeExpr(*RoundTripExpr(expr)), text);
+  EXPECT_NE(text.find("(col \"d_year\")"), std::string::npos);
+}
+
+TEST(ExprSerdeTest, UnaryRoundTrip) {
+  const auto expr = Not(Neg(Col("x")));
+  EXPECT_EQ(SerializeExpr(*RoundTripExpr(expr)), SerializeExpr(*expr));
+}
+
+TEST(ExprSerdeTest, FloatPrecisionPreserved) {
+  const double value = 0.1234567890123456789;
+  std::string error;
+  ExprPtr parsed = ParseExpr(SerializeExpr(*Lit(value)), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->literal), value);
+}
+
+TEST(ExprSerdeTest, ParseErrorsAreReported) {
+  std::string error;
+  EXPECT_EQ(ParseExpr("(col", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseExpr("(frobnicate 1 2)", &error), nullptr);
+  EXPECT_EQ(ParseExpr("(i 1) trailing", &error), nullptr);
+  EXPECT_EQ(ParseExpr("(+ (i 1))", &error), nullptr);  // wrong arity
+  EXPECT_EQ(ParseExpr("(s unquoted)", &error), nullptr);
+}
+
+TEST(PlanSerdeTest, ScanRoundTrip) {
+  std::string error;
+  PlanPtr plan = ParsePlan("(scan \"store_sales\")", &error);
+  ASSERT_NE(plan, nullptr) << error;
+  EXPECT_EQ(plan->kind, PlanNode::Kind::kScan);
+  EXPECT_EQ(plan->table_name, "store_sales");
+}
+
+TEST(PlanSerdeTest, EveryNodeKindRoundTrips) {
+  const PlanPtr plan = Limit(
+      Sort(Aggregate(
+               HashJoin(Filter(Scan("a"),
+                               Gt(Col("x"), Lit(std::int64_t{3}))),
+                        Project(Scan("b"),
+                                {NamedExpr{"y", Col("k")},
+                                 NamedExpr{"z", Add(Col("k"), Lit(1.5))}}),
+                        {"x"}, {"y"}),
+               {"x"},
+               {SumOf(Col("z"), "total"), CountAll("n"),
+                MinOf(Col("z"), "lo"), MaxOf(Col("z"), "hi"),
+                AvgOf(Col("z"), "mean")}),
+           {"total", "n"}, {true, false}),
+      25);
+  const std::string text = SerializePlan(*plan);
+  std::string error;
+  const PlanPtr parsed = ParsePlan(text, &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  // Canonical form: serializing the parse must reproduce the text.
+  EXPECT_EQ(SerializePlan(*parsed), text);
+}
+
+TEST(PlanSerdeTest, UnionRoundTrip) {
+  const PlanPtr plan = UnionAll(Scan("a"), UnionAll(Scan("b"), Scan("c")));
+  std::string error;
+  const PlanPtr parsed = ParsePlan(SerializePlan(*plan), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(SerializePlan(*parsed), SerializePlan(*plan));
+}
+
+TEST(PlanSerdeTest, MultiKeyJoinRoundTrip) {
+  const PlanPtr plan = HashJoin(Scan("l"), Scan("r"), {"a", "b"},
+                                {"c", "d"});
+  std::string error;
+  const PlanPtr parsed = ParsePlan(SerializePlan(*plan), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(parsed->left_keys, plan->left_keys);
+  EXPECT_EQ(parsed->right_keys, plan->right_keys);
+}
+
+TEST(PlanSerdeTest, ParseErrorsAreReported) {
+  std::string error;
+  EXPECT_EQ(ParsePlan("(scan)", &error), nullptr);
+  EXPECT_EQ(ParsePlan("(join (scan \"a\") (scan \"b\"))", &error), nullptr);
+  EXPECT_EQ(ParsePlan("(sort (scan \"a\") (key \"x\" sideways))", &error),
+            nullptr);
+  EXPECT_EQ(ParsePlan("(limit (scan \"a\") many)", &error), nullptr);
+  EXPECT_EQ(ParsePlan(")", &error), nullptr);
+  EXPECT_EQ(ParsePlan("", &error), nullptr);
+}
+
+TEST(PlanSerdeTest, AllStandardWorkloadPlansRoundTrip) {
+  // Round-trip all 103 MV plans of the five standard workloads and check
+  // canonical-form stability.
+  for (const auto& wl : workload::StandardWorkloads()) {
+    for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+      const std::string text = SerializePlan(*wl.plans[v]);
+      std::string error;
+      const PlanPtr parsed = ParsePlan(text, &error);
+      ASSERT_NE(parsed, nullptr)
+          << wl.graph.node(v).name << ": " << error;
+      EXPECT_EQ(SerializePlan(*parsed), text) << wl.graph.node(v).name;
+    }
+  }
+}
+
+TEST(PlanSerdeTest, ParsedPlanExecutesIdentically) {
+  // A parsed plan must produce the same table as the original.
+  workload::DataGenOptions options;
+  options.scale = 0.03;
+  const auto tables = workload::GenerateTpcdsData(options);
+  MapResolver resolver;
+  for (const auto& [name, table] : tables) resolver.Put(name, table);
+
+  const workload::MvWorkload wl = workload::BuildIo1();
+  // Node 0 is the ss normalized-sales plan (reads only base tables).
+  const PlanPtr original = wl.plans[0];
+  std::string error;
+  const PlanPtr parsed = ParsePlan(SerializePlan(*original), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  const Table a = ExecutePlan(*original, resolver);
+  const Table b = ExecutePlan(*parsed, resolver);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PlanSerdeTest, WhitespaceInsensitive) {
+  std::string error;
+  const PlanPtr plan = ParsePlan(
+      "(filter\n  (scan \"t\")\n  (>= (col \"x\")\n      (i 5)))", &error);
+  ASSERT_NE(plan, nullptr) << error;
+  EXPECT_EQ(plan->kind, PlanNode::Kind::kFilter);
+}
+
+}  // namespace
+}  // namespace sc::engine

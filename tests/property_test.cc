@@ -1,0 +1,146 @@
+// Parameterized property sweeps over randomized DAGs: the invariants the
+// optimizer must uphold for ANY workload, exercised across seeds and
+// budgets (TEST_P / INSTANTIATE_TEST_SUITE_P per the repo test policy).
+#include <gtest/gtest.h>
+
+#include "opt/constraints.h"
+#include "opt/memory_usage.h"
+#include "opt/mkp.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::int32_t nodes;
+  std::int64_t budget;
+};
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.nodes) + "_m" +
+         std::to_string(info.param.budget);
+}
+
+class OptimizerPropertyTest : public testing::TestWithParam<PropertyCase> {
+ protected:
+  graph::Graph MakeGraph() const {
+    return test::RandomDag(GetParam().nodes, GetParam().seed);
+  }
+};
+
+TEST_P(OptimizerPropertyTest, PlanIsFeasibleAndTopological) {
+  const graph::Graph g = MakeGraph();
+  const AlternatingResult result =
+      AlternatingOptimize(g, GetParam().budget);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(g, result.plan, GetParam().budget, &error))
+      << error;
+}
+
+TEST_P(OptimizerPropertyTest, ScoreNeverBelowGreedyBaseline) {
+  const graph::Graph g = MakeGraph();
+  const std::int64_t budget = GetParam().budget;
+  const graph::Order kahn = graph::KahnTopologicalOrder(g);
+  const double greedy = TotalScore(g, SelectGreedy(g, kahn, budget));
+  const AlternatingResult ours = AlternatingOptimize(g, budget);
+  EXPECT_GE(ours.total_score + 1e-9, greedy);
+}
+
+TEST_P(OptimizerPropertyTest, FlaggedNodesAllFitIndividually) {
+  const graph::Graph g = MakeGraph();
+  const AlternatingResult result =
+      AlternatingOptimize(g, GetParam().budget);
+  for (graph::NodeId v : FlaggedNodes(result.plan.flags)) {
+    EXPECT_LE(g.node(v).size_bytes, GetParam().budget);
+    EXPECT_GT(g.node(v).speedup_score, 0.0);
+  }
+}
+
+TEST_P(OptimizerPropertyTest, MkpOptimalVsBruteForceOnSubsets) {
+  // For small graphs, the MKP step must be exactly optimal with respect
+  // to the constraint sets it was given.
+  const PropertyCase param = GetParam();
+  if (param.nodes > 14) GTEST_SKIP() << "brute force cap";
+  const graph::Graph g = MakeGraph();
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const ConstraintSets cs = GetConstraints(g, order, param.budget);
+  const MkpProblem problem = BuildMkpProblem(g, cs, param.budget);
+  if (problem.profits.size() > 20) GTEST_SKIP();
+  const MkpResult bnb = SolveMkpBranchAndBound(problem);
+  const MkpResult brute = SolveMkpBruteForce(problem);
+  EXPECT_DOUBLE_EQ(bnb.objective, brute.objective);
+}
+
+TEST_P(OptimizerPropertyTest, ConstraintModelMatchesTimelineSimulation) {
+  // Whatever the MKP flags under the order must match an independent
+  // slot-by-slot residency simulation.
+  const graph::Graph g = MakeGraph();
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const FlagSet flags = SimplifiedMkp(g, order, GetParam().budget);
+  // Independent check: walk slots, maintaining resident set.
+  std::vector<std::int64_t> live(g.num_nodes(), 0);
+  std::int64_t resident = 0;
+  std::int64_t peak = 0;
+  std::vector<std::int32_t> pending(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    pending[v] = static_cast<std::int32_t>(g.children(v).size());
+  }
+  for (graph::NodeId v : order.sequence) {
+    if (flags[v]) {
+      resident += g.node(v).size_bytes;
+    }
+    peak = std::max(peak, resident);
+    if (flags[v] && pending[v] == 0) resident -= g.node(v).size_bytes;
+    for (graph::NodeId p : g.parents(v)) {
+      if (--pending[p] == 0 && flags[p]) {
+        resident -= g.node(p).size_bytes;
+      }
+    }
+  }
+  EXPECT_LE(peak, GetParam().budget);
+  EXPECT_EQ(resident, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerPropertyTest,
+    testing::Values(PropertyCase{1, 8, 50}, PropertyCase{2, 8, 150},
+                    PropertyCase{3, 12, 80}, PropertyCase{4, 12, 200},
+                    PropertyCase{5, 20, 60}, PropertyCase{6, 20, 250},
+                    PropertyCase{7, 40, 100}, PropertyCase{8, 40, 400},
+                    PropertyCase{9, 70, 120}, PropertyCase{10, 70, 30},
+                    PropertyCase{11, 100, 90}, PropertyCase{12, 100, 500}),
+    CaseName);
+
+class BudgetMonotoneTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetMonotoneTest, SingleShotMkpScoreMonotoneInBudget) {
+  // For a fixed order, a larger Memory Catalog can never decrease the MKP
+  // optimum (every feasible flag set stays feasible).
+  const graph::Graph g = test::RandomDag(30, GetParam());
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  double previous = -1.0;
+  for (const std::int64_t budget : {0LL, 25LL, 50LL, 100LL, 200LL, 400LL}) {
+    const double score = TotalScore(g, SimplifiedMkp(g, order, budget));
+    EXPECT_GE(score + 1e-9, previous) << "budget " << budget;
+    previous = score;
+  }
+}
+
+TEST_P(BudgetMonotoneTest, AlternatingNeverBelowItsFirstIteration) {
+  const graph::Graph g = test::RandomDag(30, GetParam());
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  for (const std::int64_t budget : {50LL, 150LL}) {
+    const double first = TotalScore(g, SimplifiedMkp(g, order, budget));
+    const double final_score = AlternatingOptimize(g, budget).total_score;
+    EXPECT_GE(final_score + 1e-9, first) << "budget " << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetMonotoneTest,
+                         testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace sc::opt

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "workload/scale_model.h"
+
+namespace sc::workload {
+namespace {
+
+TEST(ScaleModelTest, BudgetForPercent) {
+  EXPECT_EQ(BudgetForPercent(100.0, 1.6), 1600 * kMB);
+  EXPECT_EQ(BudgetForPercent(10.0, 1.6), 160 * kMB);
+  EXPECT_EQ(BudgetForPercent(100.0, 0.4), 400 * kMB);
+}
+
+TEST(ScaleModelTest, AnnotationFillsEveryNode) {
+  MvWorkload wl = BuildIo1();
+  ScaleModelOptions options;
+  options.dataset_gb = 100.0;
+  AnnotateWorkload(&wl, options);
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_GT(wl.graph.node(v).size_bytes, 0) << v;
+    EXPECT_GT(wl.graph.node(v).compute_seconds, 0.0) << v;
+    EXPECT_GT(wl.graph.node(v).speedup_score, 0.0) << v;
+  }
+}
+
+TEST(ScaleModelTest, SizesScaleLinearly) {
+  MvWorkload at10 = BuildIo2();
+  MvWorkload at100 = BuildIo2();
+  ScaleModelOptions options;
+  options.dataset_gb = 10.0;
+  AnnotateWorkload(&at10, options);
+  options.dataset_gb = 100.0;
+  AnnotateWorkload(&at100, options);
+  for (graph::NodeId v = 0; v < at10.graph.num_nodes(); ++v) {
+    EXPECT_NEAR(static_cast<double>(at100.graph.node(v).size_bytes),
+                10.0 * static_cast<double>(at10.graph.node(v).size_bytes),
+                10.0);
+  }
+}
+
+TEST(ScaleModelTest, PartitionedIntermediatesSmaller) {
+  // TPC-DSp: date-partitioned scans yield smaller intermediates on the
+  // fact-derived nodes (paper §VI-A).
+  MvWorkload normal = BuildIo1();
+  MvWorkload partitioned = BuildIo1();
+  ScaleModelOptions options;
+  options.dataset_gb = 100.0;
+  AnnotateWorkload(&normal, options);
+  options.partitioned = true;
+  AnnotateWorkload(&partitioned, options);
+  std::int64_t normal_total = 0;
+  std::int64_t part_total = 0;
+  for (graph::NodeId v = 0; v < normal.graph.num_nodes(); ++v) {
+    EXPECT_LE(partitioned.graph.node(v).size_bytes,
+              normal.graph.node(v).size_bytes);
+    normal_total += normal.graph.node(v).size_bytes;
+    part_total += partitioned.graph.node(v).size_bytes;
+  }
+  EXPECT_LT(part_total, normal_total / 2);
+}
+
+TEST(ScaleModelTest, IoRatiosMatchTableIIIOrdering) {
+  // Table III: I/O workloads have high intermediate-I/O ratios (46-59%),
+  // Compute 1 is ~1%, Compute 2 in between (~28%). We assert the ordering
+  // and coarse bands rather than exact percentages.
+  const auto workloads = StandardWorkloads();
+  ScaleModelOptions options;
+  options.dataset_gb = 100.0;
+  std::vector<double> ratios;
+  for (MvWorkload wl : workloads) {
+    AnnotateWorkload(&wl, options);
+    ratios.push_back(IntermediateIoRatio(wl, options));
+  }
+  // io1, io2, io3 are I/O-heavy.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(ratios[static_cast<std::size_t>(i)], 0.35) << i;
+  }
+  // compute1 is compute-dominated.
+  EXPECT_LT(ratios[3], 0.10);
+  // compute2 sits in between.
+  EXPECT_GT(ratios[4], ratios[3]);
+  EXPECT_LT(ratios[4], ratios[0]);
+}
+
+TEST(ScaleModelTest, ScoresTrackDeviceSpeed) {
+  // A slower disk makes keeping data in memory more valuable.
+  MvWorkload fast = BuildIo3();
+  MvWorkload slow = BuildIo3();
+  ScaleModelOptions options;
+  options.dataset_gb = 50.0;
+  AnnotateWorkload(&fast, options);
+  options.device = cost::DeviceProfile::SlowNfs();
+  AnnotateWorkload(&slow, options);
+  double fast_total = 0;
+  double slow_total = 0;
+  for (graph::NodeId v = 0; v < fast.graph.num_nodes(); ++v) {
+    fast_total += fast.graph.node(v).speedup_score;
+    slow_total += slow.graph.node(v).speedup_score;
+  }
+  EXPECT_GT(slow_total, fast_total);
+}
+
+}  // namespace
+}  // namespace sc::workload

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "opt/memory_usage.h"
+#include "opt/schedulers.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+TEST(SchedulersTest, ToStringNames) {
+  EXPECT_EQ(ToString(SchedulerMethod::kMaDfs), "MA-DFS");
+  EXPECT_EQ(ToString(SchedulerMethod::kSimAnneal), "SA");
+  EXPECT_EQ(ToString(SchedulerMethod::kSeparator), "Separator");
+  EXPECT_EQ(ToString(SchedulerMethod::kRandomDfs), "RandomDFS");
+  EXPECT_EQ(ToString(SchedulerMethod::kKahn), "Topo");
+}
+
+TEST(SimAnnealTest, KeepsOrderTopological) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = test::RandomDag(25, seed);
+    const FlagSet flags = MakeFlags(g.num_nodes(), {0, 3, 7, 11});
+    SimAnnealOptions options;
+    options.iterations = 500;
+    options.seed = seed;
+    const graph::Order out = SimulatedAnnealingOrder(
+        g, flags, graph::KahnTopologicalOrder(g), options);
+    EXPECT_TRUE(graph::IsTopologicalOrder(g, out)) << "seed " << seed;
+  }
+}
+
+TEST(SimAnnealTest, NeverWorseThanInitial) {
+  // SA returns the best order seen, which includes the initial one.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const graph::Graph g = test::RandomDag(25, seed);
+    FlagSet flags(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      flags[v] = (v % 2) == 0;
+    }
+    const graph::Order initial = graph::KahnTopologicalOrder(g);
+    SimAnnealOptions options;
+    options.iterations = 2000;
+    options.seed = seed;
+    const graph::Order out =
+        SimulatedAnnealingOrder(g, flags, initial, options);
+    EXPECT_LE(AverageMemoryUsage(g, out, flags),
+              AverageMemoryUsage(g, initial, flags) + 1e-9);
+  }
+}
+
+TEST(SimAnnealTest, ImprovesFigure7Order) {
+  // Starting from tau1 with {v1, v3} flagged, SA should discover that
+  // moving v4 earlier shortens v1's residency.
+  const graph::Graph g = test::Figure7Graph();
+  const FlagSet flags = MakeFlags(6, {0, 2});
+  const graph::Order tau1 = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  SimAnnealOptions options;
+  options.iterations = 5000;
+  options.seed = 3;
+  const graph::Order out = SimulatedAnnealingOrder(g, flags, tau1, options);
+  EXPECT_LT(AverageMemoryUsage(g, out, flags),
+            AverageMemoryUsage(g, tau1, flags));
+}
+
+TEST(SimAnnealTest, RespectsBudgetWhenSet) {
+  const graph::Graph g = test::Figure7Graph();
+  const FlagSet flags = MakeFlags(6, {0});
+  const graph::Order initial = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  SimAnnealOptions options;
+  options.iterations = 3000;
+  options.budget = 100;
+  const graph::Order out =
+      SimulatedAnnealingOrder(g, flags, initial, options);
+  EXPECT_TRUE(IsFeasible(g, out, flags, 100));
+}
+
+TEST(SimAnnealTest, TrivialGraphsPassThrough) {
+  graph::Graph g;
+  g.AddNode("only", 5, 1.0);
+  const graph::Order initial = graph::KahnTopologicalOrder(g);
+  const graph::Order out = SimulatedAnnealingOrder(
+      g, MakeFlags(1, {0}), initial, SimAnnealOptions{});
+  EXPECT_EQ(out.sequence, initial.sequence);
+}
+
+TEST(SeparatorTest, KeepsOrderTopological) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(30, seed);
+    FlagSet flags(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      flags[v] = (v % 4) == 0;
+    }
+    const graph::Order out = SeparatorOrder(g, flags);
+    EXPECT_TRUE(graph::IsTopologicalOrder(g, out)) << "seed " << seed;
+  }
+}
+
+TEST(SeparatorTest, HandlesChainAndSingleton) {
+  graph::Graph chain;
+  const auto a = chain.AddNode("a", 1, 1.0);
+  const auto b = chain.AddNode("b", 1, 1.0);
+  const auto c = chain.AddNode("c", 1, 1.0);
+  chain.AddEdge(a, b);
+  chain.AddEdge(b, c);
+  const graph::Order out = SeparatorOrder(chain, EmptyFlags(3));
+  EXPECT_EQ(out.sequence, (std::vector<graph::NodeId>{0, 1, 2}));
+
+  graph::Graph single;
+  single.AddNode("x", 1, 1.0);
+  EXPECT_EQ(SeparatorOrder(single, EmptyFlags(1)).sequence,
+            std::vector<graph::NodeId>{0});
+}
+
+TEST(ScheduleOrderTest, DispatchProducesValidOrders) {
+  const graph::Graph g = test::RandomDag(20, 1);
+  const FlagSet flags = MakeFlags(g.num_nodes(), {0, 5, 10});
+  const graph::Order current = graph::KahnTopologicalOrder(g);
+  for (const auto method :
+       {SchedulerMethod::kMaDfs, SchedulerMethod::kSimAnneal,
+        SchedulerMethod::kSeparator, SchedulerMethod::kRandomDfs,
+        SchedulerMethod::kKahn}) {
+    const graph::Order out =
+        ScheduleOrder(method, g, flags, current, /*seed=*/7,
+                      /*budget=*/INT64_MAX);
+    EXPECT_TRUE(graph::IsTopologicalOrder(g, out)) << ToString(method);
+  }
+}
+
+}  // namespace
+}  // namespace sc::opt

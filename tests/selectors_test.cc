@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "opt/memory_usage.h"
+#include "opt/selectors.h"
+#include "test_util.h"
+
+namespace sc::opt {
+namespace {
+
+TEST(SelectorsTest, ToStringNames) {
+  EXPECT_EQ(ToString(SelectorMethod::kMkp), "MKP");
+  EXPECT_EQ(ToString(SelectorMethod::kGreedy), "Greedy");
+  EXPECT_EQ(ToString(SelectorMethod::kRandom), "Random");
+  EXPECT_EQ(ToString(SelectorMethod::kRatio), "Ratio");
+}
+
+TEST(GreedySelectorTest, FlagsInExecutionOrder) {
+  const graph::Graph g = test::Figure7Graph();
+  const graph::Order tau1 = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  const FlagSet flags = SelectGreedy(g, tau1, /*budget=*/100);
+  EXPECT_TRUE(IsFeasible(g, tau1, flags, 100));
+  // Greedy flags v1 first, which then blocks v2 (overlap) and v3.
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+  EXPECT_FALSE(flags[2]);
+}
+
+TEST(GreedySelectorTest, SkipsOversizeNodes) {
+  graph::Graph g;
+  g.AddNode("huge", 1000, 50.0);
+  g.AddNode("ok", 10, 5.0);
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const FlagSet flags = SelectGreedy(g, order, /*budget=*/100);
+  EXPECT_FALSE(flags[0]);
+  EXPECT_TRUE(flags[1]);
+}
+
+TEST(RandomSelectorTest, DeterministicForSeed) {
+  const graph::Graph g = test::RandomDag(20, 4);
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  EXPECT_EQ(SelectRandom(g, order, 100, 9), SelectRandom(g, order, 100, 9));
+}
+
+TEST(RandomSelectorTest, FeasibleAcrossSeeds) {
+  const graph::Graph g = test::RandomDag(25, 2);
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FlagSet flags = SelectRandom(g, order, 120, seed);
+    EXPECT_TRUE(IsFeasible(g, order, flags, 120)) << "seed " << seed;
+  }
+}
+
+TEST(RatioSelectorTest, PrefersHighDensityNodes) {
+  graph::Graph g;
+  // Low density big node vs high density small nodes; budget fits either
+  // the big one or both small ones.
+  const auto big = g.AddNode("big", 100, 60.0);    // density 0.6
+  const auto s1 = g.AddNode("s1", 50, 50.0);       // density 1.0
+  const auto s2 = g.AddNode("s2", 50, 45.0);       // density 0.9
+  const auto sink = g.AddNode("sink", 1, 0.0);
+  g.AddEdge(big, sink);
+  g.AddEdge(s1, sink);
+  g.AddEdge(s2, sink);
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  const FlagSet flags = SelectRatio(g, order, /*budget=*/100);
+  EXPECT_TRUE(flags[s1]);
+  EXPECT_TRUE(flags[s2]);
+  EXPECT_FALSE(flags[big]);
+}
+
+TEST(RatioSelectorTest, FeasibleOnRandomDags) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const graph::Graph g = test::RandomDag(22, seed);
+    const graph::Order order = graph::KahnTopologicalOrder(g);
+    const FlagSet flags = SelectRatio(g, order, 100);
+    EXPECT_TRUE(IsFeasible(g, order, flags, 100)) << seed;
+  }
+}
+
+TEST(SelectFlagsTest, DispatchMatchesDirectCalls) {
+  const graph::Graph g = test::Figure7Graph();
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  EXPECT_EQ(SelectFlags(SelectorMethod::kGreedy, g, order, 100, 1),
+            SelectGreedy(g, order, 100));
+  EXPECT_EQ(SelectFlags(SelectorMethod::kRatio, g, order, 100, 1),
+            SelectRatio(g, order, 100));
+  EXPECT_EQ(SelectFlags(SelectorMethod::kRandom, g, order, 100, 5),
+            SelectRandom(g, order, 100, 5));
+}
+
+TEST(SelectorsTest, MkpDominatesHeuristicsOnFigure7) {
+  const graph::Graph g = test::Figure7Graph();
+  const graph::Order order = graph::Order::FromSequence({0, 1, 3, 2, 4, 5});
+  const double mkp =
+      TotalScore(g, SelectFlags(SelectorMethod::kMkp, g, order, 100, 1));
+  for (const auto method :
+       {SelectorMethod::kGreedy, SelectorMethod::kRandom,
+        SelectorMethod::kRatio}) {
+    EXPECT_GE(mkp, TotalScore(g, SelectFlags(method, g, order, 100, 1)))
+        << ToString(method);
+  }
+}
+
+TEST(SelectorsTest, ZeroBudgetFlagsNothing) {
+  const graph::Graph g = test::Figure7Graph();
+  const graph::Order order = graph::KahnTopologicalOrder(g);
+  for (const auto method :
+       {SelectorMethod::kGreedy, SelectorMethod::kRandom,
+        SelectorMethod::kRatio, SelectorMethod::kMkp}) {
+    const FlagSet flags = SelectFlags(method, g, order, 0, 1);
+    EXPECT_TRUE(FlaggedNodes(flags).empty()) << ToString(method);
+  }
+}
+
+}  // namespace
+}  // namespace sc::opt

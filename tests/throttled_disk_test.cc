@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "storage/throttled_disk.h"
+
+namespace sc::storage {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+
+Table SmallTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts(std::vector<std::int64_t>(1000, 7)));
+  return Table(Schema({Field{"x", DataType::kInt64}}), std::move(cols));
+}
+
+DiskProfile FastProfile() {
+  DiskProfile profile;
+  profile.throttle = false;
+  return profile;
+}
+
+TEST(ThrottledDiskTest, WriteReadRoundTrip) {
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_rt", FastProfile());
+  const Table t = SmallTable();
+  const std::int64_t bytes = disk.WriteTable("t1", t);
+  EXPECT_GT(bytes, 8000);
+  EXPECT_TRUE(disk.Exists("t1"));
+  EXPECT_EQ(disk.FileSize("t1"), bytes);
+  const Table loaded = disk.ReadTable("t1");
+  EXPECT_TRUE(loaded == t);
+}
+
+TEST(ThrottledDiskTest, RemoveAndMissing) {
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_rm", FastProfile());
+  disk.WriteTable("t", SmallTable());
+  disk.Remove("t");
+  EXPECT_FALSE(disk.Exists("t"));
+  EXPECT_EQ(disk.FileSize("t"), -1);
+  EXPECT_THROW(disk.ReadTable("t"), std::runtime_error);
+  disk.Remove("t");  // idempotent
+}
+
+TEST(ThrottledDiskTest, ThrottlePadsDuration) {
+  // 8KB at 100 KB/s -> at least ~80ms.
+  DiskProfile slow;
+  slow.write_bw = 100e3;
+  slow.read_bw = 100e3;
+  slow.latency = 0;
+  slow.throttle = true;
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_slow", slow);
+  const auto start = std::chrono::steady_clock::now();
+  disk.WriteTable("t", SmallTable());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(elapsed, 0.05);
+  EXPECT_GT(disk.total_write_seconds(), 0.05);
+}
+
+TEST(ThrottledDiskTest, AccumulatesTimers) {
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_timers", FastProfile());
+  disk.WriteTable("a", SmallTable());
+  disk.ReadTable("a");
+  EXPECT_GT(disk.total_write_seconds(), 0.0);
+  EXPECT_GT(disk.total_read_seconds(), 0.0);
+}
+
+TEST(ThrottledDiskTest, OverwriteReplacesContent) {
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_ow", FastProfile());
+  disk.WriteTable("t", SmallTable());
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1}));
+  const Table tiny(Schema({Field{"x", DataType::kInt64}}), std::move(cols));
+  disk.WriteTable("t", tiny);
+  EXPECT_EQ(disk.ReadTable("t").num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace sc::storage

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "engine/plan_serde.h"
+#include "workload/workload_io.h"
+
+namespace sc::workload {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/sc_wlio_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class WorkloadIoTest : public testing::TestWithParam<int> {};
+
+TEST_P(WorkloadIoTest, SaveLoadRoundTrip) {
+  const MvWorkload original =
+      StandardWorkloads()[static_cast<std::size_t>(GetParam())];
+  const std::string dir = FreshDir(original.name);
+  std::string error;
+  ASSERT_TRUE(SaveWorkload(original, dir, &error)) << error;
+
+  MvWorkload loaded;
+  ASSERT_TRUE(LoadWorkload(dir, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.tpcds_queries, original.tpcds_queries);
+  ASSERT_EQ(loaded.graph.num_nodes(), original.graph.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  for (graph::NodeId v = 0; v < original.graph.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.graph.node(v).name, original.graph.node(v).name);
+    EXPECT_EQ(engine::SerializePlan(*loaded.plans[v]),
+              engine::SerializePlan(*original.plans[v]))
+        << original.graph.node(v).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadIoTest, testing::Range(0, 5),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return StandardWorkloads()
+                               [static_cast<std::size_t>(info.param)]
+                                   .name;
+                         });
+
+TEST(WorkloadIoTest, MissingDirectoryFails) {
+  MvWorkload wl;
+  std::string error;
+  EXPECT_FALSE(LoadWorkload("/nonexistent/sc_dir", &wl, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkloadIoTest, CorruptPlanFails) {
+  const MvWorkload original = BuildCompute2();
+  const std::string dir = FreshDir("corrupt");
+  std::string error;
+  ASSERT_TRUE(SaveWorkload(original, dir, &error)) << error;
+  // Corrupt one plan line.
+  {
+    std::ofstream plans(dir + "/plans.scp", std::ios::app);
+    plans << "c2_ss_sales (scan\n";
+  }
+  MvWorkload loaded;
+  EXPECT_FALSE(LoadWorkload(dir, &loaded, &error));
+}
+
+TEST(WorkloadIoTest, MissingPlanFails) {
+  const MvWorkload original = BuildIo2();
+  const std::string dir = FreshDir("missingplan");
+  std::string error;
+  ASSERT_TRUE(SaveWorkload(original, dir, &error)) << error;
+  // Rewrite plans.scp with the first line dropped.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(dir + "/plans.scp");
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  {
+    std::ofstream out(dir + "/plans.scp", std::ios::trunc);
+    for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << '\n';
+  }
+  MvWorkload loaded;
+  EXPECT_FALSE(LoadWorkload(dir, &loaded, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sc::workload
