@@ -14,6 +14,12 @@
 ///   // result.plan: execution order + flagged nodes; feed it to the
 ///   // simulator (sc::sim::SimulateRun) or the Controller
 ///   // (sc::runtime::Controller::Run).
+///
+/// For concurrent multi-tenant serving, submit jobs to
+/// sc::service::RefreshService instead (see
+/// examples/multi_tenant_service.cpp): it queues, arbitrates the shared
+/// Memory-Catalog budget, caches plans, and drives Controllers on worker
+/// threads.
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -37,6 +43,10 @@
 #include "opt/schedulers.h"
 #include "opt/selectors.h"
 #include "runtime/controller.h"
+#include "service/budget_broker.h"
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
 #include "sim/cluster.h"
 #include "sim/lru_cache.h"
 #include "sim/refresh_sim.h"

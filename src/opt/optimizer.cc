@@ -21,6 +21,21 @@ AlternatingResult Optimizer::OptimizeWithEstimator(
   return AlternatingOptimize(*g, budget, options_);
 }
 
+AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
+                                     const Plan& prior, std::int64_t budget,
+                                     const AlternatingOptions& options) {
+  std::string error;
+  if (ValidatePlan(g, prior, budget, &error)) {
+    AlternatingResult result;
+    result.plan = prior;
+    result.total_score = TotalScore(g, prior.flags);
+    result.iterations = 0;
+    result.stop_reason = StopReason::kNoImprovement;
+    return result;
+  }
+  return AlternatingOptimize(g, budget, options);
+}
+
 bool ValidatePlan(const graph::Graph& g, const Plan& plan,
                   std::int64_t budget, std::string* error) {
   auto fail = [&](const std::string& msg) {

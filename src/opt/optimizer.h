@@ -37,6 +37,15 @@ class Optimizer {
   AlternatingOptions options_;
 };
 
+/// Re-optimization entry point for the Refresh Service: when the
+/// BudgetBroker funds a job below the budget its plan was built for, the
+/// flagged set may no longer fit. Returns `prior` unchanged (iterations ==
+/// 0) when it is still feasible at `budget`; otherwise re-runs the
+/// alternating optimization at the granted budget.
+AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
+                                     const Plan& prior, std::int64_t budget,
+                                     const AlternatingOptions& options = {});
+
 /// Independent plan verifier used by tests and the Controller: checks that
 /// the order is a valid topological order, that no flagged node is oversize
 /// or zero-score-excluded, and that peak memory stays within `budget`.

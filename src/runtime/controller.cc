@@ -107,6 +107,11 @@ double RunReport::TotalWriteSeconds() const {
   return total;
 }
 
+double RunReport::CatalogHitRate() const {
+  const std::int64_t total = catalog_hits + catalog_misses;
+  return total == 0 ? 0.0 : static_cast<double>(catalog_hits) / total;
+}
+
 // ---------------------------------------------------------------------------
 // Controller
 // ---------------------------------------------------------------------------
@@ -124,14 +129,21 @@ void Controller::LoadBaseTables(
 
 RunReport Controller::Run(const workload::MvWorkload& wl,
                           const opt::Plan& plan) {
+  return RunWithBudget(wl, plan, options_.budget);
+}
+
+RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
+                                    const opt::Plan& plan,
+                                    std::int64_t budget) {
   RunReport report;
+  report.budget = budget;
   std::string error;
-  if (!opt::ValidatePlan(wl.graph, plan, options_.budget, &error)) {
+  if (!opt::ValidatePlan(wl.graph, plan, budget, &error)) {
     report.error = "invalid plan: " + error;
     return report;
   }
 
-  storage::MemoryCatalog catalog(options_.budget);
+  storage::MemoryCatalog catalog(budget);
   Materializer materializer(disk_);
   const graph::Graph& g = wl.graph;
 
@@ -231,6 +243,8 @@ RunReport Controller::Run(const workload::MvWorkload& wl,
   }
   report.wall_seconds = MonotonicSeconds() - run_start;
   report.peak_memory = catalog.peak_bytes();
+  report.catalog_hits = catalog.hits();
+  report.catalog_misses = catalog.misses();
   report.ok = true;
   return report;
 }

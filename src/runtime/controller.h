@@ -82,11 +82,21 @@ struct RunReport {
   std::string error;
   double wall_seconds = 0.0;
   std::int64_t peak_memory = 0;
+  /// Memory Catalog budget this run actually executed under (equals the
+  /// controller's configured budget unless an external grant overrode it).
+  std::int64_t budget = 0;
+  /// Input resolutions served from the Memory Catalog vs. falling through
+  /// to external storage.
+  std::int64_t catalog_hits = 0;
+  std::int64_t catalog_misses = 0;
   std::vector<NodeRunStats> nodes;  // in execution order
 
   double TotalReadSeconds() const;
   double TotalComputeSeconds() const;
   double TotalWriteSeconds() const;
+  /// Fraction of input resolutions served at memory speed (0 when the run
+  /// resolved no inputs).
+  double CatalogHitRate() const;
 };
 
 /// The S/C Controller (paper §III-B): executes an MV refresh run against
@@ -106,6 +116,13 @@ class Controller {
   /// false) if the plan is invalid or the Memory Catalog budget would be
   /// violated.
   RunReport Run(const workload::MvWorkload& wl, const opt::Plan& plan);
+
+  /// Like Run(), but executes against an externally-granted Memory Catalog
+  /// budget instead of the configured one. This is the entry point for the
+  /// Refresh Service: a BudgetBroker arbitrates the global catalog across
+  /// concurrent jobs and hands each run its funded slice.
+  RunReport RunWithBudget(const workload::MvWorkload& wl,
+                          const opt::Plan& plan, std::int64_t budget);
 
   /// Executes with the no-optimization baseline plan (topological order,
   /// nothing flagged).

@@ -1,0 +1,207 @@
+#include "service/budget_broker.h"
+
+#include <algorithm>
+
+namespace sc::service {
+
+namespace {
+
+// An out-of-range fraction (typo, NaN) would make every floor
+// unsatisfiable and wedge admission forever.
+BudgetBrokerOptions Sanitized(BudgetBrokerOptions options) {
+  if (!(options.min_grant_fraction >= 0.0 &&
+        options.min_grant_fraction <= 1.0)) {
+    options.min_grant_fraction = 1.0;
+  }
+  return options;
+}
+
+}  // namespace
+
+BudgetBroker::BudgetBroker(BudgetBrokerOptions options)
+    : options_(Sanitized(std::move(options))) {}
+
+std::int64_t BudgetBroker::QuotaFor(const std::string& tenant) const {
+  auto it = quotas_.find(tenant);
+  const std::int64_t quota =
+      it != quotas_.end() ? it->second : options_.default_tenant_quota;
+  return quota <= 0 ? options_.global_budget : quota;
+}
+
+std::int64_t BudgetBroker::ClampTargetLocked(
+    const std::string& tenant, std::int64_t requested_bytes) const {
+  return std::max<std::int64_t>(
+      0, std::min({requested_bytes, QuotaFor(tenant),
+                   options_.global_budget}));
+}
+
+std::int64_t BudgetBroker::FloorFor(std::int64_t target) const {
+  if (target == 0) return 0;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(target) *
+                                   options_.min_grant_fraction));
+}
+
+bool BudgetBroker::Precedes(const Waiter& a, const Waiter& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.seq < b.seq;
+}
+
+void BudgetBroker::ReserveLocked(const std::string& tenant,
+                                 std::int64_t bytes) {
+  reserved_ += bytes;
+  tenant_reserved_[tenant] += bytes;
+  peak_reserved_ = std::max(peak_reserved_, reserved_);
+}
+
+BudgetGrant BudgetBroker::MakeGrantLocked(const std::string& tenant,
+                                          std::int64_t bytes) {
+  BudgetGrant grant;
+  grant.id = next_grant_id_++;
+  grant.tenant = tenant;
+  grant.bytes = bytes;
+  ReserveLocked(tenant, bytes);
+  return grant;
+}
+
+void BudgetBroker::AdmitWaitersLocked() {
+  bool blocked = false;
+  for (Waiter& w : waiters_) {
+    if (w.admitted) continue;
+    // Funding terms are recomputed from the *current* quota and pool
+    // state on every pass, so quota changes made while a request waits
+    // take effect (and can never strand a waiter behind a stale floor).
+    const std::int64_t target = ClampTargetLocked(w.tenant, w.requested);
+    if (target == 0) {
+      // Zero-byte grants reserve nothing: admit unconditionally, even
+      // past an unfundable head.
+      w.granted = 0;
+      w.admitted = true;
+      continue;
+    }
+    const std::int64_t floor = FloorFor(target);
+    const std::int64_t headroom = std::max<std::int64_t>(
+        0, QuotaFor(w.tenant) - tenant_reserved_[w.tenant]);
+    if (std::min(target, headroom) < floor) {
+      // The waiter is stalled on its own tenant's quota, not the pool:
+      // only that tenant's releases can unblock it, so holding the rest
+      // of the queue behind it would be a pointless convoy. Skip it.
+      continue;
+    }
+    // Strict head-of-line on *pool* shortage: an unfundable waiter
+    // blocks every lower-precedence (positive) request, so
+    // large/high-priority requests cannot be starved by small ones.
+    if (blocked) continue;
+    const std::int64_t free = options_.global_budget - reserved_;
+    const std::int64_t fundable =
+        std::max<std::int64_t>(0, std::min({target, free, headroom}));
+    if (fundable < floor) {
+      blocked = true;
+      continue;
+    }
+    w.granted = fundable;
+    w.admitted = true;
+    ReserveLocked(w.tenant, fundable);
+  }
+}
+
+BudgetGrant BudgetBroker::Acquire(const std::string& tenant,
+                                  std::int64_t requested_bytes,
+                                  int priority) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Waiter waiter;
+  waiter.tenant = tenant;
+  waiter.requested = std::max<std::int64_t>(0, requested_bytes);
+  waiter.priority = priority;
+  waiter.seq = next_seq_++;
+
+  auto pos = std::find_if(
+      waiters_.begin(), waiters_.end(),
+      [&](const Waiter& other) { return Precedes(waiter, other); });
+  auto it = waiters_.insert(pos, std::move(waiter));
+
+  AdmitWaitersLocked();
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return it->admitted; });
+
+  BudgetGrant grant;
+  grant.id = next_grant_id_++;
+  grant.tenant = it->tenant;
+  grant.bytes = it->granted;  // already reserved by AdmitWaitersLocked
+  waiters_.erase(it);
+  return grant;
+}
+
+BudgetGrant BudgetBroker::TryAcquire(const std::string& tenant,
+                                     std::int64_t requested_bytes,
+                                     int priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Never jump the admission queue: fail if any pending waiter precedes
+  // this request.
+  for (const Waiter& w : waiters_) {
+    if (!w.admitted && w.priority >= priority) return BudgetGrant{};
+  }
+  const std::int64_t target = ClampTargetLocked(tenant, requested_bytes);
+  const std::int64_t headroom = QuotaFor(tenant) - tenant_reserved_[tenant];
+  const std::int64_t free = options_.global_budget - reserved_;
+  const std::int64_t fundable =
+      std::max<std::int64_t>(0, std::min({target, free, headroom}));
+  if (target > 0 && fundable < FloorFor(target)) return BudgetGrant{};
+  return MakeGrantLocked(tenant, fundable);
+}
+
+void BudgetBroker::Release(BudgetGrant* grant) {
+  if (grant == nullptr || !grant->valid()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reserved_ -= grant->bytes;
+    tenant_reserved_[grant->tenant] -= grant->bytes;
+    AdmitWaitersLocked();
+  }
+  cv_.notify_all();
+  grant->id = 0;
+  grant->bytes = 0;
+}
+
+void BudgetBroker::SetTenantQuota(const std::string& tenant,
+                                  std::int64_t quota_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    quotas_[tenant] = quota_bytes;
+    AdmitWaitersLocked();
+  }
+  cv_.notify_all();
+}
+
+std::int64_t BudgetBroker::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_;
+}
+
+std::int64_t BudgetBroker::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.global_budget - reserved_;
+}
+
+std::int64_t BudgetBroker::peak_reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_reserved_;
+}
+
+std::int64_t BudgetBroker::tenant_reserved_bytes(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenant_reserved_.find(tenant);
+  return it == tenant_reserved_.end() ? 0 : it->second;
+}
+
+std::size_t BudgetBroker::waiting_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const Waiter& w : waiters_) {
+    if (!w.admitted) ++count;
+  }
+  return count;
+}
+
+}  // namespace sc::service

@@ -1,0 +1,134 @@
+#ifndef SC_SERVICE_BUDGET_BROKER_H_
+#define SC_SERVICE_BUDGET_BROKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sc::service {
+
+/// A funded slice of the global Memory-Catalog budget. Obtained from
+/// BudgetBroker::Acquire / TryAcquire; must be handed back via Release.
+/// `bytes` may be smaller than the requested amount (partial funding) —
+/// the holder is expected to re-optimize its plan at the granted budget.
+struct BudgetGrant {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::int64_t bytes = 0;
+  bool valid() const { return id != 0; }
+};
+
+struct BudgetBrokerOptions {
+  /// Total Memory-Catalog bytes shared by all concurrent refresh jobs.
+  std::int64_t global_budget = 256LL * 1024 * 1024;
+  /// Cap on any single tenant's outstanding reservations. 0 = no cap
+  /// (bounded only by the global budget). Per-tenant overrides via
+  /// SetTenantQuota.
+  std::int64_t default_tenant_quota = 0;
+  /// Minimum fraction of the (quota-clamped) request that must be
+  /// fundable before a waiter is admitted. Lower values favor admission
+  /// throughput over per-job catalog size; granted jobs re-optimize at
+  /// their funded budget.
+  double min_grant_fraction = 0.25;
+};
+
+/// Arbitrates one global Memory-Catalog budget across concurrent refresh
+/// jobs (the serving-layer counterpart of the paper's single-run budget
+/// `M`). Invariant: the sum of outstanding grants never exceeds the
+/// global budget, and no tenant's outstanding grants exceed its quota.
+///
+/// Admission is strict priority order (higher `priority` first, FIFO
+/// within a priority level): a newly arrived high-priority request
+/// preempts — i.e. is funded before — every lower-priority waiter, and a
+/// waiter the *pool* cannot yet fund blocks admission of everything
+/// behind it, so large requests cannot be starved by a stream of small
+/// ones. Waiters stalled only by their own tenant's quota are skipped
+/// (they wait for their tenant's releases without convoying others), and
+/// zero-byte requests are always admitted immediately.
+///
+/// Thread-safe; Acquire blocks, TryAcquire does not.
+class BudgetBroker {
+ public:
+  explicit BudgetBroker(BudgetBrokerOptions options);
+
+  BudgetBroker(const BudgetBroker&) = delete;
+  BudgetBroker& operator=(const BudgetBroker&) = delete;
+
+  /// Blocks until the broker can fund at least the minimum acceptable
+  /// slice of `requested_bytes` for `tenant`, then returns the grant:
+  /// min(request, global free, tenant quota headroom), clamped to the
+  /// global budget. A request of 0 bytes is granted immediately (the job
+  /// runs unoptimized, nothing kept in memory).
+  BudgetGrant Acquire(const std::string& tenant,
+                      std::int64_t requested_bytes, int priority = 0);
+
+  /// Non-blocking variant: returns an invalid grant if the request cannot
+  /// be funded right now (or if waiters of higher precedence are queued —
+  /// TryAcquire never jumps the admission queue).
+  BudgetGrant TryAcquire(const std::string& tenant,
+                         std::int64_t requested_bytes, int priority = 0);
+
+  /// Returns the granted bytes to the pool and wakes fundable waiters.
+  /// Idempotent: releasing an already-released or invalid grant is a
+  /// no-op.
+  void Release(BudgetGrant* grant);
+
+  /// Sets `tenant`'s reservation cap (0 = uncapped). Applies to future
+  /// admissions only; outstanding grants are never revoked.
+  void SetTenantQuota(const std::string& tenant, std::int64_t quota_bytes);
+
+  std::int64_t global_budget() const { return options_.global_budget; }
+  std::int64_t reserved_bytes() const;
+  std::int64_t free_bytes() const;
+  /// High-water mark of reserved_bytes — the witness that concurrent jobs
+  /// never over-committed the catalog.
+  std::int64_t peak_reserved_bytes() const;
+  std::int64_t tenant_reserved_bytes(const std::string& tenant) const;
+  std::size_t waiting_count() const;
+
+ private:
+  struct Waiter {
+    std::string tenant;
+    std::int64_t requested = 0;  // raw request; funding terms are
+                                 // recomputed at each admission pass
+    int priority = 0;
+    std::uint64_t seq = 0;
+    bool admitted = false;
+    std::int64_t granted = 0;
+  };
+
+  /// Effective quota for `tenant` (0 = uncapped → global budget).
+  std::int64_t QuotaFor(const std::string& tenant) const;
+  /// Request clamped to the tenant quota and the global budget.
+  std::int64_t ClampTargetLocked(const std::string& tenant,
+                                 std::int64_t requested_bytes) const;
+  /// Minimum acceptable grant for a clamped target.
+  std::int64_t FloorFor(std::int64_t target) const;
+  /// True if the waiter precedes `other` in admission order.
+  static bool Precedes(const Waiter& a, const Waiter& b);
+  /// Admits every fundable waiter in strict priority order (stops at the
+  /// first one that cannot be funded; zero-byte requests are admitted
+  /// unconditionally). Caller holds the lock.
+  void AdmitWaitersLocked();
+  void ReserveLocked(const std::string& tenant, std::int64_t bytes);
+  BudgetGrant MakeGrantLocked(const std::string& tenant,
+                              std::int64_t bytes);
+
+  const BudgetBrokerOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Waiter> waiters_;  // kept sorted by admission order
+  std::map<std::string, std::int64_t> quotas_;
+  std::map<std::string, std::int64_t> tenant_reserved_;
+  std::int64_t reserved_ = 0;
+  std::int64_t peak_reserved_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_grant_id_ = 1;
+};
+
+}  // namespace sc::service
+
+#endif  // SC_SERVICE_BUDGET_BROKER_H_

@@ -1,0 +1,174 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace sc::service {
+
+namespace {
+
+std::string EscapeJsonString(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics(std::size_t max_samples)
+    : max_samples_(max_samples == 0 ? 1 : max_samples) {}
+
+void ServiceMetrics::Record(const JobObservation& observation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantState& state = tenants_[observation.tenant];
+  TenantMetrics& totals = state.totals;
+  if (observation.ok) {
+    ++totals.jobs_completed;
+  } else {
+    ++totals.jobs_failed;
+  }
+  totals.total_queue_wait_seconds += observation.queue_wait_seconds;
+  totals.total_exec_seconds += observation.exec_seconds;
+  totals.bytes_requested += observation.requested_bytes;
+  totals.bytes_granted += observation.granted_bytes;
+  totals.catalog_hits += observation.catalog_hits;
+  totals.catalog_misses += observation.catalog_misses;
+  if (observation.plan_cache_hit) ++totals.plan_cache_hits;
+  if (observation.reoptimized) ++totals.reoptimizations;
+
+  const double latency =
+      observation.queue_wait_seconds + observation.exec_seconds;
+  if (state.latencies.size() < max_samples_) {
+    state.latencies.push_back(latency);
+  } else {
+    state.latencies[state.next_slot] = latency;
+    state.next_slot = (state.next_slot + 1) % max_samples_;
+  }
+}
+
+double ServiceMetrics::Percentile(const std::vector<double>& sorted,
+                                  double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+TenantMetrics ServiceMetrics::Finalize(const TenantState& state) const {
+  TenantMetrics metrics = state.totals;
+  std::vector<double> sorted = state.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  metrics.p50_latency_seconds = Percentile(sorted, 0.50);
+  metrics.p99_latency_seconds = Percentile(sorted, 0.99);
+  return metrics;
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  std::vector<double> all_latencies;
+  for (const auto& [tenant, state] : tenants_) {
+    snapshot.per_tenant[tenant] = Finalize(state);
+    const TenantMetrics& m = snapshot.per_tenant[tenant];
+    TenantMetrics& agg = snapshot.aggregate;
+    agg.jobs_completed += m.jobs_completed;
+    agg.jobs_failed += m.jobs_failed;
+    agg.total_queue_wait_seconds += m.total_queue_wait_seconds;
+    agg.total_exec_seconds += m.total_exec_seconds;
+    agg.bytes_requested += m.bytes_requested;
+    agg.bytes_granted += m.bytes_granted;
+    agg.catalog_hits += m.catalog_hits;
+    agg.catalog_misses += m.catalog_misses;
+    agg.plan_cache_hits += m.plan_cache_hits;
+    agg.reoptimizations += m.reoptimizations;
+    all_latencies.insert(all_latencies.end(), state.latencies.begin(),
+                         state.latencies.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  snapshot.aggregate.p50_latency_seconds =
+      Percentile(all_latencies, 0.50);
+  snapshot.aggregate.p99_latency_seconds =
+      Percentile(all_latencies, 0.99);
+  return snapshot;
+}
+
+std::string ServiceMetrics::FormatTable() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  TablePrinter table({"tenant", "jobs", "failed", "avg wait", "p50", "p99",
+                      "catalog hit%", "plan cache", "reopt"});
+  auto add = [&](const std::string& name, const TenantMetrics& m) {
+    table.AddRow({name, std::to_string(m.jobs_total()),
+                  std::to_string(m.jobs_failed),
+                  StrFormat("%.3fs", m.mean_queue_wait_seconds()),
+                  StrFormat("%.3fs", m.p50_latency_seconds),
+                  StrFormat("%.3fs", m.p99_latency_seconds),
+                  StrFormat("%.1f", 100.0 * m.catalog_hit_rate()),
+                  std::to_string(m.plan_cache_hits),
+                  std::to_string(m.reoptimizations)});
+  };
+  for (const auto& [tenant, metrics] : snapshot.per_tenant) {
+    add(tenant, metrics);
+  }
+  table.AddSeparator();
+  add("(all)", snapshot.aggregate);
+  return table.ToString();
+}
+
+std::string ServiceMetrics::ToJson() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::ostringstream out;
+  auto emit = [&](const TenantMetrics& m) {
+    out << "{\"jobs_completed\":" << m.jobs_completed
+        << ",\"jobs_failed\":" << m.jobs_failed
+        << ",\"mean_queue_wait_seconds\":"
+        << StrFormat("%.6f", m.mean_queue_wait_seconds())
+        << ",\"p50_latency_seconds\":"
+        << StrFormat("%.6f", m.p50_latency_seconds)
+        << ",\"p99_latency_seconds\":"
+        << StrFormat("%.6f", m.p99_latency_seconds)
+        << ",\"catalog_hit_rate\":"
+        << StrFormat("%.6f", m.catalog_hit_rate())
+        << ",\"bytes_requested\":" << m.bytes_requested
+        << ",\"bytes_granted\":" << m.bytes_granted
+        << ",\"plan_cache_hits\":" << m.plan_cache_hits
+        << ",\"reoptimizations\":" << m.reoptimizations << "}";
+  };
+  out << "{\"aggregate\":";
+  emit(snapshot.aggregate);
+  out << ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, metrics] : snapshot.per_tenant) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << EscapeJsonString(tenant) << "\":";
+    emit(metrics);
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace sc::service

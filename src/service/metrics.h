@@ -1,0 +1,97 @@
+#ifndef SC_SERVICE_METRICS_H_
+#define SC_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sc::service {
+
+/// One completed (or failed) job's observation, recorded by the service.
+struct JobObservation {
+  std::string tenant;
+  bool ok = false;
+  double queue_wait_seconds = 0.0;
+  double exec_seconds = 0.0;
+  std::int64_t requested_bytes = 0;
+  std::int64_t granted_bytes = 0;
+  std::int64_t catalog_hits = 0;
+  std::int64_t catalog_misses = 0;
+  bool plan_cache_hit = false;
+  bool reoptimized = false;
+};
+
+/// Aggregated view for one tenant (or the whole service).
+struct TenantMetrics {
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_failed = 0;
+  double total_queue_wait_seconds = 0.0;
+  double total_exec_seconds = 0.0;
+  std::int64_t bytes_requested = 0;
+  std::int64_t bytes_granted = 0;
+  std::int64_t catalog_hits = 0;
+  std::int64_t catalog_misses = 0;
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t reoptimizations = 0;
+  double p50_latency_seconds = 0.0;  // latency = queue wait + execution
+  double p99_latency_seconds = 0.0;
+
+  std::int64_t jobs_total() const { return jobs_completed + jobs_failed; }
+  double mean_queue_wait_seconds() const {
+    return jobs_total() == 0 ? 0.0
+                             : total_queue_wait_seconds / jobs_total();
+  }
+  double catalog_hit_rate() const {
+    const std::int64_t total = catalog_hits + catalog_misses;
+    return total == 0 ? 0.0 : static_cast<double>(catalog_hits) / total;
+  }
+  /// Jobs per second of busy execution time (not wall time).
+  double throughput_jobs_per_second() const {
+    return total_exec_seconds <= 0.0 ? 0.0
+                                     : jobs_completed / total_exec_seconds;
+  }
+};
+
+struct MetricsSnapshot {
+  TenantMetrics aggregate;
+  std::map<std::string, TenantMetrics> per_tenant;
+};
+
+/// Thread-safe metrics registry for the Refresh Service: per-tenant
+/// throughput, queue wait, catalog hit rate, and latency percentiles.
+/// Latency samples are retained per tenant (bounded by `max_samples`) so
+/// percentiles are exact until the bound, then computed over the most
+/// recent window.
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(std::size_t max_samples = 65536);
+
+  void Record(const JobObservation& observation);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Aligned per-tenant table for operators.
+  std::string FormatTable() const;
+  /// Machine-readable dump (stable key order) for benches and CI.
+  std::string ToJson() const;
+
+ private:
+  struct TenantState {
+    TenantMetrics totals;
+    std::vector<double> latencies;  // ring buffer once max_samples reached
+    std::size_t next_slot = 0;
+  };
+
+  static double Percentile(const std::vector<double>& sorted, double q);
+  TenantMetrics Finalize(const TenantState& state) const;
+
+  const std::size_t max_samples_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace sc::service
+
+#endif  // SC_SERVICE_METRICS_H_

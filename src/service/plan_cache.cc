@@ -1,0 +1,110 @@
+#include "service/plan_cache.h"
+
+#include <cstring>
+
+namespace sc::service {
+
+namespace {
+
+// FNV-1a: stable across processes, unlike std::hash.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(std::uint64_t* h, const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashInt(std::uint64_t* h, std::int64_t value) {
+  HashBytes(h, &value, sizeof(value));
+}
+
+void HashDouble(std::uint64_t* h, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  HashBytes(h, &bits, sizeof(bits));
+}
+
+void HashString(std::uint64_t* h, const std::string& s) {
+  HashInt(h, static_cast<std::int64_t>(s.size()));
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::uint64_t FingerprintGraph(const graph::Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  HashInt(&h, g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const graph::NodeInfo& info = g.node(v);
+    HashString(&h, info.name);
+    HashInt(&h, info.size_bytes);
+    HashDouble(&h, info.speedup_score);
+    HashDouble(&h, info.compute_seconds);
+    HashInt(&h, info.base_input_bytes);
+    HashDouble(&h, info.file_count);
+    for (graph::NodeId child : g.children(v)) {
+      HashInt(&h, child);
+    }
+    HashInt(&h, -1);  // edge-list terminator
+  }
+  return h;
+}
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<opt::Plan> PlanCache::Lookup(std::uint64_t fingerprint,
+                                           std::int64_t budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(Key{fingerprint, budget});
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  return it->second->plan;
+}
+
+void PlanCache::Insert(std::uint64_t fingerprint, std::int64_t budget,
+                       const opt::Plan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{fingerprint, budget};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = plan;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, plan});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace sc::service

@@ -1,0 +1,67 @@
+#ifndef SC_SERVICE_PLAN_CACHE_H_
+#define SC_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "graph/graph.h"
+#include "opt/types.h"
+
+namespace sc::service {
+
+/// Deterministic 64-bit fingerprint of a dependency graph: covers the
+/// node set (names, sizes, speedup scores, execution metadata) and the
+/// edge set. Two graphs with the same fingerprint yield the same
+/// optimization problem, so a cached plan is directly reusable.
+std::uint64_t FingerprintGraph(const graph::Graph& g);
+
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+};
+
+/// Thread-safe LRU cache of optimized refresh plans, keyed by
+/// (graph fingerprint, Memory-Catalog budget). Repeat refreshes of an
+/// unchanged workload at the same granted budget skip the alternating
+/// optimization entirely — the dominant non-execution cost of a job.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 128);
+
+  /// Returns the cached plan for (fingerprint, budget) or nullopt.
+  std::optional<opt::Plan> Lookup(std::uint64_t fingerprint,
+                                  std::int64_t budget);
+
+  /// Inserts (or refreshes) the plan for (fingerprint, budget), evicting
+  /// the least-recently-used entry when full.
+  void Insert(std::uint64_t fingerprint, std::int64_t budget,
+              const opt::Plan& plan);
+
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  using Key = std::pair<std::uint64_t, std::int64_t>;
+  struct Entry {
+    Key key;
+    opt::Plan plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace sc::service
+
+#endif  // SC_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,225 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "opt/optimizer.h"
+
+namespace sc::service {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RefreshService::RefreshService(storage::ThrottledDisk* disk,
+                               ServiceOptions options)
+    : disk_(disk),
+      options_(std::move(options)),
+      broker_([&] {
+        BudgetBrokerOptions broker_options;
+        broker_options.global_budget = options_.global_budget;
+        broker_options.default_tenant_quota = options_.default_tenant_quota;
+        broker_options.min_grant_fraction = options_.min_grant_fraction;
+        return broker_options;
+      }()),
+      plan_cache_(options_.plan_cache_capacity) {
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RefreshService::~RefreshService() { Shutdown(/*drain=*/true); }
+
+std::future<JobResult> RefreshService::Submit(RefreshJobSpec spec) {
+  if (spec.workload == nullptr) {
+    throw std::invalid_argument("RefreshService::Submit: null workload");
+  }
+  // Fingerprint outside the lock: it walks the whole graph.
+  const std::uint64_t fingerprint = FingerprintGraph(spec.workload->graph);
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->submit_seconds = MonotonicSeconds();
+  job->fingerprint = fingerprint;
+  std::future<JobResult> future = job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error(
+          "RefreshService::Submit: service is shut down");
+    }
+    job->id = next_job_id_++;
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void RefreshService::Shutdown(bool drain) {
+  std::vector<std::shared_ptr<Job>> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    if (!drain) {
+      while (!queue_.empty()) {
+        rejected.push_back(queue_.top());
+        queue_.pop();
+      }
+    }
+    // Workers exit once the queue is empty, so queued jobs drain first.
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& job : rejected) {
+    FailJob(*job, "service shutting down");
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void RefreshService::SetTenantQuota(const std::string& tenant,
+                                    std::int64_t quota_bytes) {
+  broker_.SetTenantQuota(tenant, quota_bytes);
+}
+
+std::size_t RefreshService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RefreshService::FailJob(Job& job, const std::string& error) {
+  JobResult result;
+  result.job_id = job.id;
+  result.tenant = job.spec.tenant;
+  result.report.ok = false;
+  result.report.error = error;
+  const double now = MonotonicSeconds();
+  if (job.admit_seconds > 0.0) {
+    // The job died mid-execution: time past admission is execution, not
+    // queue wait.
+    result.queue_wait_seconds = job.admit_seconds - job.submit_seconds;
+    result.exec_seconds = now - job.admit_seconds;
+  } else {
+    result.queue_wait_seconds = now - job.submit_seconds;
+  }
+  JobObservation observation;
+  observation.tenant = result.tenant;
+  observation.ok = false;
+  observation.queue_wait_seconds = result.queue_wait_seconds;
+  observation.exec_seconds = result.exec_seconds;
+  metrics_.Record(observation);
+  job.promise.set_value(std::move(result));
+}
+
+void RefreshService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = queue_.top();
+      queue_.pop();
+    }
+    try {
+      job->promise.set_value(Execute(*job));
+    } catch (const std::exception& e) {
+      FailJob(*job, std::string("internal service error: ") + e.what());
+    }
+  }
+}
+
+JobResult RefreshService::Execute(Job& job) {
+  const workload::MvWorkload& wl = *job.spec.workload;
+  JobResult result;
+  result.job_id = job.id;
+  result.tenant = job.spec.tenant;
+  result.requested_budget =
+      job.spec.requested_budget > 0 ? job.spec.requested_budget
+      : options_.default_job_budget > 0
+          ? options_.default_job_budget
+          : options_.global_budget;
+
+  BudgetGrant grant = broker_.Acquire(job.spec.tenant,
+                                      result.requested_budget,
+                                      job.spec.priority);
+  // Queue wait covers both the admission queue and budget arbitration:
+  // the job is "waiting" until it holds everything it needs to run.
+  job.admit_seconds = MonotonicSeconds();
+  result.queue_wait_seconds = job.admit_seconds - job.submit_seconds;
+  result.granted_budget = grant.bytes;
+  const double exec_start = job.admit_seconds;
+
+  try {
+    // The run executes at the granted budget, so that is the cache key
+    // that matters. On a miss, a cached requested-budget plan (from
+    // fully-funded jobs) is reused outright when it already fits the
+    // grant; otherwise the optimizer runs at the granted budget.
+    opt::Plan plan;
+    if (auto cached = plan_cache_.Lookup(job.fingerprint, grant.bytes)) {
+      plan = std::move(*cached);
+      result.plan_cache_hit = true;
+    } else {
+      std::optional<opt::Plan> seed;
+      if (grant.bytes != result.requested_budget) {
+        seed = plan_cache_.Lookup(job.fingerprint, result.requested_budget);
+      }
+      if (seed.has_value()) {
+        const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
+            wl.graph, *seed, grant.bytes, options_.optimizer);
+        plan = reopt.plan;
+        // iterations == 0 means the seed plan already fits the grant —
+        // the optimizer did not run again.
+        result.reoptimized = reopt.iterations > 0;
+        result.plan_cache_hit = !result.reoptimized;
+      } else {
+        plan = opt::AlternatingOptimize(wl.graph, grant.bytes,
+                                        options_.optimizer)
+                   .plan;
+      }
+      plan_cache_.Insert(job.fingerprint, grant.bytes, plan);
+    }
+
+    runtime::ControllerOptions controller_options;
+    controller_options.background_materialize =
+        options_.background_materialize;
+    runtime::Controller controller(disk_, controller_options);
+    // The grant, not the controller default, is the catalog budget.
+    result.report = controller.RunWithBudget(wl, plan, grant.bytes);
+  } catch (...) {
+    broker_.Release(&grant);
+    throw;
+  }
+  broker_.Release(&grant);
+  result.exec_seconds = MonotonicSeconds() - exec_start;
+
+  JobObservation observation;
+  observation.tenant = result.tenant;
+  observation.ok = result.report.ok;
+  observation.queue_wait_seconds = result.queue_wait_seconds;
+  observation.exec_seconds = result.exec_seconds;
+  observation.requested_bytes = result.requested_budget;
+  observation.granted_bytes = result.granted_budget;
+  observation.catalog_hits = result.report.catalog_hits;
+  observation.catalog_misses = result.report.catalog_misses;
+  observation.plan_cache_hit = result.plan_cache_hit;
+  observation.reoptimized = result.reoptimized;
+  metrics_.Record(observation);
+  return result;
+}
+
+}  // namespace sc::service

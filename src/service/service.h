@@ -1,0 +1,165 @@
+#ifndef SC_SERVICE_SERVICE_H_
+#define SC_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "opt/alternating.h"
+#include "runtime/controller.h"
+#include "service/budget_broker.h"
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "storage/throttled_disk.h"
+#include "workload/workloads.h"
+
+namespace sc::service {
+
+struct ServiceOptions {
+  /// Number of worker threads, each driving its own runtime::Controller.
+  int num_workers = 4;
+  /// Global Memory-Catalog bytes shared by all in-flight jobs.
+  std::int64_t global_budget = 256LL * 1024 * 1024;
+  /// Per-job budget request when the job does not name one. 0 = ask for
+  /// the whole global budget (the broker scales it down under load).
+  std::int64_t default_job_budget = 0;
+  /// Default per-tenant reservation cap (0 = uncapped); per-tenant
+  /// overrides via RefreshService::SetTenantQuota.
+  std::int64_t default_tenant_quota = 0;
+  /// Minimum fundable fraction of a request before admission (see
+  /// BudgetBrokerOptions::min_grant_fraction).
+  double min_grant_fraction = 0.25;
+  std::size_t plan_cache_capacity = 128;
+  /// Forwarded to each worker's Controller.
+  bool background_materialize = true;
+  /// Optimizer configuration used when a job misses the plan cache.
+  opt::AlternatingOptions optimizer;
+};
+
+/// One refresh job: an annotated workload (speedup scores present, e.g.
+/// via Controller::ProfileAndAnnotate or workload::AnnotateWorkload)
+/// plus tenant identity and scheduling hints. The workload is shared —
+/// submitting the same workload from many tenants copies nothing.
+///
+/// MV node names are warehouse table names and form one global
+/// namespace on the service's disk (the paper's Hive-warehouse model):
+/// two jobs naming the same MV refresh the same table. Workloads that
+/// must not share state must use distinct node names.
+struct RefreshJobSpec {
+  std::shared_ptr<const workload::MvWorkload> workload;
+  std::string tenant = "default";
+  /// Higher runs earlier; admission and budget arbitration are both
+  /// priority-aware.
+  int priority = 0;
+  /// Memory-Catalog bytes this job asks the broker for. 0 = the service
+  /// default. The grant may be smaller; the plan is then re-optimized at
+  /// the granted budget.
+  std::int64_t requested_budget = 0;
+};
+
+struct JobResult {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  runtime::RunReport report;
+  std::int64_t requested_budget = 0;
+  std::int64_t granted_budget = 0;
+  double queue_wait_seconds = 0.0;
+  double exec_seconds = 0.0;
+  bool plan_cache_hit = false;
+  bool reoptimized = false;
+};
+
+/// The serving layer (ROADMAP north star): a concurrent, multi-tenant
+/// refresh engine on top of the paper's single-run S/C design.
+///
+///   Submit(job) -> admission queue -> worker -> BudgetBroker::Acquire
+///     -> PlanCache lookup / opt::AlternatingOptimize at the granted
+///        budget -> runtime::Controller::RunWithBudget -> Release
+///
+/// N workers drive independent Controllers against one shared
+/// ThrottledDisk; the BudgetBroker guarantees that the sum of all
+/// concurrent Memory-Catalog reservations never exceeds the global
+/// budget, with per-tenant quotas and priority-aware admission. Jobs
+/// whose flagged set cannot be funded at their granted budget are
+/// re-optimized before execution, never rejected.
+class RefreshService {
+ public:
+  RefreshService(storage::ThrottledDisk* disk, ServiceOptions options);
+  ~RefreshService();
+
+  RefreshService(const RefreshService&) = delete;
+  RefreshService& operator=(const RefreshService&) = delete;
+
+  /// Enqueues a job; the future resolves when the job finishes (check
+  /// result.report.ok — execution failures are reported, not thrown).
+  /// Throws std::invalid_argument for a null workload and
+  /// std::runtime_error after Shutdown.
+  std::future<JobResult> Submit(RefreshJobSpec spec);
+
+  /// Stops accepting work. With `drain` (default) runs every queued job
+  /// to completion first; otherwise pending jobs fail with a "service
+  /// shutting down" report. Idempotent; also called by the destructor.
+  void Shutdown(bool drain = true);
+
+  void SetTenantQuota(const std::string& tenant, std::int64_t quota_bytes);
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  const BudgetBroker& broker() const { return broker_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  std::size_t queue_depth() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    RefreshJobSpec spec;
+    std::promise<JobResult> promise;
+    double submit_seconds = 0.0;
+    /// Set once the budget grant is held; lets FailJob split queue wait
+    /// from execution time for jobs that die mid-run.
+    double admit_seconds = 0.0;
+    std::uint64_t fingerprint = 0;
+  };
+  struct QueueOrder {
+    bool operator()(const std::shared_ptr<Job>& a,
+                    const std::shared_ptr<Job>& b) const {
+      if (a->spec.priority != b->spec.priority) {
+        return a->spec.priority < b->spec.priority;  // max-heap on priority
+      }
+      return a->id > b->id;  // FIFO within a priority level
+    }
+  };
+
+  void WorkerLoop();
+  JobResult Execute(Job& job);
+  /// Resolves `job`'s promise with a failed report and records the
+  /// failure in the metrics registry.
+  void FailJob(Job& job, const std::string& error);
+
+  storage::ThrottledDisk* disk_;
+  const ServiceOptions options_;
+  BudgetBroker broker_;
+  PlanCache plan_cache_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<std::shared_ptr<Job>,
+                      std::vector<std::shared_ptr<Job>>, QueueOrder>
+      queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::uint64_t next_job_id_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sc::service
+
+#endif  // SC_SERVICE_SERVICE_H_

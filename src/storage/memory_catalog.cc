@@ -10,18 +10,28 @@ MemoryCatalog::MemoryCatalog(std::int64_t budget_bytes)
 bool MemoryCatalog::Put(const std::string& name, engine::TablePtr table,
                         std::int64_t size) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (size < 0 || used_ + size > budget_) return false;
+  const std::int64_t used = used_.load(std::memory_order_relaxed);
+  if (size < 0 || used + size > budget_) return false;
   auto [it, inserted] = entries_.emplace(name, Entry{std::move(table), size});
   if (!inserted) return false;
-  used_ += size;
-  peak_ = std::max(peak_, used_);
+  const std::int64_t now = used + size;
+  used_.store(now, std::memory_order_relaxed);
+  // The mutex serializes writers, so a plain max-update suffices.
+  if (now > peak_.load(std::memory_order_relaxed)) {
+    peak_.store(now, std::memory_order_relaxed);
+  }
   return true;
 }
 
 engine::TablePtr MemoryCatalog::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.table;
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.table;
 }
 
 bool MemoryCatalog::Contains(const std::string& name) const {
@@ -33,18 +43,8 @@ void MemoryCatalog::Release(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
-  used_ -= it->second.size;
+  used_.fetch_sub(it->second.size, std::memory_order_relaxed);
   entries_.erase(it);
-}
-
-std::int64_t MemoryCatalog::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return used_;
-}
-
-std::int64_t MemoryCatalog::peak_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_;
 }
 
 std::size_t MemoryCatalog::size() const {
@@ -55,7 +55,7 @@ std::size_t MemoryCatalog::size() const {
 void MemoryCatalog::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
-  used_ = 0;
+  used_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sc::storage

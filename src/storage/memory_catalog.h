@@ -1,6 +1,7 @@
 #ifndef SC_STORAGE_MEMORY_CATALOG_H_
 #define SC_STORAGE_MEMORY_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -15,10 +16,14 @@ namespace sc::storage {
 /// served at memory speed; entries are released once every dependent node
 /// has consumed them and the background materialization finished.
 ///
-/// Thread-safe. Put() enforces the budget strictly: the Controller (and
-/// the optimizer's feasibility guarantee) must release entries before
-/// creating new ones, so a failed Put is a plan bug, not a runtime
-/// condition to paper over.
+/// Thread-safe: map mutations are mutex-guarded; byte usage, high-water
+/// mark, and hit/miss counters are atomics so that monitoring reads
+/// (used_bytes(), peak_bytes(), hits(), misses()) never contend with
+/// concurrent Put/Get/Release from refresh workers.
+///
+/// Put() enforces the budget strictly: the Controller (and the optimizer's
+/// feasibility guarantee) must release entries before creating new ones,
+/// so a failed Put is a plan bug, not a runtime condition to paper over.
 class MemoryCatalog {
  public:
   explicit MemoryCatalog(std::int64_t budget_bytes);
@@ -29,7 +34,7 @@ class MemoryCatalog {
   bool Put(const std::string& name, engine::TablePtr table,
            std::int64_t size);
 
-  /// Returns the table or nullptr if not resident.
+  /// Returns the table or nullptr if not resident. Counts a hit or miss.
   engine::TablePtr Get(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
@@ -37,11 +42,22 @@ class MemoryCatalog {
   /// Releases `name`, freeing its bytes. No-op if absent.
   void Release(const std::string& name);
 
-  std::int64_t used_bytes() const;
+  std::int64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
   std::int64_t budget_bytes() const { return budget_; }
   /// High-water mark of used_bytes over the catalog's lifetime.
-  std::int64_t peak_bytes() const;
+  std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const;
+
+  /// Lookup counters: a hit is a Get() served from memory, a miss a Get()
+  /// that fell through to external storage. Survive Clear().
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// Drops all entries (end of a refresh run).
   void Clear();
@@ -55,8 +71,10 @@ class MemoryCatalog {
   const std::int64_t budget_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
-  std::int64_t used_ = 0;
-  std::int64_t peak_ = 0;
+  std::atomic<std::int64_t> used_{0};
+  std::atomic<std::int64_t> peak_{0};
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
 };
 
 }  // namespace sc::storage

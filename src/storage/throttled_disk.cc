@@ -1,7 +1,10 @@
 #include "storage/throttled_disk.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <optional>
+#include <shared_mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -13,6 +16,7 @@ namespace fs = std::filesystem;
 
 ThrottledDisk::ThrottledDisk(std::string root_dir, DiskProfile profile)
     : root_dir_(std::move(root_dir)), profile_(profile) {
+  profile_.channels = std::max(1, profile_.channels);
   fs::create_directories(root_dir_);
 }
 
@@ -38,6 +42,29 @@ void ThrottledDisk::PadToTarget(double start_monotonic, std::int64_t bytes,
   }
 }
 
+std::shared_ptr<std::shared_mutex> ThrottledDisk::FileLock(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = file_locks_[name];
+  if (slot == nullptr) slot = std::make_shared<std::shared_mutex>();
+  return slot;
+}
+
+void ThrottledDisk::AcquireChannel() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  channel_cv_.wait(lock,
+                   [this] { return active_channels_ < profile_.channels; });
+  ++active_channels_;
+}
+
+void ThrottledDisk::ReleaseChannel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_channels_;
+  }
+  channel_cv_.notify_one();
+}
+
 void ThrottledDisk::InjectWriteFailure(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   write_failures_.insert(name);
@@ -45,26 +72,56 @@ void ThrottledDisk::InjectWriteFailure(const std::string& name) {
 
 std::int64_t ThrottledDisk::WriteTable(const std::string& name,
                                        const engine::Table& table) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = write_failures_.find(name); it != write_failures_.end()) {
-    write_failures_.erase(it);
-    throw std::runtime_error("injected write failure for table " + name);
+  // Lock order: per-file lock, then a channel slot. Writers exclude
+  // everything on the same name; operations on distinct files overlap up
+  // to the channel count.
+  const std::shared_ptr<std::shared_mutex> file_lock = FileLock(name);
+  std::unique_lock<std::shared_mutex> file_guard(*file_lock);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = write_failures_.find(name);
+        it != write_failures_.end()) {
+      write_failures_.erase(it);
+      throw std::runtime_error("injected write failure for table " + name);
+    }
   }
+  AcquireChannel();
   const double start = Now();
-  const std::int64_t bytes = WriteTableFile(table, PathFor(name));
-  PadToTarget(start, bytes, profile_.write_bw);
-  total_write_seconds_ += Now() - start;
+  std::int64_t bytes = 0;
+  try {
+    bytes = WriteTableFile(table, PathFor(name));
+    PadToTarget(start, bytes, profile_.write_bw);
+  } catch (...) {
+    ReleaseChannel();
+    throw;
+  }
+  ReleaseChannel();
+  const double elapsed = Now() - start;
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_write_seconds_ += elapsed;
   return bytes;
 }
 
 engine::Table ThrottledDisk::ReadTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<std::shared_mutex> file_lock = FileLock(name);
+  std::shared_lock<std::shared_mutex> file_guard(*file_lock);
+  AcquireChannel();
   const double start = Now();
-  engine::Table table = ReadTableFile(PathFor(name));
-  const std::int64_t bytes = SerializedSize(table);
-  PadToTarget(start, bytes, profile_.read_bw);
-  total_read_seconds_ += Now() - start;
-  return table;
+  std::optional<engine::Table> table;
+  try {
+    table.emplace(ReadTableFile(PathFor(name)));
+    PadToTarget(start, SerializedSize(*table), profile_.read_bw);
+  } catch (...) {
+    ReleaseChannel();
+    throw;
+  }
+  ReleaseChannel();
+  const double elapsed = Now() - start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_read_seconds_ += elapsed;
+  }
+  return std::move(*table);
 }
 
 bool ThrottledDisk::Exists(const std::string& name) const {
@@ -74,6 +131,13 @@ bool ThrottledDisk::Exists(const std::string& name) const {
 void ThrottledDisk::Remove(const std::string& name) {
   std::error_code ec;
   fs::remove(PathFor(name), ec);
+  // Drop the per-file lock unless an operation still holds a reference,
+  // so run-scoped table names don't accumulate locks forever.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = file_locks_.find(name);
+  if (it != file_locks_.end() && it->second.use_count() == 1) {
+    file_locks_.erase(it);
+  }
 }
 
 std::int64_t ThrottledDisk::FileSize(const std::string& name) const {
@@ -81,6 +145,16 @@ std::int64_t ThrottledDisk::FileSize(const std::string& name) const {
   const auto size = fs::file_size(PathFor(name), ec);
   if (ec) return -1;
   return static_cast<std::int64_t>(size);
+}
+
+double ThrottledDisk::total_read_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_read_seconds_;
+}
+
+double ThrottledDisk::total_write_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_write_seconds_;
 }
 
 }  // namespace sc::storage

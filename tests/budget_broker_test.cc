@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/budget_broker.h"
+
+namespace sc::service {
+namespace {
+
+BudgetBrokerOptions Opts(std::int64_t global,
+                         std::int64_t default_quota = 0,
+                         double min_fraction = 0.25) {
+  BudgetBrokerOptions options;
+  options.global_budget = global;
+  options.default_tenant_quota = default_quota;
+  options.min_grant_fraction = min_fraction;
+  return options;
+}
+
+TEST(BudgetBrokerTest, GrantsFullRequestWhenFree) {
+  BudgetBroker broker(Opts(1000));
+  BudgetGrant grant = broker.Acquire("a", 400);
+  EXPECT_TRUE(grant.valid());
+  EXPECT_EQ(grant.bytes, 400);
+  EXPECT_EQ(broker.reserved_bytes(), 400);
+  EXPECT_EQ(broker.free_bytes(), 600);
+  broker.Release(&grant);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, ReleaseIsIdempotent) {
+  BudgetBroker broker(Opts(1000));
+  BudgetGrant grant = broker.Acquire("a", 100);
+  broker.Release(&grant);
+  EXPECT_FALSE(grant.valid());
+  broker.Release(&grant);  // no-op
+  broker.Release(nullptr);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, RequestClampedToGlobalBudget) {
+  BudgetBroker broker(Opts(1000));
+  BudgetGrant grant = broker.Acquire("a", 5000);
+  EXPECT_EQ(grant.bytes, 1000);
+  broker.Release(&grant);
+}
+
+TEST(BudgetBrokerTest, ZeroRequestGrantedImmediately) {
+  BudgetBroker broker(Opts(1000));
+  BudgetGrant big = broker.Acquire("a", 1000);
+  BudgetGrant zero = broker.Acquire("b", 0);  // must not block
+  EXPECT_TRUE(zero.valid());
+  EXPECT_EQ(zero.bytes, 0);
+  broker.Release(&big);
+  broker.Release(&zero);
+}
+
+TEST(BudgetBrokerTest, ZeroRequestPassesUnfundableHead) {
+  // A zero-byte grant reserves nothing, so it must be admitted even
+  // while a large request waits unfunded at the head of the queue.
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant held = broker.Acquire("a", 1000);
+  std::thread blocked([&] {
+    BudgetGrant grant = broker.Acquire("big", 800);
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  BudgetGrant zero = broker.Acquire("c", 0);  // must not block behind big
+  EXPECT_TRUE(zero.valid());
+  EXPECT_EQ(zero.bytes, 0);
+  broker.Release(&held);
+  blocked.join();
+  broker.Release(&zero);
+}
+
+TEST(BudgetBrokerTest, QuotaLoweredUnderPendingWaiterDoesNotWedge) {
+  // The waiter's funding terms must follow the current quota: shrinking
+  // a tenant's quota below the original floor re-floors the request
+  // instead of stranding it (and the whole queue) forever.
+  BudgetBroker broker(Opts(1000, 0, 0.25));
+  BudgetGrant held = broker.Acquire("other", 1000);
+  std::atomic<std::int64_t> granted{-1};
+  std::thread waiter([&] {
+    BudgetGrant grant = broker.Acquire("x", 800);  // original floor 200
+    granted = grant.bytes;
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker.SetTenantQuota("x", 100);  // below the original floor
+  broker.Release(&held);
+  waiter.join();  // must not hang
+  EXPECT_GT(granted.load(), 0);
+  EXPECT_LE(granted.load(), 100);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, PartialGrantUnderContention) {
+  BudgetBroker broker(Opts(1000, 0, 0.25));
+  BudgetGrant first = broker.Acquire("a", 700);
+  // 300 free; request of 800 has floor 200, so it is funded partially.
+  BudgetGrant second = broker.Acquire("b", 800);
+  EXPECT_EQ(second.bytes, 300);
+  EXPECT_EQ(broker.reserved_bytes(), 1000);
+  broker.Release(&first);
+  broker.Release(&second);
+}
+
+TEST(BudgetBrokerTest, TenantQuotaEnforced) {
+  BudgetBroker broker(Opts(1000, /*default_quota=*/300));
+  BudgetGrant grant = broker.Acquire("a", 900);
+  EXPECT_EQ(grant.bytes, 300);  // clamped to the tenant quota
+  EXPECT_EQ(broker.tenant_reserved_bytes("a"), 300);
+  // A different tenant still has global headroom.
+  BudgetGrant other = broker.Acquire("b", 300);
+  EXPECT_EQ(other.bytes, 300);
+  broker.Release(&grant);
+  broker.Release(&other);
+}
+
+TEST(BudgetBrokerTest, QuotaAboveGlobalBudgetCannotWedgeAdmission) {
+  // A quota larger than the pool must not produce a floor no grant can
+  // ever satisfy (which would block the queue head forever).
+  BudgetBroker broker(Opts(1000, 0, 0.5));
+  broker.SetTenantQuota("huge", 100000);
+  BudgetGrant grant = broker.Acquire("huge", 50000);
+  EXPECT_EQ(grant.bytes, 1000);  // clamped to the global budget
+  broker.Release(&grant);
+  BudgetGrant tried = broker.TryAcquire("huge", 50000);
+  EXPECT_TRUE(tried.valid());
+  EXPECT_EQ(tried.bytes, 1000);
+  broker.Release(&tried);
+}
+
+TEST(BudgetBrokerTest, PerTenantQuotaOverride) {
+  BudgetBroker broker(Opts(1000, 300));
+  broker.SetTenantQuota("vip", 800);
+  BudgetGrant grant = broker.Acquire("vip", 900);
+  EXPECT_EQ(grant.bytes, 800);
+  broker.Release(&grant);
+}
+
+TEST(BudgetBrokerTest, TryAcquireDoesNotBlockOrOvercommit) {
+  BudgetBroker broker(Opts(1000, 0, 0.5));
+  BudgetGrant held = broker.Acquire("a", 900);
+  // 100 free, floor of a 400-byte request at fraction .5 is 200: refuse.
+  BudgetGrant refused = broker.TryAcquire("b", 400);
+  EXPECT_FALSE(refused.valid());
+  BudgetGrant small = broker.TryAcquire("b", 100);
+  EXPECT_TRUE(small.valid());
+  EXPECT_EQ(small.bytes, 100);
+  EXPECT_LE(broker.reserved_bytes(), 1000);
+  broker.Release(&held);
+  broker.Release(&small);
+}
+
+TEST(BudgetBrokerTest, BlockedAcquireWakesOnRelease) {
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant held = broker.Acquire("a", 1000);
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    BudgetGrant grant = broker.Acquire("b", 500);
+    granted = true;
+    broker.Release(&grant);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  EXPECT_EQ(broker.waiting_count(), 1u);
+  broker.Release(&held);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, HigherPriorityWaiterIsFundedFirst) {
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant held = broker.Acquire("a", 1000);
+
+  std::atomic<int> low_order{0};
+  std::atomic<int> high_order{0};
+  std::atomic<int> next{1};
+  std::thread low([&] {
+    BudgetGrant grant = broker.Acquire("low", 600, /*priority=*/0);
+    low_order = next.fetch_add(1);
+    broker.Release(&grant);
+  });
+  // Let the low-priority request queue up first.
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread high([&] {
+    BudgetGrant grant = broker.Acquire("high", 600, /*priority=*/5);
+    high_order = next.fetch_add(1);
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker.Release(&held);
+  low.join();
+  high.join();
+  // The later-arriving high-priority request preempted the queue.
+  EXPECT_LT(high_order.load(), low_order.load());
+}
+
+TEST(BudgetBrokerTest, UnfundableHeadBlocksLowerPrecedence) {
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant held = broker.Acquire("a", 600);
+  std::thread big([&] {
+    // Needs 800, only 400 free: waits at the head of the queue.
+    BudgetGrant grant = broker.Acquire("big", 800, /*priority=*/5);
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fundable in isolation, but must not jump over the waiting head.
+  BudgetGrant refused = broker.TryAcquire("small", 100, /*priority=*/0);
+  EXPECT_FALSE(refused.valid());
+  broker.Release(&held);
+  big.join();
+}
+
+TEST(BudgetBrokerTest, QuotaStalledWaiterDoesNotConvoyOtherTenants) {
+  // A waiter blocked by its own tenant quota (not the pool) must not
+  // hold up admission of other tenants queued behind it.
+  BudgetBroker broker(Opts(1000, 0, 0.25));
+  broker.SetTenantQuota("a", 100);
+  BudgetGrant first = broker.Acquire("a", 100);  // exhausts a's quota
+  std::atomic<std::int64_t> second_bytes{-1};
+  std::thread stalled([&] {
+    BudgetGrant grant = broker.Acquire("a", 100);  // waits on own quota
+    second_bytes = grant.bytes;
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Tenant b, queued behind the stalled waiter, is funded from the
+  // plentiful free pool immediately.
+  BudgetGrant other = broker.Acquire("b", 500);
+  EXPECT_EQ(other.bytes, 500);
+  EXPECT_EQ(second_bytes.load(), -1);  // a's second job still waits
+  broker.Release(&first);              // frees a's quota
+  stalled.join();
+  EXPECT_EQ(second_bytes.load(), 100);
+  broker.Release(&other);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, ConcurrentAcquireReleaseNeverOverReserves) {
+  const std::int64_t global = 1000;
+  BudgetBroker broker(Opts(global, /*default_quota=*/400));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&broker, t] {
+      const std::string tenant = "t" + std::to_string(t % 3);
+      for (int i = 0; i < 100; ++i) {
+        BudgetGrant grant =
+            broker.Acquire(tenant, 50 + 37 * (i % 7), i % 3);
+        EXPECT_LE(grant.bytes, 400);
+        broker.Release(&grant);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+  EXPECT_LE(broker.peak_reserved_bytes(), global);
+  EXPECT_GT(broker.peak_reserved_bytes(), 0);
+  EXPECT_EQ(broker.waiting_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sc::service

@@ -76,6 +76,43 @@ TEST(MemoryCatalogTest, ClearDropsEverything) {
   EXPECT_EQ(catalog.peak_bytes(), 30);  // peak survives Clear
 }
 
+TEST(MemoryCatalogTest, CountsHitsAndMisses) {
+  MemoryCatalog catalog(100);
+  catalog.Put("a", Tiny(), 10);
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_EQ(catalog.Get("ghost"), nullptr);
+  EXPECT_EQ(catalog.hits(), 2);
+  EXPECT_EQ(catalog.misses(), 1);
+  catalog.Clear();
+  EXPECT_EQ(catalog.hits(), 2);  // counters survive Clear
+}
+
+TEST(MemoryCatalogTest, ConcurrentMixedOpsKeepAccountingConsistent) {
+  MemoryCatalog catalog(10000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&catalog, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::string name =
+            "t" + std::to_string(t) + "_" + std::to_string(i % 10);
+        if (catalog.Put(name, Tiny(), 7)) {
+          catalog.Get(name);
+          catalog.Release(name);
+        } else {
+          catalog.Get(name);
+        }
+        catalog.used_bytes();  // lock-free monitoring read
+        catalog.peak_bytes();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(catalog.used_bytes(), 0);
+  EXPECT_LE(catalog.peak_bytes(), 10000);
+  EXPECT_GT(catalog.hits() + catalog.misses(), 0);
+}
+
 TEST(MemoryCatalogTest, ConcurrentPutsStayWithinBudget) {
   MemoryCatalog catalog(1000);
   std::vector<std::thread> threads;

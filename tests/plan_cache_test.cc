@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "graph/topo.h"
+#include "service/plan_cache.h"
+
+namespace sc::service {
+namespace {
+
+graph::Graph DiamondGraph() {
+  graph::Graph g;
+  const auto a = g.AddNode("a", 100, 2.0);
+  const auto b = g.AddNode("b", 200, 1.0);
+  const auto c = g.AddNode("c", 300, 0.5);
+  const auto d = g.AddNode("d", 50, 0.0);
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  g.AddEdge(b, d);
+  g.AddEdge(c, d);
+  return g;
+}
+
+opt::Plan PlanFor(const graph::Graph& g,
+                  const std::vector<graph::NodeId>& flagged) {
+  opt::Plan plan;
+  plan.order = graph::KahnTopologicalOrder(g);
+  plan.flags = opt::MakeFlags(g.num_nodes(), flagged);
+  return plan;
+}
+
+TEST(FingerprintTest, StableAcrossIdenticalConstructions) {
+  EXPECT_EQ(FingerprintGraph(DiamondGraph()),
+            FingerprintGraph(DiamondGraph()));
+}
+
+TEST(FingerprintTest, SensitiveToMetadataAndStructure) {
+  const std::uint64_t base = FingerprintGraph(DiamondGraph());
+
+  graph::Graph resized = DiamondGraph();
+  resized.mutable_node(0).size_bytes = 101;
+  EXPECT_NE(FingerprintGraph(resized), base);
+
+  graph::Graph rescored = DiamondGraph();
+  rescored.mutable_node(1).speedup_score = 9.0;
+  EXPECT_NE(FingerprintGraph(rescored), base);
+
+  graph::Graph renamed = DiamondGraph();
+  renamed.mutable_node(2).name = "c2";
+  EXPECT_NE(FingerprintGraph(renamed), base);
+
+  graph::Graph extra_edge = DiamondGraph();
+  extra_edge.AddEdge(0, 3);
+  EXPECT_NE(FingerprintGraph(extra_edge), base);
+}
+
+TEST(PlanCacheTest, LookupIsBudgetKeyed) {
+  const graph::Graph g = DiamondGraph();
+  const std::uint64_t fp = FingerprintGraph(g);
+  PlanCache cache(8);
+  cache.Insert(fp, 1000, PlanFor(g, {0, 1}));
+  cache.Insert(fp, 500, PlanFor(g, {0}));
+
+  auto at_1000 = cache.Lookup(fp, 1000);
+  ASSERT_TRUE(at_1000.has_value());
+  EXPECT_EQ(opt::FlaggedNodes(at_1000->flags),
+            (std::vector<graph::NodeId>{0, 1}));
+
+  auto at_500 = cache.Lookup(fp, 500);
+  ASSERT_TRUE(at_500.has_value());
+  EXPECT_EQ(opt::FlaggedNodes(at_500->flags),
+            (std::vector<graph::NodeId>{0}));
+
+  EXPECT_FALSE(cache.Lookup(fp, 250).has_value());
+  EXPECT_FALSE(cache.Lookup(fp + 1, 1000).has_value());
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.insertions, 2);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  const graph::Graph g = DiamondGraph();
+  const std::uint64_t fp = FingerprintGraph(g);
+  PlanCache cache(2);
+  cache.Insert(fp, 1, PlanFor(g, {}));
+  cache.Insert(fp, 2, PlanFor(g, {}));
+  cache.Lookup(fp, 1);         // budget 1 is now most recently used
+  cache.Insert(fp, 3, PlanFor(g, {}));  // evicts budget 2
+  EXPECT_TRUE(cache.Lookup(fp, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(fp, 2).has_value());
+  EXPECT_TRUE(cache.Lookup(fp, 3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshesEntry) {
+  const graph::Graph g = DiamondGraph();
+  const std::uint64_t fp = FingerprintGraph(g);
+  PlanCache cache(4);
+  cache.Insert(fp, 1000, PlanFor(g, {0}));
+  cache.Insert(fp, 1000, PlanFor(g, {0, 1}));
+  EXPECT_EQ(cache.size(), 1u);
+  auto plan = cache.Lookup(fp, 1000);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(opt::FlaggedNodes(plan->flags),
+            (std::vector<graph::NodeId>{0, 1}));
+}
+
+TEST(PlanCacheTest, ConcurrentAccessIsSafe) {
+  const graph::Graph g = DiamondGraph();
+  const std::uint64_t fp = FingerprintGraph(g);
+  PlanCache cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::int64_t budget = (t * 7 + i) % 32;
+        if (i % 3 == 0) {
+          cache.Insert(fp, budget, PlanFor(g, {}));
+        } else {
+          auto plan = cache.Lookup(fp, budget);
+          if (plan.has_value()) {
+            EXPECT_EQ(plan->flags.size(),
+                      static_cast<std::size_t>(g.num_nodes()));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace sc::service

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "runtime/controller.h"
+#include "service/service.h"
+#include "workload/datagen.h"
+#include "workload/workloads.h"
+
+namespace sc::service {
+namespace {
+
+storage::DiskProfile FastDisk() {
+  storage::DiskProfile profile;
+  profile.throttle = false;
+  return profile;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/sc_service_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Loads tiny TPC-DS data into `disk` and returns the Io1 workload with
+/// observed execution metadata (sizes, compute times, speedup scores).
+std::shared_ptr<const workload::MvWorkload> AnnotatedWorkload(
+    storage::ThrottledDisk* disk) {
+  workload::DataGenOptions data_options;
+  data_options.scale = 0.03;
+  runtime::Controller profiler(disk, runtime::ControllerOptions{});
+  profiler.LoadBaseTables(workload::GenerateTpcdsData(data_options));
+  auto wl = std::make_shared<workload::MvWorkload>(workload::BuildIo1());
+  const runtime::RunReport report = profiler.ProfileAndAnnotate(wl.get());
+  EXPECT_TRUE(report.ok) << report.error;
+  return wl;
+}
+
+TEST(RefreshServiceTest, StressConcurrentTenantsNeverExceedGlobalBudget) {
+  storage::ThrottledDisk disk(FreshDir("stress"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+
+  const std::int64_t global_budget = 16LL * 1024 * 1024;
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.global_budget = global_budget;
+  RefreshService service(&disk, options);
+
+  // 12 jobs from 3 tenants asking for half or three quarters of the
+  // global budget, so concurrent grants contend and some jobs run on
+  // partial funding (and re-optimize at their granted budget).
+  constexpr int kJobs = 12;
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    RefreshJobSpec spec;
+    spec.workload = wl;
+    spec.tenant = "tenant" + std::to_string(i % 3);
+    spec.priority = i % 2;
+    spec.requested_budget =
+        i % 2 == 0 ? global_budget / 2 : 3 * global_budget / 4;
+    futures.push_back(service.Submit(std::move(spec)));
+  }
+
+  for (auto& future : futures) {
+    const JobResult result = future.get();
+    EXPECT_TRUE(result.report.ok) << result.report.error;
+    EXPECT_GT(result.granted_budget, 0);
+    EXPECT_LE(result.granted_budget, result.requested_budget);
+    // Each run stayed inside its granted slice of the catalog.
+    EXPECT_LE(result.report.peak_memory, result.granted_budget);
+  }
+
+  // The arbitration invariant: concurrent reservations never exceeded
+  // the global budget, and everything was handed back.
+  EXPECT_LE(service.broker().peak_reserved_bytes(), global_budget);
+  EXPECT_GT(service.broker().peak_reserved_bytes(), 0);
+  service.Shutdown();
+  EXPECT_EQ(service.broker().reserved_bytes(), 0);
+
+  const MetricsSnapshot snapshot = service.metrics().Snapshot();
+  EXPECT_EQ(snapshot.aggregate.jobs_completed, kJobs);
+  EXPECT_EQ(snapshot.aggregate.jobs_failed, 0);
+  EXPECT_EQ(snapshot.per_tenant.size(), 3u);
+  EXPECT_GT(snapshot.aggregate.p99_latency_seconds, 0.0);
+  EXPECT_GE(snapshot.aggregate.p99_latency_seconds,
+            snapshot.aggregate.p50_latency_seconds);
+}
+
+TEST(RefreshServiceTest, RepeatRefreshHitsPlanCache) {
+  storage::ThrottledDisk disk(FreshDir("plancache"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.global_budget = 16LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "repeat";
+  const JobResult first = service.Submit(spec).get();
+  EXPECT_TRUE(first.report.ok) << first.report.error;
+  EXPECT_FALSE(first.plan_cache_hit);
+
+  const JobResult second = service.Submit(spec).get();
+  EXPECT_TRUE(second.report.ok) << second.report.error;
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_GE(service.plan_cache().stats().hits, 1);
+}
+
+TEST(RefreshServiceTest, CatalogStatsFlowIntoMetrics) {
+  storage::ThrottledDisk disk(FreshDir("catstats"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.global_budget = 16LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "stats";
+  const JobResult result = service.Submit(spec).get();
+  ASSERT_TRUE(result.report.ok) << result.report.error;
+  // A funded run serves at least one input from the Memory Catalog.
+  EXPECT_GT(result.report.catalog_hits, 0);
+  EXPECT_GT(result.report.CatalogHitRate(), 0.0);
+
+  const MetricsSnapshot snapshot = service.metrics().Snapshot();
+  const auto it = snapshot.per_tenant.find("stats");
+  ASSERT_NE(it, snapshot.per_tenant.end());
+  EXPECT_GT(it->second.catalog_hit_rate(), 0.0);
+  EXPECT_FALSE(service.metrics().ToJson().empty());
+  EXPECT_FALSE(service.metrics().FormatTable().empty());
+}
+
+TEST(RefreshServiceTest, TenantQuotaCapsGrant) {
+  storage::ThrottledDisk disk(FreshDir("quota"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.global_budget = 16LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+  const std::int64_t quota = 2LL * 1024 * 1024;
+  service.SetTenantQuota("capped", quota);
+
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "capped";
+  spec.requested_budget = 8LL * 1024 * 1024;
+  const JobResult result = service.Submit(spec).get();
+  EXPECT_TRUE(result.report.ok) << result.report.error;
+  EXPECT_LE(result.granted_budget, quota);
+}
+
+TEST(RefreshServiceTest, ExecutionFailureIsReportedNotThrown) {
+  storage::ThrottledDisk disk(FreshDir("fail"), FastDisk());
+  // No base tables loaded: every job must fail cleanly.
+  auto wl = std::make_shared<workload::MvWorkload>(workload::BuildIo1());
+  ServiceOptions options;
+  options.num_workers = 2;
+  RefreshService service(&disk, options);
+
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "broken";
+  const JobResult result = service.Submit(spec).get();
+  EXPECT_FALSE(result.report.ok);
+  EXPECT_FALSE(result.report.error.empty());
+  const MetricsSnapshot snapshot = service.metrics().Snapshot();
+  EXPECT_EQ(snapshot.aggregate.jobs_failed, 1);
+  // The failure released its budget: the broker is clean.
+  EXPECT_EQ(service.broker().reserved_bytes(), 0);
+}
+
+TEST(RefreshServiceTest, SubmitAfterShutdownThrows) {
+  storage::ThrottledDisk disk(FreshDir("shutdown"), FastDisk());
+  auto wl = std::make_shared<workload::MvWorkload>(workload::BuildIo1());
+  RefreshService service(&disk, ServiceOptions{});
+  service.Shutdown();
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  EXPECT_THROW(service.Submit(std::move(spec)), std::runtime_error);
+}
+
+TEST(RefreshServiceTest, NonDrainingShutdownFailsPendingJobs) {
+  storage::ThrottledDisk disk(FreshDir("nodrain"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  RefreshService service(&disk, options);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    RefreshJobSpec spec;
+    spec.workload = wl;
+    futures.push_back(service.Submit(std::move(spec)));
+  }
+  service.Shutdown(/*drain=*/false);
+  int completed = 0;
+  int rejected = 0;
+  for (auto& future : futures) {
+    const JobResult result = future.get();  // every future must resolve
+    if (result.report.ok) {
+      ++completed;
+    } else {
+      EXPECT_NE(result.report.error.find("shutting down"),
+                std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, 6);
+}
+
+TEST(RefreshServiceTest, MetricsJsonEscapesTenantNames) {
+  storage::ThrottledDisk disk(FreshDir("jsonesc"), FastDisk());
+  // Jobs fail (no base tables), which must still be counted per tenant.
+  auto wl = std::make_shared<workload::MvWorkload>(workload::BuildIo1());
+  ServiceOptions options;
+  options.num_workers = 1;
+  RefreshService service(&disk, options);
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "acme\"prod\\eu";
+  const JobResult result = service.Submit(std::move(spec)).get();
+  EXPECT_FALSE(result.report.ok);
+  const std::string json = service.metrics().ToJson();
+  EXPECT_NE(json.find("acme\\\"prod\\\\eu"), std::string::npos) << json;
+  const MetricsSnapshot snapshot = service.metrics().Snapshot();
+  EXPECT_EQ(snapshot.aggregate.jobs_failed, 1);
+}
+
+TEST(RefreshServiceTest, NullWorkloadRejected) {
+  storage::ThrottledDisk disk(FreshDir("null"), FastDisk());
+  RefreshService service(&disk, ServiceOptions{});
+  EXPECT_THROW(service.Submit(RefreshJobSpec{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sc::service

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 
 #include "storage/throttled_disk.h"
 
@@ -79,6 +80,47 @@ TEST(ThrottledDiskTest, OverwriteReplacesContent) {
   const Table tiny(Schema({Field{"x", DataType::kInt64}}), std::move(cols));
   disk.WriteTable("t", tiny);
   EXPECT_EQ(disk.ReadTable("t").num_rows(), 1u);
+}
+
+
+TEST(ThrottledDiskTest, MultiChannelReadsOverlap) {
+  // Two concurrent reads of one table on a 2-channel throttled disk
+  // finish in ~one padded read time; a single channel would need two.
+  DiskProfile slow;
+  slow.read_bw = 1e9;
+  slow.write_bw = 1e9;
+  slow.latency = 0.25;  // 250ms floor per access dominates
+  slow.channels = 2;
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_channels", slow);
+  disk.WriteTable("t", SmallTable());
+  const auto start = std::chrono::steady_clock::now();
+  std::thread other([&] { disk.ReadTable("t"); });
+  disk.ReadTable("t");
+  other.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Overlapped: well under the 500ms a single channel would need, with
+  // 200ms slack for thread spawn and scheduling on loaded runners.
+  EXPECT_LT(elapsed, 0.45);
+}
+
+TEST(ThrottledDiskTest, SingleChannelSerializesReads) {
+  DiskProfile slow;
+  slow.read_bw = 1e9;
+  slow.write_bw = 1e9;
+  slow.latency = 0.05;
+  slow.channels = 1;
+  ThrottledDisk disk(testing::TempDir() + "/sc_disk_onechan", slow);
+  disk.WriteTable("t", SmallTable());
+  const auto start = std::chrono::steady_clock::now();
+  std::thread other([&] { disk.ReadTable("t"); });
+  disk.ReadTable("t");
+  other.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(elapsed, 0.095);
 }
 
 }  // namespace
