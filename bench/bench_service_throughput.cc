@@ -1,12 +1,15 @@
 // Refresh-Service throughput: jobs/sec and tail latency as the worker
-// pool grows, under one shared Memory-Catalog budget. Emits JSON (stdout
-// and BENCH_service_throughput.json) to seed the perf trajectory.
+// pool grows, plus the intra-job DAG-parallel runtime: an inter-job
+// workers × intra-job lanes sweep and a wide synthetic DAG refreshed at
+// 1/2/4 lanes. Emits JSON (stdout and BENCH_service_throughput.json) to
+// seed the perf trajectory.
 //
 //   $ ./bench/bench_service_throughput
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -22,6 +25,7 @@ namespace {
 
 struct Sample {
   int workers = 0;
+  int lanes = 1;
   double jobs_per_second = 0.0;
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
@@ -33,9 +37,10 @@ using WorkloadSet =
     std::vector<std::shared_ptr<const workload::MvWorkload>>;
 
 Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
-                 int workers, int jobs) {
+                 int workers, int lanes, int jobs) {
   service::ServiceOptions options;
-  options.num_workers = workers;
+  options.num_workers = workers * lanes;  // total thread budget
+  options.max_intra_job_lanes = lanes;
   options.global_budget = 32LL * 1024 * 1024;
   service::RefreshService service(disk, options);
 
@@ -88,6 +93,7 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
   };
   Sample sample;
   sample.workers = workers;
+  sample.lanes = lanes;
   sample.jobs_per_second = jobs / wall;
   sample.p50_seconds = percentile(0.50);
   sample.p99_seconds = percentile(0.99);
@@ -98,10 +104,17 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
   return sample;
 }
 
+struct WideSample {
+  int lanes = 1;
+  double wall_seconds = 0.0;
+  double speedup = 1.0;
+};
+
 int Main() {
-  Banner("Refresh-Service throughput vs. worker count",
-         "serving-layer extension: concurrent jobs under one shared "
-         "Memory-Catalog budget (no paper counterpart)");
+  Banner("Refresh-Service throughput: workers, intra-job lanes, wide DAG",
+         "serving-layer extension: concurrent jobs + stage-parallel "
+         "intra-job execution under one shared Memory-Catalog budget "
+         "(no paper counterpart)");
 
   const std::string dir =
       (std::filesystem::temp_directory_path() / "sc_bench_service")
@@ -128,12 +141,15 @@ int Main() {
     wls.push_back(std::move(shared));
   }
 
+  // -------------------------------------------------------------------
+  // 1. Worker sweep (sequential jobs), the PR-1 baseline trajectory.
+  // -------------------------------------------------------------------
   constexpr int kJobs = 40;
   std::vector<Sample> samples;
   TablePrinter table(
       {"workers", "jobs/s", "p50", "p99", "avg wait", "catalog hit%"});
   for (int workers : {1, 2, 4, 8}) {
-    const Sample s = RunConfig(&disk, wls, workers, kJobs);
+    const Sample s = RunConfig(&disk, wls, workers, /*lanes=*/1, kJobs);
     table.AddRow({std::to_string(s.workers),
                   StrFormat("%.1f", s.jobs_per_second),
                   StrFormat("%.3fs", s.p50_seconds),
@@ -146,6 +162,93 @@ int Main() {
   std::cout << StrFormat(
       "\nscaling: %.2fx jobs/s at 8 workers vs 1 worker\n",
       samples.back().jobs_per_second / samples.front().jobs_per_second);
+
+  // -------------------------------------------------------------------
+  // 2. Inter-job workers × intra-job lanes sweep: same mixed workload,
+  //    total threads = workers × lanes. Speedup is vs the 1-lane
+  //    (sequential Controller) config at the same worker count.
+  // -------------------------------------------------------------------
+  constexpr int kLaneJobs = 24;
+  std::vector<Sample> lane_samples;
+  TablePrinter lane_table({"workers", "lanes", "jobs/s", "p99",
+                           "speedup vs 1 lane"});
+  std::map<int, double> lane1_jps;
+  for (int workers : {1, 2, 4}) {
+    for (int lanes : {1, 2, 4}) {
+      const Sample s = RunConfig(&disk, wls, workers, lanes, kLaneJobs);
+      if (lanes == 1) lane1_jps[workers] = s.jobs_per_second;
+      lane_samples.push_back(s);
+      lane_table.AddRow(
+          {std::to_string(s.workers), std::to_string(s.lanes),
+           StrFormat("%.1f", s.jobs_per_second),
+           StrFormat("%.3fs", s.p99_seconds),
+           StrFormat("%.2fx", s.jobs_per_second / lane1_jps[workers])});
+    }
+  }
+  std::cout << "\n";
+  lane_table.Print(std::cout);
+
+  // -------------------------------------------------------------------
+  // 3. Wide synthetic DAG, one job: intra-job lanes vs the sequential
+  //    Controller. Run against *throttled* multi-channel storage — the
+  //    paper's regime, where refresh time is dominated by warehouse I/O.
+  //    Independent nodes overlap their storage time on separate
+  //    channels, so the antichain width (12), the channel count, and the
+  //    lane count bound the speedup (compute also overlaps on
+  //    multi-core hosts).
+  // -------------------------------------------------------------------
+  const std::string wide_dir =
+      (std::filesystem::temp_directory_path() / "sc_bench_service_wide")
+          .string();
+  std::filesystem::remove_all(wide_dir);
+  storage::DiskProfile wide_profile;
+  wide_profile.throttle = true;
+  wide_profile.channels = 8;
+  wide_profile.read_bw = 48e6;   // modest warehouse storage: I/O-bound
+  wide_profile.write_bw = 32e6;  // refresh, visible at bench scale
+  storage::ThrottledDisk wide_disk(wide_dir, wide_profile);
+  {
+    runtime::Controller loader(&wide_disk, runtime::ControllerOptions{});
+    workload::DataGenOptions wide_data;
+    wide_data.scale = 0.1;
+    loader.LoadBaseTables(workload::GenerateTpcdsData(wide_data));
+  }
+  const workload::MvWorkload wide =
+      workload::BuildWideSynthetic(12, /*heavy=*/true);
+  std::vector<WideSample> wide_samples;
+  TablePrinter wide_table({"lanes", "wall", "speedup vs sequential"});
+  double sequential_wall = 0.0;
+  for (int lanes : {1, 2, 4}) {
+    runtime::ControllerOptions options;
+    options.max_parallel_nodes = lanes;
+    runtime::Controller controller(&wide_disk, options);
+    // One untimed warmup, then best-of-3.
+    if (!controller.RunUnoptimized(wide).ok) {
+      std::cerr << "wide DAG run failed\n";
+      return 1;
+    }
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      const runtime::RunReport report = controller.RunUnoptimized(wide);
+      const double wall = timer.Seconds();
+      if (!report.ok) {
+        std::cerr << "wide DAG run failed: " << report.error << "\n";
+        return 1;
+      }
+      if (best == 0.0 || wall < best) best = wall;
+    }
+    if (lanes == 1) sequential_wall = best;
+    WideSample sample;
+    sample.lanes = lanes;
+    sample.wall_seconds = best;
+    sample.speedup = sequential_wall / best;
+    wide_samples.push_back(sample);
+    wide_table.AddRow({std::to_string(lanes), StrFormat("%.3fs", best),
+                       StrFormat("%.2fx", sample.speedup)});
+  }
+  std::cout << "\n";
+  wide_table.Print(std::cout);
 
   std::ostringstream json;
   json << "{\"bench\":\"service_throughput\",\"jobs\":" << kJobs
@@ -160,7 +263,26 @@ int Main() {
         s.workers, s.jobs_per_second, s.p50_seconds, s.p99_seconds,
         s.mean_queue_wait_seconds, s.catalog_hit_rate);
   }
-  json << "]}";
+  json << "],\"lane_sweep\":{\"jobs\":" << kLaneJobs << ",\"samples\":[";
+  for (std::size_t i = 0; i < lane_samples.size(); ++i) {
+    const Sample& s = lane_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"workers\":%d,\"lanes\":%d,\"jobs_per_second\":%.3f,"
+        "\"p99_latency_seconds\":%.6f,\"speedup_vs_sequential\":%.4f}",
+        s.workers, s.lanes, s.jobs_per_second, s.p99_seconds,
+        s.jobs_per_second / lane1_jps[s.workers]);
+  }
+  json << "]},\"wide_dag\":{\"width\":12,\"samples\":[";
+  for (std::size_t i = 0; i < wide_samples.size(); ++i) {
+    const WideSample& s = wide_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"lanes\":%d,\"wall_seconds\":%.6f,"
+        "\"speedup_vs_sequential\":%.4f}",
+        s.lanes, s.wall_seconds, s.speedup);
+  }
+  json << "]}}";
   std::cout << "\n" << json.str() << "\n";
   std::ofstream("BENCH_service_throughput.json") << json.str() << "\n";
   return 0;

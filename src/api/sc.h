@@ -42,9 +42,13 @@
 #include "opt/optimizer.h"
 #include "opt/schedulers.h"
 #include "opt/selectors.h"
+#include "opt/stages.h"
 #include "runtime/controller.h"
+#include "runtime/executor_pool.h"
+#include "runtime/stage_scheduler.h"
 #include "service/budget_broker.h"
 #include "service/metrics.h"
+#include "service/parallelism_broker.h"
 #include "service/plan_cache.h"
 #include "service/service.h"
 #include "sim/cluster.h"

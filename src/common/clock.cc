@@ -1,0 +1,13 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace sc {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sc

@@ -1,0 +1,14 @@
+#ifndef SC_COMMON_CLOCK_H_
+#define SC_COMMON_CLOCK_H_
+
+namespace sc {
+
+/// Seconds on the process-wide monotonic clock. All timing in the
+/// runtime and service layers (node stats, queue waits, the starvation
+/// gauge) uses this one helper, so timestamps taken in different files
+/// are always comparable.
+double MonotonicSeconds();
+
+}  // namespace sc
+
+#endif  // SC_COMMON_CLOCK_H_

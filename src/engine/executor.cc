@@ -5,6 +5,7 @@
 namespace sc::engine {
 
 TablePtr MapResolver::Resolve(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw std::out_of_range("MapResolver: unknown table '" + name + "'");

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "engine/operators.h"
@@ -15,6 +17,13 @@ namespace sc::engine {
 /// serves parent MVs from the Memory Catalog when resident and from
 /// external storage otherwise — which is exactly how S/C short-circuits
 /// reads without changing plans.
+///
+/// Thread-safety contract: the parallel runtime executes independent DAG
+/// nodes concurrently, so a resolver shared across node executions must
+/// tolerate concurrent Resolve calls. (The Controller's per-node
+/// FnResolver closes over thread-safe stores — MemoryCatalog and
+/// ThrottledDisk — plus lane-local timing state, so each lane resolves
+/// independently.)
 class TableResolver {
  public:
   virtual ~TableResolver() = default;
@@ -22,7 +31,10 @@ class TableResolver {
   virtual TablePtr Resolve(const std::string& name) = 0;
 };
 
-/// Simple in-memory resolver backed by a name -> table map.
+/// Simple in-memory resolver backed by a name -> table map. Thread-safe:
+/// concurrent Resolve calls (executor lanes) may overlap each other and
+/// a Put (reader-writer lock); the returned TablePtr stays valid across
+/// a concurrent Put of the same name.
 class MapResolver : public TableResolver {
  public:
   MapResolver() = default;
@@ -30,14 +42,17 @@ class MapResolver : public TableResolver {
       : tables_(std::move(tables)) {}
 
   void Put(const std::string& name, TablePtr table) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     tables_[name] = std::move(table);
   }
   bool Contains(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return tables_.count(name) > 0;
   }
   TablePtr Resolve(const std::string& name) override;
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, TablePtr> tables_;
 };
 

@@ -1,0 +1,79 @@
+#include "opt/stages.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sc::opt {
+
+std::size_t StageDecomposition::width() const {
+  std::size_t widest = 0;
+  for (const auto& stage : stages) widest = std::max(widest, stage.size());
+  return widest;
+}
+
+StageDecomposition DecomposeStages(const graph::Graph& g,
+                                   const graph::Order& order) {
+  const std::int32_t n = g.num_nodes();
+  if (static_cast<std::int32_t>(order.sequence.size()) != n) {
+    throw std::invalid_argument(
+        "DecomposeStages: order does not cover the graph");
+  }
+  StageDecomposition result;
+  result.stage_of.assign(n, -1);
+  for (const graph::NodeId v : order.sequence) {
+    std::int32_t stage = 0;
+    for (const graph::NodeId p : g.parents(v)) {
+      if (result.stage_of[p] < 0) {
+        throw std::invalid_argument(
+            "DecomposeStages: order is not topological at node " +
+            g.node(v).name);
+      }
+      stage = std::max(stage, result.stage_of[p] + 1);
+    }
+    result.stage_of[v] = stage;
+    if (stage >= result.num_stages()) {
+      result.stages.resize(static_cast<std::size_t>(stage) + 1);
+    }
+    // Iterating order.sequence keeps each stage sorted by order position.
+    result.stages[static_cast<std::size_t>(stage)].push_back(v);
+  }
+  return result;
+}
+
+std::size_t StageWidth(const graph::Graph& g, const graph::Order& order) {
+  const std::int32_t n = g.num_nodes();
+  if (static_cast<std::int32_t>(order.sequence.size()) != n) {
+    throw std::invalid_argument(
+        "StageWidth: order does not cover the graph");
+  }
+  std::vector<std::int32_t> stage_of(static_cast<std::size_t>(n), -1);
+  std::vector<std::size_t> counts;
+  std::size_t widest = 0;
+  for (const graph::NodeId v : order.sequence) {
+    std::int32_t stage = 0;
+    for (const graph::NodeId p : g.parents(v)) {
+      stage = std::max(stage, stage_of[static_cast<std::size_t>(p)] + 1);
+    }
+    stage_of[static_cast<std::size_t>(v)] = stage;
+    if (static_cast<std::size_t>(stage) >= counts.size()) {
+      counts.resize(static_cast<std::size_t>(stage) + 1, 0);
+    }
+    widest = std::max(widest, ++counts[static_cast<std::size_t>(stage)]);
+  }
+  return widest;
+}
+
+std::string DescribeStages(const graph::Graph& g,
+                           const StageDecomposition& stages) {
+  std::ostringstream out;
+  for (std::int32_t k = 0; k < stages.num_stages(); ++k) {
+    const auto& stage = stages.stages[static_cast<std::size_t>(k)];
+    out << "stage " << k << " [width " << stage.size() << "]:";
+    for (const graph::NodeId v : stage) out << " " << g.node(v).name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sc::opt

@@ -1,0 +1,31 @@
+#ifndef SC_OPT_STAGES_H_
+#define SC_OPT_STAGES_H_
+
+#include <string>
+
+#include "opt/types.h"
+
+namespace sc::opt {
+
+/// Converts a total execution order (MA-DFS output, or any topological
+/// order) into its antichain stage decomposition: stage(v) = 0 for roots,
+/// otherwise 1 + max stage over v's DAG parents. `order` must be a valid
+/// topological order of `g` (ValidatePlan enforces this upstream); it
+/// determines the intra-stage listing (dispatch priority), not the stage
+/// assignment itself, so the decomposition of any two topological orders
+/// differs only in intra-stage ordering.
+StageDecomposition DecomposeStages(const graph::Graph& g,
+                                   const graph::Order& order);
+
+/// Width of the widest antichain stage of `order`, without materializing
+/// the per-stage node lists (cheap upper bound on useful intra-job
+/// parallelism, used for lane leasing).
+std::size_t StageWidth(const graph::Graph& g, const graph::Order& order);
+
+/// One line per stage ("stage 3 [width 4]: a b c d") for debugging.
+std::string DescribeStages(const graph::Graph& g,
+                           const StageDecomposition& stages);
+
+}  // namespace sc::opt
+
+#endif  // SC_OPT_STAGES_H_

@@ -34,6 +34,25 @@ struct Plan {
   FlagSet flags;
 };
 
+/// Antichain stage metadata derived from an execution order, consumed by
+/// the intra-job parallel runtime: stage k holds nodes whose DAG
+/// predecessors all sit in stages < k, so every node of one stage may
+/// execute concurrently without violating a dependency. Within a stage,
+/// nodes are listed by their position in the originating order, which is
+/// the dispatch priority the runtime uses when lanes are scarce.
+struct StageDecomposition {
+  /// stages[k] = node ids of stage k, ordered by order position.
+  std::vector<std::vector<graph::NodeId>> stages;
+  /// stage_of[v] = index of the stage containing node v.
+  std::vector<std::int32_t> stage_of;
+
+  std::int32_t num_stages() const {
+    return static_cast<std::int32_t>(stages.size());
+  }
+  /// Widest antichain — an upper bound on useful intra-job parallelism.
+  std::size_t width() const;
+};
+
 }  // namespace sc::opt
 
 #endif  // SC_OPT_TYPES_H_

@@ -1,25 +1,20 @@
 #include "runtime/controller.h"
 
 #include <algorithm>
-#include <chrono>
+#include <stdexcept>
+#include <utility>
 
+#include "common/clock.h"
 #include "cost/speedup.h"
 #include "engine/executor.h"
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
+#include "opt/stages.h"
+#include "runtime/executor_pool.h"
+#include "runtime/stage_scheduler.h"
 #include "storage/format.h"
 
 namespace sc::runtime {
-
-namespace {
-
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Materializer
@@ -113,6 +108,295 @@ double RunReport::CatalogHitRate() const {
 }
 
 // ---------------------------------------------------------------------------
+// Run state shared by the sequential loop and the parallel runtime
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything one refresh run owns. Both execution paths drive the same
+/// ExecuteNode / PublishNode pair against this state, which is what makes
+/// the 1-lane mode provably identical to the stage runtime at 1 lane.
+struct RunState {
+  RunState(const workload::MvWorkload& wl_in, const opt::Plan& plan_in,
+           const opt::StageDecomposition& stages_in,
+           const ControllerOptions& options_in,
+           storage::ThrottledDisk* disk_in, std::int64_t budget)
+      : wl(wl_in),
+        plan(plan_in),
+        stages(stages_in),
+        options(options_in),
+        disk(disk_in),
+        catalog(budget),
+        materializer(disk_in) {
+    const graph::Graph& g = wl.graph;
+    pending_children.resize(static_cast<std::size_t>(g.num_nodes()));
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      pending_children[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(g.children(v).size());
+    }
+  }
+
+  const workload::MvWorkload& wl;
+  const opt::Plan& plan;
+  const opt::StageDecomposition& stages;
+  const ControllerOptions& options;
+  storage::ThrottledDisk* disk;
+  storage::MemoryCatalog catalog;
+  Materializer materializer;
+  std::vector<std::int32_t> pending_children;
+  std::map<std::string, std::shared_future<void>> in_flight;
+  std::vector<graph::NodeId> releasable;
+};
+
+struct NodeResult {
+  NodeRunStats stats;
+  engine::TablePtr output;
+};
+
+/// Executes node `v`'s plan, resolving inputs through the Memory Catalog
+/// first and external storage second, and — for unflagged nodes — writes
+/// the output to external storage. Safe to call from concurrent lanes:
+/// it touches only the (thread-safe) catalog and disk plus local state.
+NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
+  const graph::Graph& g = s.wl.graph;
+  NodeResult result;
+  NodeRunStats& stats = result.stats;
+  stats.name = g.node(v).name;
+  stats.stage = s.stages.stage_of[v];
+
+  double read_seconds = 0.0;
+  engine::FnResolver resolver([&](const std::string& name) {
+    engine::TablePtr cached = s.catalog.Get(name);
+    if (cached != nullptr) return cached;
+    const double start = MonotonicSeconds();
+    auto table = std::make_shared<engine::Table>(s.disk->ReadTable(name));
+    read_seconds += MonotonicSeconds() - start;
+    return engine::TablePtr(table);
+  });
+
+  const double exec_start = MonotonicSeconds();
+  result.output = std::make_shared<engine::Table>(
+      engine::ExecutePlan(*s.wl.plans[v], resolver));
+  const double exec_seconds = MonotonicSeconds() - exec_start;
+  stats.read_seconds = read_seconds;
+  stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
+  stats.output_bytes = result.output->ByteSize();
+  stats.output_rows = result.output->num_rows();
+
+  if (!s.plan.flags[v]) {
+    const double w0 = MonotonicSeconds();
+    s.disk->WriteTable(stats.name, *result.output);
+    stats.write_seconds = MonotonicSeconds() - w0;
+  }
+  return result;
+}
+
+/// Publishes node `v`'s completed result: flagged outputs enter the
+/// Memory Catalog (lazy release until the Put fits, exactly the
+/// sequential admission sequence) and start their background write;
+/// residency bookkeeping marks nodes whose last consumer finished as
+/// releasable. Must be called once per node, strictly in plan order —
+/// that invariant is what keeps the catalog's budget behaviour identical
+/// across lane counts. Throws on budget violation or a synchronous /
+/// awaited materialization failure.
+void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
+                 RunReport* report) {
+  const graph::Graph& g = s.wl.graph;
+  NodeRunStats& stats = result.stats;
+  const std::string& name = g.node(v).name;
+
+  // Releases one releasable entry (all dependants done), waiting for its
+  // in-flight materialization first — the data must exist on disk before
+  // it leaves the Memory Catalog.
+  auto release_one = [&]() {
+    const graph::NodeId node = s.releasable.back();
+    s.releasable.pop_back();
+    const std::string& node_name = g.node(node).name;
+    auto it = s.in_flight.find(node_name);
+    if (it != s.in_flight.end()) {
+      it->second.get();  // rethrows materialization failures
+      s.in_flight.erase(it);
+    }
+    s.catalog.Release(node_name);
+  };
+
+  if (s.plan.flags[v]) {
+    // Lazy release: keep finished entries resident until space is
+    // actually needed, maximizing memory-served reads.
+    while (!s.catalog.Put(name, result.output,
+                          result.output->ByteSize())) {
+      if (s.releasable.empty()) {
+        throw std::runtime_error("Memory Catalog budget violated at node " +
+                                 name);
+      }
+      release_one();
+    }
+    stats.output_in_memory = true;
+    if (s.options.background_materialize) {
+      s.in_flight.emplace(name,
+                          s.materializer.Enqueue(name, result.output));
+    } else {
+      const double w0 = MonotonicSeconds();
+      s.disk->WriteTable(name, *result.output);
+      stats.write_seconds = MonotonicSeconds() - w0;
+    }
+  }
+
+  // Mark nodes whose last consumer just finished as releasable (§III-C:
+  // eligible to be freed once all dependants complete).
+  if (s.plan.flags[v] &&
+      s.pending_children[static_cast<std::size_t>(v)] == 0) {
+    s.releasable.push_back(v);
+  }
+  for (graph::NodeId p : g.parents(v)) {
+    if (--s.pending_children[static_cast<std::size_t>(p)] == 0 &&
+        s.plan.flags[p]) {
+      s.releasable.push_back(p);
+    }
+  }
+
+  report->nodes.push_back(std::move(stats));
+}
+
+/// Blocks until every background materialization finished, rethrowing the
+/// first failure.
+void AwaitMaterializations(RunState& s) {
+  s.materializer.Drain();
+  for (auto& [name, future] : s.in_flight) future.get();
+}
+
+/// The classic sequential Controller loop (pre-parallel semantics):
+/// execute and publish each node at its plan-order slot.
+void RunSequential(RunState& s, RunReport* report) {
+  for (const graph::NodeId v : s.plan.order.sequence) {
+    PublishNode(s, v, ExecuteNode(s, v), report);
+  }
+  AwaitMaterializations(s);
+}
+
+/// The stage-scheduled parallel runtime: ready nodes execute on up to
+/// `lanes` pool threads while the coordinator publishes completed results
+/// strictly in plan order. Dispatch of flagged nodes is backpressured by
+/// catalog reservations (estimated size) so that concurrently executing
+/// nodes cannot jointly overshoot the budget; when a reservation cannot
+/// be funded and the node is the next to publish with nothing else in
+/// flight, it proceeds unreserved and the publish-time Put enforces the
+/// budget with the sequential error semantics.
+void RunStageParallel(RunState& s, int lanes, RunReport* report) {
+  const graph::Graph& g = s.wl.graph;
+  const std::vector<graph::NodeId>& seq = s.plan.order.sequence;
+  StageScheduler scheduler(g, s.plan.order, s.stages);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<graph::NodeId, NodeResult> completed;
+  std::size_t next_publish = 0;
+  int executing = 0;
+  std::string error;
+  // Declared after every piece of state its lane tasks touch: if an
+  // exception unwinds out of the coordinator loop, ~ExecutorPool joins
+  // the lanes while scheduler / mutex / cv / completed are still alive.
+  ExecutorPool pool(lanes);
+
+  std::unique_lock<std::mutex> lock(mutex);
+  while (true) {
+    bool progressed = false;
+
+    // Publish the completed in-order prefix. PublishNode can block on
+    // disk (lazy release awaits in-flight materializations; synchronous
+    // materialization writes inline), so it runs unlocked: it touches
+    // only coordinator-owned state (releasable / in_flight /
+    // pending_children / report) and thread-safe stores, and lanes keep
+    // executing and posting completions meanwhile.
+    while (error.empty() && next_publish < seq.size()) {
+      const graph::NodeId v = seq[next_publish];
+      auto it = completed.find(v);
+      if (it == completed.end()) break;
+      NodeResult result = std::move(it->second);
+      completed.erase(it);
+      const bool flagged = s.plan.flags[v];
+      lock.unlock();
+      if (flagged) s.catalog.CancelReservation(g.node(v).name);
+      std::string publish_error;
+      try {
+        PublishNode(s, v, std::move(result), report);
+      } catch (const std::exception& e) {
+        publish_error = e.what();
+      }
+      lock.lock();
+      if (publish_error.empty()) {
+        if (flagged) scheduler.MarkAvailable(v);
+      } else if (error.empty()) {
+        error = publish_error;
+      }
+      ++next_publish;
+      progressed = true;
+    }
+    if (next_publish == seq.size()) break;
+    if (!error.empty()) {
+      if (executing == 0) break;
+      cv.wait(lock);
+      continue;
+    }
+
+    // Dispatch ready nodes while lanes are free, in order-position
+    // priority.
+    while (executing < lanes && scheduler.HasReady()) {
+      const graph::NodeId v = scheduler.PeekReady();
+      const std::string& name = g.node(v).name;
+      if (s.plan.flags[v]) {
+        const std::int64_t estimate =
+            std::max<std::int64_t>(0, g.node(v).size_bytes);
+        // Liveness escape: with nothing executing and nothing
+        // publishable, the lowest-position ready node is necessarily the
+        // next node in publish order (its parents are all published), so
+        // dispatching it unreserved is exactly the sequential regime —
+        // the publish-time Put enforces the budget with sequential error
+        // semantics. Without this escape, reservations held by
+        // completed-but-unpublished later nodes could wedge the run.
+        const bool sequential_turn =
+            executing == 0 && seq[next_publish] == v;
+        if (!s.catalog.Reserve(name, estimate) && !sequential_turn) break;
+      }
+      scheduler.PopReady();
+      ++executing;
+      progressed = true;
+      pool.Submit([&s, &g, &mutex, &cv, &completed, &executing, &error,
+                   &scheduler, v] {
+        NodeResult result;
+        std::string exec_error;
+        try {
+          result = ExecuteNode(s, v);
+        } catch (const std::exception& e) {
+          exec_error = e.what();
+        }
+        std::lock_guard<std::mutex> inner(mutex);
+        --executing;
+        if (exec_error.empty()) {
+          // Unflagged outputs are on disk already — children may read
+          // them before the (in-order) publish happens.
+          if (!s.plan.flags[v]) scheduler.MarkAvailable(v);
+          completed.emplace(v, std::move(result));
+        } else {
+          s.catalog.CancelReservation(g.node(v).name);
+          if (error.empty()) error = exec_error;
+        }
+        cv.notify_all();
+      });
+    }
+
+    if (!progressed) cv.wait(lock);
+  }
+  cv.wait(lock, [&] { return executing == 0; });
+  lock.unlock();
+
+  if (!error.empty()) throw std::runtime_error(error);
+  AwaitMaterializations(s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Controller
 // ---------------------------------------------------------------------------
 
@@ -143,108 +427,30 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
     return report;
   }
 
-  storage::MemoryCatalog catalog(budget);
-  Materializer materializer(disk_);
-  const graph::Graph& g = wl.graph;
+  const opt::StageDecomposition stages =
+      opt::DecomposeStages(wl.graph, plan.order);
+  const int lanes = std::min<int>(
+      std::max(1, options_.max_parallel_nodes),
+      static_cast<int>(std::max<std::size_t>(1, stages.width())));
+  report.parallel_lanes = lanes;
+  report.num_stages = stages.num_stages();
 
-  std::vector<std::int32_t> pending_children(g.num_nodes());
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    pending_children[v] = static_cast<std::int32_t>(g.children(v).size());
-  }
-  std::map<std::string, std::shared_future<void>> in_flight;
-  std::vector<graph::NodeId> releasable;
-
+  RunState state(wl, plan, stages, options_, disk_, budget);
   const double run_start = MonotonicSeconds();
   try {
-    for (graph::NodeId v : plan.order.sequence) {
-      NodeRunStats stats;
-      stats.name = g.node(v).name;
-
-      // Resolver: Memory Catalog first, then external storage. Disk read
-      // time is accumulated into the node's read_seconds.
-      double read_seconds = 0.0;
-      engine::FnResolver resolver([&](const std::string& name) {
-        engine::TablePtr cached = catalog.Get(name);
-        if (cached != nullptr) return cached;
-        const double start = MonotonicSeconds();
-        auto table =
-            std::make_shared<engine::Table>(disk_->ReadTable(name));
-        read_seconds += MonotonicSeconds() - start;
-        return engine::TablePtr(table);
-      });
-
-      const double exec_start = MonotonicSeconds();
-      auto output = std::make_shared<engine::Table>(
-          engine::ExecutePlan(*wl.plans[v], resolver));
-      const double exec_seconds = MonotonicSeconds() - exec_start;
-      stats.read_seconds = read_seconds;
-      stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
-      stats.output_bytes = output->ByteSize();
-      stats.output_rows = output->num_rows();
-
-      // Releases one releasable entry (all dependants done), waiting for
-      // its in-flight materialization first — the data must exist on disk
-      // before it leaves the Memory Catalog.
-      auto release_one = [&]() {
-        const graph::NodeId node = releasable.back();
-        releasable.pop_back();
-        const std::string& node_name = g.node(node).name;
-        auto it = in_flight.find(node_name);
-        if (it != in_flight.end()) {
-          it->second.get();  // rethrows materialization failures
-          in_flight.erase(it);
-        }
-        catalog.Release(node_name);
-      };
-
-      const std::string& name = g.node(v).name;
-      if (plan.flags[v]) {
-        // Lazy release: keep finished entries resident until space is
-        // actually needed, maximizing memory-served reads.
-        while (!catalog.Put(name, output, output->ByteSize())) {
-          if (releasable.empty()) {
-            report.error = "Memory Catalog budget violated at node " + name;
-            return report;
-          }
-          release_one();
-        }
-        stats.output_in_memory = true;
-        if (options_.background_materialize) {
-          in_flight.emplace(name, materializer.Enqueue(name, output));
-        } else {
-          const double w0 = MonotonicSeconds();
-          disk_->WriteTable(name, *output);
-          stats.write_seconds = MonotonicSeconds() - w0;
-        }
-      } else {
-        const double w0 = MonotonicSeconds();
-        disk_->WriteTable(name, *output);
-        stats.write_seconds = MonotonicSeconds() - w0;
-      }
-
-      // Mark nodes whose last consumer just finished as releasable
-      // (§III-C: eligible to be freed once all dependants complete).
-      if (plan.flags[v] && pending_children[v] == 0) {
-        releasable.push_back(v);
-      }
-      for (graph::NodeId p : g.parents(v)) {
-        if (--pending_children[p] == 0 && plan.flags[p]) {
-          releasable.push_back(p);
-        }
-      }
-
-      report.nodes.push_back(std::move(stats));
+    if (lanes > 1 || options_.force_stage_runtime) {
+      RunStageParallel(state, lanes, &report);
+    } else {
+      RunSequential(state, &report);
     }
-    materializer.Drain();
-    for (auto& [name, future] : in_flight) future.get();
   } catch (const std::exception& e) {
     report.error = e.what();
     return report;
   }
   report.wall_seconds = MonotonicSeconds() - run_start;
-  report.peak_memory = catalog.peak_bytes();
-  report.catalog_hits = catalog.hits();
-  report.catalog_misses = catalog.misses();
+  report.peak_memory = state.catalog.peak_bytes();
+  report.catalog_hits = state.catalog.hits();
+  report.catalog_misses = state.catalog.misses();
   report.ok = true;
   return report;
 }

@@ -64,6 +64,18 @@ struct ControllerOptions {
   /// If false, flagged outputs are written synchronously after creation
   /// (ablation; true reproduces S/C).
   bool background_materialize = true;
+  /// Maximum number of DAG nodes of one run executing concurrently
+  /// (intra-job lanes). 1 — the default — is the paper's sequential
+  /// Controller and is guaranteed to produce the same node stats, catalog
+  /// hit/miss counts, and peak memory as the pre-parallel execution loop.
+  /// Values > 1 route the run through the stage-scheduled runtime:
+  /// independent nodes execute on an ExecutorPool while flagged outputs
+  /// are still published to the Memory Catalog in optimized order.
+  int max_parallel_nodes = 1;
+  /// Routes 1-lane runs through the stage-scheduled runtime instead of
+  /// the classic sequential loop. Semantics are identical either way;
+  /// the knob exists so tests can assert that equivalence.
+  bool force_stage_runtime = false;
 };
 
 /// Per-node statistics from a real refresh run.
@@ -75,6 +87,8 @@ struct NodeRunStats {
   bool output_in_memory = false;
   std::int64_t output_bytes = 0;
   std::uint64_t output_rows = 0;
+  /// Antichain stage of the node under the run's order (0-based).
+  std::int32_t stage = 0;
 };
 
 struct RunReport {
@@ -89,7 +103,12 @@ struct RunReport {
   /// to external storage.
   std::int64_t catalog_hits = 0;
   std::int64_t catalog_misses = 0;
-  std::vector<NodeRunStats> nodes;  // in execution order
+  /// Execution lanes the run actually used (min of max_parallel_nodes and
+  /// the widest antichain; 1 for sequential runs).
+  int parallel_lanes = 1;
+  /// Antichain stages of the executed order.
+  std::int32_t num_stages = 0;
+  std::vector<NodeRunStats> nodes;  // in publish (= plan) order
 
   double TotalReadSeconds() const;
   double TotalComputeSeconds() const;
@@ -104,6 +123,19 @@ struct RunReport {
 /// are materialized to external storage exactly as defined; flagged nodes
 /// are additionally kept in the Memory Catalog until their last consumer
 /// finishes, with their disk write running in the background.
+///
+/// With max_parallel_nodes > 1 the run executes on the stage-scheduled
+/// parallel runtime: a StageScheduler derives antichain stages from the
+/// optimizer's total order and dispatches ready nodes (all DAG parents
+/// available) to an ExecutorPool, in order-position priority. Flagged
+/// outputs are still *published* to the Memory Catalog strictly in the
+/// optimized order — the publish step replays the sequential Put /
+/// lazy-release sequence, so the catalog's budget behaviour (and the
+/// paper's residency semantics) are independent of the lane count; the
+/// catalog's reservation API additionally backpressures dispatch so
+/// concurrently executing flagged nodes cannot jointly overshoot the
+/// budget while their outputs are in flight. The Materializer keeps its
+/// single-writer channel regardless of lanes.
 class Controller {
  public:
   Controller(storage::ThrottledDisk* disk, ControllerOptions options);

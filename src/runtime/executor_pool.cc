@@ -1,0 +1,51 @@
+#include "runtime/executor_pool.h"
+
+#include <algorithm>
+
+namespace sc::runtime {
+
+ExecutorPool::ExecutorPool(int threads) {
+  const int count = std::max(1, threads);
+  lanes_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    lanes_.emplace_back([this] { Loop(); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+}
+
+void ExecutorPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ExecutorPool::Loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace sc::runtime

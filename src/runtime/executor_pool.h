@@ -1,0 +1,46 @@
+#ifndef SC_RUNTIME_EXECUTOR_POOL_H_
+#define SC_RUNTIME_EXECUTOR_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc::runtime {
+
+/// Fixed-size worker pool backing the parallel runtime's execution lanes:
+/// each submitted task is one DAG node execution; tasks are picked up FIFO
+/// by whichever lane frees first. The pool is deliberately dumb — all
+/// scheduling policy (readiness, dispatch order, budget backpressure)
+/// lives in the Controller's run loop, so the same pool can be shared by
+/// any run shape.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(int threads);
+  /// Runs every queued task to completion, then joins the lanes.
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Queues `task` for execution on some lane. Tasks must not throw —
+  /// callers wrap their work and route errors through their own state.
+  void Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(lanes_.size()); }
+
+ private:
+  void Loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> lanes_;
+};
+
+}  // namespace sc::runtime
+
+#endif  // SC_RUNTIME_EXECUTOR_POOL_H_

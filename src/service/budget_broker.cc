@@ -163,6 +163,20 @@ void BudgetBroker::Release(BudgetGrant* grant) {
   grant->bytes = 0;
 }
 
+void BudgetBroker::ReturnUnused(BudgetGrant* grant, std::int64_t bytes) {
+  if (grant == nullptr || !grant->valid() || bytes <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t returned = std::min(bytes, grant->bytes);
+    if (returned <= 0) return;
+    reserved_ -= returned;
+    tenant_reserved_[grant->tenant] -= returned;
+    grant->bytes -= returned;
+    AdmitWaitersLocked();
+  }
+  cv_.notify_all();
+}
+
 void BudgetBroker::SetTenantQuota(const std::string& tenant,
                                   std::int64_t quota_bytes) {
   {

@@ -76,6 +76,14 @@ class BudgetBroker {
   /// no-op.
   void Release(BudgetGrant* grant);
 
+  /// Grant renegotiation: hands `bytes` of `grant` back to the pool
+  /// before the run completes (e.g. the re-optimized plan needs less
+  /// memory than the broker funded), shrinking the grant in place and
+  /// waking head-of-line waiters that the returned bytes can now fund.
+  /// Clamped to the grant's outstanding bytes; no-op on invalid grants
+  /// or non-positive amounts.
+  void ReturnUnused(BudgetGrant* grant, std::int64_t bytes);
+
   /// Sets `tenant`'s reservation cap (0 = uncapped). Applies to future
   /// admissions only; outstanding grants are never revoked.
   void SetTenantQuota(const std::string& tenant, std::int64_t quota_bytes);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/clock.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
 
@@ -53,10 +54,17 @@ void ServiceMetrics::Record(const JobObservation& observation) {
   totals.total_exec_seconds += observation.exec_seconds;
   totals.bytes_requested += observation.requested_bytes;
   totals.bytes_granted += observation.granted_bytes;
+  totals.bytes_returned += observation.returned_bytes;
   totals.catalog_hits += observation.catalog_hits;
   totals.catalog_misses += observation.catalog_misses;
   if (observation.plan_cache_hit) ++totals.plan_cache_hits;
   if (observation.reoptimized) ++totals.reoptimizations;
+
+  PriorityWaitStats& waits = priority_waits_[observation.priority];
+  ++waits.jobs;
+  waits.total_wait_seconds += observation.queue_wait_seconds;
+  waits.max_wait_seconds =
+      std::max(waits.max_wait_seconds, observation.queue_wait_seconds);
 
   const double latency =
       observation.queue_wait_seconds + observation.exec_seconds;
@@ -66,6 +74,32 @@ void ServiceMetrics::Record(const JobObservation& observation) {
     state.latencies[state.next_slot] = latency;
     state.next_slot = (state.next_slot + 1) % max_samples_;
   }
+}
+
+void ServiceMetrics::JobQueued(std::uint64_t job_id, int priority,
+                               double enqueue_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queued_[job_id] = QueuedJob{priority, enqueue_seconds};
+}
+
+void ServiceMetrics::JobDequeued(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queued_.erase(job_id);
+}
+
+double ServiceMetrics::StarvationSecondsLocked() const {
+  if (queued_.empty()) return 0.0;
+  const double now = MonotonicSeconds();
+  double worst = 0.0;
+  for (const auto& [id, job] : queued_) {
+    worst = std::max(worst, now - job.enqueue_seconds);
+  }
+  return worst;
+}
+
+double ServiceMetrics::StarvationSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return StarvationSecondsLocked();
 }
 
 double ServiceMetrics::Percentile(const std::vector<double>& sorted,
@@ -101,6 +135,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     agg.total_exec_seconds += m.total_exec_seconds;
     agg.bytes_requested += m.bytes_requested;
     agg.bytes_granted += m.bytes_granted;
+    agg.bytes_returned += m.bytes_returned;
     agg.catalog_hits += m.catalog_hits;
     agg.catalog_misses += m.catalog_misses;
     agg.plan_cache_hits += m.plan_cache_hits;
@@ -113,6 +148,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
       Percentile(all_latencies, 0.50);
   snapshot.aggregate.p99_latency_seconds =
       Percentile(all_latencies, 0.99);
+  snapshot.per_priority = priority_waits_;
+  snapshot.starvation_seconds = StarvationSecondsLocked();
+  snapshot.queued_jobs = queued_.size();
   return snapshot;
 }
 
@@ -135,7 +173,23 @@ std::string ServiceMetrics::FormatTable() const {
   }
   table.AddSeparator();
   add("(all)", snapshot.aggregate);
-  return table.ToString();
+
+  std::ostringstream out;
+  out << table.ToString();
+  if (!snapshot.per_priority.empty()) {
+    TablePrinter priorities(
+        {"priority", "jobs", "avg wait", "max wait"});
+    for (const auto& [priority, waits] : snapshot.per_priority) {
+      priorities.AddRow({std::to_string(priority),
+                         std::to_string(waits.jobs),
+                         StrFormat("%.3fs", waits.mean_wait_seconds()),
+                         StrFormat("%.3fs", waits.max_wait_seconds)});
+    }
+    out << "\n" << priorities.ToString();
+  }
+  out << StrFormat("\nqueued: %zu job(s), starvation %.3fs\n",
+                   snapshot.queued_jobs, snapshot.starvation_seconds);
+  return out.str();
 }
 
 std::string ServiceMetrics::ToJson() const {
@@ -154,6 +208,7 @@ std::string ServiceMetrics::ToJson() const {
         << StrFormat("%.6f", m.catalog_hit_rate())
         << ",\"bytes_requested\":" << m.bytes_requested
         << ",\"bytes_granted\":" << m.bytes_granted
+        << ",\"bytes_returned\":" << m.bytes_returned
         << ",\"plan_cache_hits\":" << m.plan_cache_hits
         << ",\"reoptimizations\":" << m.reoptimizations << "}";
   };
@@ -167,7 +222,20 @@ std::string ServiceMetrics::ToJson() const {
     out << "\"" << EscapeJsonString(tenant) << "\":";
     emit(metrics);
   }
-  out << "}}";
+  out << "},\"per_priority\":{";
+  first = true;
+  for (const auto& [priority, waits] : snapshot.per_priority) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << priority << "\":{\"jobs\":" << waits.jobs
+        << ",\"mean_wait_seconds\":"
+        << StrFormat("%.6f", waits.mean_wait_seconds())
+        << ",\"max_wait_seconds\":"
+        << StrFormat("%.6f", waits.max_wait_seconds) << "}";
+  }
+  out << "},\"queued_jobs\":" << snapshot.queued_jobs
+      << ",\"starvation_seconds\":"
+      << StrFormat("%.6f", snapshot.starvation_seconds) << "}";
   return out.str();
 }
 

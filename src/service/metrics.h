@@ -12,11 +12,14 @@ namespace sc::service {
 /// One completed (or failed) job's observation, recorded by the service.
 struct JobObservation {
   std::string tenant;
+  int priority = 0;
   bool ok = false;
   double queue_wait_seconds = 0.0;
   double exec_seconds = 0.0;
   std::int64_t requested_bytes = 0;
   std::int64_t granted_bytes = 0;
+  /// Bytes handed back to the BudgetBroker mid-run (grant renegotiation).
+  std::int64_t returned_bytes = 0;
   std::int64_t catalog_hits = 0;
   std::int64_t catalog_misses = 0;
   bool plan_cache_hit = false;
@@ -31,6 +34,8 @@ struct TenantMetrics {
   double total_exec_seconds = 0.0;
   std::int64_t bytes_requested = 0;
   std::int64_t bytes_granted = 0;
+  /// Bytes handed back mid-run via BudgetBroker::ReturnUnused.
+  std::int64_t bytes_returned = 0;
   std::int64_t catalog_hits = 0;
   std::int64_t catalog_misses = 0;
   std::int64_t plan_cache_hits = 0;
@@ -54,9 +59,28 @@ struct TenantMetrics {
   }
 };
 
+/// Queue-wait aggregates for one priority level (across tenants). Queue
+/// wait covers admission queue *and* budget arbitration: the job waits
+/// until it holds everything it needs to run.
+struct PriorityWaitStats {
+  std::int64_t jobs = 0;
+  double total_wait_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+
+  double mean_wait_seconds() const {
+    return jobs == 0 ? 0.0 : total_wait_seconds / jobs;
+  }
+};
+
 struct MetricsSnapshot {
   TenantMetrics aggregate;
   std::map<std::string, TenantMetrics> per_tenant;
+  /// Completed-job queue waits by priority level.
+  std::map<int, PriorityWaitStats> per_priority;
+  /// Starvation gauge: the longest wait among jobs queued *right now*
+  /// (submitted, not yet admitted to run). 0 when nothing is queued.
+  double starvation_seconds = 0.0;
+  std::size_t queued_jobs = 0;
 };
 
 /// Thread-safe metrics registry for the Refresh Service: per-tenant
@@ -70,9 +94,20 @@ class ServiceMetrics {
 
   void Record(const JobObservation& observation);
 
+  /// Live-queue tracking behind the starvation gauge: the service reports
+  /// a job when it enters the admission queue and again once it holds its
+  /// budget grant (or fails). `enqueue_seconds` is a monotonic timestamp
+  /// comparable to the gauge's own clock.
+  void JobQueued(std::uint64_t job_id, int priority,
+                 double enqueue_seconds);
+  void JobDequeued(std::uint64_t job_id);
+  /// Longest wait among currently queued jobs; 0 when none are queued.
+  double StarvationSeconds() const;
+
   MetricsSnapshot Snapshot() const;
 
-  /// Aligned per-tenant table for operators.
+  /// Aligned per-tenant table (plus per-priority waits and the
+  /// starvation gauge) for operators.
   std::string FormatTable() const;
   /// Machine-readable dump (stable key order) for benches and CI.
   std::string ToJson() const;
@@ -83,13 +118,20 @@ class ServiceMetrics {
     std::vector<double> latencies;  // ring buffer once max_samples reached
     std::size_t next_slot = 0;
   };
+  struct QueuedJob {
+    int priority = 0;
+    double enqueue_seconds = 0.0;
+  };
 
   static double Percentile(const std::vector<double>& sorted, double q);
   TenantMetrics Finalize(const TenantState& state) const;
+  double StarvationSecondsLocked() const;
 
   const std::size_t max_samples_;
   mutable std::mutex mutex_;
   std::map<std::string, TenantState> tenants_;
+  std::map<int, PriorityWaitStats> priority_waits_;
+  std::map<std::uint64_t, QueuedJob> queued_;
 };
 
 }  // namespace sc::service

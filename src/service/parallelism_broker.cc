@@ -1,0 +1,41 @@
+#include "service/parallelism_broker.h"
+
+#include <algorithm>
+
+namespace sc::service {
+
+ParallelismBroker::ParallelismBroker(int total_threads,
+                                     int max_lanes_per_job)
+    : total_threads_(std::max(1, total_threads)),
+      max_lanes_(std::clamp(max_lanes_per_job, 1, total_threads_)) {}
+
+ParallelismSplit ParallelismBroker::Split(int total_threads,
+                                          int max_lanes_per_job) {
+  const int total = std::max(1, total_threads);
+  ParallelismSplit split;
+  split.lanes_per_job = std::clamp(max_lanes_per_job, 1, total);
+  split.workers = std::max(1, total / split.lanes_per_job);
+  return split;
+}
+
+int ParallelismBroker::AcquireLanes(int preferred) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int free = total_threads_ - in_use_;
+  const int granted =
+      std::clamp(std::min(free, preferred), 1, max_lanes_);
+  in_use_ += granted;
+  return granted;
+}
+
+void ParallelismBroker::ReleaseLanes(int lanes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ -= std::max(0, lanes);
+  if (in_use_ < 0) in_use_ = 0;
+}
+
+int ParallelismBroker::lanes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+}  // namespace sc::service

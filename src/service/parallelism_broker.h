@@ -1,0 +1,58 @@
+#ifndef SC_SERVICE_PARALLELISM_BROKER_H_
+#define SC_SERVICE_PARALLELISM_BROKER_H_
+
+#include <mutex>
+
+namespace sc::service {
+
+/// How the service's total thread budget is split between inter-job
+/// workers and intra-job execution lanes.
+struct ParallelismSplit {
+  int workers = 1;        // concurrent jobs (RefreshService worker threads)
+  int lanes_per_job = 1;  // Controller max_parallel_nodes per job
+};
+
+/// Arbitrates the service's total thread budget between inter-job
+/// concurrency (workers) and intra-job concurrency (executor lanes), so
+/// that enabling DAG-parallel execution does not multiply the thread
+/// count: with L lanes per job the service runs total/L workers, and each
+/// running job leases its lanes from one shared pool. When some workers
+/// are idle, a job may borrow their lanes (up to its per-job cap), so a
+/// lone job on an otherwise idle service still gets full parallelism.
+///
+/// The accounting counts execution lanes only; per-run coordinator and
+/// materializer threads spend their life blocked and are ignored, like
+/// every thread-pool sizing heuristic does.
+class ParallelismBroker {
+ public:
+  ParallelismBroker(int total_threads, int max_lanes_per_job);
+
+  ParallelismBroker(const ParallelismBroker&) = delete;
+  ParallelismBroker& operator=(const ParallelismBroker&) = delete;
+
+  /// Static split used to size the service's worker pool.
+  static ParallelismSplit Split(int total_threads, int max_lanes_per_job);
+
+  /// Leases lanes for one job about to execute: at least 1 (a job never
+  /// blocks on lanes), at most min(max_lanes_per_job, preferred), never
+  /// exceeding the free share of the thread budget when any is left.
+  /// Callers pass the plan's antichain width as `preferred` so a narrow
+  /// job does not hold lanes it cannot use. Non-blocking.
+  int AcquireLanes(int preferred = 1 << 20);
+  /// Returns a lease taken with AcquireLanes.
+  void ReleaseLanes(int lanes);
+
+  int total_threads() const { return total_threads_; }
+  int max_lanes_per_job() const { return max_lanes_; }
+  int lanes_in_use() const;
+
+ private:
+  const int total_threads_;
+  const int max_lanes_;
+  mutable std::mutex mutex_;
+  int in_use_ = 0;
+};
+
+}  // namespace sc::service
+
+#endif  // SC_SERVICE_PARALLELISM_BROKER_H_

@@ -1,28 +1,23 @@
 #include "service/service.h"
 
-#include <chrono>
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "common/clock.h"
+#include "opt/memory_usage.h"
 #include "opt/optimizer.h"
+#include "opt/stages.h"
 
 namespace sc::service {
-
-namespace {
-
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 RefreshService::RefreshService(storage::ThrottledDisk* disk,
                                ServiceOptions options)
     : disk_(disk),
       options_(std::move(options)),
+      split_(ParallelismBroker::Split(options_.num_workers,
+                                      options_.max_intra_job_lanes)),
       broker_([&] {
         BudgetBrokerOptions broker_options;
         broker_options.global_budget = options_.global_budget;
@@ -30,10 +25,11 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
         broker_options.min_grant_fraction = options_.min_grant_fraction;
         return broker_options;
       }()),
+      lanes_broker_(std::max(1, options_.num_workers),
+                    options_.max_intra_job_lanes),
       plan_cache_(options_.plan_cache_capacity) {
-  const int workers = std::max(1, options_.num_workers);
-  workers_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
+  workers_.reserve(static_cast<std::size_t>(split_.workers));
+  for (int i = 0; i < split_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -58,6 +54,7 @@ std::future<JobResult> RefreshService::Submit(RefreshJobSpec spec) {
           "RefreshService::Submit: service is shut down");
     }
     job->id = next_job_id_++;
+    metrics_.JobQueued(job->id, job->spec.priority, job->submit_seconds);
     queue_.push(std::move(job));
   }
   cv_.notify_one();
@@ -113,8 +110,10 @@ void RefreshService::FailJob(Job& job, const std::string& error) {
   } else {
     result.queue_wait_seconds = now - job.submit_seconds;
   }
+  metrics_.JobDequeued(job.id);
   JobObservation observation;
   observation.tenant = result.tenant;
+  observation.priority = job.spec.priority;
   observation.ok = false;
   observation.queue_wait_seconds = result.queue_wait_seconds;
   observation.exec_seconds = result.exec_seconds;
@@ -160,9 +159,11 @@ JobResult RefreshService::Execute(Job& job) {
   // Queue wait covers both the admission queue and budget arbitration:
   // the job is "waiting" until it holds everything it needs to run.
   job.admit_seconds = MonotonicSeconds();
+  metrics_.JobDequeued(job.id);
   result.queue_wait_seconds = job.admit_seconds - job.submit_seconds;
   result.granted_budget = grant.bytes;
   const double exec_start = job.admit_seconds;
+  int lanes = 0;
 
   try {
     // The run executes at the granted budget, so that is the cache key
@@ -194,26 +195,79 @@ JobResult RefreshService::Execute(Job& job) {
       plan_cache_.Insert(job.fingerprint, grant.bytes, plan);
     }
 
+    // Grant renegotiation: the plan's peak memory need is now known, so
+    // budget beyond need × slack goes back to the broker immediately,
+    // waking head-of-line waiters instead of idling until Release. The
+    // need is estimate-based, so skip it when any flagged node lacks a
+    // size estimate (nothing trustworthy to keep by).
+    if (options_.budget_return_slack >= 1.0 && grant.bytes > 0) {
+      bool estimates_present = true;
+      for (const graph::NodeId v : opt::FlaggedNodes(plan.flags)) {
+        if (wl.graph.node(v).size_bytes <= 0) estimates_present = false;
+      }
+      const std::int64_t need = opt::PeakMemoryUsage(
+          wl.graph, plan.order, plan.flags);
+      const std::int64_t keep = static_cast<std::int64_t>(
+          static_cast<double>(need) * options_.budget_return_slack);
+      if (estimates_present && keep < grant.bytes) {
+        result.returned_budget = grant.bytes - keep;
+        broker_.ReturnUnused(&grant, result.returned_budget);
+      }
+    }
+
+    // Lease execution lanes, asking for no more than the plan's widest
+    // antichain — a chain-shaped job must not hold lanes it cannot use.
+    const int width = static_cast<int>(std::min<std::size_t>(
+        opt::StageWidth(wl.graph, plan.order),
+        static_cast<std::size_t>(options_.num_workers)));
+    lanes = lanes_broker_.AcquireLanes(width);
+    result.lanes = lanes;
     runtime::ControllerOptions controller_options;
     controller_options.background_materialize =
         options_.background_materialize;
+    controller_options.max_parallel_nodes = lanes;
     runtime::Controller controller(disk_, controller_options);
     // The grant, not the controller default, is the catalog budget.
     result.report = controller.RunWithBudget(wl, plan, grant.bytes);
+    if (!result.report.ok && result.returned_budget > 0 &&
+        result.report.error.find("Memory Catalog budget violated") !=
+            std::string::npos) {
+      // Actual output sizes overshot the estimates the renegotiation
+      // trusted. Hand the shrunk grant back entirely, then re-acquire
+      // the original funding level while holding nothing — a blocking
+      // Acquire under a held grant could deadlock against the broker's
+      // head-of-line admission. The fresh grant may still land below
+      // the plan's budget (partial funding); then the standard
+      // partial-grant path applies: re-optimize at the funded budget.
+      broker_.Release(&grant);
+      grant = broker_.Acquire(job.spec.tenant, result.granted_budget,
+                              job.spec.priority);
+      const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
+          wl.graph, plan, grant.bytes, options_.optimizer);
+      result.reoptimized = result.reoptimized || reopt.iterations > 0;
+      result.report =
+          controller.RunWithBudget(wl, reopt.plan, grant.bytes);
+      result.returned_budget =
+          std::max<std::int64_t>(0, result.granted_budget - grant.bytes);
+    }
   } catch (...) {
+    if (lanes > 0) lanes_broker_.ReleaseLanes(lanes);
     broker_.Release(&grant);
     throw;
   }
+  lanes_broker_.ReleaseLanes(lanes);
   broker_.Release(&grant);
   result.exec_seconds = MonotonicSeconds() - exec_start;
 
   JobObservation observation;
   observation.tenant = result.tenant;
+  observation.priority = job.spec.priority;
   observation.ok = result.report.ok;
   observation.queue_wait_seconds = result.queue_wait_seconds;
   observation.exec_seconds = result.exec_seconds;
   observation.requested_bytes = result.requested_budget;
   observation.granted_bytes = result.granted_budget;
+  observation.returned_bytes = result.returned_budget;
   observation.catalog_hits = result.report.catalog_hits;
   observation.catalog_misses = result.report.catalog_misses;
   observation.plan_cache_hit = result.plan_cache_hit;

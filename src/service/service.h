@@ -15,6 +15,7 @@
 #include "runtime/controller.h"
 #include "service/budget_broker.h"
 #include "service/metrics.h"
+#include "service/parallelism_broker.h"
 #include "service/plan_cache.h"
 #include "storage/throttled_disk.h"
 #include "workload/workloads.h"
@@ -22,8 +23,18 @@
 namespace sc::service {
 
 struct ServiceOptions {
-  /// Number of worker threads, each driving its own runtime::Controller.
+  /// Total execution-thread budget of the service. With
+  /// max_intra_job_lanes == 1 (default) this is exactly the number of
+  /// worker threads, each driving its own runtime::Controller — the
+  /// pre-parallel behaviour. With L > 1 lanes the ParallelismBroker
+  /// splits the budget into num_workers / L inter-job workers whose jobs
+  /// each lease up to L intra-job lanes, so enabling DAG-parallel
+  /// execution never multiplies the service's thread count.
   int num_workers = 4;
+  /// Upper bound on one job's intra-job execution lanes (Controller
+  /// max_parallel_nodes). Jobs may borrow idle workers' lanes up to this
+  /// cap.
+  int max_intra_job_lanes = 1;
   /// Global Memory-Catalog bytes shared by all in-flight jobs.
   std::int64_t global_budget = 256LL * 1024 * 1024;
   /// Per-job budget request when the job does not name one. 0 = ask for
@@ -36,6 +47,12 @@ struct ServiceOptions {
   /// BudgetBrokerOptions::min_grant_fraction).
   double min_grant_fraction = 0.25;
   std::size_t plan_cache_capacity = 128;
+  /// Grant renegotiation: once a job's plan is known, budget beyond
+  /// plan peak × this slack is returned to the BudgetBroker early
+  /// (ReturnUnused), waking waiters before the run completes. The slack
+  /// absorbs actual output sizes overshooting the optimizer's estimates;
+  /// values < 1 disable early return.
+  double budget_return_slack = 1.25;
   /// Forwarded to each worker's Controller.
   bool background_materialize = true;
   /// Optimizer configuration used when a job misses the plan cache.
@@ -69,6 +86,11 @@ struct JobResult {
   runtime::RunReport report;
   std::int64_t requested_budget = 0;
   std::int64_t granted_budget = 0;
+  /// Bytes handed back to the broker before the run finished (grant
+  /// renegotiation; the run executed at granted_budget - returned_budget).
+  std::int64_t returned_budget = 0;
+  /// Intra-job execution lanes leased from the ParallelismBroker.
+  int lanes = 1;
   double queue_wait_seconds = 0.0;
   double exec_seconds = 0.0;
   bool plan_cache_hit = false;
@@ -87,7 +109,12 @@ struct JobResult {
 /// concurrent Memory-Catalog reservations never exceeds the global
 /// budget, with per-tenant quotas and priority-aware admission. Jobs
 /// whose flagged set cannot be funded at their granted budget are
-/// re-optimized before execution, never rejected.
+/// re-optimized before execution, never rejected. With
+/// max_intra_job_lanes > 1, each job additionally leases intra-job
+/// execution lanes from a ParallelismBroker and runs its DAG on the
+/// Controller's stage-scheduled parallel runtime; once the plan is
+/// known, budget beyond the plan's needs is handed back to the
+/// BudgetBroker early (grant renegotiation).
 class RefreshService {
  public:
   RefreshService(storage::ThrottledDisk* disk, ServiceOptions options);
@@ -111,6 +138,9 @@ class RefreshService {
 
   const ServiceMetrics& metrics() const { return metrics_; }
   const BudgetBroker& broker() const { return broker_; }
+  const ParallelismBroker& lanes_broker() const { return lanes_broker_; }
+  /// How the thread budget was split (workers actually spawned).
+  const ParallelismSplit& parallelism() const { return split_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
   PlanCache& plan_cache() { return plan_cache_; }
   std::size_t queue_depth() const;
@@ -145,7 +175,9 @@ class RefreshService {
 
   storage::ThrottledDisk* disk_;
   const ServiceOptions options_;
+  const ParallelismSplit split_;
   BudgetBroker broker_;
+  ParallelismBroker lanes_broker_;
   PlanCache plan_cache_;
   ServiceMetrics metrics_;
 

@@ -47,6 +47,26 @@ void MemoryCatalog::Release(const std::string& name) {
   entries_.erase(it);
 }
 
+bool MemoryCatalog::Reserve(const std::string& name, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes < 0) return false;
+  const std::int64_t used = used_.load(std::memory_order_relaxed);
+  const std::int64_t reserved = reserved_.load(std::memory_order_relaxed);
+  if (used + reserved + bytes > budget_) return false;
+  auto [it, inserted] = reservations_.emplace(name, bytes);
+  if (!inserted) return false;
+  reserved_.store(reserved + bytes, std::memory_order_relaxed);
+  return true;
+}
+
+void MemoryCatalog::CancelReservation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = reservations_.find(name);
+  if (it == reservations_.end()) return;
+  reserved_.fetch_sub(it->second, std::memory_order_relaxed);
+  reservations_.erase(it);
+}
+
 std::size_t MemoryCatalog::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
@@ -55,7 +75,9 @@ std::size_t MemoryCatalog::size() const {
 void MemoryCatalog::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  reservations_.clear();
   used_.store(0, std::memory_order_relaxed);
+  reserved_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sc::storage

@@ -42,6 +42,26 @@ class MemoryCatalog {
   /// Releases `name`, freeing its bytes. No-op if absent.
   void Release(const std::string& name);
 
+  /// Reservation API for the parallel runtime: earmarks `bytes` for a
+  /// future Put of `name` so concurrently *executing* nodes cannot
+  /// jointly overshoot the budget while their outputs are still being
+  /// produced. Returns false if resident + reserved + `bytes` would
+  /// exceed the budget, if `bytes` is negative, or if `name` already
+  /// holds a reservation. Reservations gate dispatch only: Put itself
+  /// keeps enforcing the budget against resident bytes alone, so the
+  /// sequential admission semantics (lazy release until Put fits) are
+  /// unchanged. Callers cancel the reservation before the final Put —
+  /// the actual output size replaces the estimate — or on failure.
+  bool Reserve(const std::string& name, std::int64_t bytes);
+
+  /// Drops `name`'s reservation. No-op if absent.
+  void CancelReservation(const std::string& name);
+
+  /// Sum of outstanding reservations (not counted in used_bytes()).
+  std::int64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
   std::int64_t used_bytes() const {
     return used_.load(std::memory_order_relaxed);
   }
@@ -71,6 +91,8 @@ class MemoryCatalog {
   const std::int64_t budget_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  std::map<std::string, std::int64_t> reservations_;
+  std::atomic<std::int64_t> reserved_{0};
   std::atomic<std::int64_t> used_{0};
   std::atomic<std::int64_t> peak_{0};
   mutable std::atomic<std::int64_t> hits_{0};

@@ -688,6 +688,57 @@ std::vector<MvWorkload> StandardWorkloads() {
   return out;
 }
 
+MvWorkload BuildWideSynthetic(int width, bool heavy) {
+  using engine::Col;
+  using engine::CountAll;
+  using engine::Lit;
+  using engine::Scan;
+  MvWorkload wl;
+  wl.name = "wide_synthetic";
+  wl.description = "wide antichain of fact-table rollups + union sink";
+  const std::vector<std::string> facts = {"store_sales", "catalog_sales",
+                                          "web_sales"};
+  std::vector<std::string> names;
+  for (int i = 0; i < width; ++i) {
+    const std::string& fact =
+        facts[static_cast<std::size_t>(i) % facts.size()];
+    const std::string prefix = ChannelPrefix(fact);
+    std::vector<engine::AggSpec> aggs = {
+        SumOf(Col(prefix + "_quantity"), "qty"), CountAll("cnt")};
+    if (heavy) {
+      aggs.push_back(SumOf(Col(prefix + "_net_profit"), "profit"));
+    }
+    PlanPtr rollup = engine::Aggregate(
+        engine::Filter(Scan(fact),
+                       engine::Gt(Col(prefix + "_customer_sk"),
+                                  Lit(static_cast<std::int64_t>(i)))),
+        {prefix + "_item_sk"}, std::move(aggs));
+    if (heavy) rollup = engine::Sort(rollup, {"qty"}, {true});
+    std::vector<NamedExpr> projections = {
+        NamedExpr{"item_sk", Col(prefix + "_item_sk")},
+        NamedExpr{"qty", Col("qty")}, NamedExpr{"cnt", Col("cnt")}};
+    if (heavy) projections.push_back(NamedExpr{"profit", Col("profit")});
+    const std::string name = "wide_mv_" + std::to_string(i);
+    wl.graph.AddNode(name);
+    wl.plans.push_back(
+        engine::Project(std::move(rollup), std::move(projections)));
+    wl.scale.push_back(MedMv());
+    names.push_back(name);
+  }
+  PlanPtr all = Scan(names[0]);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    all = engine::UnionAll(all, Scan(names[i]));
+  }
+  const graph::NodeId sink = wl.graph.AddNode("wide_sink");
+  wl.plans.push_back(engine::Aggregate(all, {"item_sk"},
+                                       {SumOf(Col("qty"), "total_qty")}));
+  wl.scale.push_back(SmallMv());
+  for (const std::string& name : names) {
+    wl.graph.AddEdge(*wl.graph.FindByName(name), sink);
+  }
+  return wl;
+}
+
 bool ValidateWorkload(const MvWorkload& wl, std::string* error) {
   auto fail = [&](const std::string& msg) {
     if (error != nullptr) *error = wl.name + ": " + msg;

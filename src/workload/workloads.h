@@ -49,6 +49,14 @@ MvWorkload BuildCompute2();
 /// All five, in Table III order.
 std::vector<MvWorkload> StandardWorkloads();
 
+/// A synthetic wide workload exercising the intra-job parallel runtime:
+/// `width` independent channel-fact-table rollups ("wide_mv_<i>")
+/// feeding one union-aggregate sink ("wide_sink"), i.e. two antichain
+/// stages of width `width` and 1. With `heavy`, each rollup also sorts
+/// and aggregates net profit (the benchmark shape — more compute per
+/// node); tests use the light shape.
+MvWorkload BuildWideSynthetic(int width, bool heavy = false);
+
 /// Consistency check used by tests: every plan's scan leaves are either
 /// base tables or names of graph parents, and edges match plan references.
 bool ValidateWorkload(const MvWorkload& wl, std::string* error);

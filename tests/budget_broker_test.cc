@@ -177,6 +177,48 @@ TEST(BudgetBrokerTest, BlockedAcquireWakesOnRelease) {
   EXPECT_EQ(broker.reserved_bytes(), 0);
 }
 
+TEST(BudgetBrokerTest, ReturnUnusedWakesHeadOfLineWaiter) {
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant held = broker.Acquire("a", 1000);
+  std::atomic<bool> granted{false};
+  std::int64_t waiter_bytes = 0;
+  std::thread waiter([&] {
+    BudgetGrant grant = broker.Acquire("b", 400);
+    waiter_bytes = grant.bytes;
+    granted = true;
+    broker.Release(&grant);
+  });
+  while (broker.waiting_count() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(granted.load());
+  // Returning part of the running grant funds the waiter mid-run.
+  broker.ReturnUnused(&held, 400);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(waiter_bytes, 400);
+  EXPECT_EQ(held.bytes, 600);
+  EXPECT_TRUE(held.valid());
+  broker.Release(&held);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+}
+
+TEST(BudgetBrokerTest, ReturnUnusedClampsAndIgnoresInvalidGrants) {
+  BudgetBroker broker(Opts(1000, 0, 1.0));
+  BudgetGrant grant = broker.Acquire("a", 300);
+  broker.ReturnUnused(&grant, -5);  // no-op
+  EXPECT_EQ(grant.bytes, 300);
+  broker.ReturnUnused(&grant, 1000);  // clamped to the outstanding bytes
+  EXPECT_EQ(grant.bytes, 0);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+  broker.Release(&grant);
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+  BudgetGrant invalid;
+  broker.ReturnUnused(&invalid, 100);  // no-op, no underflow
+  EXPECT_EQ(broker.reserved_bytes(), 0);
+  broker.ReturnUnused(nullptr, 100);
+}
+
 TEST(BudgetBrokerTest, HigherPriorityWaiterIsFundedFirst) {
   BudgetBroker broker(Opts(1000, 0, 1.0));
   BudgetGrant held = broker.Acquire("a", 1000);

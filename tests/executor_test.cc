@@ -25,26 +25,23 @@ TablePtr MakeItems() {
             std::move(cols)));
 }
 
-MapResolver MakeCatalog() {
-  MapResolver resolver;
-  resolver.Put("sales", MakeSales());
-  resolver.Put("items", MakeItems());
-  return resolver;
+std::map<std::string, TablePtr> MakeCatalog() {
+  return {{"sales", MakeSales()}, {"items", MakeItems()}};
 }
 
 TEST(ExecutorTest, ScanReturnsTable) {
-  MapResolver resolver = MakeCatalog();
+  MapResolver resolver(MakeCatalog());
   const Table out = ExecutePlan(*Scan("sales"), resolver);
   EXPECT_EQ(out.num_rows(), 6u);
 }
 
 TEST(ExecutorTest, UnknownTableThrows) {
-  MapResolver resolver = MakeCatalog();
+  MapResolver resolver(MakeCatalog());
   EXPECT_THROW(ExecutePlan(*Scan("nope"), resolver), std::out_of_range);
 }
 
 TEST(ExecutorTest, FilterProjectPipeline) {
-  MapResolver resolver = MakeCatalog();
+  MapResolver resolver(MakeCatalog());
   const auto plan = Project(
       Filter(Scan("sales"), Ge(Col("amount"), Lit(5.0))),
       {NamedExpr{"item", Col("item")},
@@ -55,7 +52,7 @@ TEST(ExecutorTest, FilterProjectPipeline) {
 }
 
 TEST(ExecutorTest, JoinAggregateSortLimit) {
-  MapResolver resolver = MakeCatalog();
+  MapResolver resolver(MakeCatalog());
   const auto plan = Limit(
       Sort(Aggregate(
                HashJoin(Scan("sales"), Scan("items"), {"item"},
@@ -71,7 +68,7 @@ TEST(ExecutorTest, JoinAggregateSortLimit) {
 }
 
 TEST(ExecutorTest, UnionAllPlan) {
-  MapResolver resolver = MakeCatalog();
+  MapResolver resolver(MakeCatalog());
   const auto plan = UnionAll(Scan("sales"), Scan("sales"));
   EXPECT_EQ(ExecutePlan(*plan, resolver).num_rows(), 12u);
 }

@@ -113,6 +113,36 @@ TEST(MemoryCatalogTest, ConcurrentMixedOpsKeepAccountingConsistent) {
   EXPECT_GT(catalog.hits() + catalog.misses(), 0);
 }
 
+TEST(MemoryCatalogTest, ReservationsGateConcurrentDispatch) {
+  MemoryCatalog catalog(100);
+  EXPECT_TRUE(catalog.Reserve("a", 60));
+  EXPECT_EQ(catalog.reserved_bytes(), 60);
+  EXPECT_FALSE(catalog.Reserve("b", 50));  // 60 + 50 > budget
+  EXPECT_FALSE(catalog.Reserve("a", 10));  // duplicate name
+  EXPECT_FALSE(catalog.Reserve("c", -1));
+  catalog.CancelReservation("a");
+  catalog.CancelReservation("a");  // idempotent
+  EXPECT_EQ(catalog.reserved_bytes(), 0);
+  EXPECT_TRUE(catalog.Reserve("b", 50));
+  // Resident bytes count against future reservations too.
+  EXPECT_TRUE(catalog.Put("t", Tiny(), 40));
+  EXPECT_FALSE(catalog.Reserve("c", 20));  // 40 used + 50 reserved + 20
+  EXPECT_TRUE(catalog.Reserve("c", 10));
+}
+
+TEST(MemoryCatalogTest, PutEnforcesResidentBudgetNotReservations) {
+  // Reservations are dispatch backpressure; Put keeps the strict
+  // sequential admission semantics against resident bytes alone.
+  MemoryCatalog catalog(100);
+  EXPECT_TRUE(catalog.Reserve("pending", 50));
+  EXPECT_TRUE(catalog.Put("t", Tiny(), 100));
+  EXPECT_FALSE(catalog.Put("u", Tiny(), 1));
+  EXPECT_EQ(catalog.used_bytes(), 100);
+  catalog.Clear();
+  EXPECT_EQ(catalog.used_bytes(), 0);
+  EXPECT_EQ(catalog.reserved_bytes(), 0);  // Clear drops reservations
+}
+
 TEST(MemoryCatalogTest, ConcurrentPutsStayWithinBudget) {
   MemoryCatalog catalog(1000);
   std::vector<std::thread> threads;

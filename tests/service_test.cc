@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <future>
 #include <memory>
@@ -235,6 +236,166 @@ TEST(RefreshServiceTest, NullWorkloadRejected) {
   storage::ThrottledDisk disk(FreshDir("null"), FastDisk());
   RefreshService service(&disk, ServiceOptions{});
   EXPECT_THROW(service.Submit(RefreshJobSpec{}), std::invalid_argument);
+}
+
+TEST(ParallelismBrokerTest, SplitKeepsThreadBudgetBounded) {
+  const ParallelismSplit a = ParallelismBroker::Split(8, 1);
+  EXPECT_EQ(a.workers, 8);
+  EXPECT_EQ(a.lanes_per_job, 1);
+  const ParallelismSplit b = ParallelismBroker::Split(8, 4);
+  EXPECT_EQ(b.workers, 2);
+  EXPECT_EQ(b.lanes_per_job, 4);
+  // Lanes above the budget are clamped; the budget is never multiplied.
+  const ParallelismSplit c = ParallelismBroker::Split(2, 8);
+  EXPECT_EQ(c.workers, 1);
+  EXPECT_EQ(c.lanes_per_job, 2);
+  EXPECT_LE(c.workers * c.lanes_per_job, 2);
+}
+
+TEST(ParallelismBrokerTest, PreferredWidthCapsTheLease) {
+  ParallelismBroker broker(8, 4);
+  // A chain-shaped job (antichain width 1) leases a single lane even
+  // though its cap and the free budget would allow more.
+  const int narrow = broker.AcquireLanes(/*preferred=*/1);
+  EXPECT_EQ(narrow, 1);
+  const int wide = broker.AcquireLanes(/*preferred=*/16);
+  EXPECT_EQ(wide, 4);  // clamped to the per-job cap
+  broker.ReleaseLanes(narrow);
+  broker.ReleaseLanes(wide);
+  EXPECT_EQ(broker.lanes_in_use(), 0);
+}
+
+TEST(ParallelismBrokerTest, IdleWorkersLanesAreBorrowable) {
+  ParallelismBroker broker(8, 4);
+  const int first = broker.AcquireLanes();
+  EXPECT_EQ(first, 4);  // lone job gets its full cap
+  const int second = broker.AcquireLanes();
+  EXPECT_EQ(second, 4);
+  // Budget exhausted: further jobs still run, at one lane.
+  const int third = broker.AcquireLanes();
+  EXPECT_EQ(third, 1);
+  broker.ReleaseLanes(first);
+  broker.ReleaseLanes(second);
+  broker.ReleaseLanes(third);
+  EXPECT_EQ(broker.lanes_in_use(), 0);
+}
+
+TEST(RefreshServiceTest, IntraJobLanesExecuteJobsCorrectly) {
+  storage::ThrottledDisk disk(FreshDir("lanes"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 4;  // total thread budget
+  options.max_intra_job_lanes = 4;
+  options.global_budget = 16LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+  EXPECT_EQ(service.parallelism().workers, 1);
+  EXPECT_EQ(service.parallelism().lanes_per_job, 4);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    RefreshJobSpec spec;
+    spec.workload = wl;
+    spec.tenant = "lanes";
+    futures.push_back(service.Submit(std::move(spec)));
+  }
+  for (auto& future : futures) {
+    const JobResult result = future.get();
+    EXPECT_TRUE(result.report.ok) << result.report.error;
+    EXPECT_GE(result.lanes, 1);
+    EXPECT_LE(result.lanes, 4);
+    EXPECT_LE(result.report.peak_memory, result.granted_budget);
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.lanes_broker().lanes_in_use(), 0);
+}
+
+TEST(RefreshServiceTest, UnusedBudgetIsReturnedMidRun) {
+  storage::ThrottledDisk disk(FreshDir("return"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.global_budget = 256LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+
+  // The whole global budget is far more than Io1's flagged set needs at
+  // tiny scale, so most of the grant goes back to the broker early.
+  RefreshJobSpec spec;
+  spec.workload = wl;
+  spec.tenant = "frugal";
+  spec.requested_budget = options.global_budget;
+  const JobResult result = service.Submit(std::move(spec)).get();
+  ASSERT_TRUE(result.report.ok) << result.report.error;
+  EXPECT_GT(result.returned_budget, 0);
+  EXPECT_LT(result.report.budget,
+            result.granted_budget);  // ran on the shrunk grant
+  EXPECT_LE(result.report.peak_memory, result.report.budget);
+  const MetricsSnapshot snapshot = service.metrics().Snapshot();
+  EXPECT_GT(snapshot.aggregate.bytes_returned, 0);
+  EXPECT_EQ(service.broker().reserved_bytes(), 0);
+}
+
+TEST(ServiceMetricsTest, PerPriorityWaitsAndStarvationGauge) {
+  ServiceMetrics metrics;
+  const double now =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  metrics.JobQueued(1, /*priority=*/0, now - 5.0);
+  metrics.JobQueued(2, /*priority=*/3, now - 1.0);
+  EXPECT_GE(metrics.StarvationSeconds(), 5.0);
+
+  JobObservation slow;
+  slow.tenant = "t";
+  slow.priority = 0;
+  slow.ok = true;
+  slow.queue_wait_seconds = 5.0;
+  metrics.Record(slow);
+  metrics.JobDequeued(1);
+  EXPECT_LT(metrics.StarvationSeconds(), 5.0);
+
+  JobObservation fast;
+  fast.tenant = "t";
+  fast.priority = 3;
+  fast.ok = true;
+  fast.queue_wait_seconds = 0.5;
+  metrics.Record(fast);
+  metrics.JobDequeued(2);
+  EXPECT_EQ(metrics.StarvationSeconds(), 0.0);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  ASSERT_EQ(snapshot.per_priority.size(), 2u);
+  EXPECT_EQ(snapshot.per_priority.at(0).jobs, 1);
+  EXPECT_DOUBLE_EQ(snapshot.per_priority.at(0).max_wait_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(snapshot.per_priority.at(3).mean_wait_seconds(), 0.5);
+  EXPECT_EQ(snapshot.queued_jobs, 0u);
+
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"per_priority\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"starvation_seconds\""), std::string::npos);
+  const std::string table = metrics.FormatTable();
+  EXPECT_NE(table.find("priority"), std::string::npos) << table;
+  EXPECT_NE(table.find("starvation"), std::string::npos);
+}
+
+TEST(RefreshServiceTest, StarvationGaugeTracksLiveQueue) {
+  storage::ThrottledDisk disk(FreshDir("starve"), FastDisk());
+  auto wl = AnnotatedWorkload(&disk);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.global_budget = 16LL * 1024 * 1024;
+  RefreshService service(&disk, options);
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    RefreshJobSpec spec;
+    spec.workload = wl;
+    spec.tenant = "starve";
+    futures.push_back(service.Submit(std::move(spec)));
+  }
+  for (auto& future : futures) future.get();
+  service.Shutdown();
+  // Everything ran: the gauge must be clean.
+  EXPECT_EQ(service.metrics().StarvationSeconds(), 0.0);
+  EXPECT_EQ(service.metrics().Snapshot().queued_jobs, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "opt/optimizer.h"
+#include "opt/stages.h"
+#include "runtime/controller.h"
+#include "runtime/executor_pool.h"
+#include "runtime/stage_scheduler.h"
+#include "workload/datagen.h"
+#include "workload/workloads.h"
+
+namespace sc::runtime {
+namespace {
+
+storage::DiskProfile FastDisk() {
+  storage::DiskProfile profile;
+  profile.throttle = false;
+  return profile;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/sc_stage_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::map<std::string, engine::TablePtr> TinyData() {
+  workload::DataGenOptions options;
+  options.scale = 0.03;
+  return workload::GenerateTpcdsData(options);
+}
+
+workload::MvWorkload WideWorkload(int width) {
+  return workload::BuildWideSynthetic(width);
+}
+
+// ---------------------------------------------------------------------------
+// Stage decomposition
+// ---------------------------------------------------------------------------
+
+TEST(StageDecompositionTest, ChainYieldsOneNodePerStage) {
+  graph::Graph g;
+  const auto a = g.AddNode("a");
+  const auto b = g.AddNode("b");
+  const auto c = g.AddNode("c");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  const auto stages =
+      opt::DecomposeStages(g, graph::KahnTopologicalOrder(g));
+  ASSERT_EQ(stages.num_stages(), 3);
+  EXPECT_EQ(stages.width(), 1u);
+  EXPECT_EQ(stages.stage_of[a], 0);
+  EXPECT_EQ(stages.stage_of[b], 1);
+  EXPECT_EQ(stages.stage_of[c], 2);
+}
+
+TEST(StageDecompositionTest, DiamondYieldsAntichains) {
+  graph::Graph g;
+  const auto root = g.AddNode("root");
+  const auto left = g.AddNode("left");
+  const auto right = g.AddNode("right");
+  const auto sink = g.AddNode("sink");
+  g.AddEdge(root, left);
+  g.AddEdge(root, right);
+  g.AddEdge(left, sink);
+  g.AddEdge(right, sink);
+  const auto order = graph::KahnTopologicalOrder(g);
+  const auto stages = opt::DecomposeStages(g, order);
+  ASSERT_EQ(stages.num_stages(), 3);
+  EXPECT_EQ(stages.width(), 2u);
+  EXPECT_EQ(stages.stages[1].size(), 2u);
+  // Every parent sits in a strictly earlier stage (antichain property).
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (graph::NodeId p : g.parents(v)) {
+      EXPECT_LT(stages.stage_of[p], stages.stage_of[v]);
+    }
+  }
+  // Intra-stage listing follows order position.
+  EXPECT_LT(order.position[stages.stages[1][0]],
+            order.position[stages.stages[1][1]]);
+}
+
+TEST(StageDecompositionTest, RejectsNonTopologicalOrder) {
+  graph::Graph g;
+  const auto a = g.AddNode("a");
+  const auto b = g.AddNode("b");
+  g.AddEdge(a, b);
+  const auto order = graph::Order::FromSequence({b, a});
+  EXPECT_THROW(opt::DecomposeStages(g, order), std::invalid_argument);
+  EXPECT_THROW(
+      opt::DecomposeStages(g, graph::Order::FromSequence({a})),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorPool / StageScheduler
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorPoolTest, RunsEveryTaskAcrossLanes) {
+  ExecutorPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(StageSchedulerTest, SingleLaneDispatchFollowsPlanOrder) {
+  graph::Graph g;
+  const auto root = g.AddNode("root");
+  const auto left = g.AddNode("left");
+  const auto right = g.AddNode("right");
+  const auto sink = g.AddNode("sink");
+  g.AddEdge(root, left);
+  g.AddEdge(root, right);
+  g.AddEdge(left, sink);
+  g.AddEdge(right, sink);
+  const auto order = graph::KahnTopologicalOrder(g);
+  const auto stages = opt::DecomposeStages(g, order);
+  StageScheduler scheduler(g, order, stages);
+  std::vector<graph::NodeId> dispatched;
+  while (scheduler.HasReady()) {
+    const graph::NodeId v = scheduler.PopReady();
+    dispatched.push_back(v);
+    scheduler.MarkAvailable(v);  // 1-lane: done before the next dispatch
+  }
+  EXPECT_EQ(dispatched, order.sequence);
+  EXPECT_TRUE(scheduler.AllDispatched());
+}
+
+TEST(StageSchedulerTest, ReadyRequiresEveryParentAvailable) {
+  graph::Graph g;
+  const auto a = g.AddNode("a");
+  const auto b = g.AddNode("b");
+  const auto c = g.AddNode("c");
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  const auto order = graph::KahnTopologicalOrder(g);
+  const auto stages = opt::DecomposeStages(g, order);
+  StageScheduler scheduler(g, order, stages);
+  EXPECT_EQ(scheduler.PopReady(), a);
+  EXPECT_EQ(scheduler.PopReady(), b);
+  EXPECT_FALSE(scheduler.HasReady());  // c waits for both parents
+  scheduler.MarkAvailable(a);
+  EXPECT_FALSE(scheduler.HasReady());
+  scheduler.MarkAvailable(b);
+  EXPECT_EQ(scheduler.PopReady(), c);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-mode guarantee (acceptance regression test)
+// ---------------------------------------------------------------------------
+
+TEST(StageRuntimeTest, OneLaneStageRuntimeIdenticalToSequentialLoop) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = workload::BuildIo1();
+
+  storage::ThrottledDisk profile_disk(FreshDir("eq_profile"), FastDisk());
+  Controller profiler(&profile_disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 8LL * 1024 * 1024;
+  const auto plan = opt::Optimizer{}.Optimize(wl.graph, budget).plan;
+  ASSERT_FALSE(opt::FlaggedNodes(plan.flags).empty());
+
+  storage::ThrottledDisk disk_seq(FreshDir("eq_seq"), FastDisk());
+  ControllerOptions seq_options;
+  seq_options.budget = budget;
+  Controller sequential(&disk_seq, seq_options);
+  sequential.LoadBaseTables(data);
+  const RunReport seq = sequential.Run(wl, plan);
+  ASSERT_TRUE(seq.ok) << seq.error;
+
+  storage::ThrottledDisk disk_stage(FreshDir("eq_stage"), FastDisk());
+  ControllerOptions stage_options;
+  stage_options.budget = budget;
+  stage_options.max_parallel_nodes = 1;
+  stage_options.force_stage_runtime = true;
+  Controller staged(&disk_stage, stage_options);
+  staged.LoadBaseTables(data);
+  const RunReport stage = staged.Run(wl, plan);
+  ASSERT_TRUE(stage.ok) << stage.error;
+
+  // The paper-semantics invariants: identical node stats (modulo wall
+  // times), catalog hit/miss counts, and peak memory.
+  EXPECT_EQ(stage.parallel_lanes, 1);
+  EXPECT_EQ(seq.peak_memory, stage.peak_memory);
+  EXPECT_EQ(seq.catalog_hits, stage.catalog_hits);
+  EXPECT_EQ(seq.catalog_misses, stage.catalog_misses);
+  ASSERT_EQ(seq.nodes.size(), stage.nodes.size());
+  for (std::size_t i = 0; i < seq.nodes.size(); ++i) {
+    EXPECT_EQ(seq.nodes[i].name, stage.nodes[i].name);
+    EXPECT_EQ(seq.nodes[i].output_bytes, stage.nodes[i].output_bytes);
+    EXPECT_EQ(seq.nodes[i].output_rows, stage.nodes[i].output_rows);
+    EXPECT_EQ(seq.nodes[i].output_in_memory,
+              stage.nodes[i].output_in_memory);
+    EXPECT_EQ(seq.nodes[i].stage, stage.nodes[i].stage);
+  }
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    EXPECT_TRUE(disk_seq.ReadTable(name) == disk_stage.ReadTable(name))
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+TEST(StageRuntimeTest, FourLanesProduceIdenticalMvsWithinBudget) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = workload::BuildIo1();
+
+  storage::ThrottledDisk profile_disk(FreshDir("par_profile"), FastDisk());
+  Controller profiler(&profile_disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 16LL * 1024 * 1024;
+  const auto plan = opt::Optimizer{}.Optimize(wl.graph, budget).plan;
+
+  storage::ThrottledDisk disk_seq(FreshDir("par_seq"), FastDisk());
+  ControllerOptions seq_options;
+  seq_options.budget = budget;
+  Controller sequential(&disk_seq, seq_options);
+  sequential.LoadBaseTables(data);
+  const RunReport seq = sequential.Run(wl, plan);
+  ASSERT_TRUE(seq.ok) << seq.error;
+
+  storage::ThrottledDisk disk_par(FreshDir("par_par"), FastDisk());
+  ControllerOptions par_options;
+  par_options.budget = budget;
+  par_options.max_parallel_nodes = 4;
+  Controller parallel(&disk_par, par_options);
+  parallel.LoadBaseTables(data);
+  const RunReport par = parallel.Run(wl, plan);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  EXPECT_GT(par.parallel_lanes, 1);
+  EXPECT_GT(par.num_stages, 0);
+  EXPECT_LE(par.peak_memory, budget);
+  ASSERT_EQ(par.nodes.size(),
+            static_cast<std::size_t>(wl.graph.num_nodes()));
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    EXPECT_TRUE(disk_seq.ReadTable(name) == disk_par.ReadTable(name))
+        << name;
+  }
+}
+
+TEST(StageRuntimeTest, WideDagExecutesOnAllLanes) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = WideWorkload(8);
+  std::string error;
+  ASSERT_TRUE(wl.graph.Validate(&error)) << error;
+
+  storage::ThrottledDisk disk(FreshDir("wide"), FastDisk());
+  ControllerOptions options;
+  options.max_parallel_nodes = 4;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(data);
+  const RunReport report = controller.RunUnoptimized(wl);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.parallel_lanes, 4);
+  EXPECT_EQ(report.num_stages, 2);
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(disk.Exists(wl.graph.node(v).name));
+  }
+
+  // The same run with one lane yields byte-identical MV contents.
+  storage::ThrottledDisk disk_seq(FreshDir("wide_seq"), FastDisk());
+  Controller sequential(&disk_seq, ControllerOptions{});
+  sequential.LoadBaseTables(data);
+  ASSERT_TRUE(sequential.RunUnoptimized(wl).ok);
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    EXPECT_TRUE(disk.ReadTable(name) == disk_seq.ReadTable(name)) << name;
+  }
+}
+
+TEST(StageRuntimeTest, ParallelExecutionFailureIsReported) {
+  const auto data = TinyData();
+  const workload::MvWorkload wl = WideWorkload(6);
+  storage::ThrottledDisk disk(FreshDir("wide_fail"), FastDisk());
+  ControllerOptions options;
+  options.max_parallel_nodes = 4;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(data);
+  disk.InjectWriteFailure("wide_mv_3");
+  const RunReport report = controller.RunUnoptimized(wl);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("injected write failure"),
+            std::string::npos);
+  // The failure is one-shot; a rerun completes.
+  EXPECT_TRUE(controller.RunUnoptimized(wl).ok);
+}
+
+TEST(StageRuntimeTest, ParallelFlaggedRunStaysWithinTightBudget) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = WideWorkload(8);
+  storage::ThrottledDisk profile_disk(FreshDir("tight_profile"),
+                                      FastDisk());
+  Controller profiler(&profile_disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  // Budget only big enough for a few rollups at a time: concurrent
+  // lanes must not jointly overshoot it.
+  std::int64_t three_largest = 0;
+  std::vector<std::int64_t> sizes;
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    sizes.push_back(wl.graph.node(v).size_bytes);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  for (int i = 0; i < 3 && i < static_cast<int>(sizes.size()); ++i) {
+    three_largest += sizes[static_cast<std::size_t>(i)];
+  }
+  const std::int64_t budget = three_largest;
+  const auto plan = opt::Optimizer{}.Optimize(wl.graph, budget).plan;
+
+  storage::ThrottledDisk disk(FreshDir("tight"), FastDisk());
+  ControllerOptions options;
+  options.budget = budget;
+  options.max_parallel_nodes = 4;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(data);
+  const RunReport report = controller.Run(wl, plan);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_LE(report.peak_memory, budget);
+}
+
+// ---------------------------------------------------------------------------
+// Materializer under concurrent Enqueue (single-writer FIFO channel)
+// ---------------------------------------------------------------------------
+
+TEST(MaterializerTest, ConcurrentEnqueueKeepsFifoAndDrainRacesClean) {
+  storage::ThrottledDisk disk(FreshDir("mat_conc"), FastDisk());
+  std::vector<engine::Column> cols;
+  cols.push_back(engine::Column::FromInts({1, 2, 3}));
+  auto table = std::make_shared<engine::Table>(engine::Table(
+      engine::Schema({engine::Field{"x", engine::DataType::kInt64}}),
+      std::move(cols)));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::shared_future<void>> futures;  // global enqueue order
+  std::mutex order_mutex;
+  {
+    Materializer materializer(&disk);
+    std::atomic<bool> stop{false};
+    // A drainer racing the producers: Drain must never crash or wedge.
+    std::thread drainer([&] {
+      while (!stop.load()) materializer.Drain();
+    });
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string name =
+              "mat_" + std::to_string(t) + "_" + std::to_string(i);
+          // Enqueue under the recording mutex so the recorded order is
+          // the queue order.
+          std::lock_guard<std::mutex> lock(order_mutex);
+          futures.push_back(materializer.Enqueue(name, table));
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+    futures.back().get();
+    // Single-writer FIFO: once the last-enqueued write finished, every
+    // earlier write has finished too.
+    for (const auto& future : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+    }
+    materializer.Drain();
+    stop.store(true);
+    drainer.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(disk.Exists("mat_" + std::to_string(t) + "_" +
+                              std::to_string(i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc::runtime
