@@ -1,21 +1,32 @@
 // Refresh-Service throughput: jobs/sec and tail latency as the worker
 // pool grows, plus the intra-job DAG-parallel runtime: an inter-job
-// workers × intra-job lanes sweep and a wide synthetic DAG refreshed at
-// 1/2/4 lanes. Emits JSON (stdout and BENCH_service_throughput.json) to
-// seed the perf trajectory.
+// workers × intra-job lanes sweep, a wide synthetic DAG refreshed at
+// 1/2/4 lanes against throttled storage, and the stage-aware ordering
+// (opt::WidenStages) section. Every parallel config reports the
+// persistent LanePool's thread-start count and mean lane utilization, so
+// pool reuse and ordering wins are visible in the JSON, not just
+// jobs/sec. Emits JSON (stdout and, by default,
+// BENCH_service_throughput.json).
 //
-//   $ ./bench/bench_service_throughput
+//   $ ./bench/bench_service_throughput [--smoke] [--out FILE]
+//
+// --smoke shrinks the sweeps for CI; --out overrides the JSON path.
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "opt/optimizer.h"
+#include "opt/stages.h"
 #include "runtime/controller.h"
+#include "runtime/lane_pool.h"
 #include "service/service.h"
 #include "storage/throttled_disk.h"
 #include "workload/datagen.h"
@@ -31,6 +42,13 @@ struct Sample {
   double p99_seconds = 0.0;
   double mean_queue_wait_seconds = 0.0;
   double catalog_hit_rate = 0.0;
+  /// LanePool threads started during the timed segment / jobs — zero in
+  /// steady state (persistent lanes), one-per-lane-per-job before PR 3.
+  double thread_starts_per_job = 0.0;
+  /// Mean fraction of the pool's thread budget that was executing nodes
+  /// (busy lane-seconds / (wall × capacity)); 0 for 1-lane configs,
+  /// which bypass the pool.
+  double lane_utilization = 0.0;
 };
 
 using WorkloadSet =
@@ -53,6 +71,11 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
     warmup.requested_budget = options.global_budget / 8;
     service.Submit(warmup).get();
   }
+  // Snapshot the pool after warmup: the timed segment's deltas show the
+  // steady-state behaviour (persistent lanes ⇒ ~zero thread starts).
+  const std::int64_t threads_before =
+      service.lane_pool().threads_started();
+  const double busy_before = service.lane_pool().busy_seconds();
 
   WallTimer timer;
   std::vector<std::future<service::JobResult>> futures;
@@ -101,6 +124,12 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
   sample.catalog_hit_rate =
       hits + misses == 0 ? 0.0
                          : static_cast<double>(hits) / (hits + misses);
+  sample.thread_starts_per_job = static_cast<double>(
+      service.lane_pool().threads_started() - threads_before) /
+      jobs;
+  sample.lane_utilization =
+      (service.lane_pool().busy_seconds() - busy_before) /
+      (wall * options.num_workers);
   return sample;
 }
 
@@ -108,9 +137,31 @@ struct WideSample {
   int lanes = 1;
   double wall_seconds = 0.0;
   double speedup = 1.0;
+  std::int64_t thread_starts = 0;  // across warmup + all reps
+  double lane_utilization = 0.0;   // best rep, vs `lanes` threads
+  std::int64_t reserve_denials = 0;
 };
 
-int Main() {
+struct WidenSample {
+  bool widened = false;
+  double wall_seconds = 0.0;
+  double lane_utilization = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_service_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
   Banner("Refresh-Service throughput: workers, intra-job lanes, wide DAG",
          "serving-layer extension: concurrent jobs + stage-parallel "
          "intra-job execution under one shared Memory-Catalog budget "
@@ -144,11 +195,13 @@ int Main() {
   // -------------------------------------------------------------------
   // 1. Worker sweep (sequential jobs), the PR-1 baseline trajectory.
   // -------------------------------------------------------------------
-  constexpr int kJobs = 40;
+  const int kJobs = smoke ? 12 : 40;
+  const std::vector<int> worker_sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
   std::vector<Sample> samples;
   TablePrinter table(
       {"workers", "jobs/s", "p50", "p99", "avg wait", "catalog hit%"});
-  for (int workers : {1, 2, 4, 8}) {
+  for (int workers : worker_sweep) {
     const Sample s = RunConfig(&disk, wls, workers, /*lanes=*/1, kJobs);
     table.AddRow({std::to_string(s.workers),
                   StrFormat("%.1f", s.jobs_per_second),
@@ -160,21 +213,29 @@ int Main() {
   }
   table.Print(std::cout);
   std::cout << StrFormat(
-      "\nscaling: %.2fx jobs/s at 8 workers vs 1 worker\n",
-      samples.back().jobs_per_second / samples.front().jobs_per_second);
+      "\nscaling: %.2fx jobs/s at %d workers vs 1 worker\n",
+      samples.back().jobs_per_second / samples.front().jobs_per_second,
+      samples.back().workers);
 
   // -------------------------------------------------------------------
   // 2. Inter-job workers × intra-job lanes sweep: same mixed workload,
   //    total threads = workers × lanes. Speedup is vs the 1-lane
-  //    (sequential Controller) config at the same worker count.
+  //    (sequential Controller) config at the same worker count. Thread
+  //    starts per job and lane utilization make the persistent-pool and
+  //    relaxed-publish wins visible.
   // -------------------------------------------------------------------
-  constexpr int kLaneJobs = 24;
+  const int kLaneJobs = smoke ? 8 : 24;
+  const std::vector<int> lane_workers =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const std::vector<int> lane_sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
   std::vector<Sample> lane_samples;
   TablePrinter lane_table({"workers", "lanes", "jobs/s", "p99",
-                           "speedup vs 1 lane"});
+                           "speedup vs 1 lane", "thr starts/job",
+                           "lane util%"});
   std::map<int, double> lane1_jps;
-  for (int workers : {1, 2, 4}) {
-    for (int lanes : {1, 2, 4}) {
+  for (int workers : lane_workers) {
+    for (int lanes : lane_sweep) {
       const Sample s = RunConfig(&disk, wls, workers, lanes, kLaneJobs);
       if (lanes == 1) lane1_jps[workers] = s.jobs_per_second;
       lane_samples.push_back(s);
@@ -182,7 +243,9 @@ int Main() {
           {std::to_string(s.workers), std::to_string(s.lanes),
            StrFormat("%.1f", s.jobs_per_second),
            StrFormat("%.3fs", s.p99_seconds),
-           StrFormat("%.2fx", s.jobs_per_second / lane1_jps[workers])});
+           StrFormat("%.2fx", s.jobs_per_second / lane1_jps[workers]),
+           StrFormat("%.2f", s.thread_starts_per_job),
+           StrFormat("%.1f", 100.0 * s.lane_utilization)});
     }
   }
   std::cout << "\n";
@@ -195,7 +258,9 @@ int Main() {
   //    Independent nodes overlap their storage time on separate
   //    channels, so the antichain width (12), the channel count, and the
   //    lane count bound the speedup (compute also overlaps on
-  //    multi-core hosts).
+  //    multi-core hosts). All configs borrow lanes from one shared
+  //    LanePool — thread starts stay bounded by its capacity across the
+  //    whole sweep.
   // -------------------------------------------------------------------
   const std::string wide_dir =
       (std::filesystem::temp_directory_path() / "sc_bench_service_wide")
@@ -210,25 +275,33 @@ int Main() {
   {
     runtime::Controller loader(&wide_disk, runtime::ControllerOptions{});
     workload::DataGenOptions wide_data;
-    wide_data.scale = 0.1;
+    wide_data.scale = smoke ? 0.05 : 0.1;
     loader.LoadBaseTables(workload::GenerateTpcdsData(wide_data));
   }
   const workload::MvWorkload wide =
       workload::BuildWideSynthetic(12, /*heavy=*/true);
+  const int kWideReps = smoke ? 1 : 3;
+  runtime::LanePool wide_pool(4);  // shared across every lane config
   std::vector<WideSample> wide_samples;
-  TablePrinter wide_table({"lanes", "wall", "speedup vs sequential"});
+  TablePrinter wide_table({"lanes", "wall", "speedup vs sequential",
+                           "thr starts", "lane util%"});
   double sequential_wall = 0.0;
   for (int lanes : {1, 2, 4}) {
     runtime::ControllerOptions options;
     options.max_parallel_nodes = lanes;
+    options.lane_pool = &wide_pool;
     runtime::Controller controller(&wide_disk, options);
-    // One untimed warmup, then best-of-3.
+    const std::int64_t starts_before = wide_pool.threads_started();
+    // One untimed warmup, then best-of-N.
     if (!controller.RunUnoptimized(wide).ok) {
       std::cerr << "wide DAG run failed\n";
       return 1;
     }
     double best = 0.0;
-    for (int rep = 0; rep < 3; ++rep) {
+    double best_util = 0.0;
+    std::int64_t denials = 0;
+    for (int rep = 0; rep < kWideReps; ++rep) {
+      const double busy_before = wide_pool.busy_seconds();
       WallTimer timer;
       const runtime::RunReport report = controller.RunUnoptimized(wide);
       const double wall = timer.Seconds();
@@ -236,19 +309,100 @@ int Main() {
         std::cerr << "wide DAG run failed: " << report.error << "\n";
         return 1;
       }
-      if (best == 0.0 || wall < best) best = wall;
+      denials += report.reserve_denials;
+      if (best == 0.0 || wall < best) {
+        best = wall;
+        best_util = lanes > 1 ? (wide_pool.busy_seconds() - busy_before) /
+                                    (wall * lanes)
+                              : 0.0;
+      }
     }
     if (lanes == 1) sequential_wall = best;
     WideSample sample;
     sample.lanes = lanes;
     sample.wall_seconds = best;
     sample.speedup = sequential_wall / best;
+    sample.thread_starts = wide_pool.threads_started() - starts_before;
+    sample.lane_utilization = best_util;
+    sample.reserve_denials = denials;
     wide_samples.push_back(sample);
     wide_table.AddRow({std::to_string(lanes), StrFormat("%.3fs", best),
-                       StrFormat("%.2fx", sample.speedup)});
+                       StrFormat("%.2fx", sample.speedup),
+                       std::to_string(sample.thread_starts),
+                       StrFormat("%.1f",
+                                 100.0 * sample.lane_utilization)});
   }
   std::cout << "\n";
   wide_table.Print(std::cout);
+
+  // -------------------------------------------------------------------
+  // 4. Stage-aware ordering: a chains-shaped workload (4 chains × 4
+  //    deep) whose MA-DFS order lists each chain depth-first. With the
+  //    in-order publish protocol that starves early antichains; the
+  //    opt::WidenStages post-pass reorders stage-major among
+  //    memory-equivalent prefixes, feeding all 4 lanes from the start.
+  // -------------------------------------------------------------------
+  workload::MvWorkload chains = workload::BuildChainsSynthetic(4, 4);
+  {
+    runtime::Controller chain_profiler(&wide_disk,
+                                       runtime::ControllerOptions{});
+    const runtime::RunReport profiled =
+        chain_profiler.ProfileAndAnnotate(&chains);
+    if (!profiled.ok) {
+      std::cerr << "chains profiling failed: " << profiled.error << "\n";
+      return 1;
+    }
+  }
+  std::vector<WidenSample> widen_samples;
+  TablePrinter widen_table(
+      {"ordering", "wall", "lane util%", "speedup vs ma-dfs"});
+  const std::int64_t chains_budget = 24LL * 1024 * 1024;
+  double madfs_wall = 0.0;
+  for (const bool widen : {false, true}) {
+    opt::AlternatingOptions opt_options;
+    opt_options.widen_stages = widen;
+    const opt::Plan plan =
+        opt::AlternatingOptimize(chains.graph, chains_budget, opt_options)
+            .plan;
+    runtime::ControllerOptions options;
+    options.budget = chains_budget;
+    options.max_parallel_nodes = 4;
+    options.lane_pool = &wide_pool;
+    runtime::Controller controller(&wide_disk, options);
+    if (!controller.Run(chains, plan).ok) {
+      std::cerr << "chains warmup failed\n";
+      return 1;
+    }
+    double best = 0.0;
+    double best_util = 0.0;
+    for (int rep = 0; rep < kWideReps; ++rep) {
+      const double busy_before = wide_pool.busy_seconds();
+      WallTimer timer;
+      const runtime::RunReport report = controller.Run(chains, plan);
+      const double wall = timer.Seconds();
+      if (!report.ok) {
+        std::cerr << "chains run failed: " << report.error << "\n";
+        return 1;
+      }
+      if (best == 0.0 || wall < best) {
+        best = wall;
+        best_util =
+            (wide_pool.busy_seconds() - busy_before) / (wall * 4);
+      }
+    }
+    if (!widen) madfs_wall = best;
+    WidenSample sample;
+    sample.widened = widen;
+    sample.wall_seconds = best;
+    sample.lane_utilization = best_util;
+    widen_samples.push_back(sample);
+    widen_table.AddRow({widen ? "widened" : "ma-dfs",
+                        StrFormat("%.3fs", best),
+                        StrFormat("%.1f", 100.0 * best_util),
+                        StrFormat("%.2fx", madfs_wall / best)});
+  }
+  std::cout << "\n";
+  widen_table.Print(std::cout);
 
   std::ostringstream json;
   json << "{\"bench\":\"service_throughput\",\"jobs\":" << kJobs
@@ -269,9 +423,11 @@ int Main() {
     if (i > 0) json << ",";
     json << StrFormat(
         "{\"workers\":%d,\"lanes\":%d,\"jobs_per_second\":%.3f,"
-        "\"p99_latency_seconds\":%.6f,\"speedup_vs_sequential\":%.4f}",
+        "\"p99_latency_seconds\":%.6f,\"speedup_vs_sequential\":%.4f,"
+        "\"thread_starts_per_job\":%.4f,\"lane_utilization\":%.4f}",
         s.workers, s.lanes, s.jobs_per_second, s.p99_seconds,
-        s.jobs_per_second / lane1_jps[s.workers]);
+        s.jobs_per_second / lane1_jps[s.workers],
+        s.thread_starts_per_job, s.lane_utilization);
   }
   json << "]},\"wide_dag\":{\"width\":12,\"samples\":[";
   for (std::size_t i = 0; i < wide_samples.size(); ++i) {
@@ -279,16 +435,30 @@ int Main() {
     if (i > 0) json << ",";
     json << StrFormat(
         "{\"lanes\":%d,\"wall_seconds\":%.6f,"
-        "\"speedup_vs_sequential\":%.4f}",
-        s.lanes, s.wall_seconds, s.speedup);
+        "\"speedup_vs_sequential\":%.4f,\"thread_starts\":%lld,"
+        "\"lane_utilization\":%.4f,\"reserve_denials\":%lld}",
+        s.lanes, s.wall_seconds, s.speedup,
+        static_cast<long long>(s.thread_starts), s.lane_utilization,
+        static_cast<long long>(s.reserve_denials));
+  }
+  json << "]},\"widen_stages\":{\"chains\":4,\"depth\":4,\"lanes\":4,"
+       << "\"samples\":[";
+  for (std::size_t i = 0; i < widen_samples.size(); ++i) {
+    const WidenSample& s = widen_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"widened\":%s,\"wall_seconds\":%.6f,"
+        "\"lane_utilization\":%.4f,\"speedup_vs_madfs\":%.4f}",
+        s.widened ? "true" : "false", s.wall_seconds, s.lane_utilization,
+        madfs_wall / s.wall_seconds);
   }
   json << "]}}";
   std::cout << "\n" << json.str() << "\n";
-  std::ofstream("BENCH_service_throughput.json") << json.str() << "\n";
+  std::ofstream(out_path) << json.str() << "\n";
   return 0;
 }
 
 }  // namespace
 }  // namespace sc::bench
 
-int main() { return sc::bench::Main(); }
+int main(int argc, char** argv) { return sc::bench::Main(argc, argv); }

@@ -44,7 +44,7 @@
 #include "opt/selectors.h"
 #include "opt/stages.h"
 #include "runtime/controller.h"
-#include "runtime/executor_pool.h"
+#include "runtime/lane_pool.h"
 #include "runtime/stage_scheduler.h"
 #include "service/budget_broker.h"
 #include "service/metrics.h"

@@ -2,10 +2,10 @@
 #define SC_ENGINE_EXECUTOR_H_
 
 #include <functional>
-#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 #include "engine/operators.h"
 #include "engine/plan.h"
@@ -31,16 +31,24 @@ class TableResolver {
   virtual TablePtr Resolve(const std::string& name) = 0;
 };
 
-/// Simple in-memory resolver backed by a name -> table map. Thread-safe:
-/// concurrent Resolve calls (executor lanes) may overlap each other and
-/// a Put (reader-writer lock); the returned TablePtr stays valid across
-/// a concurrent Put of the same name.
+/// Simple in-memory resolver backed by a name -> table hash map (it sits
+/// on every scan resolve, so lookups are O(1) rather than a red-black
+/// tree walk). Thread-safe: concurrent Resolve calls (executor lanes)
+/// may overlap each other and a Put (reader-writer lock); the returned
+/// TablePtr stays valid across a concurrent Put of the same name.
 class MapResolver : public TableResolver {
  public:
   MapResolver() = default;
-  explicit MapResolver(std::map<std::string, TablePtr> tables)
+  explicit MapResolver(std::unordered_map<std::string, TablePtr> tables)
       : tables_(std::move(tables)) {}
 
+  /// Pre-sizes the hash map for `tables` entries (callers pass the
+  /// workload's node + base-table count) so Put never rehashes while
+  /// lanes hold Resolve results.
+  void Reserve(std::size_t tables) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    tables_.reserve(tables);
+  }
   void Put(const std::string& name, TablePtr table) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     tables_[name] = std::move(table);
@@ -53,7 +61,7 @@ class MapResolver : public TableResolver {
 
  private:
   mutable std::shared_mutex mutex_;
-  std::map<std::string, TablePtr> tables_;
+  std::unordered_map<std::string, TablePtr> tables_;
 };
 
 /// Resolver that delegates to a callback (used by the Controller).

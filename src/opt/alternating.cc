@@ -2,6 +2,7 @@
 
 #include "opt/ma_dfs.h"
 #include "opt/memory_usage.h"
+#include "opt/optimizer.h"
 
 namespace sc::opt {
 
@@ -92,6 +93,10 @@ AlternatingResult AlternatingOptimize(const graph::Graph& g,
 
   result.plan.order = std::move(tau);
   result.plan.flags = std::move(flags);
+  if (options.widen_stages) {
+    // Budget-gated, so the feasibility guarantees above still hold.
+    result.plan = WidenStages(g, result.plan, budget);
+  }
   result.total_score = TotalScore(g, result.plan.flags);
   return result;
 }

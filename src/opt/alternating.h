@@ -35,6 +35,14 @@ struct AlternatingOptions {
   std::int32_t max_iterations = 50;
   std::uint64_t seed = 42;
   MkpOptions mkp;
+
+  /// Applies the opt::WidenStages post-pass to the converged plan:
+  /// reorders the MA-DFS total order stage-major among memory-equivalent
+  /// prefixes so early antichains are as wide as possible — feeding the
+  /// parallel runtime's lanes without changing peak memory or the flag
+  /// set. Off by default (irrelevant for sequential execution); the
+  /// RefreshService turns it on whenever intra-job lanes are enabled.
+  bool widen_stages = false;
 };
 
 /// One iteration's snapshot, for convergence diagnostics and tests.

@@ -1,11 +1,13 @@
 #include "opt/optimizer.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/bytes.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
 #include "opt/memory_usage.h"
+#include "opt/stages.h"
 
 namespace sc::opt {
 
@@ -34,6 +36,36 @@ AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
     return result;
   }
   return AlternatingOptimize(g, budget, options);
+}
+
+Plan WidenStages(const graph::Graph& g, const Plan& plan,
+                 std::int64_t budget) {
+  // DecomposeStages validates the order and lists each stage by original
+  // order position, so concatenating the stages is exactly the stable
+  // stage-major reorder. Stage assignment is depth-based and therefore
+  // identical before and after.
+  const StageDecomposition stages = DecomposeStages(g, plan.order);
+  std::vector<graph::NodeId> sequence;
+  sequence.reserve(plan.order.sequence.size());
+  for (const auto& stage : stages.stages) {
+    sequence.insert(sequence.end(), stage.begin(), stage.end());
+  }
+  if (sequence == plan.order.sequence) return plan;
+  Plan widened;
+  widened.order = graph::Order::FromSequence(std::move(sequence));
+  widened.flags = plan.flags;
+  // Memory gate: stage-major interleaving can keep flagged outputs of
+  // sibling branches resident simultaneously. Accept the wider order
+  // only while it fits the catalog (or, without a budget, only when the
+  // peak is untouched).
+  const std::int64_t gate =
+      budget >= 0 ? std::max(budget,
+                             PeakMemoryUsage(g, plan.order, plan.flags))
+                  : PeakMemoryUsage(g, plan.order, plan.flags);
+  if (PeakMemoryUsage(g, widened.order, widened.flags) > gate) {
+    return plan;
+  }
+  return widened;
 }
 
 bool ValidatePlan(const graph::Graph& g, const Plan& plan,

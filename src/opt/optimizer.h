@@ -46,6 +46,29 @@ AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
                                      const Plan& prior, std::int64_t budget,
                                      const AlternatingOptions& options = {});
 
+/// Stage-aware ordering post-pass for the parallel runtime. MA-DFS
+/// minimizes memory for a sequential walk, which lists each branch
+/// depth-first — so under the runtime's in-order publish protocol, an
+/// early-completed node of a later branch waits for the whole earlier
+/// branch to publish before its children may dispatch, starving early
+/// antichains. WidenStages reorders the total order *stage-major*: nodes
+/// are listed by antichain stage (which is order-independent — a node's
+/// stage is its DAG depth), and by the original order position within a
+/// stage, which front-loads every stage's full width and publishes
+/// cross-branch siblings as early as possible.
+///
+/// The pass is memory-gated: the reordering is kept only if the plan's
+/// peak Memory-Catalog usage under the flag set stays within `budget` —
+/// interleaving flagged branches keeps more sibling outputs resident
+/// simultaneously, so the widened peak may exceed the MA-DFS peak, but
+/// never the catalog size. With `budget` < 0 (default) the gate is
+/// strict memory equivalence: the reordering must not raise the peak at
+/// all. On rejection the original plan is returned unchanged. Flags are
+/// never modified. Throws std::invalid_argument if the order is not a
+/// topological order covering the graph.
+Plan WidenStages(const graph::Graph& g, const Plan& plan,
+                 std::int64_t budget = -1);
+
 /// Independent plan verifier used by tests and the Controller: checks that
 /// the order is a valid topological order, that no flagged node is oversize
 /// or zero-score-excluded, and that peak memory stays within `budget`.

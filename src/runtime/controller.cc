@@ -1,6 +1,8 @@
 #include "runtime/controller.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +12,7 @@
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
 #include "opt/stages.h"
-#include "runtime/executor_pool.h"
+#include "runtime/lane_pool.h"
 #include "runtime/stage_scheduler.h"
 #include "storage/format.h"
 
@@ -274,15 +276,25 @@ void RunSequential(RunState& s, RunReport* report) {
   AwaitMaterializations(s);
 }
 
-/// The stage-scheduled parallel runtime: ready nodes execute on up to
-/// `lanes` pool threads while the coordinator publishes completed results
-/// strictly in plan order. Dispatch of flagged nodes is backpressured by
-/// catalog reservations (estimated size) so that concurrently executing
-/// nodes cannot jointly overshoot the budget; when a reservation cannot
-/// be funded and the node is the next to publish with nothing else in
-/// flight, it proceeds unreserved and the publish-time Put enforces the
-/// budget with the sequential error semantics.
-void RunStageParallel(RunState& s, int lanes, RunReport* report) {
+/// The stage-scheduled parallel runtime with the relaxed publish
+/// protocol: ready nodes execute on up to `lanes` threads of `pool` (the
+/// service's shared LanePool, or an owned per-run fallback) while the
+/// coordinator — the caller's thread — publishes completed results
+/// strictly in plan order. Publish and dispatch are decoupled: dispatch
+/// runs from lane-completion callbacks as well as after every publish, so
+/// the in-order Put / lazy-release replay (which can block on disk while
+/// awaiting materializations) never stalls execution of independent
+/// nodes. Availability is equally decoupled: an unflagged node's children
+/// are released the moment its write completes, before its publish slot.
+///
+/// Dispatch of flagged nodes is backpressured by catalog reservations
+/// (estimated size) so that concurrently executing nodes cannot jointly
+/// overshoot the budget; when a reservation cannot be funded and the node
+/// is the next to publish with no lane active, it proceeds unreserved and
+/// the publish-time Put enforces the budget with the sequential error
+/// semantics.
+void RunStageParallel(RunState& s, int lanes, LanePool* pool,
+                      RunReport* report) {
   const graph::Graph& g = s.wl.graph;
   const std::vector<graph::NodeId>& seq = s.plan.order.sequence;
   StageScheduler scheduler(g, s.plan.order, s.stages);
@@ -293,76 +305,43 @@ void RunStageParallel(RunState& s, int lanes, RunReport* report) {
   std::size_t next_publish = 0;
   int executing = 0;
   std::string error;
-  // Declared after every piece of state its lane tasks touch: if an
-  // exception unwinds out of the coordinator loop, ~ExecutorPool joins
-  // the lanes while scheduler / mutex / cv / completed are still alive.
-  ExecutorPool pool(lanes);
+  // Owned fallback for standalone Controllers (no service pool). Declared
+  // after every piece of state its lane tasks touch: if the coordinator
+  // unwinds, ~LanePool joins the lanes while scheduler / mutex / cv /
+  // completed are still alive. (With a shared pool the coordinator never
+  // returns before `executing` drops to zero instead.)
+  std::optional<LanePool> owned;
+  if (pool == nullptr) pool = &owned.emplace(lanes);
 
-  std::unique_lock<std::mutex> lock(mutex);
-  while (true) {
-    bool progressed = false;
-
-    // Publish the completed in-order prefix. PublishNode can block on
-    // disk (lazy release awaits in-flight materializations; synchronous
-    // materialization writes inline), so it runs unlocked: it touches
-    // only coordinator-owned state (releasable / in_flight /
-    // pending_children / report) and thread-safe stores, and lanes keep
-    // executing and posting completions meanwhile.
-    while (error.empty() && next_publish < seq.size()) {
-      const graph::NodeId v = seq[next_publish];
-      auto it = completed.find(v);
-      if (it == completed.end()) break;
-      NodeResult result = std::move(it->second);
-      completed.erase(it);
-      const bool flagged = s.plan.flags[v];
-      lock.unlock();
-      if (flagged) s.catalog.CancelReservation(g.node(v).name);
-      std::string publish_error;
-      try {
-        PublishNode(s, v, std::move(result), report);
-      } catch (const std::exception& e) {
-        publish_error = e.what();
-      }
-      lock.lock();
-      if (publish_error.empty()) {
-        if (flagged) scheduler.MarkAvailable(v);
-      } else if (error.empty()) {
-        error = publish_error;
-      }
-      ++next_publish;
-      progressed = true;
-    }
-    if (next_publish == seq.size()) break;
-    if (!error.empty()) {
-      if (executing == 0) break;
-      cv.wait(lock);
-      continue;
-    }
-
-    // Dispatch ready nodes while lanes are free, in order-position
-    // priority.
-    while (executing < lanes && scheduler.HasReady()) {
+  // Dispatches ready nodes while this run's lanes are free, in
+  // order-position priority. Requires `mutex`; called by the coordinator
+  // (initially and after each publish) and by every lane completion, so
+  // execution keeps flowing while the coordinator is blocked inside
+  // PublishNode.
+  std::function<void()> dispatch = [&] {
+    while (error.empty() && executing < lanes && scheduler.HasReady()) {
       const graph::NodeId v = scheduler.PeekReady();
       const std::string& name = g.node(v).name;
       if (s.plan.flags[v]) {
         const std::int64_t estimate =
             std::max<std::int64_t>(0, g.node(v).size_bytes);
-        // Liveness escape: with nothing executing and nothing
-        // publishable, the lowest-position ready node is necessarily the
-        // next node in publish order (its parents are all published), so
-        // dispatching it unreserved is exactly the sequential regime —
-        // the publish-time Put enforces the budget with sequential error
-        // semantics. Without this escape, reservations held by
-        // completed-but-unpublished later nodes could wedge the run.
+        // Liveness escape: with no lane active and the head of the
+        // publish order ready, dispatching it unreserved is exactly the
+        // sequential regime — the publish-time Put enforces the budget
+        // with sequential error semantics. Without this escape,
+        // reservations held by completed-but-unpublished later nodes
+        // could wedge the run. (While a publish is in flight the head is
+        // that publishing node, never a ready one, so the escape cannot
+        // race the replay.)
         const bool sequential_turn =
-            executing == 0 && seq[next_publish] == v;
+            executing == 0 && next_publish < seq.size() &&
+            seq[next_publish] == v;
         if (!s.catalog.Reserve(name, estimate) && !sequential_turn) break;
       }
       scheduler.PopReady();
       ++executing;
-      progressed = true;
-      pool.Submit([&s, &g, &mutex, &cv, &completed, &executing, &error,
-                   &scheduler, v] {
+      pool->Submit([&s, &g, &mutex, &cv, &executing, &error, &completed,
+                    &scheduler, &dispatch, v] {
         NodeResult result;
         std::string exec_error;
         try {
@@ -377,6 +356,11 @@ void RunStageParallel(RunState& s, int lanes, RunReport* report) {
           // them before the (in-order) publish happens.
           if (!s.plan.flags[v]) scheduler.MarkAvailable(v);
           completed.emplace(v, std::move(result));
+          try {
+            dispatch();
+          } catch (const std::exception& e) {
+            if (error.empty()) error = e.what();
+          }
         } else {
           s.catalog.CancelReservation(g.node(v).name);
           if (error.empty()) error = exec_error;
@@ -384,9 +368,54 @@ void RunStageParallel(RunState& s, int lanes, RunReport* report) {
         cv.notify_all();
       });
     }
+  };
 
-    if (!progressed) cv.wait(lock);
+  std::unique_lock<std::mutex> lock(mutex);
+  try {
+    dispatch();
+    // The coordinator replays the publish sequence in plan order; all
+    // dispatching meanwhile happens from lane completions. PublishNode
+    // can block on disk (lazy release awaits in-flight materializations;
+    // synchronous materialization writes inline), so it runs unlocked:
+    // it touches only coordinator-owned state (releasable / in_flight /
+    // pending_children / report) and thread-safe stores.
+    while (error.empty() && next_publish < seq.size()) {
+      const graph::NodeId v = seq[next_publish];
+      auto it = completed.find(v);
+      if (it == completed.end()) {
+        cv.wait(lock, [&] {
+          return !error.empty() ||
+                 completed.count(seq[next_publish]) > 0;
+        });
+        continue;
+      }
+      NodeResult result = std::move(it->second);
+      completed.erase(it);
+      const bool flagged = s.plan.flags[v];
+      lock.unlock();
+      if (flagged) s.catalog.CancelReservation(g.node(v).name);
+      std::string publish_error;
+      try {
+        PublishNode(s, v, std::move(result), report);
+      } catch (const std::exception& e) {
+        publish_error = e.what();
+      }
+      lock.lock();
+      ++next_publish;
+      if (!publish_error.empty()) {
+        if (error.empty()) error = publish_error;
+      } else if (flagged) {
+        scheduler.MarkAvailable(v);
+      }
+      dispatch();  // the publish freed budget and/or readied children
+      cv.notify_all();
+    }
+  } catch (const std::exception& e) {
+    if (!lock.owns_lock()) lock.lock();
+    if (error.empty()) error = e.what();
   }
+  // Every submitted task must finish before the run state unwinds —
+  // mandatory with a shared pool, where nothing joins on our behalf.
   cv.wait(lock, [&] { return executing == 0; });
   lock.unlock();
 
@@ -418,28 +447,48 @@ RunReport Controller::Run(const workload::MvWorkload& wl,
 
 RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
                                     const opt::Plan& plan,
-                                    std::int64_t budget) {
+                                    std::int64_t budget,
+                                    const opt::StageDecomposition* stages) {
   RunReport report;
   report.budget = budget;
+
   std::string error;
   if (!opt::ValidatePlan(wl.graph, plan, budget, &error)) {
     report.error = "invalid plan: " + error;
     return report;
   }
 
-  const opt::StageDecomposition stages =
-      opt::DecomposeStages(wl.graph, plan.order);
+  // Standalone stage-aware ordering: widen early antichains within the
+  // budget. Runs after validation (so invalid plans keep the error-report
+  // contract); the widened plan needs no revalidation — the order stays
+  // topological and the memory gate keeps the peak within the budget.
+  // A widened order invalidates any caller-supplied decomposition.
+  const opt::Plan* active = &plan;
+  opt::Plan widened;
+  if (options_.widen_stages) {
+    widened = opt::WidenStages(wl.graph, plan, budget);
+    if (widened.order.sequence != plan.order.sequence) stages = nullptr;
+    active = &widened;
+  }
+
+  std::optional<opt::StageDecomposition> local_stages;
+  if (stages == nullptr ||
+      stages->stage_of.size() !=
+          static_cast<std::size_t>(wl.graph.num_nodes())) {
+    local_stages.emplace(opt::DecomposeStages(wl.graph, active->order));
+    stages = &*local_stages;
+  }
   const int lanes = std::min<int>(
       std::max(1, options_.max_parallel_nodes),
-      static_cast<int>(std::max<std::size_t>(1, stages.width())));
+      static_cast<int>(std::max<std::size_t>(1, stages->width())));
   report.parallel_lanes = lanes;
-  report.num_stages = stages.num_stages();
+  report.num_stages = stages->num_stages();
 
-  RunState state(wl, plan, stages, options_, disk_, budget);
+  RunState state(wl, *active, *stages, options_, disk_, budget);
   const double run_start = MonotonicSeconds();
   try {
     if (lanes > 1 || options_.force_stage_runtime) {
-      RunStageParallel(state, lanes, &report);
+      RunStageParallel(state, lanes, options_.lane_pool, &report);
     } else {
       RunSequential(state, &report);
     }
@@ -451,6 +500,7 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
   report.peak_memory = state.catalog.peak_bytes();
   report.catalog_hits = state.catalog.hits();
   report.catalog_misses = state.catalog.misses();
+  report.reserve_denials = state.catalog.reserve_denials();
   report.ok = true;
   return report;
 }

@@ -19,6 +19,8 @@
 
 namespace sc::runtime {
 
+class LanePool;
+
 /// Background materialization worker (paper §III-C): a single writer
 /// thread that persists Memory Catalog tables to external storage while
 /// the DBMS executes downstream nodes. FIFO, mirroring one storage write
@@ -69,13 +71,25 @@ struct ControllerOptions {
   /// Controller and is guaranteed to produce the same node stats, catalog
   /// hit/miss counts, and peak memory as the pre-parallel execution loop.
   /// Values > 1 route the run through the stage-scheduled runtime:
-  /// independent nodes execute on an ExecutorPool while flagged outputs
+  /// independent nodes execute on LanePool lanes while flagged outputs
   /// are still published to the Memory Catalog in optimized order.
   int max_parallel_nodes = 1;
   /// Routes 1-lane runs through the stage-scheduled runtime instead of
   /// the classic sequential loop. Semantics are identical either way;
   /// the knob exists so tests can assert that equivalence.
   bool force_stage_runtime = false;
+  /// Service-wide executor pool the run borrows its execution lanes from
+  /// (not owned; must outlive the Controller's runs). When null, parallel
+  /// runs fall back to an owned pool constructed per run — the standalone
+  /// Controller behaviour. The RefreshService always supplies its shared
+  /// pool so steady-state jobs pay zero thread construction.
+  LanePool* lane_pool = nullptr;
+  /// Applies the opt::WidenStages post-pass to the plan before executing:
+  /// reorders the total order stage-major among memory-equivalent
+  /// prefixes so early antichains are as wide as possible. Off by
+  /// default; the RefreshService instead widens at optimization time so
+  /// cached plans are widened once.
+  bool widen_stages = false;
 };
 
 /// Per-node statistics from a real refresh run.
@@ -108,6 +122,10 @@ struct RunReport {
   int parallel_lanes = 1;
   /// Antichain stages of the executed order.
   std::int32_t num_stages = 0;
+  /// Dispatch attempts denied by Memory-Catalog reservation backpressure
+  /// (0 for sequential runs): how often concurrent lanes were held back
+  /// to keep in-flight flagged outputs within the budget.
+  std::int64_t reserve_denials = 0;
   std::vector<NodeRunStats> nodes;  // in publish (= plan) order
 
   double TotalReadSeconds() const;
@@ -127,14 +145,22 @@ struct RunReport {
 /// With max_parallel_nodes > 1 the run executes on the stage-scheduled
 /// parallel runtime: a StageScheduler derives antichain stages from the
 /// optimizer's total order and dispatches ready nodes (all DAG parents
-/// available) to an ExecutorPool, in order-position priority. Flagged
-/// outputs are still *published* to the Memory Catalog strictly in the
-/// optimized order — the publish step replays the sequential Put /
-/// lazy-release sequence, so the catalog's budget behaviour (and the
-/// paper's residency semantics) are independent of the lane count; the
-/// catalog's reservation API additionally backpressures dispatch so
-/// concurrently executing flagged nodes cannot jointly overshoot the
-/// budget while their outputs are in flight. The Materializer keeps its
+/// available) to a LanePool (the service's shared pool, or an owned
+/// fallback), in order-position priority. Flagged outputs are still
+/// *published* to the Memory Catalog strictly in the optimized order —
+/// the publish step replays the sequential Put / lazy-release sequence,
+/// so the catalog's budget behaviour (and the paper's residency
+/// semantics) are independent of the lane count; the catalog's
+/// reservation API additionally backpressures dispatch so concurrently
+/// executing flagged nodes cannot jointly overshoot the budget while
+/// their outputs are in flight.
+///
+/// Availability is decoupled from that residency replay (the relaxed
+/// publish protocol): an unflagged node's children become dispatchable
+/// the moment its external write completes, and dispatch itself happens
+/// from lane-completion callbacks, so the in-order replay — which can
+/// block on materializations during lazy release — never stalls
+/// execution of independent work. The Materializer keeps its
 /// single-writer channel regardless of lanes.
 class Controller {
  public:
@@ -152,9 +178,13 @@ class Controller {
   /// Like Run(), but executes against an externally-granted Memory Catalog
   /// budget instead of the configured one. This is the entry point for the
   /// Refresh Service: a BudgetBroker arbitrates the global catalog across
-  /// concurrent jobs and hands each run its funded slice.
+  /// concurrent jobs and hands each run its funded slice. `stages` may
+  /// supply a precomputed DecomposeStages(plan.order) (the service caches
+  /// it next to the plan); when null — or when it does not match the plan
+  /// — the decomposition is computed here.
   RunReport RunWithBudget(const workload::MvWorkload& wl,
-                          const opt::Plan& plan, std::int64_t budget);
+                          const opt::Plan& plan, std::int64_t budget,
+                          const opt::StageDecomposition* stages = nullptr);
 
   /// Executes with the no-optimization baseline plan (topological order,
   /// nothing flagged).

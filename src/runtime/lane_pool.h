@@ -1,0 +1,90 @@
+#ifndef SC_RUNTIME_LANE_POOL_H_
+#define SC_RUNTIME_LANE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+
+namespace sc::runtime {
+
+struct LanePoolOptions {
+  /// Maximum number of lane threads alive at once. Submissions beyond the
+  /// capacity queue FIFO until a lane frees.
+  int capacity = 1;
+  /// A lane that sits idle this long exits; the pool respawns lanes on
+  /// demand. <= 0 keeps idle lanes alive until destruction.
+  double idle_shutdown_seconds = 30.0;
+};
+
+/// Service-wide, work-queue-backed executor pool behind the parallel
+/// runtime's execution lanes. Unlike the per-run pool it replaces, a
+/// LanePool is constructed once (by the RefreshService, or standalone
+/// Controller runs as an owned fallback) and reused by every job: lanes
+/// spawn lazily on demand, stay alive between jobs, and only exit after
+/// `idle_shutdown_seconds` without work — so steady-state refresh traffic
+/// pays zero thread construction per job.
+///
+/// The pool is deliberately dumb: each task is one DAG-node execution,
+/// picked up FIFO by whichever lane frees first. All scheduling policy
+/// (readiness, dispatch order, budget backpressure, per-job lane caps)
+/// lives in the Controller's run loop, so one pool serves any number of
+/// concurrently running jobs.
+class LanePool {
+ public:
+  explicit LanePool(int capacity)
+      : LanePool(LanePoolOptions{capacity, 30.0}) {}
+  explicit LanePool(LanePoolOptions options);
+  /// Runs every queued task to completion, then joins the lanes.
+  ~LanePool();
+
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  /// Queues `task` for execution on some lane, spawning one if none is
+  /// idle and the pool is below capacity. Tasks must not throw — callers
+  /// wrap their work and route errors through their own state.
+  void Submit(std::function<void()> task);
+
+  int capacity() const { return options_.capacity; }
+  /// Cumulative number of lane threads ever started — the thread-churn
+  /// metric: steady-state reuse keeps this flat across jobs.
+  std::int64_t threads_started() const;
+  /// Lanes currently alive (idle or running a task).
+  int live_lanes() const;
+  /// Lanes currently parked waiting for work.
+  int idle_lanes() const;
+  std::int64_t tasks_completed() const;
+  /// Cumulative seconds lanes spent executing tasks; together with a wall
+  /// clock and the capacity this yields the lane-idle fraction.
+  double busy_seconds() const;
+
+ private:
+  struct Lane {
+    std::thread thread;
+    bool exited = false;
+  };
+
+  void Loop(std::list<Lane>::iterator self);
+  /// Joins and erases lanes that exited (idle shutdown). Requires mutex_.
+  void ReapLocked();
+
+  const LanePoolOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::list<Lane> lanes_;
+  bool stopping_ = false;
+  int live_ = 0;
+  int idle_ = 0;
+  std::int64_t threads_started_ = 0;
+  std::int64_t tasks_completed_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace sc::runtime
+
+#endif  // SC_RUNTIME_LANE_POOL_H_

@@ -58,8 +58,8 @@ std::uint64_t FingerprintGraph(const graph::Graph& g) {
 PlanCache::PlanCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-std::optional<opt::Plan> PlanCache::Lookup(std::uint64_t fingerprint,
-                                           std::int64_t budget) {
+std::optional<CachedPlan> PlanCache::Lookup(std::uint64_t fingerprint,
+                                            std::int64_t budget) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(Key{fingerprint, budget});
   if (it == index_.end()) {
@@ -68,16 +68,17 @@ std::optional<opt::Plan> PlanCache::Lookup(std::uint64_t fingerprint,
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
-  return it->second->plan;
+  return it->second->cached;
 }
 
 void PlanCache::Insert(std::uint64_t fingerprint, std::int64_t budget,
-                       const opt::Plan& plan) {
+                       opt::Plan plan, opt::StageDecomposition stages) {
   std::lock_guard<std::mutex> lock(mutex_);
   const Key key{fingerprint, budget};
+  CachedPlan cached{std::move(plan), std::move(stages)};
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->plan = plan;
+    it->second->cached = std::move(cached);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -86,7 +87,7 @@ void PlanCache::Insert(std::uint64_t fingerprint, std::int64_t budget,
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(Entry{key, plan});
+  lru_.push_front(Entry{key, std::move(cached)});
   index_[key] = lru_.begin();
   ++stats_.insertions;
 }

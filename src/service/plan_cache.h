@@ -26,22 +26,34 @@ struct PlanCacheStats {
   std::int64_t evictions = 0;
 };
 
-/// Thread-safe LRU cache of optimized refresh plans, keyed by
-/// (graph fingerprint, Memory-Catalog budget). Repeat refreshes of an
-/// unchanged workload at the same granted budget skip the alternating
-/// optimization entirely — the dominant non-execution cost of a job.
+/// One cached entry: the optimized plan plus its antichain stage
+/// decomposition (DecomposeStages(plan.order)), so cache hits skip both
+/// the alternating optimization and the per-run stage recomputation.
+struct CachedPlan {
+  opt::Plan plan;
+  opt::StageDecomposition stages;
+};
+
+/// Thread-safe LRU cache of optimized refresh plans (plus their stage
+/// metadata), keyed by (graph fingerprint, Memory-Catalog budget). Repeat
+/// refreshes of an unchanged workload at the same granted budget skip the
+/// alternating optimization entirely — the dominant non-execution cost of
+/// a job — and hand the runtime a ready-made stage decomposition.
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 128);
 
-  /// Returns the cached plan for (fingerprint, budget) or nullopt.
-  std::optional<opt::Plan> Lookup(std::uint64_t fingerprint,
-                                  std::int64_t budget);
+  /// Returns the cached plan + stages for (fingerprint, budget) or
+  /// nullopt.
+  std::optional<CachedPlan> Lookup(std::uint64_t fingerprint,
+                                   std::int64_t budget);
 
-  /// Inserts (or refreshes) the plan for (fingerprint, budget), evicting
-  /// the least-recently-used entry when full.
+  /// Inserts (or refreshes) the entry for (fingerprint, budget), evicting
+  /// the least-recently-used entry when full. `stages` must be the
+  /// decomposition of `plan.order` — callers compute it once here instead
+  /// of on every run.
   void Insert(std::uint64_t fingerprint, std::int64_t budget,
-              const opt::Plan& plan);
+              opt::Plan plan, opt::StageDecomposition stages);
 
   PlanCacheStats stats() const;
   std::size_t size() const;
@@ -52,7 +64,7 @@ class PlanCache {
   using Key = std::pair<std::uint64_t, std::int64_t>;
   struct Entry {
     Key key;
-    opt::Plan plan;
+    CachedPlan cached;
   };
 
   const std::size_t capacity_;

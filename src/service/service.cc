@@ -27,6 +27,9 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
       }()),
       lanes_broker_(std::max(1, options_.num_workers),
                     options_.max_intra_job_lanes),
+      lane_pool_(runtime::LanePoolOptions{
+          std::max(1, options_.num_workers),
+          options_.lane_idle_shutdown_seconds}),
       plan_cache_(options_.plan_cache_capacity) {
   workers_.reserve(static_cast<std::size_t>(split_.workers));
   for (int i = 0; i < split_.workers; ++i) {
@@ -169,19 +172,25 @@ JobResult RefreshService::Execute(Job& job) {
     // The run executes at the granted budget, so that is the cache key
     // that matters. On a miss, a cached requested-budget plan (from
     // fully-funded jobs) is reused outright when it already fits the
-    // grant; otherwise the optimizer runs at the granted budget.
+    // grant; otherwise the optimizer runs at the granted budget. With
+    // intra-job lanes enabled the optimizer applies the stage-aware
+    // ordering post-pass, so cached plans are widened exactly once.
+    opt::AlternatingOptions optimizer_options = options_.optimizer;
+    optimizer_options.widen_stages |= options_.max_intra_job_lanes > 1;
     opt::Plan plan;
+    opt::StageDecomposition stages;
     if (auto cached = plan_cache_.Lookup(job.fingerprint, grant.bytes)) {
-      plan = std::move(*cached);
+      plan = std::move(cached->plan);
+      stages = std::move(cached->stages);
       result.plan_cache_hit = true;
     } else {
-      std::optional<opt::Plan> seed;
+      std::optional<CachedPlan> seed;
       if (grant.bytes != result.requested_budget) {
         seed = plan_cache_.Lookup(job.fingerprint, result.requested_budget);
       }
       if (seed.has_value()) {
         const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
-            wl.graph, *seed, grant.bytes, options_.optimizer);
+            wl.graph, seed->plan, grant.bytes, optimizer_options);
         plan = reopt.plan;
         // iterations == 0 means the seed plan already fits the grant —
         // the optimizer did not run again.
@@ -189,10 +198,13 @@ JobResult RefreshService::Execute(Job& job) {
         result.plan_cache_hit = !result.reoptimized;
       } else {
         plan = opt::AlternatingOptimize(wl.graph, grant.bytes,
-                                        options_.optimizer)
+                                        optimizer_options)
                    .plan;
       }
-      plan_cache_.Insert(job.fingerprint, grant.bytes, plan);
+      // Stage metadata is cached next to the plan: cache hits skip this
+      // recomputation on every subsequent run.
+      stages = opt::DecomposeStages(wl.graph, plan.order);
+      plan_cache_.Insert(job.fingerprint, grant.bytes, plan, stages);
     }
 
     // Grant renegotiation: the plan's peak memory need is now known, so
@@ -217,18 +229,22 @@ JobResult RefreshService::Execute(Job& job) {
 
     // Lease execution lanes, asking for no more than the plan's widest
     // antichain — a chain-shaped job must not hold lanes it cannot use.
+    // (The cached decomposition already knows the width.)
     const int width = static_cast<int>(std::min<std::size_t>(
-        opt::StageWidth(wl.graph, plan.order),
-        static_cast<std::size_t>(options_.num_workers)));
+        stages.width(), static_cast<std::size_t>(options_.num_workers)));
     lanes = lanes_broker_.AcquireLanes(width);
     result.lanes = lanes;
     runtime::ControllerOptions controller_options;
     controller_options.background_materialize =
         options_.background_materialize;
     controller_options.max_parallel_nodes = lanes;
+    // Parallel runs borrow threads from the service-wide pool — zero
+    // thread construction per job in steady state.
+    controller_options.lane_pool = &lane_pool_;
     runtime::Controller controller(disk_, controller_options);
     // The grant, not the controller default, is the catalog budget.
-    result.report = controller.RunWithBudget(wl, plan, grant.bytes);
+    result.report = controller.RunWithBudget(wl, plan, grant.bytes,
+                                             &stages);
     if (!result.report.ok && result.returned_budget > 0 &&
         result.report.error.find("Memory Catalog budget violated") !=
             std::string::npos) {
@@ -243,8 +259,10 @@ JobResult RefreshService::Execute(Job& job) {
       grant = broker_.Acquire(job.spec.tenant, result.granted_budget,
                               job.spec.priority);
       const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
-          wl.graph, plan, grant.bytes, options_.optimizer);
+          wl.graph, plan, grant.bytes, optimizer_options);
       result.reoptimized = result.reoptimized || reopt.iterations > 0;
+      // The retry plan may differ from the cached one; let the
+      // controller derive its stages.
       result.report =
           controller.RunWithBudget(wl, reopt.plan, grant.bytes);
       result.returned_budget =

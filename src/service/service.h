@@ -13,6 +13,7 @@
 
 #include "opt/alternating.h"
 #include "runtime/controller.h"
+#include "runtime/lane_pool.h"
 #include "service/budget_broker.h"
 #include "service/metrics.h"
 #include "service/parallelism_broker.h"
@@ -33,8 +34,14 @@ struct ServiceOptions {
   int num_workers = 4;
   /// Upper bound on one job's intra-job execution lanes (Controller
   /// max_parallel_nodes). Jobs may borrow idle workers' lanes up to this
-  /// cap.
+  /// cap. With lanes > 1 the service also turns on the optimizer's
+  /// stage-aware ordering post-pass (opt::WidenStages) so cached plans
+  /// feed the lanes as wide an early antichain as peak memory allows.
   int max_intra_job_lanes = 1;
+  /// Idle-shutdown horizon of the service-wide LanePool: execution lanes
+  /// idle this long exit and are respawned on demand. <= 0 keeps idle
+  /// lanes alive for the service's lifetime.
+  double lane_idle_shutdown_seconds = 30.0;
   /// Global Memory-Catalog bytes shared by all in-flight jobs.
   std::int64_t global_budget = 256LL * 1024 * 1024;
   /// Per-job budget request when the job does not name one. 0 = ask for
@@ -112,7 +119,9 @@ struct JobResult {
 /// re-optimized before execution, never rejected. With
 /// max_intra_job_lanes > 1, each job additionally leases intra-job
 /// execution lanes from a ParallelismBroker and runs its DAG on the
-/// Controller's stage-scheduled parallel runtime; once the plan is
+/// Controller's stage-scheduled parallel runtime — executing on the
+/// service-wide persistent LanePool, so back-to-back jobs reuse lane
+/// threads instead of constructing a pool per run; once the plan is
 /// known, budget beyond the plan's needs is handed back to the
 /// BudgetBroker early (grant renegotiation).
 class RefreshService {
@@ -139,6 +148,9 @@ class RefreshService {
   const ServiceMetrics& metrics() const { return metrics_; }
   const BudgetBroker& broker() const { return broker_; }
   const ParallelismBroker& lanes_broker() const { return lanes_broker_; }
+  /// The service-wide executor pool every job's parallel run borrows its
+  /// lanes from (thread-start counter shows steady-state reuse).
+  const runtime::LanePool& lane_pool() const { return lane_pool_; }
   /// How the thread budget was split (workers actually spawned).
   const ParallelismSplit& parallelism() const { return split_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
@@ -178,6 +190,7 @@ class RefreshService {
   const ParallelismSplit split_;
   BudgetBroker broker_;
   ParallelismBroker lanes_broker_;
+  runtime::LanePool lane_pool_;
   PlanCache plan_cache_;
   ServiceMetrics metrics_;
 

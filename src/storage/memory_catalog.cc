@@ -52,7 +52,10 @@ bool MemoryCatalog::Reserve(const std::string& name, std::int64_t bytes) {
   if (bytes < 0) return false;
   const std::int64_t used = used_.load(std::memory_order_relaxed);
   const std::int64_t reserved = reserved_.load(std::memory_order_relaxed);
-  if (used + reserved + bytes > budget_) return false;
+  if (used + reserved + bytes > budget_) {
+    reserve_denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   auto [it, inserted] = reservations_.emplace(name, bytes);
   if (!inserted) return false;
   reserved_.store(reserved + bytes, std::memory_order_relaxed);

@@ -62,6 +62,13 @@ class MemoryCatalog {
     return reserved_.load(std::memory_order_relaxed);
   }
 
+  /// Denied Reserve() calls — how often the parallel runtime's dispatch
+  /// was backpressured to keep in-flight flagged outputs within the
+  /// budget. Monitoring only; survives Clear().
+  std::int64_t reserve_denials() const {
+    return reserve_denials_.load(std::memory_order_relaxed);
+  }
+
   std::int64_t used_bytes() const {
     return used_.load(std::memory_order_relaxed);
   }
@@ -93,6 +100,7 @@ class MemoryCatalog {
   std::map<std::string, Entry> entries_;
   std::map<std::string, std::int64_t> reservations_;
   std::atomic<std::int64_t> reserved_{0};
+  mutable std::atomic<std::int64_t> reserve_denials_{0};
   std::atomic<std::int64_t> used_{0};
   std::atomic<std::int64_t> peak_{0};
   mutable std::atomic<std::int64_t> hits_{0};

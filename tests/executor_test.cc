@@ -25,8 +25,21 @@ TablePtr MakeItems() {
             std::move(cols)));
 }
 
-std::map<std::string, TablePtr> MakeCatalog() {
+std::unordered_map<std::string, TablePtr> MakeCatalog() {
   return {{"sales", MakeSales()}, {"items", MakeItems()}};
+}
+
+TEST(MapResolverTest, ReserveKeepsResolvesValidAcrossPuts) {
+  MapResolver resolver;
+  resolver.Reserve(64);
+  resolver.Put("sales", MakeSales());
+  const TablePtr before = resolver.Resolve("sales");
+  for (int i = 0; i < 63; ++i) {
+    resolver.Put("t" + std::to_string(i), MakeItems());
+  }
+  EXPECT_EQ(before->num_rows(), 6u);
+  EXPECT_TRUE(resolver.Contains("t62"));
+  EXPECT_EQ(resolver.Resolve("sales"), before);
 }
 
 TEST(ExecutorTest, ScanReturnsTable) {

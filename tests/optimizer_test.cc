@@ -150,5 +150,102 @@ TEST(ExplainPlanTest, DecisionNames) {
             "lost to other nodes");
 }
 
+// ---------------------------------------------------------------------------
+// WidenStages (stage-aware ordering post-pass)
+// ---------------------------------------------------------------------------
+
+/// Two independent chains a0->a1->a2 and b0->b1->b2.
+graph::Graph TwoChains(std::int64_t node_size = 0) {
+  graph::Graph g;
+  for (char c : {'a', 'b'}) {
+    graph::NodeId prev = graph::kInvalidNode;
+    for (int d = 0; d < 3; ++d) {
+      const graph::NodeId v = g.AddNode(std::string(1, c) +
+                                            std::to_string(d),
+                                        node_size, 1.0);
+      if (prev != graph::kInvalidNode) g.AddEdge(prev, v);
+      prev = v;
+    }
+  }
+  return g;
+}
+
+TEST(WidenStagesTest, InterleavesChainsStageMajor) {
+  const graph::Graph g = TwoChains();
+  Plan plan;
+  // Depth-first order: all of chain a, then all of chain b.
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = EmptyFlags(g.num_nodes());
+
+  const Plan widened = WidenStages(g, plan);
+  // Stage-major: both stage-0 roots first, then both stage-1 nodes, …
+  EXPECT_EQ(widened.order.sequence,
+            (std::vector<graph::NodeId>{0, 3, 1, 4, 2, 5}));
+  EXPECT_TRUE(graph::IsTopologicalOrder(g, widened.order));
+  EXPECT_EQ(widened.flags, plan.flags);
+}
+
+TEST(WidenStagesTest, StrictGateRejectsPeakGrowth) {
+  // Flagging both chain roots: depth-first keeps one root resident at a
+  // time (peak 100); stage-major would keep both (peak 200). Without a
+  // budget the memory-equivalence gate must keep the original order.
+  const graph::Graph g = TwoChains(/*node_size=*/100);
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = MakeFlags(g.num_nodes(), {0, 3});
+  const std::int64_t before = PeakMemoryUsage(g, plan.order, plan.flags);
+
+  const Plan widened = WidenStages(g, plan);
+  EXPECT_EQ(widened.order.sequence, plan.order.sequence);
+  EXPECT_EQ(PeakMemoryUsage(g, widened.order, widened.flags), before);
+
+  // A budget that cannot absorb the wider peak rejects too.
+  EXPECT_EQ(WidenStages(g, plan, 150).order.sequence,
+            plan.order.sequence);
+}
+
+TEST(WidenStagesTest, BudgetGateAcceptsWiderPeakWithinBudget) {
+  const graph::Graph g = TwoChains(/*node_size=*/100);
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = MakeFlags(g.num_nodes(), {0, 3});
+
+  const Plan widened = WidenStages(g, plan, /*budget=*/400);
+  EXPECT_EQ(widened.order.sequence,
+            (std::vector<graph::NodeId>{0, 3, 1, 4, 2, 5}));
+  EXPECT_LE(PeakMemoryUsage(g, widened.order, widened.flags), 400);
+}
+
+TEST(WidenStagesTest, PreservesPeakOnOptimizedPlans) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult base = Optimizer{}.Optimize(g, 100);
+  const Plan widened = WidenStages(g, base.plan);
+  EXPECT_TRUE(graph::IsTopologicalOrder(g, widened.order));
+  EXPECT_EQ(widened.flags, base.plan.flags);
+  EXPECT_LE(PeakMemoryUsage(g, widened.order, widened.flags),
+            PeakMemoryUsage(g, base.plan.order, base.plan.flags));
+}
+
+TEST(WidenStagesTest, AlternatingPostPassKeepsPlanValid) {
+  const graph::Graph g = test::Figure7Graph();
+  AlternatingOptions options;
+  options.widen_stages = true;
+  const AlternatingResult widened = AlternatingOptimize(g, 100, options);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(g, widened.plan, 100, &error)) << error;
+  // The post-pass never touches the flag set or the objective.
+  const AlternatingResult base = AlternatingOptimize(g, 100);
+  EXPECT_EQ(widened.plan.flags, base.plan.flags);
+  EXPECT_DOUBLE_EQ(widened.total_score, base.total_score);
+}
+
+TEST(WidenStagesTest, ThrowsOnNonTopologicalOrder) {
+  const graph::Graph g = TwoChains();
+  Plan plan;
+  plan.order = graph::Order::FromSequence({2, 1, 0, 5, 4, 3});
+  plan.flags = EmptyFlags(g.num_nodes());
+  EXPECT_THROW(WidenStages(g, plan), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sc::opt

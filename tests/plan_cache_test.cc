@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/topo.h"
+#include "opt/stages.h"
 #include "service/plan_cache.h"
 
 namespace sc::service {
@@ -28,6 +29,13 @@ opt::Plan PlanFor(const graph::Graph& g,
   plan.order = graph::KahnTopologicalOrder(g);
   plan.flags = opt::MakeFlags(g.num_nodes(), flagged);
   return plan;
+}
+
+/// Inserts `plan` with its stage decomposition, the way the service does.
+void InsertPlan(PlanCache& cache, const graph::Graph& g, std::uint64_t fp,
+                std::int64_t budget, opt::Plan plan) {
+  opt::StageDecomposition stages = opt::DecomposeStages(g, plan.order);
+  cache.Insert(fp, budget, std::move(plan), std::move(stages));
 }
 
 TEST(FingerprintTest, StableAcrossIdenticalConstructions) {
@@ -59,17 +67,17 @@ TEST(PlanCacheTest, LookupIsBudgetKeyed) {
   const graph::Graph g = DiamondGraph();
   const std::uint64_t fp = FingerprintGraph(g);
   PlanCache cache(8);
-  cache.Insert(fp, 1000, PlanFor(g, {0, 1}));
-  cache.Insert(fp, 500, PlanFor(g, {0}));
+  InsertPlan(cache, g, fp, 1000, PlanFor(g, {0, 1}));
+  InsertPlan(cache, g, fp, 500, PlanFor(g, {0}));
 
   auto at_1000 = cache.Lookup(fp, 1000);
   ASSERT_TRUE(at_1000.has_value());
-  EXPECT_EQ(opt::FlaggedNodes(at_1000->flags),
+  EXPECT_EQ(opt::FlaggedNodes(at_1000->plan.flags),
             (std::vector<graph::NodeId>{0, 1}));
 
   auto at_500 = cache.Lookup(fp, 500);
   ASSERT_TRUE(at_500.has_value());
-  EXPECT_EQ(opt::FlaggedNodes(at_500->flags),
+  EXPECT_EQ(opt::FlaggedNodes(at_500->plan.flags),
             (std::vector<graph::NodeId>{0}));
 
   EXPECT_FALSE(cache.Lookup(fp, 250).has_value());
@@ -81,14 +89,32 @@ TEST(PlanCacheTest, LookupIsBudgetKeyed) {
   EXPECT_EQ(stats.insertions, 2);
 }
 
+TEST(PlanCacheTest, StoresStageDecompositionNextToPlan) {
+  const graph::Graph g = DiamondGraph();
+  const std::uint64_t fp = FingerprintGraph(g);
+  PlanCache cache(8);
+  opt::Plan plan = PlanFor(g, {0});
+  InsertPlan(cache, g, fp, 1000, plan);
+
+  auto cached = cache.Lookup(fp, 1000);
+  ASSERT_TRUE(cached.has_value());
+  // The cached decomposition is exactly what a fresh DecomposeStages of
+  // the cached plan yields — hits can skip the recomputation.
+  const opt::StageDecomposition fresh =
+      opt::DecomposeStages(g, cached->plan.order);
+  EXPECT_EQ(cached->stages.stage_of, fresh.stage_of);
+  EXPECT_EQ(cached->stages.stages, fresh.stages);
+  EXPECT_EQ(cached->stages.width(), 2u);  // diamond: {b, c}
+}
+
 TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
   const graph::Graph g = DiamondGraph();
   const std::uint64_t fp = FingerprintGraph(g);
   PlanCache cache(2);
-  cache.Insert(fp, 1, PlanFor(g, {}));
-  cache.Insert(fp, 2, PlanFor(g, {}));
+  InsertPlan(cache, g, fp, 1, PlanFor(g, {}));
+  InsertPlan(cache, g, fp, 2, PlanFor(g, {}));
   cache.Lookup(fp, 1);         // budget 1 is now most recently used
-  cache.Insert(fp, 3, PlanFor(g, {}));  // evicts budget 2
+  InsertPlan(cache, g, fp, 3, PlanFor(g, {}));  // evicts budget 2
   EXPECT_TRUE(cache.Lookup(fp, 1).has_value());
   EXPECT_FALSE(cache.Lookup(fp, 2).has_value());
   EXPECT_TRUE(cache.Lookup(fp, 3).has_value());
@@ -100,12 +126,12 @@ TEST(PlanCacheTest, ReinsertRefreshesEntry) {
   const graph::Graph g = DiamondGraph();
   const std::uint64_t fp = FingerprintGraph(g);
   PlanCache cache(4);
-  cache.Insert(fp, 1000, PlanFor(g, {0}));
-  cache.Insert(fp, 1000, PlanFor(g, {0, 1}));
+  InsertPlan(cache, g, fp, 1000, PlanFor(g, {0}));
+  InsertPlan(cache, g, fp, 1000, PlanFor(g, {0, 1}));
   EXPECT_EQ(cache.size(), 1u);
   auto plan = cache.Lookup(fp, 1000);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(opt::FlaggedNodes(plan->flags),
+  EXPECT_EQ(opt::FlaggedNodes(plan->plan.flags),
             (std::vector<graph::NodeId>{0, 1}));
 }
 
@@ -119,11 +145,13 @@ TEST(PlanCacheTest, ConcurrentAccessIsSafe) {
       for (int i = 0; i < 200; ++i) {
         const std::int64_t budget = (t * 7 + i) % 32;
         if (i % 3 == 0) {
-          cache.Insert(fp, budget, PlanFor(g, {}));
+          InsertPlan(cache, g, fp, budget, PlanFor(g, {}));
         } else {
           auto plan = cache.Lookup(fp, budget);
           if (plan.has_value()) {
-            EXPECT_EQ(plan->flags.size(),
+            EXPECT_EQ(plan->plan.flags.size(),
+                      static_cast<std::size_t>(g.num_nodes()));
+            EXPECT_EQ(plan->stages.stage_of.size(),
                       static_cast<std::size_t>(g.num_nodes()));
           }
         }

@@ -12,7 +12,7 @@
 #include "opt/optimizer.h"
 #include "opt/stages.h"
 #include "runtime/controller.h"
-#include "runtime/executor_pool.h"
+#include "runtime/lane_pool.h"
 #include "runtime/stage_scheduler.h"
 #include "workload/datagen.h"
 #include "workload/workloads.h"
@@ -101,12 +101,12 @@ TEST(StageDecompositionTest, RejectsNonTopologicalOrder) {
 }
 
 // ---------------------------------------------------------------------------
-// ExecutorPool / StageScheduler
+// LanePool / StageScheduler
 // ---------------------------------------------------------------------------
 
-TEST(ExecutorPoolTest, RunsEveryTaskAcrossLanes) {
-  ExecutorPool pool(4);
-  EXPECT_EQ(pool.size(), 4);
+TEST(LanePoolRuntimeTest, RunsEveryTaskAcrossLanes) {
+  LanePool pool(4);
+  EXPECT_EQ(pool.capacity(), 4);
   std::atomic<int> done{0};
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&done] { done.fetch_add(1); });
@@ -118,6 +118,7 @@ TEST(ExecutorPoolTest, RunsEveryTaskAcrossLanes) {
     std::this_thread::yield();
   }
   EXPECT_EQ(done.load(), 100);
+  EXPECT_LE(pool.threads_started(), 4);
 }
 
 TEST(StageSchedulerTest, SingleLaneDispatchFollowsPlanOrder) {
@@ -291,6 +292,114 @@ TEST(StageRuntimeTest, WideDagExecutesOnAllLanes) {
   for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
     const std::string& name = wl.graph.node(v).name;
     EXPECT_TRUE(disk.ReadTable(name) == disk_seq.ReadTable(name)) << name;
+  }
+}
+
+// The relaxed publish protocol decouples dispatch from the in-order
+// residency replay; this asserts the replay is still exactly the
+// sequential Put / lazy-release sequence: node stats (deterministic
+// fields), catalog hit/miss counts, and peak memory are identical to the
+// sequential loop even at 4 lanes.
+TEST(StageRuntimeTest, FourLaneRelaxedPublishMatchesSequentialStats) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = workload::BuildIo1();
+
+  storage::ThrottledDisk profile_disk(FreshDir("relax_profile"),
+                                      FastDisk());
+  Controller profiler(&profile_disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 8LL * 1024 * 1024;
+  const auto plan = opt::Optimizer{}.Optimize(wl.graph, budget).plan;
+  ASSERT_FALSE(opt::FlaggedNodes(plan.flags).empty());
+
+  storage::ThrottledDisk disk_seq(FreshDir("relax_seq"), FastDisk());
+  ControllerOptions seq_options;
+  seq_options.budget = budget;
+  Controller sequential(&disk_seq, seq_options);
+  sequential.LoadBaseTables(data);
+  const RunReport seq = sequential.Run(wl, plan);
+  ASSERT_TRUE(seq.ok) << seq.error;
+
+  storage::ThrottledDisk disk_par(FreshDir("relax_par"), FastDisk());
+  ControllerOptions par_options;
+  par_options.budget = budget;
+  par_options.max_parallel_nodes = 4;
+  Controller parallel(&disk_par, par_options);
+  parallel.LoadBaseTables(data);
+  const RunReport par = parallel.Run(wl, plan);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  EXPECT_GT(par.parallel_lanes, 1);
+  EXPECT_EQ(seq.peak_memory, par.peak_memory);
+  EXPECT_EQ(seq.catalog_hits, par.catalog_hits);
+  EXPECT_EQ(seq.catalog_misses, par.catalog_misses);
+  ASSERT_EQ(seq.nodes.size(), par.nodes.size());
+  for (std::size_t i = 0; i < seq.nodes.size(); ++i) {
+    EXPECT_EQ(seq.nodes[i].name, par.nodes[i].name);  // publish order
+    EXPECT_EQ(seq.nodes[i].output_bytes, par.nodes[i].output_bytes);
+    EXPECT_EQ(seq.nodes[i].output_rows, par.nodes[i].output_rows);
+    EXPECT_EQ(seq.nodes[i].output_in_memory,
+              par.nodes[i].output_in_memory);
+    EXPECT_EQ(seq.nodes[i].stage, par.nodes[i].stage);
+  }
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    const std::string& name = wl.graph.node(v).name;
+    EXPECT_TRUE(disk_seq.ReadTable(name) == disk_par.ReadTable(name))
+        << name;
+  }
+}
+
+// widen_stages must not break the error-report contract: an invalid plan
+// still yields report.error (validation runs before the widening pass,
+// whose DecomposeStages would otherwise throw out of Run).
+TEST(StageRuntimeTest, WidenStagesKeepsInvalidPlanErrorContract) {
+  const workload::MvWorkload wl = WideWorkload(4);
+  storage::ThrottledDisk disk(FreshDir("widen_invalid"), FastDisk());
+  ControllerOptions options;
+  options.widen_stages = true;
+  options.max_parallel_nodes = 4;
+  Controller controller(&disk, options);
+  opt::Plan bad;
+  // Reversed order: sink before its parents — not topological.
+  const graph::Order topo = graph::KahnTopologicalOrder(wl.graph);
+  std::vector<graph::NodeId> reversed(topo.sequence.rbegin(),
+                                      topo.sequence.rend());
+  bad.order = graph::Order::FromSequence(reversed);
+  bad.flags = opt::EmptyFlags(wl.graph.num_nodes());
+  const RunReport report = controller.Run(wl, bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("invalid plan"), std::string::npos);
+}
+
+// Borrowed-pool mode: back-to-back parallel runs on one shared LanePool
+// reuse its lane threads instead of constructing a pool per run.
+TEST(StageRuntimeTest, SharedLanePoolReusedAcrossRuns) {
+  const auto data = TinyData();
+  const workload::MvWorkload wl = WideWorkload(8);
+
+  LanePool pool(4);
+  storage::ThrottledDisk disk(FreshDir("shared_pool"), FastDisk());
+  ControllerOptions options;
+  options.max_parallel_nodes = 4;
+  options.lane_pool = &pool;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(data);
+
+  ASSERT_TRUE(controller.RunUnoptimized(wl).ok);
+  const std::int64_t started_after_first = pool.threads_started();
+  EXPECT_GE(started_after_first, 1);
+  EXPECT_LE(started_after_first, 4);
+  for (int i = 0; i < 3; ++i) {
+    const RunReport report = controller.RunUnoptimized(wl);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.parallel_lanes, 4);
+  }
+  // Zero thread construction per job in steady state.
+  EXPECT_EQ(pool.threads_started(), started_after_first);
+  for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(disk.Exists(wl.graph.node(v).name));
   }
 }
 

@@ -58,6 +58,8 @@ TEST_P(StandardWorkloadsTest, ExecutesOnTinyDataset) {
   options.scale = 0.05;
   const auto base = GenerateTpcdsData(options);
   engine::MapResolver resolver;
+  resolver.Reserve(base.size() +
+                   static_cast<std::size_t>(wl.graph.num_nodes()));
   for (const auto& [name, table] : base) resolver.Put(name, table);
 
   const graph::Order order = graph::KahnTopologicalOrder(wl.graph);
