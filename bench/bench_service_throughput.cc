@@ -60,6 +60,11 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
   options.num_workers = workers * lanes;  // total thread budget
   options.max_intra_job_lanes = lanes;
   options.global_budget = 32LL * 1024 * 1024;
+  // Sections 1-2 track worker/lane *execution* scaling (the PR-1/PR-3
+  // trajectories): cross-job reuse would serve the repeat jobs from the
+  // shared layer and decouple the numbers from the sweep variable.
+  // Section 5 measures sharing, toggling this flag both ways.
+  options.share_catalog = false;
   service::RefreshService service(disk, options);
 
   // Warm the plan cache so every timed config pays optimization once per
@@ -147,6 +152,68 @@ struct WidenSample {
   double wall_seconds = 0.0;
   double lane_utilization = 0.0;
 };
+
+struct SharedSample {
+  int tenants = 0;
+  bool shared = false;
+  double jobs_per_second = 0.0;
+  double cross_job_hit_rate = 0.0;  // of all catalog resolutions
+  std::int64_t bytes_saved = 0;
+  double total_compute_seconds = 0.0;
+};
+
+/// Cross-job sharing sweep config: `tenants` tenants all refreshing the
+/// same workload, `jobs_per_tenant` times each, with or without the
+/// shared catalog. A seed job warms the shared layer (and the plan
+/// cache) before the timed segment, mirroring steady-state traffic.
+SharedSample RunSharedConfig(storage::ThrottledDisk* disk,
+                             const std::shared_ptr<const workload::MvWorkload>& wl,
+                             int tenants, int jobs_per_tenant,
+                             bool shared) {
+  service::ServiceOptions options;
+  options.num_workers = 4;
+  options.global_budget = 32LL * 1024 * 1024;
+  options.share_catalog = shared;
+  service::RefreshService service(disk, options);
+
+  service::RefreshJobSpec warmup;
+  warmup.workload = wl;
+  warmup.tenant = "warmup";
+  service.Submit(warmup).get();
+
+  WallTimer timer;
+  std::vector<std::future<service::JobResult>> futures;
+  for (int round = 0; round < jobs_per_tenant; ++round) {
+    for (int t = 0; t < tenants; ++t) {
+      service::RefreshJobSpec spec;
+      spec.workload = wl;
+      spec.tenant = "tenant" + std::to_string(t);
+      futures.push_back(service.Submit(std::move(spec)));
+    }
+  }
+  SharedSample sample;
+  sample.tenants = tenants;
+  sample.shared = shared;
+  std::int64_t cross_hits = 0;
+  std::int64_t resolutions = 0;
+  for (auto& future : futures) {
+    const service::JobResult r = future.get();
+    if (!r.report.ok) {
+      std::cerr << "shared-sweep job failed: " << r.report.error << "\n";
+    }
+    cross_hits += r.report.cross_job_hits;
+    resolutions += r.report.catalog_hits + r.report.catalog_misses;
+    sample.bytes_saved += r.report.cross_job_bytes_saved;
+    sample.total_compute_seconds += r.report.TotalComputeSeconds();
+  }
+  sample.jobs_per_second =
+      static_cast<double>(futures.size()) / timer.Seconds();
+  sample.cross_job_hit_rate =
+      resolutions == 0
+          ? 0.0
+          : static_cast<double>(cross_hits) / resolutions;
+  return sample;
+}
 
 int Main(int argc, char** argv) {
   bool smoke = false;
@@ -404,6 +471,39 @@ int Main(int argc, char** argv) {
   std::cout << "\n";
   widen_table.Print(std::cout);
 
+  // -------------------------------------------------------------------
+  // 5. Cross-job shared catalog (PR 4): N tenants refreshing the *same*
+  //    workload, with the content-keyed SharedCatalog vs the private-
+  //    catalog baseline. Sharing turns repeat refreshes into memory
+  //    reads: cross-job hit rate, bytes saved, and the recompute work
+  //    eliminated are reported next to the jobs/sec win.
+  // -------------------------------------------------------------------
+  const int kSharedJobsPerTenant = smoke ? 4 : 8;
+  const std::vector<int> tenant_sweep =
+      smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
+  std::vector<SharedSample> shared_samples;
+  TablePrinter shared_table({"tenants", "catalog", "jobs/s",
+                             "speedup vs private", "xjob hit%",
+                             "bytes saved", "compute (s)"});
+  for (const int tenants : tenant_sweep) {
+    double private_jps = 0.0;
+    for (const bool shared : {false, true}) {
+      const SharedSample s = RunSharedConfig(
+          &disk, wls.front(), tenants, kSharedJobsPerTenant, shared);
+      if (!shared) private_jps = s.jobs_per_second;
+      shared_samples.push_back(s);
+      shared_table.AddRow(
+          {std::to_string(tenants), shared ? "shared" : "private",
+           StrFormat("%.1f", s.jobs_per_second),
+           StrFormat("%.2fx", s.jobs_per_second / private_jps),
+           StrFormat("%.1f", 100.0 * s.cross_job_hit_rate),
+           FormatBytes(s.bytes_saved),
+           StrFormat("%.3f", s.total_compute_seconds)});
+    }
+  }
+  std::cout << "\n";
+  shared_table.Print(std::cout);
+
   std::ostringstream json;
   json << "{\"bench\":\"service_throughput\",\"jobs\":" << kJobs
        << ",\"samples\":[";
@@ -451,6 +551,20 @@ int Main(int argc, char** argv) {
         "\"lane_utilization\":%.4f,\"speedup_vs_madfs\":%.4f}",
         s.widened ? "true" : "false", s.wall_seconds, s.lane_utilization,
         madfs_wall / s.wall_seconds);
+  }
+  json << "]},\"shared_catalog\":{\"jobs_per_tenant\":"
+       << kSharedJobsPerTenant << ",\"samples\":[";
+  for (std::size_t i = 0; i < shared_samples.size(); ++i) {
+    const SharedSample& s = shared_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"tenants\":%d,\"shared\":%s,\"jobs_per_second\":%.3f,"
+        "\"cross_job_hit_rate\":%.4f,\"cross_job_bytes_saved\":%lld,"
+        "\"total_compute_seconds\":%.6f}",
+        s.tenants, s.shared ? "true" : "false", s.jobs_per_second,
+        s.cross_job_hit_rate,
+        static_cast<long long>(s.bytes_saved),
+        s.total_compute_seconds);
   }
   json << "]}}";
   std::cout << "\n" << json.str() << "\n";

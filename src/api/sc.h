@@ -31,6 +31,7 @@
 #include "engine/plan.h"
 #include "engine/plan_serde.h"
 #include "graph/dot.h"
+#include "graph/fingerprint.h"
 #include "graph/graph.h"
 #include "graph/serde.h"
 #include "graph/topo.h"
@@ -55,6 +56,7 @@
 #include "sim/lru_cache.h"
 #include "sim/refresh_sim.h"
 #include "storage/memory_catalog.h"
+#include "storage/shared_catalog.h"
 #include "storage/throttled_disk.h"
 #include "workload/dag_gen.h"
 #include "workload/datagen.h"

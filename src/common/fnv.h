@@ -1,0 +1,47 @@
+#ifndef SC_COMMON_FNV_H_
+#define SC_COMMON_FNV_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sc {
+
+/// FNV-1a mixing helpers shared by every fingerprinting site (plan-cache
+/// graph fingerprints, per-node content fingerprints for the cross-job
+/// SharedCatalog). Stable across processes, unlike std::hash.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void FnvMixBytes(std::uint64_t* h, const void* data,
+                        std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+inline void FnvMixInt(std::uint64_t* h, std::int64_t value) {
+  FnvMixBytes(h, &value, sizeof(value));
+}
+
+inline void FnvMixUint(std::uint64_t* h, std::uint64_t value) {
+  FnvMixBytes(h, &value, sizeof(value));
+}
+
+inline void FnvMixDouble(std::uint64_t* h, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  FnvMixBytes(h, &bits, sizeof(bits));
+}
+
+inline void FnvMixString(std::uint64_t* h, const std::string& s) {
+  FnvMixInt(h, static_cast<std::int64_t>(s.size()));
+  FnvMixBytes(h, s.data(), s.size());
+}
+
+}  // namespace sc
+
+#endif  // SC_COMMON_FNV_H_

@@ -46,6 +46,22 @@ AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
                                      const Plan& prior, std::int64_t budget,
                                      const AlternatingOptions& options = {});
 
+/// Sharing-aware pre-pass for cross-job catalog sharing: `resident[v]`
+/// marks nodes whose outputs are already resident in the service's
+/// SharedCatalog (published by a concurrent or recent job refreshing the
+/// same content). A resident node yields no extra speedup from flagging —
+/// the runtime reuses its output at memory speed regardless, and its
+/// children scan it from memory, not disk — so its speedup score is
+/// re-costed to zero and the alternating optimization re-runs, steering
+/// the knapsack budget to nodes that are *not* yet shared. Returns
+/// `prior` unchanged (iterations == 0) when no positive-score node is
+/// resident or `resident` does not match the graph; the adjustment is
+/// then a no-op by construction.
+AlternatingResult ReOptimizeWithResidency(
+    const graph::Graph& g, const Plan& prior, std::int64_t budget,
+    const std::vector<bool>& resident,
+    const AlternatingOptions& options = {});
+
 /// Stage-aware ordering post-pass for the parallel runtime. MA-DFS
 /// minimizes memory for a sequential walk, which lists each branch
 /// depth-first — so under the runtime's in-order publish protocol, an
@@ -68,6 +84,18 @@ AlternatingResult ReOptimizeAtBudget(const graph::Graph& g,
 /// topological order covering the graph.
 Plan WidenStages(const graph::Graph& g, const Plan& plan,
                  std::int64_t budget = -1);
+
+/// Greedy-prefix variant of WidenStages: instead of the all-or-nothing
+/// gate, widens as many *leading* stages as the memory gate allows — the
+/// first k stages are listed stage-major, the rest keep the original
+/// relative order — choosing the largest feasible k. Early antichains are
+/// where lane starvation hurts most (the run's tail drains anyway), so a
+/// feasible prefix captures most of the full reorder's win when the full
+/// reorder would overshoot the budget. k == num_stages reproduces
+/// WidenStages; k == 0 returns the plan unchanged. Gate semantics match
+/// WidenStages (budget < 0 ⇒ strict peak equivalence).
+Plan WidenStagesPrefix(const graph::Graph& g, const Plan& plan,
+                       std::int64_t budget = -1);
 
 /// Independent plan verifier used by tests and the Controller: checks that
 /// the order is a valid topological order, that no flagged node is oversize

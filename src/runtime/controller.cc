@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "cost/speedup.h"
 #include "engine/executor.h"
+#include "graph/fingerprint.h"
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
 #include "opt/stages.h"
@@ -128,9 +129,29 @@ struct RunState {
         stages(stages_in),
         options(options_in),
         disk(disk_in),
-        catalog(budget),
+        catalog(budget, options_in.shared_catalog),
         materializer(disk_in) {
     const graph::Graph& g = wl.graph;
+    if (options.shared_catalog != nullptr) {
+      // The catalog becomes the per-job view onto the cross-job layer:
+      // every MV name is bound to its content fingerprint (reusing the
+      // service's precomputed vector when provided). An empty
+      // fingerprint set (non-DAG) simply leaves sharing off for the run.
+      catalog.SetSharedPinListener(options.shared_pin_listener);
+      const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+      std::vector<std::uint64_t> computed;
+      const std::vector<std::uint64_t>* fps = options.node_fingerprints;
+      if (fps == nullptr || fps->size() != n) {
+        computed = graph::FingerprintNodes(g, options.shared_epoch);
+        fps = &computed;
+      }
+      if (fps->size() == n) {
+        for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+          catalog.BindSharedKey(g.node(v).name,
+                                (*fps)[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
     pending_children.resize(static_cast<std::size_t>(g.num_nodes()));
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       pending_children[static_cast<std::size_t>(v)] =
@@ -153,6 +174,9 @@ struct RunState {
 struct NodeResult {
   NodeRunStats stats;
   engine::TablePtr output;
+  /// For reused nodes: the shared entry was durable (on disk) at pin
+  /// time, so this run may skip its own write.
+  bool reused_durable = false;
 };
 
 /// Executes node `v`'s plan, resolving inputs through the Memory Catalog
@@ -165,6 +189,31 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
   NodeRunStats& stats = result.stats;
   stats.name = g.node(v).name;
   stats.stage = s.stages.stage_of[v];
+
+  // Cross-job reuse: another job refreshing the same content already has
+  // this node's output resident in the shared layer. Pin it and skip the
+  // recomputation — and usually the disk write too: the producing job
+  // materializes the identical bytes under the same warehouse name. The
+  // write is skipped only once the shared layer marks the entry durable
+  // (the producer's write landed), so this run's durability never
+  // depends on another tenant's in-flight write.
+  bool reused_durable = false;
+  if (engine::TablePtr reused =
+          s.catalog.PinSharedOutput(stats.name, &reused_durable)) {
+    stats.output_bytes = reused->ByteSize();
+    stats.output_rows = reused->num_rows();
+    stats.reused_cross_job = true;
+    result.reused_durable = reused_durable;
+    if (!s.plan.flags[v] && !reused_durable) {
+      const double w0 = MonotonicSeconds();
+      s.disk->WriteTable(stats.name, *reused);
+      stats.write_seconds = MonotonicSeconds() - w0;
+      // Upgrade the entry so later reusers skip this redundant write.
+      s.catalog.MarkSharedDurable(stats.name);
+    }
+    result.output = std::move(reused);
+    return result;
+  }
 
   double read_seconds = 0.0;
   engine::FnResolver resolver([&](const std::string& name) {
@@ -218,6 +267,8 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
     if (it != s.in_flight.end()) {
       it->second.get();  // rethrows materialization failures
       s.in_flight.erase(it);
+      // The write landed: reusing jobs may now skip theirs.
+      s.catalog.MarkSharedDurable(node_name);
     }
     s.catalog.Release(node_name);
   };
@@ -234,26 +285,46 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
       release_one();
     }
     stats.output_in_memory = true;
-    if (s.options.background_materialize) {
+    if (stats.reused_cross_job && result.reused_durable) {
+      // The producing job's materialization already reached disk.
+      // (Reused content not yet durable falls through to the normal
+      // write paths: this run's durability stays self-contained.)
+    } else if (s.options.background_materialize) {
       s.in_flight.emplace(name,
                           s.materializer.Enqueue(name, result.output));
     } else {
       const double w0 = MonotonicSeconds();
       s.disk->WriteTable(name, *result.output);
       stats.write_seconds = MonotonicSeconds() - w0;
+      s.catalog.MarkSharedDurable(name);
     }
+  } else if (!stats.reused_cross_job) {
+    // Unflagged outputs are computed anyway: publish them into the
+    // cross-job layer too (no-op without one), at their replay slot so
+    // the shared store fills in optimized order under pressure.
+    s.catalog.PublishShared(name, result.output, stats.output_bytes);
   }
 
   // Mark nodes whose last consumer just finished as releasable (§III-C:
-  // eligible to be freed once all dependants complete).
-  if (s.plan.flags[v] &&
-      s.pending_children[static_cast<std::size_t>(v)] == 0) {
-    s.releasable.push_back(v);
+  // eligible to be freed once all dependants complete). Cross-job pins
+  // end at the same boundary: once a node's last consumer published,
+  // nothing in this run reads its shared entry again, so the pin (and
+  // the tenant's shared-residency charge) is dropped instead of riding
+  // to the end of the run.
+  if (s.pending_children[static_cast<std::size_t>(v)] == 0) {
+    if (s.plan.flags[v]) {
+      s.releasable.push_back(v);
+    } else if (stats.reused_cross_job) {
+      s.catalog.UnpinShared(name);
+    }
   }
   for (graph::NodeId p : g.parents(v)) {
-    if (--s.pending_children[static_cast<std::size_t>(p)] == 0 &&
-        s.plan.flags[p]) {
-      s.releasable.push_back(p);
+    if (--s.pending_children[static_cast<std::size_t>(p)] == 0) {
+      if (s.plan.flags[p]) {
+        s.releasable.push_back(p);
+      } else {
+        s.catalog.UnpinShared(g.node(p).name);  // no-op if unpinned
+      }
     }
   }
 
@@ -264,7 +335,10 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
 /// first failure.
 void AwaitMaterializations(RunState& s) {
   s.materializer.Drain();
-  for (auto& [name, future] : s.in_flight) future.get();
+  for (auto& [name, future] : s.in_flight) {
+    future.get();
+    s.catalog.MarkSharedDurable(name);
+  }
 }
 
 /// The classic sequential Controller loop (pre-parallel semantics):
@@ -339,6 +413,14 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
         if (!s.catalog.Reserve(name, estimate) && !sequential_turn) break;
       }
       scheduler.PopReady();
+      // Pin resident cross-job inputs at dispatch so the shared LRU
+      // cannot evict them between the scheduling decision and the
+      // lane's read.
+      if (s.options.shared_catalog != nullptr) {
+        for (const graph::NodeId p : g.parents(v)) {
+          s.catalog.PinSharedInput(g.node(p).name);
+        }
+      }
       ++executing;
       pool->Submit([&s, &g, &mutex, &cv, &executing, &error, &completed,
                     &scheduler, &dispatch, v] {
@@ -466,7 +548,7 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
   const opt::Plan* active = &plan;
   opt::Plan widened;
   if (options_.widen_stages) {
-    widened = opt::WidenStages(wl.graph, plan, budget);
+    widened = opt::WidenStagesPrefix(wl.graph, plan, budget);
     if (widened.order.sequence != plan.order.sequence) stages = nullptr;
     active = &widened;
   }
@@ -501,6 +583,8 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
   report.catalog_hits = state.catalog.hits();
   report.catalog_misses = state.catalog.misses();
   report.reserve_denials = state.catalog.reserve_denials();
+  report.cross_job_hits = state.catalog.cross_job_hits();
+  report.cross_job_bytes_saved = state.catalog.cross_job_bytes_saved();
   report.ok = true;
   return report;
 }

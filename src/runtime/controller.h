@@ -84,12 +84,36 @@ struct ControllerOptions {
   /// Controller behaviour. The RefreshService always supplies its shared
   /// pool so steady-state jobs pay zero thread construction.
   LanePool* lane_pool = nullptr;
-  /// Applies the opt::WidenStages post-pass to the plan before executing:
-  /// reorders the total order stage-major among memory-equivalent
-  /// prefixes so early antichains are as wide as possible. Off by
-  /// default; the RefreshService instead widens at optimization time so
-  /// cached plans are widened once.
+  /// Applies the opt::WidenStagesPrefix post-pass to the plan before
+  /// executing: reorders the total order stage-major among
+  /// budget-feasible leading stages so early antichains are as wide as
+  /// possible. Off by default; the RefreshService instead widens at
+  /// optimization time so cached plans are widened once.
   bool widen_stages = false;
+  /// Cross-job shared residency layer. When set, the run's Memory
+  /// Catalog becomes a per-job view over this content-keyed
+  /// SharedCatalog: node names are bound to content fingerprints
+  /// (graph::FingerprintNodes), flagged outputs are published under
+  /// their fingerprint as the relaxed-publish replay enters them into
+  /// the catalog (unflagged outputs at their publish slot), inputs
+  /// resident from other jobs are pinned at dispatch and served at
+  /// memory speed, and a node whose own output is already resident is
+  /// reused outright instead of recomputed. Not owned; must outlive the
+  /// runs. Do not combine with ProfileAndAnnotate — reused nodes report
+  /// zero compute, which would corrupt the profile.
+  storage::SharedCatalog* shared_catalog = nullptr;
+  /// Salt mixed into the content fingerprints (a data epoch): bump it to
+  /// invalidate every cross-job match, e.g. after base tables change.
+  std::uint64_t shared_epoch = 0;
+  /// Precomputed graph::FingerprintNodes(graph, shared_epoch) for the
+  /// workload about to run (the RefreshService computes them once for
+  /// its residency snapshot). Not owned; must outlive the run and match
+  /// the graph — mismatches are ignored and recomputed.
+  const std::vector<std::uint64_t>* node_fingerprints = nullptr;
+  /// Observes cross-job pin lifecycle events (content key, bytes,
+  /// pinned). The RefreshService charges pinned shared bytes to the
+  /// reading tenant's quota through this hook.
+  storage::MemoryCatalog::SharedPinListener shared_pin_listener;
 };
 
 /// Per-node statistics from a real refresh run.
@@ -103,6 +127,9 @@ struct NodeRunStats {
   std::uint64_t output_rows = 0;
   /// Antichain stage of the node under the run's order (0-based).
   std::int32_t stage = 0;
+  /// The node was not executed: its output was already resident in the
+  /// cross-job SharedCatalog and was reused at memory speed.
+  bool reused_cross_job = false;
 };
 
 struct RunReport {
@@ -126,6 +153,12 @@ struct RunReport {
   /// (0 for sequential runs): how often concurrent lanes were held back
   /// to keep in-flight flagged outputs within the budget.
   std::int64_t reserve_denials = 0;
+  /// Resolutions and whole-node reuses served from the cross-job
+  /// SharedCatalog (0 without one; subset of catalog_hits).
+  std::int64_t cross_job_hits = 0;
+  /// Bytes those cross-job hits served in place of disk reads or
+  /// recomputation.
+  std::int64_t cross_job_bytes_saved = 0;
   std::vector<NodeRunStats> nodes;  // in publish (= plan) order
 
   double TotalReadSeconds() const;

@@ -28,6 +28,20 @@ std::int64_t BudgetBroker::QuotaFor(const std::string& tenant) const {
   return quota <= 0 ? options_.global_budget : quota;
 }
 
+std::int64_t BudgetBroker::HeadroomLocked(
+    const std::string& tenant) const {
+  std::int64_t reserved = 0;
+  if (auto it = tenant_reserved_.find(tenant);
+      it != tenant_reserved_.end()) {
+    reserved = it->second;
+  }
+  std::int64_t shared = 0;
+  if (auto it = tenant_shared_.find(tenant); it != tenant_shared_.end()) {
+    shared = it->second;
+  }
+  return std::max<std::int64_t>(0, QuotaFor(tenant) - reserved - shared);
+}
+
 std::int64_t BudgetBroker::ClampTargetLocked(
     const std::string& tenant, std::int64_t requested_bytes) const {
   return std::max<std::int64_t>(
@@ -80,8 +94,7 @@ void BudgetBroker::AdmitWaitersLocked() {
       continue;
     }
     const std::int64_t floor = FloorFor(target);
-    const std::int64_t headroom = std::max<std::int64_t>(
-        0, QuotaFor(w.tenant) - tenant_reserved_[w.tenant]);
+    const std::int64_t headroom = HeadroomLocked(w.tenant);
     if (std::min(target, headroom) < floor) {
       // The waiter is stalled on its own tenant's quota, not the pool:
       // only that tenant's releases can unblock it, so holding the rest
@@ -142,7 +155,7 @@ BudgetGrant BudgetBroker::TryAcquire(const std::string& tenant,
     if (!w.admitted && w.priority >= priority) return BudgetGrant{};
   }
   const std::int64_t target = ClampTargetLocked(tenant, requested_bytes);
-  const std::int64_t headroom = QuotaFor(tenant) - tenant_reserved_[tenant];
+  const std::int64_t headroom = HeadroomLocked(tenant);
   const std::int64_t free = options_.global_budget - reserved_;
   const std::int64_t fundable =
       std::max<std::int64_t>(0, std::min({target, free, headroom}));
@@ -175,6 +188,43 @@ void BudgetBroker::ReturnUnused(BudgetGrant* grant, std::int64_t bytes) {
     AdmitWaitersLocked();
   }
   cv_.notify_all();
+}
+
+void BudgetBroker::PinShared(const std::string& tenant, std::uint64_t key,
+                             std::int64_t bytes) {
+  if (bytes < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SharedCharge& charge = shared_pins_[tenant][key];
+  if (charge.pins++ == 0) {
+    charge.bytes = bytes;
+    tenant_shared_[tenant] += bytes;
+  }
+  // Charging only shrinks headroom: no waiter can become fundable.
+}
+
+void BudgetBroker::UnpinShared(const std::string& tenant,
+                               std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto tenant_it = shared_pins_.find(tenant);
+    if (tenant_it == shared_pins_.end()) return;
+    auto key_it = tenant_it->second.find(key);
+    if (key_it == tenant_it->second.end()) return;
+    if (--key_it->second.pins > 0) return;
+    tenant_shared_[tenant] -= key_it->second.bytes;
+    tenant_it->second.erase(key_it);
+    if (tenant_it->second.empty()) shared_pins_.erase(tenant_it);
+    // Released headroom can unblock this tenant's quota-stalled waiters.
+    AdmitWaitersLocked();
+  }
+  cv_.notify_all();
+}
+
+std::int64_t BudgetBroker::tenant_shared_bytes(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenant_shared_.find(tenant);
+  return it == tenant_shared_.end() ? 0 : it->second;
 }
 
 void BudgetBroker::SetTenantQuota(const std::string& tenant,

@@ -84,6 +84,24 @@ class BudgetBroker {
   /// or non-positive amounts.
   void ReturnUnused(BudgetGrant* grant, std::int64_t bytes);
 
+  /// Cross-job shared-residency accounting: a running job of `tenant`
+  /// pinned the shared-catalog entry `key` (`bytes` large). The bytes
+  /// are charged against the tenant's quota headroom — shared residency
+  /// is memory the tenant is actively relying on — but only once per
+  /// content key, no matter how many of the tenant's jobs pin it
+  /// concurrently, and never against the global grant pool (the shared
+  /// layer funds itself; double-charging it against grants would shrink
+  /// the pool below what the catalog actually holds).
+  void PinShared(const std::string& tenant, std::uint64_t key,
+                 std::int64_t bytes);
+
+  /// Drops one pin of `key` by `tenant`; at zero pins the charge is
+  /// released and fundable waiters are re-admitted. No-op if unknown.
+  void UnpinShared(const std::string& tenant, std::uint64_t key);
+
+  /// Shared-catalog bytes currently charged to `tenant`'s quota.
+  std::int64_t tenant_shared_bytes(const std::string& tenant) const;
+
   /// Sets `tenant`'s reservation cap (0 = uncapped). Applies to future
   /// admissions only; outstanding grants are never revoked.
   void SetTenantQuota(const std::string& tenant, std::int64_t quota_bytes);
@@ -108,8 +126,16 @@ class BudgetBroker {
     std::int64_t granted = 0;
   };
 
+  struct SharedCharge {
+    std::int64_t pins = 0;
+    std::int64_t bytes = 0;
+  };
+
   /// Effective quota for `tenant` (0 = uncapped → global budget).
   std::int64_t QuotaFor(const std::string& tenant) const;
+  /// Quota headroom for `tenant`: quota minus outstanding grants minus
+  /// charged shared-residency bytes. Caller holds the lock.
+  std::int64_t HeadroomLocked(const std::string& tenant) const;
   /// Request clamped to the tenant quota and the global budget.
   std::int64_t ClampTargetLocked(const std::string& tenant,
                                  std::int64_t requested_bytes) const;
@@ -131,6 +157,9 @@ class BudgetBroker {
   std::list<Waiter> waiters_;  // kept sorted by admission order
   std::map<std::string, std::int64_t> quotas_;
   std::map<std::string, std::int64_t> tenant_reserved_;
+  std::map<std::string, std::map<std::uint64_t, SharedCharge>>
+      shared_pins_;
+  std::map<std::string, std::int64_t> tenant_shared_;
   std::int64_t reserved_ = 0;
   std::int64_t peak_reserved_ = 0;
   std::uint64_t next_seq_ = 1;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
@@ -57,6 +58,8 @@ void ServiceMetrics::Record(const JobObservation& observation) {
   totals.bytes_returned += observation.returned_bytes;
   totals.catalog_hits += observation.catalog_hits;
   totals.catalog_misses += observation.catalog_misses;
+  totals.cross_job_hits += observation.cross_job_hits;
+  totals.cross_job_bytes_saved += observation.cross_job_bytes_saved;
   if (observation.plan_cache_hit) ++totals.plan_cache_hits;
   if (observation.reoptimized) ++totals.reoptimizations;
 
@@ -138,6 +141,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     agg.bytes_returned += m.bytes_returned;
     agg.catalog_hits += m.catalog_hits;
     agg.catalog_misses += m.catalog_misses;
+    agg.cross_job_hits += m.cross_job_hits;
+    agg.cross_job_bytes_saved += m.cross_job_bytes_saved;
     agg.plan_cache_hits += m.plan_cache_hits;
     agg.reoptimizations += m.reoptimizations;
     all_latencies.insert(all_latencies.end(), state.latencies.begin(),
@@ -157,7 +162,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
 std::string ServiceMetrics::FormatTable() const {
   const MetricsSnapshot snapshot = Snapshot();
   TablePrinter table({"tenant", "jobs", "failed", "avg wait", "p50", "p99",
-                      "catalog hit%", "plan cache", "reopt"});
+                      "catalog hit%", "xjob hit%", "xjob saved",
+                      "plan cache", "reopt"});
   auto add = [&](const std::string& name, const TenantMetrics& m) {
     table.AddRow({name, std::to_string(m.jobs_total()),
                   std::to_string(m.jobs_failed),
@@ -165,6 +171,8 @@ std::string ServiceMetrics::FormatTable() const {
                   StrFormat("%.3fs", m.p50_latency_seconds),
                   StrFormat("%.3fs", m.p99_latency_seconds),
                   StrFormat("%.1f", 100.0 * m.catalog_hit_rate()),
+                  StrFormat("%.1f", 100.0 * m.cross_job_hit_rate()),
+                  FormatBytes(m.cross_job_bytes_saved),
                   std::to_string(m.plan_cache_hits),
                   std::to_string(m.reoptimizations)});
   };
@@ -206,6 +214,10 @@ std::string ServiceMetrics::ToJson() const {
         << StrFormat("%.6f", m.p99_latency_seconds)
         << ",\"catalog_hit_rate\":"
         << StrFormat("%.6f", m.catalog_hit_rate())
+        << ",\"cross_job_hits\":" << m.cross_job_hits
+        << ",\"cross_job_hit_rate\":"
+        << StrFormat("%.6f", m.cross_job_hit_rate())
+        << ",\"cross_job_bytes_saved\":" << m.cross_job_bytes_saved
         << ",\"bytes_requested\":" << m.bytes_requested
         << ",\"bytes_granted\":" << m.bytes_granted
         << ",\"bytes_returned\":" << m.bytes_returned

@@ -22,6 +22,10 @@ struct JobObservation {
   std::int64_t returned_bytes = 0;
   std::int64_t catalog_hits = 0;
   std::int64_t catalog_misses = 0;
+  /// Resolutions / node reuses served from the cross-job SharedCatalog
+  /// (subset of catalog_hits) and the bytes they saved.
+  std::int64_t cross_job_hits = 0;
+  std::int64_t cross_job_bytes_saved = 0;
   bool plan_cache_hit = false;
   bool reoptimized = false;
 };
@@ -38,6 +42,10 @@ struct TenantMetrics {
   std::int64_t bytes_returned = 0;
   std::int64_t catalog_hits = 0;
   std::int64_t catalog_misses = 0;
+  /// Cross-job sharing gauges: resolutions served from another job's
+  /// resident outputs, and the disk/recompute bytes that saved.
+  std::int64_t cross_job_hits = 0;
+  std::int64_t cross_job_bytes_saved = 0;
   std::int64_t plan_cache_hits = 0;
   std::int64_t reoptimizations = 0;
   double p50_latency_seconds = 0.0;  // latency = queue wait + execution
@@ -51,6 +59,13 @@ struct TenantMetrics {
   double catalog_hit_rate() const {
     const std::int64_t total = catalog_hits + catalog_misses;
     return total == 0 ? 0.0 : static_cast<double>(catalog_hits) / total;
+  }
+  /// Fraction of input resolutions served cross-tenant from the shared
+  /// layer (0 when the service resolved nothing).
+  double cross_job_hit_rate() const {
+    const std::int64_t total = catalog_hits + catalog_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cross_job_hits) / total;
   }
   /// Jobs per second of busy execution time (not wall time).
   double throughput_jobs_per_second() const {

@@ -1,56 +1,24 @@
 #include "service/plan_cache.h"
 
-#include <cstring>
+#include "common/fnv.h"
 
 namespace sc::service {
 
-namespace {
-
-// FNV-1a: stable across processes, unlike std::hash.
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void HashBytes(std::uint64_t* h, const void* data, std::size_t len) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    *h ^= p[i];
-    *h *= kFnvPrime;
-  }
-}
-
-void HashInt(std::uint64_t* h, std::int64_t value) {
-  HashBytes(h, &value, sizeof(value));
-}
-
-void HashDouble(std::uint64_t* h, double value) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  HashBytes(h, &bits, sizeof(bits));
-}
-
-void HashString(std::uint64_t* h, const std::string& s) {
-  HashInt(h, static_cast<std::int64_t>(s.size()));
-  HashBytes(h, s.data(), s.size());
-}
-
-}  // namespace
-
 std::uint64_t FingerprintGraph(const graph::Graph& g) {
   std::uint64_t h = kFnvOffset;
-  HashInt(&h, g.num_nodes());
+  FnvMixInt(&h, g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     const graph::NodeInfo& info = g.node(v);
-    HashString(&h, info.name);
-    HashInt(&h, info.size_bytes);
-    HashDouble(&h, info.speedup_score);
-    HashDouble(&h, info.compute_seconds);
-    HashInt(&h, info.base_input_bytes);
-    HashDouble(&h, info.file_count);
+    FnvMixString(&h, info.name);
+    FnvMixInt(&h, info.size_bytes);
+    FnvMixDouble(&h, info.speedup_score);
+    FnvMixDouble(&h, info.compute_seconds);
+    FnvMixInt(&h, info.base_input_bytes);
+    FnvMixDouble(&h, info.file_count);
     for (graph::NodeId child : g.children(v)) {
-      HashInt(&h, child);
+      FnvMixInt(&h, child);
     }
-    HashInt(&h, -1);  // edge-list terminator
+    FnvMixInt(&h, -1);  // edge-list terminator
   }
   return h;
 }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/fnv.h"
+#include "graph/fingerprint.h"
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
 #include "opt/stages.h"
@@ -30,7 +32,8 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
       lane_pool_(runtime::LanePoolOptions{
           std::max(1, options_.num_workers),
           options_.lane_idle_shutdown_seconds}),
-      plan_cache_(options_.plan_cache_capacity) {
+      plan_cache_(options_.plan_cache_capacity),
+      shared_catalog_(options_.global_budget) {
   workers_.reserve(static_cast<std::size_t>(split_.workers));
   for (int i = 0; i < split_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -177,34 +180,96 @@ JobResult RefreshService::Execute(Job& job) {
     // ordering post-pass, so cached plans are widened exactly once.
     opt::AlternatingOptions optimizer_options = options_.optimizer;
     optimizer_options.widen_stages |= options_.max_intra_job_lanes > 1;
+
+    // Sharing-aware pre-pass: snapshot which of this graph's outputs are
+    // already resident in the cross-job shared layer. Residency-adjusted
+    // plans are cached under a residency-salted key so steady-state
+    // traffic with a stable resident set still skips optimization; the
+    // base (residency-agnostic) plan stays cached under the plain
+    // fingerprint and seeds the adjustment.
+    std::vector<bool> resident;
+    bool any_resident = false;
+    std::uint64_t plan_key = job.fingerprint;
+    std::vector<std::uint64_t> fps;  // outlives the controller runs
+    if (options_.share_catalog && options_.sharing_aware_optimization) {
+      fps = graph::FingerprintNodes(wl.graph, options_.shared_epoch);
+      resident = shared_catalog_.ContainsAll(fps);
+      // Only positive-score resident nodes change the optimization
+      // problem (ReOptimizeWithResidency's own no-op test), so only
+      // they salt the cache key — resident zero-score nodes (routine:
+      // unflagged outputs are published too) must not mint duplicate
+      // plan-cache entries for identical plans.
+      std::uint64_t residency_salt = kFnvOffset;
+      for (std::size_t v = 0; v < resident.size(); ++v) {
+        if (resident[v] &&
+            wl.graph.node(static_cast<graph::NodeId>(v)).speedup_score >
+                0.0) {
+          any_resident = true;
+          FnvMixUint(&residency_salt, fps[v]);
+        }
+      }
+      if (any_resident) plan_key = job.fingerprint ^ residency_salt;
+    }
+
     opt::Plan plan;
     opt::StageDecomposition stages;
-    if (auto cached = plan_cache_.Lookup(job.fingerprint, grant.bytes)) {
+    if (auto cached = plan_cache_.Lookup(plan_key, grant.bytes)) {
       plan = std::move(cached->plan);
       stages = std::move(cached->stages);
       result.plan_cache_hit = true;
     } else {
-      std::optional<CachedPlan> seed;
-      if (grant.bytes != result.requested_budget) {
-        seed = plan_cache_.Lookup(job.fingerprint, result.requested_budget);
+      // Base plan first: a direct hit under the plain fingerprint, a
+      // requested-budget seed re-fit to the grant, or a fresh
+      // optimization at the granted budget.
+      bool base_hit = false;
+      if (any_resident) {
+        if (auto base = plan_cache_.Lookup(job.fingerprint, grant.bytes)) {
+          plan = std::move(base->plan);
+          base_hit = true;
+        }
       }
-      if (seed.has_value()) {
-        const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
-            wl.graph, seed->plan, grant.bytes, optimizer_options);
+      if (!base_hit) {
+        std::optional<CachedPlan> seed;
+        if (grant.bytes != result.requested_budget) {
+          seed = plan_cache_.Lookup(job.fingerprint,
+                                    result.requested_budget);
+        }
+        if (seed.has_value()) {
+          const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
+              wl.graph, seed->plan, grant.bytes, optimizer_options);
+          plan = reopt.plan;
+          // iterations == 0 means the seed plan already fits the grant —
+          // the optimizer did not run again.
+          result.reoptimized = reopt.iterations > 0;
+          result.plan_cache_hit = !result.reoptimized;
+        } else {
+          plan = opt::AlternatingOptimize(wl.graph, grant.bytes,
+                                          optimizer_options)
+                     .plan;
+        }
+        // Cache the base plan under the plain fingerprint so later jobs
+        // (any residency state) can seed from it.
+        if (any_resident) {
+          plan_cache_.Insert(job.fingerprint, grant.bytes, plan,
+                             opt::DecomposeStages(wl.graph, plan.order));
+        }
+      }
+      if (any_resident) {
+        const opt::AlternatingResult reopt =
+            opt::ReOptimizeWithResidency(wl.graph, plan, grant.bytes,
+                                         resident, optimizer_options);
+        result.reoptimized = result.reoptimized || reopt.iterations > 0;
+        // The hit flag keeps meaning "the optimizer did not run": a
+        // base-plan hit that still re-optimized for residency is not a
+        // cache hit. (The adjusted plan is cached below; steady traffic
+        // with a stable resident set hits the salted key directly.)
+        result.plan_cache_hit = base_hit && reopt.iterations == 0;
         plan = reopt.plan;
-        // iterations == 0 means the seed plan already fits the grant —
-        // the optimizer did not run again.
-        result.reoptimized = reopt.iterations > 0;
-        result.plan_cache_hit = !result.reoptimized;
-      } else {
-        plan = opt::AlternatingOptimize(wl.graph, grant.bytes,
-                                        optimizer_options)
-                   .plan;
       }
       // Stage metadata is cached next to the plan: cache hits skip this
       // recomputation on every subsequent run.
       stages = opt::DecomposeStages(wl.graph, plan.order);
-      plan_cache_.Insert(job.fingerprint, grant.bytes, plan, stages);
+      plan_cache_.Insert(plan_key, grant.bytes, plan, stages);
     }
 
     // Grant renegotiation: the plan's peak memory need is now known, so
@@ -241,6 +306,26 @@ JobResult RefreshService::Execute(Job& job) {
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;
+    if (options_.share_catalog) {
+      // All workers publish to and read from the one shared layer;
+      // pinned cross-job bytes are charged to the reading tenant's
+      // quota (once per content key) through the broker hook.
+      controller_options.shared_catalog = &shared_catalog_;
+      controller_options.shared_epoch = options_.shared_epoch;
+      // Reuse the residency snapshot's fingerprints (empty or mismatched
+      // vectors are recomputed by the controller).
+      controller_options.node_fingerprints = &fps;
+      controller_options.shared_pin_listener =
+          [this, tenant = job.spec.tenant](std::uint64_t key,
+                                           std::int64_t bytes,
+                                           bool pinned) {
+            if (pinned) {
+              broker_.PinShared(tenant, key, bytes);
+            } else {
+              broker_.UnpinShared(tenant, key);
+            }
+          };
+    }
     runtime::Controller controller(disk_, controller_options);
     // The grant, not the controller default, is the catalog budget.
     result.report = controller.RunWithBudget(wl, plan, grant.bytes,
@@ -288,6 +373,8 @@ JobResult RefreshService::Execute(Job& job) {
   observation.returned_bytes = result.returned_budget;
   observation.catalog_hits = result.report.catalog_hits;
   observation.catalog_misses = result.report.catalog_misses;
+  observation.cross_job_hits = result.report.cross_job_hits;
+  observation.cross_job_bytes_saved = result.report.cross_job_bytes_saved;
   observation.plan_cache_hit = result.plan_cache_hit;
   observation.reoptimized = result.reoptimized;
   metrics_.Record(observation);

@@ -18,6 +18,7 @@
 #include "service/metrics.h"
 #include "service/parallelism_broker.h"
 #include "service/plan_cache.h"
+#include "storage/shared_catalog.h"
 #include "storage/throttled_disk.h"
 #include "workload/workloads.h"
 
@@ -54,6 +55,23 @@ struct ServiceOptions {
   /// BudgetBrokerOptions::min_grant_fraction).
   double min_grant_fraction = 0.25;
   std::size_t plan_cache_capacity = 128;
+  /// Cross-job Memory-Catalog sharing: route every worker's runs through
+  /// one content-keyed storage::SharedCatalog (budget = global_budget),
+  /// so tenants refreshing the same content read each other's resident
+  /// outputs — and skip recomputing nodes whose outputs are already
+  /// resident — instead of each funding a private catalog slice. Off
+  /// reproduces the PR-3 private-catalog behaviour exactly.
+  bool share_catalog = true;
+  /// Sharing-aware optimization pre-pass: snapshot shared residency
+  /// before planning and re-cost resident nodes
+  /// (opt::ReOptimizeWithResidency), steering the knapsack budget to
+  /// not-yet-shared nodes. Residency-adjusted plans are cached under a
+  /// residency-salted key next to the base plan. Only meaningful with
+  /// share_catalog.
+  bool sharing_aware_optimization = true;
+  /// Content-fingerprint salt (a data epoch): bump it to invalidate
+  /// every cross-job match, e.g. after base tables change.
+  std::uint64_t shared_epoch = 0;
   /// Grant renegotiation: once a job's plan is known, budget beyond
   /// plan peak × this slack is returned to the BudgetBroker early
   /// (ReturnUnused), waking waiters before the run completes. The slack
@@ -124,6 +142,13 @@ struct JobResult {
 /// threads instead of constructing a pool per run; once the plan is
 /// known, budget beyond the plan's needs is handed back to the
 /// BudgetBroker early (grant renegotiation).
+///
+/// With share_catalog (the default), every worker's runs are routed
+/// through one content-keyed storage::SharedCatalog: tenants refreshing
+/// the same content read — and reuse outright — each other's resident
+/// outputs instead of recomputing them, the sharing-aware pre-pass
+/// re-costs already-resident nodes before planning, and pinned cross-job
+/// bytes are charged to the reading tenant's quota once per content key.
 class RefreshService {
  public:
   RefreshService(storage::ThrottledDisk* disk, ServiceOptions options);
@@ -155,6 +180,11 @@ class RefreshService {
   const ParallelismSplit& parallelism() const { return split_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
   PlanCache& plan_cache() { return plan_cache_; }
+  /// The cross-job shared residency layer every worker's runs publish to
+  /// and read from (ServiceOptions::share_catalog).
+  const storage::SharedCatalog& shared_catalog() const {
+    return shared_catalog_;
+  }
   std::size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -192,6 +222,7 @@ class RefreshService {
   ParallelismBroker lanes_broker_;
   runtime::LanePool lane_pool_;
   PlanCache plan_cache_;
+  storage::SharedCatalog shared_catalog_;
   ServiceMetrics metrics_;
 
   mutable std::mutex mutex_;

@@ -1,37 +1,216 @@
 #include "storage/memory_catalog.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 namespace sc::storage {
 
-MemoryCatalog::MemoryCatalog(std::int64_t budget_bytes)
-    : budget_(budget_bytes) {}
+MemoryCatalog::MemoryCatalog(std::int64_t budget_bytes,
+                             SharedCatalog* shared)
+    : budget_(budget_bytes), shared_(shared) {}
+
+MemoryCatalog::~MemoryCatalog() { UnpinShared(); }
+
+void MemoryCatalog::BindSharedKey(const std::string& name,
+                                  std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bindings_[name] = key;
+}
+
+void MemoryCatalog::SetSharedPinListener(SharedPinListener listener) {
+  listener_ = std::move(listener);
+}
 
 bool MemoryCatalog::Put(const std::string& name, engine::TablePtr table,
                         std::int64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::int64_t used = used_.load(std::memory_order_relaxed);
-  if (size < 0 || used + size > budget_) return false;
-  auto [it, inserted] = entries_.emplace(name, Entry{std::move(table), size});
-  if (!inserted) return false;
-  const std::int64_t now = used + size;
-  used_.store(now, std::memory_order_relaxed);
-  // The mutex serializes writers, so a plain max-update suffices.
-  if (now > peak_.load(std::memory_order_relaxed)) {
-    peak_.store(now, std::memory_order_relaxed);
+  std::uint64_t key = 0;
+  bool publish = false;
+  std::optional<SharedPin> released;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t used = used_.load(std::memory_order_relaxed);
+    if (size < 0 || used + size > budget_) return false;
+    auto [it, inserted] = entries_.emplace(name, Entry{table, size});
+    if (!inserted) return false;
+    const std::int64_t now = used + size;
+    used_.store(now, std::memory_order_relaxed);
+    // The mutex serializes writers, so a plain max-update suffices.
+    if (now > peak_.load(std::memory_order_relaxed)) {
+      peak_.store(now, std::memory_order_relaxed);
+    }
+    if (shared_ != nullptr) {
+      auto b = bindings_.find(name);
+      if (b != bindings_.end()) {
+        key = b->second;
+        publish = true;
+        self_published_.insert(name);
+      }
+      // A reused output now held privately is funded by the job's grant:
+      // drop the cross-job pin so the same bytes are not also charged to
+      // the tenant's shared-residency accounting.
+      auto pin = pinned_.find(name);
+      if (pin != pinned_.end()) {
+        released = std::move(pin->second);
+        pinned_.erase(pin);
+      }
+    }
+  }
+  // Outside the view lock: the shared layer has its own mutex, and a
+  // rejected publish (shared pressure) never affects private admission.
+  if (publish) shared_->Publish(key, std::move(table), size);
+  if (released.has_value()) {
+    shared_->Unpin(released->key);
+    if (released->charged && listener_) {
+      listener_(released->key, released->size, false);
+    }
   }
   return true;
 }
 
-engine::TablePtr MemoryCatalog::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+bool MemoryCatalog::PublishShared(const std::string& name,
+                                  const engine::TablePtr& table,
+                                  std::int64_t size) {
+  if (shared_ == nullptr) return false;
+  std::uint64_t key = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) return false;
+    key = it->second;
+    self_published_.insert(name);
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.table;
+  return shared_->Publish(key, table, size, /*durable=*/true);
+}
+
+void MemoryCatalog::MarkSharedDurable(const std::string& name) {
+  if (shared_ == nullptr) return;
+  std::uint64_t key = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) return;
+    key = it->second;
+  }
+  shared_->MarkDurable(key);
+}
+
+engine::TablePtr MemoryCatalog::SharedLookup(const std::string& name,
+                                             bool count_hit,
+                                             bool* durable) const {
+  std::uint64_t key = 0;
+  std::int64_t size = 0;
+  engine::TablePtr table;
+  bool fresh_charged_pin = false;
+  bool cross_job = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto pinned = pinned_.find(name);
+    if (pinned != pinned_.end()) {
+      table = pinned->second.table;
+      size = pinned->second.size;
+      cross_job = pinned->second.charged;
+      if (durable != nullptr) *durable = pinned->second.durable;
+    } else if (shared_ != nullptr) {
+      auto binding = bindings_.find(name);
+      if (binding != bindings_.end()) {
+        // view mutex → shared mutex; the shared layer never calls back.
+        // Speculative (non-counting) lookups keep the shared layer's
+        // hit-rate monitoring meaningful.
+        bool entry_durable = false;
+        table = shared_->Pin(binding->second, &size, count_hit,
+                             &entry_durable);
+        if (table != nullptr) {
+          key = binding->second;
+          // Reading back an output this view itself published is a
+          // memory-speed win but not cross-job service: no gauge, no
+          // tenant charge.
+          cross_job = self_published_.count(name) == 0;
+          pinned_.emplace(name, SharedPin{key, table, size, cross_job,
+                                          entry_durable});
+          fresh_charged_pin = cross_job;
+          if (durable != nullptr) *durable = entry_durable;
+        }
+      }
+    }
+    if (table != nullptr && count_hit) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cross_job) {
+        cross_job_hits_.fetch_add(1, std::memory_order_relaxed);
+        cross_job_bytes_saved_.fetch_add(size,
+                                         std::memory_order_relaxed);
+      }
+    }
+  }
+  if (fresh_charged_pin && listener_) listener_(key, size, true);
+  return table;
+}
+
+engine::TablePtr MemoryCatalog::Get(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.table;
+    }
+    // Without a shared layer a private miss is final — the PR-3 resolve
+    // hot path keeps its single lock acquisition.
+    if (shared_ == nullptr) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
+  engine::TablePtr shared = SharedLookup(name, /*count_hit=*/true);
+  if (shared != nullptr) return shared;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+engine::TablePtr MemoryCatalog::PinSharedOutput(const std::string& name,
+                                                bool* durable) {
+  return SharedLookup(name, /*count_hit=*/true, durable);
+}
+
+bool MemoryCatalog::PinSharedInput(const std::string& name) {
+  if (shared_ == nullptr) return false;  // lock-free on the PR-3 path
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(name) > 0) return true;  // privately resident
+  }
+  return SharedLookup(name, /*count_hit=*/false) != nullptr;
+}
+
+void MemoryCatalog::UnpinShared(const std::string& name) {
+  std::optional<SharedPin> pin;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pinned_.find(name);
+    if (it == pinned_.end()) return;
+    pin = std::move(it->second);
+    pinned_.erase(it);
+  }
+  shared_->Unpin(pin->key);
+  if (pin->charged && listener_) listener_(pin->key, pin->size, false);
+}
+
+void MemoryCatalog::UnpinShared() {
+  std::map<std::string, SharedPin> pins;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pins.swap(pinned_);
+  }
+  for (const auto& [name, pin] : pins) {
+    shared_->Unpin(pin.key);  // non-null: pins exist only with a shared layer
+    if (pin.charged && listener_) listener_(pin.key, pin.size, false);
+  }
+}
+
+std::int64_t MemoryCatalog::pinned_shared_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [name, pin] : pinned_) total += pin.size;
+  return total;
 }
 
 bool MemoryCatalog::Contains(const std::string& name) const {
@@ -76,11 +255,14 @@ std::size_t MemoryCatalog::size() const {
 }
 
 void MemoryCatalog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  reservations_.clear();
-  used_.store(0, std::memory_order_relaxed);
-  reserved_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    reservations_.clear();
+    used_.store(0, std::memory_order_relaxed);
+    reserved_.store(0, std::memory_order_relaxed);
+  }
+  UnpinShared();
 }
 
 }  // namespace sc::storage

@@ -1,0 +1,135 @@
+#include "storage/shared_catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sc::storage {
+
+SharedCatalog::SharedCatalog(std::int64_t budget_bytes)
+    : budget_(budget_bytes) {}
+
+bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
+                            std::int64_t size, bool durable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size < 0) return false;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Content keys are immutable: refresh recency, keep the first table.
+    it->second.durable |= durable;
+    if (it->second.pins == 0) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    }
+    return true;
+  }
+  // Feasibility first: evicting the whole unpinned LRU leaves exactly
+  // the pinned bytes resident, so an entry that cannot fit next to them
+  // is rejected before flushing anyone else's residency for nothing
+  // (oversize nodes are routinely published unflagged).
+  if (size > budget_ - pinned_.load(std::memory_order_relaxed)) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::int64_t used = used_.load(std::memory_order_relaxed);
+  while (used + size > budget_ && !lru_.empty()) {
+    used -= entries_.at(lru_.back()).size;
+    EvictOneLocked();
+  }
+  if (used + size > budget_) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.table = std::move(table);
+  entry.size = size;
+  entry.durable = durable;
+  entry.lru = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  used += size;
+  used_.store(used, std::memory_order_relaxed);
+  if (used > peak_.load(std::memory_order_relaxed)) {
+    peak_.store(used, std::memory_order_relaxed);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedCatalog::MarkDurable(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.durable = true;
+}
+
+engine::TablePtr SharedCatalog::Pin(std::uint64_t key,
+                                    std::int64_t* size, bool count,
+                                    bool* durable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (count) misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  if (size != nullptr) *size = entry.size;
+  if (durable != nullptr) *durable = entry.durable;
+  if (entry.pins == 0) {
+    lru_.erase(entry.lru);
+    pinned_.fetch_add(entry.size, std::memory_order_relaxed);
+  }
+  ++entry.pins;
+  if (count) hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry.table;
+}
+
+void SharedCatalog::Unpin(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.pins == 0) return;
+  Entry& entry = it->second;
+  if (--entry.pins == 0) {
+    lru_.push_front(key);
+    entry.lru = lru_.begin();
+    pinned_.fetch_sub(entry.size, std::memory_order_relaxed);
+  }
+}
+
+bool SharedCatalog::Contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) > 0;
+}
+
+std::vector<bool> SharedCatalog::ContainsAll(
+    const std::vector<std::uint64_t>& keys) const {
+  std::vector<bool> resident(keys.size(), false);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    resident[i] = entries_.count(keys[i]) > 0;
+  }
+  return resident;
+}
+
+std::size_t SharedCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SharedCatalog::EvictOneLocked() {
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+  entries_.erase(it);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::uint64_t key : lru_) {
+    auto it = entries_.find(key);
+    used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+    entries_.erase(it);
+  }
+  lru_.clear();
+}
+
+}  // namespace sc::storage

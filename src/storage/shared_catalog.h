@@ -1,0 +1,148 @@
+#ifndef SC_STORAGE_SHARED_CATALOG_H_
+#define SC_STORAGE_SHARED_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace sc::storage {
+
+/// Cross-job shared residency layer: a content-keyed, budget-bounded
+/// table store that outlives any single refresh run. Keys are per-node
+/// content fingerprints (graph::FingerprintNodes — MV name + upstream
+/// lineage), so entries published by one job are directly readable by
+/// every concurrent or later job refreshing the same content, no matter
+/// which tenant produced them.
+///
+/// Lifetime model, by contrast with the per-job MemoryCatalog view:
+///
+///  - Publish() inserts an entry unpinned. Under budget pressure,
+///    *unpinned* entries are evicted LRU-style to make room — a full
+///    shared layer is normal operating pressure, not a plan bug.
+///  - Pin() hands out the table and takes a reference: pinned entries
+///    are never evicted, so a job can rely on a cross-job input staying
+///    resident from dispatch until it drops the pin (Unpin).
+///
+/// Invariants (asserted by shared_catalog_test under TSAN): used bytes
+/// never exceed the budget, and a pinned entry is never evicted.
+/// Thread-safe; monitoring reads are atomics and never contend.
+class SharedCatalog {
+ public:
+  explicit SharedCatalog(std::int64_t budget_bytes);
+
+  SharedCatalog(const SharedCatalog&) = delete;
+  SharedCatalog& operator=(const SharedCatalog&) = delete;
+
+  /// Inserts `table` under content key `key`, accounting `size` bytes.
+  /// Evicts unpinned entries (least-recently-used first) as needed to
+  /// fit. Returns false if the entry still cannot fit (pinned bytes or
+  /// the entry's own size exceed the budget) or `size` is negative.
+  /// Publishing an existing key refreshes its recency and returns true —
+  /// content keys are immutable, so the first publisher's table stands
+  /// (`durable` still upgrades). `durable` records whether the content
+  /// already sits on external storage; publishers whose write is still
+  /// in flight pass false and MarkDurable() once it lands, so readers
+  /// know when skipping their own write is safe.
+  bool Publish(std::uint64_t key, engine::TablePtr table,
+               std::int64_t size, bool durable = false);
+
+  /// Records that `key`'s content has reached external storage (the
+  /// publisher's materialization completed). No-op if absent.
+  void MarkDurable(std::uint64_t key);
+
+  /// Returns the table for `key` and takes a pin reference (entry
+  /// becomes unevictable until the matching Unpin), or nullptr on a
+  /// miss. `size` (optional) receives the entry's accounted bytes on a
+  /// hit, `durable` (optional) whether the content is known to be on
+  /// external storage. Counts a hit or miss unless `count` is false —
+  /// speculative probes (dispatch-time input pinning) must not distort
+  /// the layer's hit-rate monitoring.
+  engine::TablePtr Pin(std::uint64_t key, std::int64_t* size = nullptr,
+                       bool count = true, bool* durable = nullptr);
+
+  /// Drops one pin reference of `key`; at zero references the entry
+  /// re-enters the LRU list as most recently used. No-op if absent.
+  void Unpin(std::uint64_t key);
+
+  /// True if `key` is resident right now (no pin taken, no hit/miss
+  /// counted). A sharing-aware optimizer pre-pass uses this snapshot;
+  /// the entry may still be evicted before the run reads it, so runs
+  /// pin at dispatch.
+  bool Contains(std::uint64_t key) const;
+
+  /// Residency snapshot for a whole key set under one lock acquisition
+  /// (the per-job pre-pass probe; N Contains calls would contend with
+  /// every worker's Pin/Publish path N times).
+  std::vector<bool> ContainsAll(
+      const std::vector<std::uint64_t>& keys) const;
+
+  std::int64_t budget_bytes() const { return budget_; }
+  std::int64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  /// Bytes of entries currently holding at least one pin.
+  std::int64_t pinned_bytes() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+  /// Lookup/lifetime counters (survive Clear): hits/misses count Pin()
+  /// calls, publishes successful inserts, rejects failed ones, and
+  /// evictions entries dropped under budget pressure.
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::int64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  std::int64_t rejects() const {
+    return rejects_.load(std::memory_order_relaxed);
+  }
+  std::int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every *unpinned* entry; pinned entries stay (a job still
+  /// holds them).
+  void Clear();
+
+ private:
+  struct Entry {
+    engine::TablePtr table;
+    std::int64_t size = 0;
+    std::int64_t pins = 0;
+    /// Content has reached external storage (publisher's write landed).
+    bool durable = false;
+    /// Position in lru_; valid iff pins == 0.
+    std::list<std::uint64_t>::iterator lru;
+  };
+
+  /// Erases the LRU tail entry. Requires mutex_; lru_ must be non-empty.
+  void EvictOneLocked();
+
+  const std::int64_t budget_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // unpinned keys, front = most recent
+  std::atomic<std::int64_t> used_{0};
+  std::atomic<std::int64_t> pinned_{0};
+  std::atomic<std::int64_t> peak_{0};
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> publishes_{0};
+  std::atomic<std::int64_t> rejects_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace sc::storage
+
+#endif  // SC_STORAGE_SHARED_CATALOG_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/dot.h"
+#include "graph/fingerprint.h"
 #include "graph/graph.h"
 #include "graph/serde.h"
 #include "graph/topo.h"
@@ -216,6 +217,53 @@ TEST(SerdeTest, IgnoresCommentsAndBlankLines) {
       << error;
   EXPECT_EQ(g.num_nodes(), 2);
   EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(FingerprintNodesTest, LineageSensitiveAndEdgeOrderInsensitive) {
+  // Same names + same parent sets ⇒ same fingerprints, regardless of
+  // node/edge insertion order.
+  Graph a;
+  const auto a_root = a.AddNode("root");
+  const auto a_l = a.AddNode("l");
+  const auto a_r = a.AddNode("r");
+  const auto a_sink = a.AddNode("sink");
+  a.AddEdge(a_root, a_l);
+  a.AddEdge(a_root, a_r);
+  a.AddEdge(a_l, a_sink);
+  a.AddEdge(a_r, a_sink);
+
+  Graph b;
+  const auto b_r = b.AddNode("r");
+  const auto b_sink = b.AddNode("sink");
+  const auto b_root = b.AddNode("root");
+  const auto b_l = b.AddNode("l");
+  b.AddEdge(b_r, b_sink);
+  b.AddEdge(b_l, b_sink);
+  b.AddEdge(b_root, b_r);
+  b.AddEdge(b_root, b_l);
+
+  const auto fa = FingerprintNodes(a);
+  const auto fb = FingerprintNodes(b);
+  ASSERT_EQ(fa.size(), 4u);
+  ASSERT_EQ(fb.size(), 4u);
+  EXPECT_EQ(fa[a_sink], fb[b_sink]);
+  EXPECT_EQ(fa[a_l], fb[b_l]);
+  // Execution metadata is not content: sizes/scores don't change keys.
+  Graph c = a;
+  c.mutable_node(a_sink).size_bytes = 999;
+  c.mutable_node(a_sink).speedup_score = 3.0;
+  EXPECT_EQ(FingerprintNodes(c)[a_sink], fa[a_sink]);
+
+  // Different lineage ⇒ different key, even with the same name.
+  Graph d;
+  const auto d_other = d.AddNode("other");
+  const auto d_sink = d.AddNode("sink");
+  d.AddEdge(d_other, d_sink);
+  EXPECT_NE(FingerprintNodes(d)[d_sink], fa[a_sink]);
+
+  // The salt versions the whole key space.
+  const auto salted = FingerprintNodes(a, /*salt=*/1);
+  EXPECT_NE(salted[a_sink], fa[a_sink]);
 }
 
 TEST(SerdeTest, FileRoundTrip) {

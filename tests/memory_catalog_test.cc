@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "storage/memory_catalog.h"
 
@@ -157,6 +160,206 @@ TEST(MemoryCatalogTest, ConcurrentPutsStayWithinBudget) {
   for (auto& t : threads) t.join();
   EXPECT_LE(catalog.used_bytes(), 1000);
   EXPECT_LE(catalog.peak_bytes(), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Per-job view over the cross-job SharedCatalog (PR 4)
+// ---------------------------------------------------------------------------
+
+TEST(MemoryCatalogViewTest, PutPublishesUnderBoundKey) {
+  SharedCatalog shared(1000);
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  EXPECT_TRUE(view.Put("mv", Tiny(), 40));
+  EXPECT_TRUE(shared.Contains(7));
+  // Unbound names stay private.
+  EXPECT_TRUE(view.Put("private", Tiny(), 40));
+  EXPECT_EQ(shared.size(), 1u);
+  // Private release keeps the shared copy resident.
+  view.Release("mv");
+  EXPECT_TRUE(shared.Contains(7));
+  EXPECT_EQ(view.used_bytes(), 40);
+}
+
+TEST(MemoryCatalogViewTest, GetFallsThroughToSharedAndPins) {
+  SharedCatalog shared(1000);
+  engine::TablePtr table = Tiny();
+  const std::int64_t size = table->ByteSize();
+  ASSERT_TRUE(shared.Publish(7, table, size));
+
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  // Cross-job hit: served from the shared layer, pinned, counted.
+  EXPECT_EQ(view.Get("mv"), table);
+  EXPECT_EQ(view.hits(), 1);
+  EXPECT_EQ(view.cross_job_hits(), 1);
+  EXPECT_EQ(view.cross_job_bytes_saved(), size);
+  EXPECT_EQ(view.pinned_shared_bytes(), size);
+  EXPECT_EQ(shared.pinned_bytes(), size);
+  // Repeat reads are served from the retained pin and keep counting.
+  EXPECT_EQ(view.Get("mv"), table);
+  EXPECT_EQ(view.cross_job_hits(), 2);
+  EXPECT_EQ(view.cross_job_bytes_saved(), 2 * size);
+  // Unbound or absent names miss as before.
+  EXPECT_EQ(view.Get("ghost"), nullptr);
+  EXPECT_EQ(view.misses(), 1);
+  // Last-consumer release: a single name's pin drops mid-run, the rest
+  // stay held.
+  view.BindSharedKey("mv2", 8);
+  ASSERT_TRUE(shared.Publish(8, Tiny(), size));
+  ASSERT_NE(view.Get("mv2"), nullptr);
+  view.UnpinShared("mv");
+  view.UnpinShared("mv");  // idempotent
+  EXPECT_EQ(view.pinned_shared_bytes(), size);  // mv2 still held
+  // End of run: pins drop, the entry becomes evictable again.
+  view.UnpinShared();
+  EXPECT_EQ(shared.pinned_bytes(), 0);
+}
+
+TEST(MemoryCatalogViewTest, PinSharedOutputReusesResidentContent) {
+  SharedCatalog shared(1000);
+  engine::TablePtr table = Tiny();
+  ASSERT_TRUE(shared.Publish(7, table, table->ByteSize()));
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  view.BindSharedKey("missing", 8);
+  EXPECT_EQ(view.PinSharedOutput("mv"), table);
+  EXPECT_EQ(view.cross_job_hits(), 1);
+  // Absent content is not a miss — the node simply executes.
+  EXPECT_EQ(view.PinSharedOutput("missing"), nullptr);
+  EXPECT_EQ(view.misses(), 0);
+}
+
+TEST(MemoryCatalogViewTest, PinSharedInputCountsNothing) {
+  SharedCatalog shared(1000);
+  ASSERT_TRUE(shared.Publish(7, Tiny(), 10));
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  EXPECT_TRUE(view.PinSharedInput("mv"));
+  EXPECT_EQ(view.hits(), 0);
+  EXPECT_EQ(view.cross_job_hits(), 0);
+  EXPECT_EQ(shared.pinned_bytes(), 10);
+  // The later read through Get() does the counting.
+  EXPECT_NE(view.Get("mv"), nullptr);
+  EXPECT_EQ(view.cross_job_hits(), 1);
+  EXPECT_FALSE(view.PinSharedInput("unbound"));
+}
+
+TEST(MemoryCatalogViewTest, DestructorDropsPinsAndFiresListener) {
+  SharedCatalog shared(1000);
+  ASSERT_TRUE(shared.Publish(7, Tiny(), 10));
+  std::vector<std::tuple<std::uint64_t, std::int64_t, bool>> events;
+  {
+    MemoryCatalog view(100, &shared);
+    view.BindSharedKey("mv", 7);
+    view.SetSharedPinListener(
+        [&events](std::uint64_t key, std::int64_t bytes, bool pinned) {
+          events.emplace_back(key, bytes, pinned);
+        });
+    EXPECT_NE(view.Get("mv"), nullptr);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0], std::make_tuple(std::uint64_t{7},
+                                         std::int64_t{10}, true));
+    // A second read reuses the retained pin: no new event.
+    EXPECT_NE(view.Get("mv"), nullptr);
+    EXPECT_EQ(events.size(), 1u);
+  }
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], std::make_tuple(std::uint64_t{7},
+                                       std::int64_t{10}, false));
+  EXPECT_EQ(shared.pinned_bytes(), 0);
+}
+
+TEST(MemoryCatalogViewTest, DurabilityFlowsThroughTheView) {
+  SharedCatalog shared(1000);
+  MemoryCatalog producer(100, &shared);
+  producer.BindSharedKey("mv", 7);
+  // Flagged-output publish (via Put): write still in flight.
+  ASSERT_TRUE(producer.Put("mv", Tiny(), 10));
+  MemoryCatalog reader(100, &shared);
+  reader.BindSharedKey("mv", 7);
+  bool durable = true;
+  ASSERT_NE(reader.PinSharedOutput("mv", &durable), nullptr);
+  EXPECT_FALSE(durable);  // the reusing job must write its own copy
+  reader.UnpinShared();
+  // The producer's materialization lands.
+  producer.MarkSharedDurable("mv");
+  MemoryCatalog late_reader(100, &shared);
+  late_reader.BindSharedKey("mv", 7);
+  ASSERT_NE(late_reader.PinSharedOutput("mv", &durable), nullptr);
+  EXPECT_TRUE(durable);
+  // PublishShared (unflagged outputs, written before their slot) is
+  // durable from the start.
+  MemoryCatalog unflagged(100, &shared);
+  unflagged.BindSharedKey("u", 8);
+  ASSERT_TRUE(unflagged.PublishShared("u", Tiny(), 10));
+  MemoryCatalog u_reader(100, &shared);
+  u_reader.BindSharedKey("u", 8);
+  ASSERT_NE(u_reader.PinSharedOutput("u", &durable), nullptr);
+  EXPECT_TRUE(durable);
+}
+
+TEST(MemoryCatalogViewTest, ReadingOwnPublishedOutputIsNotCrossJob) {
+  SharedCatalog shared(1000);
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  int pin_events = 0;
+  view.SetSharedPinListener(
+      [&pin_events](std::uint64_t, std::int64_t, bool) { ++pin_events; });
+  engine::TablePtr table = Tiny();
+  // An unflagged output published by this very view (PublishShared).
+  ASSERT_TRUE(view.PublishShared("mv", table, table->ByteSize()));
+  // Reading it back is a memory-speed hit but not cross-job service:
+  // no gauge movement, no tenant charge.
+  EXPECT_EQ(view.Get("mv"), table);
+  EXPECT_EQ(view.hits(), 1);
+  EXPECT_EQ(view.cross_job_hits(), 0);
+  EXPECT_EQ(view.cross_job_bytes_saved(), 0);
+  EXPECT_EQ(pin_events, 0);
+  // A different view of the same shared layer *does* count it.
+  MemoryCatalog other(100, &shared);
+  other.BindSharedKey("mv", 7);
+  EXPECT_EQ(other.Get("mv"), table);
+  EXPECT_EQ(other.cross_job_hits(), 1);
+}
+
+TEST(MemoryCatalogViewTest, WithoutSharedLayerBehavesAsBefore) {
+  MemoryCatalog catalog(100);
+  catalog.BindSharedKey("mv", 7);  // binding without a layer is inert
+  EXPECT_TRUE(catalog.Put("mv", Tiny(), 40));
+  EXPECT_EQ(catalog.PinSharedOutput("mv"), nullptr);
+  // Nothing can be pinned without a shared layer (lock-free fast path).
+  EXPECT_FALSE(catalog.PinSharedInput("ghost"));
+  EXPECT_FALSE(catalog.PinSharedInput("mv"));
+  EXPECT_EQ(catalog.cross_job_hits(), 0);
+  EXPECT_EQ(catalog.pinned_shared_bytes(), 0);
+}
+
+TEST(MemoryCatalogViewTest, PutReleasesSelfOutputPin) {
+  // A reused output that the job then Puts privately is funded by the
+  // grant: the cross-job pin (and its tenant charge) must drop.
+  SharedCatalog shared(1000);
+  engine::TablePtr table = Tiny();
+  const std::int64_t size = table->ByteSize();
+  ASSERT_TRUE(shared.Publish(7, table, size));
+  std::vector<std::tuple<std::uint64_t, std::int64_t, bool>> events;
+  MemoryCatalog view(100, &shared);
+  view.BindSharedKey("mv", 7);
+  view.SetSharedPinListener(
+      [&events](std::uint64_t key, std::int64_t bytes, bool pinned) {
+        events.emplace_back(key, bytes, pinned);
+      });
+  engine::TablePtr reused = view.PinSharedOutput("mv");
+  ASSERT_EQ(reused, table);
+  EXPECT_EQ(shared.pinned_bytes(), size);
+  ASSERT_TRUE(view.Put("mv", reused, size));
+  EXPECT_EQ(shared.pinned_bytes(), 0);
+  EXPECT_EQ(view.pinned_shared_bytes(), 0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(std::get<2>(events[1]));  // unpin fired
+  // Reads now hit the private entry.
+  EXPECT_EQ(view.Get("mv"), table);
+  EXPECT_EQ(view.cross_job_hits(), 1);  // only the reuse itself
 }
 
 }  // namespace

@@ -239,6 +239,94 @@ TEST(WidenStagesTest, AlternatingPostPassKeepsPlanValid) {
   EXPECT_DOUBLE_EQ(widened.total_score, base.total_score);
 }
 
+// The ISSUE-4 satellite case: flagged mid-chain nodes make the *full*
+// stage-major reorder co-resident (peak doubles, infeasible under the
+// strict gate), but widening only the leading stage keeps the peak and
+// still front-loads both roots for the lanes — prefix widening wins
+// where all-or-nothing widening must give up.
+TEST(WidenStagesTest, PrefixWideningWinsWhenFullIsInfeasible) {
+  graph::Graph g = TwoChains();
+  g.mutable_node(1).size_bytes = 100;  // a1
+  g.mutable_node(4).size_bytes = 100;  // b1
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = MakeFlags(g.num_nodes(), {1, 4});
+  const std::int64_t before = PeakMemoryUsage(g, plan.order, plan.flags);
+  ASSERT_EQ(before, 100);
+
+  // Full widening would interleave a1/b1 residency: rejected.
+  EXPECT_EQ(WidenStages(g, plan).order.sequence, plan.order.sequence);
+
+  const Plan prefix = WidenStagesPrefix(g, plan);
+  EXPECT_EQ(prefix.order.sequence,
+            (std::vector<graph::NodeId>{0, 3, 1, 2, 4, 5}));
+  EXPECT_TRUE(graph::IsTopologicalOrder(g, prefix.order));
+  EXPECT_EQ(prefix.flags, plan.flags);
+  EXPECT_EQ(PeakMemoryUsage(g, prefix.order, prefix.flags), before);
+  // Same rejection/acceptance at an explicit budget below the full
+  // reorder's 200-byte peak.
+  EXPECT_EQ(WidenStagesPrefix(g, plan, 150).order.sequence,
+            prefix.order.sequence);
+}
+
+TEST(WidenStagesTest, PrefixEqualsFullWhenFullIsFeasible) {
+  const graph::Graph g = TwoChains();
+  Plan plan;
+  plan.order = graph::Order::FromSequence({0, 1, 2, 3, 4, 5});
+  plan.flags = EmptyFlags(g.num_nodes());
+  EXPECT_EQ(WidenStagesPrefix(g, plan).order.sequence,
+            WidenStages(g, plan).order.sequence);
+  // Already stage-major: returned unchanged.
+  const Plan widened = WidenStagesPrefix(g, plan);
+  EXPECT_EQ(WidenStagesPrefix(g, widened).order.sequence,
+            widened.order.sequence);
+}
+
+// ---------------------------------------------------------------------------
+// ReOptimizeWithResidency (cross-job sharing-aware pre-pass)
+// ---------------------------------------------------------------------------
+
+TEST(SharingPrepassTest, ResidentNodeYieldsItsBudgetToOthers) {
+  // Two independent flag candidates; budget fits only one, and `a` wins
+  // on score. With `a` already resident cross-job, flagging it saves
+  // nothing — the knapsack budget must flow to `b`.
+  graph::Graph g;
+  const auto a = g.AddNode("a", 80, 10.0);
+  const auto b = g.AddNode("b", 80, 5.0);
+  const auto sink = g.AddNode("sink", 10, 0.0);
+  g.AddEdge(a, sink);
+  g.AddEdge(b, sink);
+  const std::int64_t budget = 100;
+  const AlternatingResult base = Optimizer{}.Optimize(g, budget);
+  ASSERT_TRUE(base.plan.flags[a]);
+  ASSERT_FALSE(base.plan.flags[b]);
+
+  std::vector<bool> resident(3, false);
+  resident[static_cast<std::size_t>(a)] = true;
+  const AlternatingResult adjusted =
+      ReOptimizeWithResidency(g, base.plan, budget, resident);
+  EXPECT_FALSE(adjusted.plan.flags[a]);
+  EXPECT_TRUE(adjusted.plan.flags[b]);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(g, adjusted.plan, budget, &error)) << error;
+}
+
+TEST(SharingPrepassTest, NoResidencyReturnsPriorUnchanged) {
+  const graph::Graph g = test::Figure7Graph();
+  const AlternatingResult base = Optimizer{}.Optimize(g, 100);
+  const std::vector<bool> none(
+      static_cast<std::size_t>(g.num_nodes()), false);
+  const AlternatingResult same =
+      ReOptimizeWithResidency(g, base.plan, 100, none);
+  EXPECT_EQ(same.iterations, 0);
+  EXPECT_EQ(same.plan.flags, base.plan.flags);
+  EXPECT_EQ(same.plan.order.sequence, base.plan.order.sequence);
+  // A mismatched residency vector is ignored, not trusted.
+  const AlternatingResult mismatched =
+      ReOptimizeWithResidency(g, base.plan, 100, {true});
+  EXPECT_EQ(mismatched.plan.flags, base.plan.flags);
+}
+
 TEST(WidenStagesTest, ThrowsOnNonTopologicalOrder) {
   const graph::Graph g = TwoChains();
   Plan plan;

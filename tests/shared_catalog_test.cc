@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "storage/shared_catalog.h"
+
+namespace sc::storage {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::Table;
+
+engine::TablePtr Tiny() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1}));
+  return std::make_shared<Table>(
+      Table(Schema({Field{"x", DataType::kInt64}}), std::move(cols)));
+}
+
+TEST(SharedCatalogTest, PublishPinServe) {
+  SharedCatalog catalog(100);
+  EXPECT_TRUE(catalog.Publish(1, Tiny(), 40));
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_EQ(catalog.used_bytes(), 40);
+  EXPECT_EQ(catalog.pinned_bytes(), 0);
+
+  engine::TablePtr table = catalog.Pin(1);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(catalog.pinned_bytes(), 40);
+  EXPECT_EQ(catalog.hits(), 1);
+  catalog.Unpin(1);
+  EXPECT_EQ(catalog.pinned_bytes(), 0);
+  EXPECT_EQ(catalog.Pin(2), nullptr);
+  EXPECT_EQ(catalog.misses(), 1);
+}
+
+TEST(SharedCatalogTest, PublishExistingKeyKeepsFirstTable) {
+  SharedCatalog catalog(100);
+  engine::TablePtr first = Tiny();
+  EXPECT_TRUE(catalog.Publish(7, first, 10));
+  EXPECT_TRUE(catalog.Publish(7, Tiny(), 10));  // no-op refresh
+  EXPECT_EQ(catalog.used_bytes(), 10);
+  EXPECT_EQ(catalog.publishes(), 1);
+  EXPECT_EQ(catalog.Pin(7), first);
+}
+
+TEST(SharedCatalogTest, EvictsUnpinnedLruUnderPressure) {
+  SharedCatalog catalog(100);
+  EXPECT_TRUE(catalog.Publish(1, Tiny(), 40));
+  EXPECT_TRUE(catalog.Publish(2, Tiny(), 40));
+  // Touch 1 so 2 becomes the LRU victim.
+  catalog.Pin(1);
+  catalog.Unpin(1);
+  EXPECT_TRUE(catalog.Publish(3, Tiny(), 40));  // evicts 2
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(2));
+  EXPECT_TRUE(catalog.Contains(3));
+  EXPECT_EQ(catalog.evictions(), 1);
+  EXPECT_LE(catalog.used_bytes(), catalog.budget_bytes());
+}
+
+TEST(SharedCatalogTest, PinnedEntriesNeverEvicted) {
+  SharedCatalog catalog(100);
+  EXPECT_TRUE(catalog.Publish(1, Tiny(), 60));
+  ASSERT_NE(catalog.Pin(1), nullptr);
+  // Fits only by evicting 1 — which is pinned, so the publish fails.
+  EXPECT_FALSE(catalog.Publish(2, Tiny(), 60));
+  EXPECT_EQ(catalog.rejects(), 1);
+  EXPECT_TRUE(catalog.Contains(1));
+  // A smaller entry fits alongside the pin and may be evicted instead.
+  EXPECT_TRUE(catalog.Publish(3, Tiny(), 40));
+  EXPECT_TRUE(catalog.Publish(4, Tiny(), 40));  // evicts 3, not 1
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(3));
+  catalog.Unpin(1);
+  // Unpinned, 1 is evictable again.
+  EXPECT_TRUE(catalog.Publish(5, Tiny(), 60));
+  EXPECT_FALSE(catalog.Contains(1));
+}
+
+TEST(SharedCatalogTest, DurabilityTracksPublisherWrites) {
+  SharedCatalog catalog(100);
+  // Published while the producer's write is still in flight.
+  EXPECT_TRUE(catalog.Publish(1, Tiny(), 10, /*durable=*/false));
+  bool durable = true;
+  ASSERT_NE(catalog.Pin(1, nullptr, true, &durable), nullptr);
+  EXPECT_FALSE(durable);
+  catalog.Unpin(1);
+  // The write landed.
+  catalog.MarkDurable(1);
+  ASSERT_NE(catalog.Pin(1, nullptr, true, &durable), nullptr);
+  EXPECT_TRUE(durable);
+  catalog.Unpin(1);
+  // Re-publishing durable content upgrades an in-flight entry.
+  EXPECT_TRUE(catalog.Publish(2, Tiny(), 10, /*durable=*/false));
+  EXPECT_TRUE(catalog.Publish(2, Tiny(), 10, /*durable=*/true));
+  ASSERT_NE(catalog.Pin(2, nullptr, true, &durable), nullptr);
+  EXPECT_TRUE(durable);
+  catalog.Unpin(2);
+  catalog.MarkDurable(42);  // unknown key: no-op
+}
+
+TEST(SharedCatalogTest, OversizeAndNegativeRejected) {
+  SharedCatalog catalog(100);
+  EXPECT_FALSE(catalog.Publish(1, Tiny(), 101));
+  EXPECT_FALSE(catalog.Publish(2, Tiny(), -1));
+  EXPECT_EQ(catalog.used_bytes(), 0);
+}
+
+TEST(SharedCatalogTest, ClearDropsUnpinnedOnly) {
+  SharedCatalog catalog(100);
+  catalog.Publish(1, Tiny(), 30);
+  catalog.Publish(2, Tiny(), 30);
+  catalog.Pin(1);
+  catalog.Clear();
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(2));
+  EXPECT_EQ(catalog.used_bytes(), 30);
+  EXPECT_EQ(catalog.peak_bytes(), 60);  // peak survives Clear
+  catalog.Unpin(1);
+}
+
+TEST(SharedCatalogTest, UnpinUnknownOrUnpinnedIsNoOp) {
+  SharedCatalog catalog(100);
+  catalog.Unpin(42);
+  catalog.Publish(1, Tiny(), 10);
+  catalog.Unpin(1);  // never pinned
+  EXPECT_EQ(catalog.pinned_bytes(), 0);
+  EXPECT_TRUE(catalog.Contains(1));
+}
+
+// The TSAN stress contract (ISSUE 4): concurrent Publish / Pin / Unpin
+// with eviction pressure from 8 threads — the budget is never exceeded
+// and a pinned entry is never evicted.
+TEST(SharedCatalogTest, ConcurrentPublishPinEvictStress) {
+  constexpr std::int64_t kBudget = 1000;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  SharedCatalog catalog(kBudget);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&catalog, &failed, t] {
+      // Each thread owns one key it keeps pinned through the churn.
+      const std::uint64_t own = 1000 + static_cast<std::uint64_t>(t);
+      catalog.Publish(own, Tiny(), 50);
+      engine::TablePtr pinned = catalog.Pin(own);
+      for (int i = 0; i < kIters; ++i) {
+        // Churn: shared keyspace across threads, sized to force
+        // eviction pressure against the 1000-byte budget.
+        const std::uint64_t key = static_cast<std::uint64_t>(i % 40);
+        catalog.Publish(key, Tiny(), 90);
+        if (engine::TablePtr table = catalog.Pin(key)) {
+          catalog.Unpin(key);
+        }
+        if (catalog.used_bytes() > kBudget) failed.store(true);
+        // The own key is pinned (if the initial publish fit): it must
+        // never be evicted.
+        if (pinned != nullptr && !catalog.Contains(own)) {
+          failed.store(true);
+        }
+        catalog.Contains(key);
+        catalog.pinned_bytes();
+      }
+      if (pinned != nullptr) catalog.Unpin(own);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_LE(catalog.used_bytes(), kBudget);
+  EXPECT_LE(catalog.peak_bytes(), kBudget);
+  EXPECT_EQ(catalog.pinned_bytes(), 0);
+  EXPECT_GT(catalog.hits() + catalog.misses(), 0);
+}
+
+}  // namespace
+}  // namespace sc::storage
