@@ -138,6 +138,7 @@ Sample RunConfig(storage::ThrottledDisk* disk, const WorkloadSet& wls,
   return sample;
 }
 
+
 struct WideSample {
   int lanes = 1;
   double wall_seconds = 0.0;
@@ -292,6 +293,7 @@ int Main(int argc, char** argv) {
   //    relaxed-publish wins visible.
   // -------------------------------------------------------------------
   const int kLaneJobs = smoke ? 8 : 24;
+  const int kLaneReps = smoke ? 2 : 3;
   const std::vector<int> lane_workers =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
   const std::vector<int> lane_sweep =
@@ -302,8 +304,23 @@ int Main(int argc, char** argv) {
                            "lane util%"});
   std::map<int, double> lane1_jps;
   for (int workers : lane_workers) {
+    // Interleave reps across lane counts (rep-major) and keep each
+    // config's best: one config's short timed segment is dominated by
+    // host noise, and back-to-back reps of the *same* config would bake
+    // slow-minute drift into the lane-count ratios.
+    std::map<int, Sample> best;
+    for (int rep = 0; rep < kLaneReps; ++rep) {
+      for (int lanes : lane_sweep) {
+        const Sample s = RunConfig(&disk, wls, workers, lanes, kLaneJobs);
+        auto it = best.find(lanes);
+        if (it == best.end() ||
+            s.jobs_per_second > it->second.jobs_per_second) {
+          best[lanes] = s;
+        }
+      }
+    }
     for (int lanes : lane_sweep) {
-      const Sample s = RunConfig(&disk, wls, workers, lanes, kLaneJobs);
+      const Sample& s = best[lanes];
       if (lanes == 1) lane1_jps[workers] = s.jobs_per_second;
       lane_samples.push_back(s);
       lane_table.AddRow(

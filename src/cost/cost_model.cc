@@ -40,6 +40,14 @@ double CostModel::DiskWriteChannelSeconds(std::int64_t bytes) const {
              profile_.disk_write_bw;
 }
 
+double CostModel::NodeExecSeconds(double compute_seconds,
+                                  std::int64_t read_bytes,
+                                  std::int64_t write_bytes,
+                                  double files) const {
+  return compute_seconds + DiskReadSeconds(read_bytes, files) +
+         DiskWriteSeconds(write_bytes, files);
+}
+
 double CostModel::MemReadSeconds(std::int64_t bytes) const {
   if (bytes <= 0) return 0.0;
   return static_cast<double>(bytes) / profile_.mem_read_bw;

@@ -58,6 +58,15 @@ class CostModel {
   /// Time to create `bytes` in the Memory Catalog.
   double MemWriteSeconds(std::int64_t bytes) const;
 
+  /// Estimated wall-seconds one refresh node occupies an execution lane:
+  /// its compute time plus the device-bound input read and blocking
+  /// output write. The runtime's inline-dispatch decision (run a cheap
+  /// node on the scheduler thread instead of paying a lane handoff)
+  /// thresholds against this.
+  double NodeExecSeconds(double compute_seconds, std::int64_t read_bytes,
+                         std::int64_t write_bytes,
+                         double files = 1.0) const;
+
  private:
   DeviceProfile profile_;
 };

@@ -1,5 +1,6 @@
 #include "engine/column.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace sc::engine {
@@ -78,6 +79,59 @@ void Column::AppendFrom(const Column& other, std::size_t row) {
   }
 }
 
+void Column::GatherFrom(const Column& other,
+                        const std::vector<std::uint32_t>& rows) {
+  if (other.type_ != type_) {
+    throw std::invalid_argument("Column::GatherFrom: type mismatch");
+  }
+  switch (type_) {
+    case DataType::kInt64: {
+      const std::size_t base = ints_.size();
+      ints_.resize(base + rows.size());
+      const std::int64_t* src = other.ints_.data();
+      std::int64_t* dst = ints_.data() + base;
+      for (std::size_t i = 0; i < rows.size(); ++i) dst[i] = src[rows[i]];
+      return;
+    }
+    case DataType::kFloat64: {
+      const std::size_t base = doubles_.size();
+      doubles_.resize(base + rows.size());
+      const double* src = other.doubles_.data();
+      double* dst = doubles_.data() + base;
+      for (std::size_t i = 0; i < rows.size(); ++i) dst[i] = src[rows[i]];
+      return;
+    }
+    case DataType::kString: {
+      strings_.reserve(strings_.size() + rows.size());
+      for (const std::uint32_t r : rows) {
+        strings_.push_back(other.strings_[r]);
+      }
+      return;
+    }
+  }
+}
+
+void Column::AppendRangeFrom(const Column& other, std::size_t begin,
+                             std::size_t end) {
+  if (other.type_ != type_) {
+    throw std::invalid_argument("Column::AppendRangeFrom: type mismatch");
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), other.ints_.begin() + begin,
+                   other.ints_.begin() + end);
+      return;
+    case DataType::kFloat64:
+      doubles_.insert(doubles_.end(), other.doubles_.begin() + begin,
+                      other.doubles_.begin() + end);
+      return;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin() + begin,
+                      other.strings_.begin() + end);
+      return;
+  }
+}
+
 void Column::Reserve(std::size_t n) {
   switch (type_) {
     case DataType::kInt64:
@@ -99,9 +153,17 @@ std::int64_t Column::ByteSize() const {
     case DataType::kFloat64:
       return static_cast<std::int64_t>(doubles_.size() * sizeof(double));
     case DataType::kString: {
-      std::int64_t total = 0;
+      // The std::string objects themselves, plus each string's heap
+      // block. Heap blocks are sized by capacity (what the allocator
+      // handed out), not size; strings short enough for the small-string
+      // optimization live inside the object and add nothing.
+      static const std::size_t kSsoCapacity = std::string().capacity();
+      std::int64_t total = static_cast<std::int64_t>(
+          strings_.size() * sizeof(std::string));
       for (const auto& s : strings_) {
-        total += static_cast<std::int64_t>(s.size()) + 16;  // len + overhead
+        if (s.capacity() > kSsoCapacity) {
+          total += static_cast<std::int64_t>(s.capacity()) + 1;
+        }
       }
       return total;
     }
@@ -122,8 +184,17 @@ double Column::NumericAt(std::size_t row) const {
 }
 
 bool Column::operator==(const Column& other) const {
-  return type_ == other.type_ && ints_ == other.ints_ &&
-         doubles_ == other.doubles_ && strings_ == other.strings_;
+  if (type_ != other.type_ || ints_ != other.ints_ ||
+      strings_ != other.strings_) {
+    return false;
+  }
+  // Doubles compare by bit pattern (NaN == NaN, 0.0 != -0.0): equality
+  // means bit-identical contents, which is what the golden equivalence
+  // suite and the runtime's disk round-trip checks assert.
+  if (doubles_.size() != other.doubles_.size()) return false;
+  return doubles_.empty() ||
+         std::memcmp(doubles_.data(), other.doubles_.data(),
+                     doubles_.size() * sizeof(double)) == 0;
 }
 
 }  // namespace sc::engine

@@ -42,20 +42,42 @@ class Column {
   /// Appends row `row` of `other` (same type) to this column.
   void AppendFrom(const Column& other, std::size_t row);
 
+  /// Bulk row gather: appends `other`'s rows listed in `rows` (in order)
+  /// to this column. One type check + one reserve for the whole batch —
+  /// this is the vectorized replacement for per-cell AppendFrom loops in
+  /// filter/join/sort materialization.
+  void GatherFrom(const Column& other,
+                  const std::vector<std::uint32_t>& rows);
+
+  /// Bulk range append: appends `other`'s rows [begin, end) to this
+  /// column (memcpy-speed for numeric columns).
+  void AppendRangeFrom(const Column& other, std::size_t begin,
+                       std::size_t end);
+
   void Reserve(std::size_t n);
 
   /// Approximate in-memory footprint in bytes (used for Memory Catalog
-  /// accounting and node sizes).
+  /// accounting and node sizes). String columns count the std::string
+  /// object array plus each string's heap block (capacity, not size) —
+  /// SSO-resident strings contribute no heap block.
   std::int64_t ByteSize() const;
 
   /// Numeric value of a row as double (throws for string columns).
   double NumericAt(std::size_t row) const;
 
+  /// Bit-exact content equality: float64 values compare by bit pattern
+  /// (NaN == NaN, 0.0 != -0.0), so equal columns are byte-identical.
   bool operator==(const Column& other) const;
 
   const std::vector<std::int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Move out the underlying typed storage, leaving the column empty.
+  /// The expression evaluator recycles intermediate buffers this way
+  /// (scratch reuse) instead of allocating per tree node.
+  std::vector<std::int64_t> TakeInts() && { return std::move(ints_); }
+  std::vector<double> TakeDoubles() && { return std::move(doubles_); }
 
  private:
   DataType type_;

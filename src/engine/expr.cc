@@ -1,7 +1,9 @@
 #include "engine/expr.h"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <type_traits>
 
 namespace sc::engine {
 
@@ -154,137 +156,461 @@ DataType ResultType(const Expr& expr, const Schema& schema) {
   throw std::logic_error("ResultType: bad expr kind");
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized evaluation
+//
+// The evaluator is column-at-a-time with three result representations:
+// a *borrowed* column (scan of an input column — zero copy), an *owned*
+// column (computed intermediate), or a *literal* (broadcast scalar,
+// never materialized as a column; literal-only subtrees are folded to a
+// single scalar). Each operator node dispatches ONCE on the operand
+// types and then runs a tight typed loop over the raw vectors — no
+// per-row type switch, no per-row Value boxing. Owned int64/double
+// intermediates are recycled as the output buffer of their consuming
+// node (scratch reuse), so a deep arithmetic tree allocates O(1)
+// buffers, not one per node.
+// ---------------------------------------------------------------------------
+
 namespace {
 
-/// Evaluates a sub-expression and returns a column of input.num_rows()
-/// entries (literals are broadcast).
-Column Eval(const Expr& expr, const Table& input);
+/// Result of evaluating a sub-expression: borrowed column, owned column,
+/// or broadcast literal. Exactly one alternative is active.
+struct EvalOut {
+  const Column* borrowed = nullptr;
+  std::optional<Column> owned;
+  std::optional<Value> literal;
 
-Column EvalBinary(const Expr& expr, const Table& input) {
-  const Column lhs = Eval(*expr.left, input);
-  const Column rhs = Eval(*expr.right, input);
-  const std::size_t n = input.num_rows();
-
-  if (IsComparison(expr.op)) {
-    std::vector<std::int64_t> out(n);
-    const bool strings = lhs.type() == DataType::kString;
-    if (strings != (rhs.type() == DataType::kString)) {
-      throw std::invalid_argument("comparison of string vs numeric");
-    }
-    for (std::size_t r = 0; r < n; ++r) {
-      int cmp;
-      if (strings) {
-        const auto& a = lhs.GetString(r);
-        const auto& b = rhs.GetString(r);
-        cmp = a < b ? -1 : (b < a ? 1 : 0);
-      } else {
-        const double a = lhs.NumericAt(r);
-        const double b = rhs.NumericAt(r);
-        cmp = a < b ? -1 : (b < a ? 1 : 0);
-      }
-      bool v = false;
-      switch (expr.op) {
-        case Expr::Op::kLt: v = cmp < 0; break;
-        case Expr::Op::kLe: v = cmp <= 0; break;
-        case Expr::Op::kGt: v = cmp > 0; break;
-        case Expr::Op::kGe: v = cmp >= 0; break;
-        case Expr::Op::kEq: v = cmp == 0; break;
-        case Expr::Op::kNe: v = cmp != 0; break;
-        default: break;
-      }
-      out[r] = v ? 1 : 0;
-    }
-    return Column::FromInts(std::move(out));
+  static EvalOut Borrow(const Column* c) {
+    EvalOut e;
+    e.borrowed = c;
+    return e;
+  }
+  static EvalOut Own(Column c) {
+    EvalOut e;
+    e.owned.emplace(std::move(c));
+    return e;
+  }
+  static EvalOut Const(Value v) {
+    EvalOut e;
+    e.literal.emplace(std::move(v));
+    return e;
   }
 
-  if (IsLogical(expr.op)) {
-    std::vector<std::int64_t> out(n);
-    for (std::size_t r = 0; r < n; ++r) {
-      const bool a = lhs.NumericAt(r) != 0;
-      const bool b = rhs.NumericAt(r) != 0;
-      out[r] = (expr.op == Expr::Op::kAnd ? (a && b) : (a || b)) ? 1 : 0;
-    }
-    return Column::FromInts(std::move(out));
+  bool is_literal() const { return literal.has_value(); }
+  const Column& col() const {
+    return borrowed != nullptr ? *borrowed : *owned;
   }
+  DataType type() const {
+    return is_literal() ? TypeOf(*literal) : col().type();
+  }
+};
 
-  // Arithmetic.
-  if (lhs.type() == DataType::kString || rhs.type() == DataType::kString) {
+// Typed row accessors: the per-row "get" is resolved to a concrete type
+// once per operator node, so the compiler sees plain array/constant
+// reads inside the loops.
+struct IntVecAcc {
+  const std::int64_t* p;
+  std::int64_t operator()(std::size_t r) const { return p[r]; }
+};
+struct DblVecAcc {
+  const double* p;
+  double operator()(std::size_t r) const { return p[r]; }
+};
+struct IntConstAcc {
+  std::int64_t v;
+  std::int64_t operator()(std::size_t) const { return v; }
+};
+struct DblConstAcc {
+  double v;
+  double operator()(std::size_t) const { return v; }
+};
+struct StrVecAcc {
+  const std::string* p;
+  const std::string& operator()(std::size_t r) const { return p[r]; }
+};
+struct StrConstAcc {
+  const std::string* v;
+  const std::string& operator()(std::size_t) const { return *v; }
+};
+
+template <typename Fn>
+decltype(auto) WithNumericAcc(const EvalOut& e, Fn&& fn) {
+  if (e.is_literal()) {
+    if (const auto* i = std::get_if<std::int64_t>(&*e.literal)) {
+      return fn(IntConstAcc{*i});
+    }
+    if (const auto* d = std::get_if<double>(&*e.literal)) {
+      return fn(DblConstAcc{*d});
+    }
     throw std::invalid_argument("arithmetic on string column");
   }
-  const bool as_double = expr.op == Expr::Op::kDiv ||
-                         lhs.type() == DataType::kFloat64 ||
-                         rhs.type() == DataType::kFloat64;
-  if (as_double) {
-    std::vector<double> out(n);
-    for (std::size_t r = 0; r < n; ++r) {
-      const double a = lhs.NumericAt(r);
-      const double b = rhs.NumericAt(r);
-      switch (expr.op) {
-        case Expr::Op::kAdd: out[r] = a + b; break;
-        case Expr::Op::kSub: out[r] = a - b; break;
-        case Expr::Op::kMul: out[r] = a * b; break;
-        case Expr::Op::kDiv: out[r] = b != 0 ? a / b : 0.0; break;
-        case Expr::Op::kMod: out[r] = b != 0 ? std::fmod(a, b) : 0.0; break;
-        default: throw std::logic_error("bad arithmetic op");
-      }
-    }
-    return Column::FromDoubles(std::move(out));
+  const Column& c = e.col();
+  switch (c.type()) {
+    case DataType::kInt64:
+      return fn(IntVecAcc{c.ints().data()});
+    case DataType::kFloat64:
+      return fn(DblVecAcc{c.doubles().data()});
+    case DataType::kString:
+      throw std::invalid_argument("arithmetic on string column");
   }
-  std::vector<std::int64_t> out(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    const std::int64_t a = lhs.GetInt(r);
-    const std::int64_t b = rhs.GetInt(r);
-    switch (expr.op) {
-      case Expr::Op::kAdd: out[r] = a + b; break;
-      case Expr::Op::kSub: out[r] = a - b; break;
-      case Expr::Op::kMul: out[r] = a * b; break;
-      case Expr::Op::kMod: out[r] = b != 0 ? a % b : 0; break;
+  throw std::logic_error("bad column type");
+}
+
+template <typename Fn>
+decltype(auto) WithStringAcc(const EvalOut& e, Fn&& fn) {
+  if (e.is_literal()) {
+    return fn(StrConstAcc{&std::get<std::string>(*e.literal)});
+  }
+  return fn(StrVecAcc{e.col().strings().data()});
+}
+
+/// Claims an operand's owned buffer of the right type and length as the
+/// output buffer (scratch reuse), else allocates. Safe even when the
+/// claimed buffer is aliased by an accessor: the heap block survives the
+/// vector move, and every write to out[r] happens after the reads at r.
+std::vector<std::int64_t> ClaimIntScratch(EvalOut* a, EvalOut* b,
+                                          std::size_t n) {
+  for (EvalOut* e : {a, b}) {
+    if (e != nullptr && e->owned.has_value() &&
+        e->owned->type() == DataType::kInt64 && e->owned->size() == n) {
+      return std::move(*e->owned).TakeInts();
+    }
+  }
+  return std::vector<std::int64_t>(n);
+}
+
+std::vector<double> ClaimDblScratch(EvalOut* a, EvalOut* b,
+                                    std::size_t n) {
+  for (EvalOut* e : {a, b}) {
+    if (e != nullptr && e->owned.has_value() &&
+        e->owned->type() == DataType::kFloat64 && e->owned->size() == n) {
+      return std::move(*e->owned).TakeDoubles();
+    }
+  }
+  return std::vector<double>(n);
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding (literal-only subtrees evaluate once, not per row)
+// ---------------------------------------------------------------------------
+
+Value FoldBinary(Expr::Op op, const Value& a, const Value& b) {
+  if (IsComparison(op)) {
+    const bool a_str = std::holds_alternative<std::string>(a);
+    const bool b_str = std::holds_alternative<std::string>(b);
+    if (a_str != b_str) {
+      throw std::invalid_argument("comparison of string vs numeric");
+    }
+    int cmp;
+    if (a_str) {
+      const auto& sa = std::get<std::string>(a);
+      const auto& sb = std::get<std::string>(b);
+      cmp = sa < sb ? -1 : (sb < sa ? 1 : 0);
+    } else {
+      const double da = AsDouble(a);
+      const double db = AsDouble(b);
+      cmp = da < db ? -1 : (db < da ? 1 : 0);
+    }
+    bool v = false;
+    switch (op) {
+      case Expr::Op::kLt: v = cmp < 0; break;
+      case Expr::Op::kLe: v = cmp <= 0; break;
+      case Expr::Op::kGt: v = cmp > 0; break;
+      case Expr::Op::kGe: v = cmp >= 0; break;
+      case Expr::Op::kEq: v = cmp == 0; break;
+      case Expr::Op::kNe: v = cmp != 0; break;
+      default: break;
+    }
+    return Value{std::int64_t{v ? 1 : 0}};
+  }
+  if (IsLogical(op)) {
+    const bool av = AsDouble(a) != 0;
+    const bool bv = AsDouble(b) != 0;
+    const bool v = op == Expr::Op::kAnd ? (av && bv) : (av || bv);
+    return Value{std::int64_t{v ? 1 : 0}};
+  }
+  if (std::holds_alternative<std::string>(a) ||
+      std::holds_alternative<std::string>(b)) {
+    throw std::invalid_argument("arithmetic on string column");
+  }
+  const bool as_double = op == Expr::Op::kDiv ||
+                         std::holds_alternative<double>(a) ||
+                         std::holds_alternative<double>(b);
+  if (as_double) {
+    const double da = AsDouble(a);
+    const double db = AsDouble(b);
+    switch (op) {
+      case Expr::Op::kAdd: return Value{da + db};
+      case Expr::Op::kSub: return Value{da - db};
+      case Expr::Op::kMul: return Value{da * db};
+      case Expr::Op::kDiv: return Value{db != 0 ? da / db : 0.0};
+      case Expr::Op::kMod:
+        return Value{db != 0 ? std::fmod(da, db) : 0.0};
       default: throw std::logic_error("bad arithmetic op");
     }
+  }
+  const std::int64_t ia = std::get<std::int64_t>(a);
+  const std::int64_t ib = std::get<std::int64_t>(b);
+  switch (op) {
+    case Expr::Op::kAdd: return Value{ia + ib};
+    case Expr::Op::kSub: return Value{ia - ib};
+    case Expr::Op::kMul: return Value{ia * ib};
+    case Expr::Op::kMod: return Value{ib != 0 ? ia % ib : std::int64_t{0}};
+    default: throw std::logic_error("bad arithmetic op");
+  }
+}
+
+Value FoldUnary(Expr::Op op, const Value& a) {
+  if (op == Expr::Op::kNot) {
+    return Value{std::int64_t{AsDouble(a) == 0 ? 1 : 0}};
+  }
+  // kNeg
+  if (const auto* i = std::get_if<std::int64_t>(&a)) return Value{-*i};
+  return Value{-AsDouble(a)};
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels (one type dispatch, then a tight loop)
+// ---------------------------------------------------------------------------
+
+Column EvalComparison(Expr::Op op, EvalOut& lhs, EvalOut& rhs,
+                      std::size_t n) {
+  const bool a_str = lhs.type() == DataType::kString;
+  const bool b_str = rhs.type() == DataType::kString;
+  if (a_str != b_str) {
+    throw std::invalid_argument("comparison of string vs numeric");
+  }
+  std::vector<std::int64_t> out(n);
+  // Comparisons go through the same three-way cmp as the scalar path so
+  // NaN semantics (cmp == 0) are preserved exactly.
+  auto run = [&](auto ga, auto gb) {
+    switch (op) {
+      case Expr::Op::kLt:
+        for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) < gb(r) ? 1 : 0;
+        break;
+      case Expr::Op::kGt:
+        for (std::size_t r = 0; r < n; ++r) out[r] = gb(r) < ga(r) ? 1 : 0;
+        break;
+      case Expr::Op::kLe:
+        for (std::size_t r = 0; r < n; ++r) out[r] = gb(r) < ga(r) ? 0 : 1;
+        break;
+      case Expr::Op::kGe:
+        for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) < gb(r) ? 0 : 1;
+        break;
+      case Expr::Op::kEq:
+        for (std::size_t r = 0; r < n; ++r) {
+          out[r] = !(ga(r) < gb(r)) && !(gb(r) < ga(r)) ? 1 : 0;
+        }
+        break;
+      case Expr::Op::kNe:
+        for (std::size_t r = 0; r < n; ++r) {
+          out[r] = ga(r) < gb(r) || gb(r) < ga(r) ? 1 : 0;
+        }
+        break;
+      default:
+        throw std::logic_error("bad comparison op");
+    }
+  };
+  if (a_str) {
+    WithStringAcc(lhs, [&](auto ga) {
+      WithStringAcc(rhs, [&](auto gb) { run(ga, gb); });
+    });
+  } else {
+    WithNumericAcc(lhs, [&](auto ga) {
+      WithNumericAcc(rhs, [&](auto gb) { run(ga, gb); });
+    });
   }
   return Column::FromInts(std::move(out));
 }
 
-Column Eval(const Expr& expr, const Table& input) {
-  const std::size_t n = input.num_rows();
-  switch (expr.kind) {
-    case Expr::Kind::kColumn:
-      return input.column(expr.column_name);
-    case Expr::Kind::kLiteral: {
-      Column out(TypeOf(expr.literal));
-      out.Reserve(n);
-      for (std::size_t r = 0; r < n; ++r) out.AppendValue(expr.literal);
-      return out;
-    }
-    case Expr::Kind::kUnary: {
-      const Column child = Eval(*expr.left, input);
-      if (expr.op == Expr::Op::kNot) {
-        std::vector<std::int64_t> out(n);
+Column EvalLogical(Expr::Op op, EvalOut& lhs, EvalOut& rhs,
+                   std::size_t n) {
+  std::vector<std::int64_t> out(n);
+  // The scalar path only type-checked logical operands per row, so an
+  // empty input never threw regardless of operand types; dispatch on
+  // the accessors only when there are rows to read.
+  if (n == 0) return Column::FromInts(std::move(out));
+  WithNumericAcc(lhs, [&](auto ga) {
+    WithNumericAcc(rhs, [&](auto gb) {
+      if (op == Expr::Op::kAnd) {
         for (std::size_t r = 0; r < n; ++r) {
-          out[r] = child.NumericAt(r) == 0 ? 1 : 0;
+          out[r] = (ga(r) != 0 && gb(r) != 0) ? 1 : 0;
         }
-        return Column::FromInts(std::move(out));
+      } else {
+        for (std::size_t r = 0; r < n; ++r) {
+          out[r] = (ga(r) != 0 || gb(r) != 0) ? 1 : 0;
+        }
       }
-      // kNeg
-      if (child.type() == DataType::kInt64) {
-        std::vector<std::int64_t> out(n);
-        for (std::size_t r = 0; r < n; ++r) out[r] = -child.GetInt(r);
-        return Column::FromInts(std::move(out));
+    });
+  });
+  return Column::FromInts(std::move(out));
+}
+
+Column EvalArithmetic(Expr::Op op, EvalOut& lhs, EvalOut& rhs,
+                      std::size_t n) {
+  return WithNumericAcc(lhs, [&](auto ga) {
+    return WithNumericAcc(rhs, [&](auto gb) -> Column {
+      constexpr bool both_int =
+          std::is_same_v<decltype(ga(std::size_t{0})), std::int64_t> &&
+          std::is_same_v<decltype(gb(std::size_t{0})), std::int64_t>;
+      if constexpr (both_int) {
+        if (op != Expr::Op::kDiv) {
+          std::vector<std::int64_t> out = ClaimIntScratch(&lhs, &rhs, n);
+          switch (op) {
+            case Expr::Op::kAdd:
+              for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) + gb(r);
+              break;
+            case Expr::Op::kSub:
+              for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) - gb(r);
+              break;
+            case Expr::Op::kMul:
+              for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) * gb(r);
+              break;
+            case Expr::Op::kMod:
+              for (std::size_t r = 0; r < n; ++r) {
+                const std::int64_t b = gb(r);
+                out[r] = b != 0 ? ga(r) % b : 0;
+              }
+              break;
+            default:
+              throw std::logic_error("bad arithmetic op");
+          }
+          return Column::FromInts(std::move(out));
+        }
       }
-      std::vector<double> out(n);
-      for (std::size_t r = 0; r < n; ++r) out[r] = -child.NumericAt(r);
+      std::vector<double> out = ClaimDblScratch(&lhs, &rhs, n);
+      switch (op) {
+        case Expr::Op::kAdd:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = static_cast<double>(ga(r)) + static_cast<double>(gb(r));
+          }
+          break;
+        case Expr::Op::kSub:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = static_cast<double>(ga(r)) - static_cast<double>(gb(r));
+          }
+          break;
+        case Expr::Op::kMul:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = static_cast<double>(ga(r)) * static_cast<double>(gb(r));
+          }
+          break;
+        case Expr::Op::kDiv:
+          for (std::size_t r = 0; r < n; ++r) {
+            const double b = static_cast<double>(gb(r));
+            out[r] = b != 0 ? static_cast<double>(ga(r)) / b : 0.0;
+          }
+          break;
+        case Expr::Op::kMod:
+          for (std::size_t r = 0; r < n; ++r) {
+            const double b = static_cast<double>(gb(r));
+            out[r] = b != 0 ? std::fmod(static_cast<double>(ga(r)), b) : 0.0;
+          }
+          break;
+        default:
+          throw std::logic_error("bad arithmetic op");
+      }
+      return Column::FromDoubles(std::move(out));
+    });
+  });
+}
+
+Column EvalUnary(Expr::Op op, EvalOut& child, std::size_t n) {
+  if (op == Expr::Op::kNot) {
+    std::vector<std::int64_t> out(n);
+    // Per-row type checking in the scalar path: empty inputs never
+    // threw, whatever the operand type.
+    if (n == 0) return Column::FromInts(std::move(out));
+    WithNumericAcc(child, [&](auto ga) {
+      for (std::size_t r = 0; r < n; ++r) out[r] = ga(r) == 0 ? 1 : 0;
+    });
+    return Column::FromInts(std::move(out));
+  }
+  // kNeg. The scalar path negated int64 columns as int64 and everything
+  // else through per-row NumericAt (double), so an empty non-int column
+  // yields an empty float64 column without a type check.
+  if (n == 0) {
+    return child.type() == DataType::kInt64
+               ? Column::FromInts({})
+               : Column::FromDoubles({});
+  }
+  return WithNumericAcc(child, [&](auto ga) -> Column {
+    if constexpr (std::is_same_v<decltype(ga(std::size_t{0})),
+                                 std::int64_t>) {
+      std::vector<std::int64_t> out = ClaimIntScratch(&child, nullptr, n);
+      for (std::size_t r = 0; r < n; ++r) out[r] = -ga(r);
+      return Column::FromInts(std::move(out));
+    } else {
+      std::vector<double> out = ClaimDblScratch(&child, nullptr, n);
+      for (std::size_t r = 0; r < n; ++r) out[r] = -ga(r);
       return Column::FromDoubles(std::move(out));
     }
-    case Expr::Kind::kBinary:
-      return EvalBinary(expr, input);
+  });
+}
+
+EvalOut EvalNode(const Expr& expr, const Table& input) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      return EvalOut::Borrow(&input.column(expr.column_name));
+    case Expr::Kind::kLiteral:
+      return EvalOut::Const(expr.literal);
+    case Expr::Kind::kUnary: {
+      EvalOut child = EvalNode(*expr.left, input);
+      if (child.is_literal()) {
+        return EvalOut::Const(FoldUnary(expr.op, *child.literal));
+      }
+      return EvalOut::Own(EvalUnary(expr.op, child, input.num_rows()));
+    }
+    case Expr::Kind::kBinary: {
+      EvalOut lhs = EvalNode(*expr.left, input);
+      EvalOut rhs = EvalNode(*expr.right, input);
+      if (lhs.is_literal() && rhs.is_literal()) {
+        return EvalOut::Const(FoldBinary(expr.op, *lhs.literal,
+                                         *rhs.literal));
+      }
+      const std::size_t n = input.num_rows();
+      if (IsComparison(expr.op)) {
+        return EvalOut::Own(EvalComparison(expr.op, lhs, rhs, n));
+      }
+      if (IsLogical(expr.op)) {
+        return EvalOut::Own(EvalLogical(expr.op, lhs, rhs, n));
+      }
+      return EvalOut::Own(EvalArithmetic(expr.op, lhs, rhs, n));
+    }
   }
   throw std::logic_error("Eval: bad expr kind");
+}
+
+/// Broadcasts a folded literal to a full column (only at the evaluator
+/// boundary — inner nodes never materialize literals).
+Column BroadcastLiteral(const Value& v, std::size_t n) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return Column::FromInts(std::vector<std::int64_t>(n, *i));
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    return Column::FromDoubles(std::vector<double>(n, *d));
+  }
+  return Column::FromStrings(
+      std::vector<std::string>(n, std::get<std::string>(v)));
 }
 
 }  // namespace
 
 Column EvalExpr(const Expr& expr, const Table& input) {
-  return Eval(expr, input);
+  EvalOut out = EvalNode(expr, input);
+  if (out.is_literal()) return BroadcastLiteral(*out.literal,
+                                                input.num_rows());
+  if (out.borrowed != nullptr) return *out.borrowed;  // copy, as before
+  return std::move(*out.owned);
+}
+
+EvalRef EvalExprBorrow(const Expr& expr, const Table& input) {
+  EvalOut out = EvalNode(expr, input);
+  if (out.borrowed != nullptr) return EvalRef(out.borrowed);
+  if (out.is_literal()) {
+    return EvalRef(BroadcastLiteral(*out.literal, input.num_rows()));
+  }
+  return EvalRef(std::move(*out.owned));
 }
 
 }  // namespace sc::engine

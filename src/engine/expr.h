@@ -2,6 +2,7 @@
 #define SC_ENGINE_EXPR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,7 +67,34 @@ ExprPtr Neg(ExprPtr e);
 /// Evaluates `expr` against every row of `input`; the result has
 /// input.num_rows() entries. Throws std::invalid_argument on unknown
 /// columns or type errors (e.g. arithmetic on strings).
+///
+/// Evaluation is vectorized: each operator node dispatches once on its
+/// operand types and runs a tight typed loop, literal-only subtrees are
+/// constant-folded, literals are never materialized as columns inside the
+/// tree, and owned intermediate buffers are recycled across nodes.
 Column EvalExpr(const Expr& expr, const Table& input);
+
+/// Zero-copy variant of EvalExpr: when the expression is a bare column
+/// reference, col() points straight into `input` and nothing is copied;
+/// otherwise the result is materialized into owned storage. col() is
+/// valid while both `input` and this object are alive (safe to move).
+/// Operators use this for masks and aggregate arguments so a plain
+/// Col(...) argument costs no column copy.
+class EvalRef {
+ public:
+  EvalRef() = default;
+  explicit EvalRef(const Column* external) : external_(external) {}
+  explicit EvalRef(Column owned) : storage_(std::move(owned)) {}
+
+  const Column& col() const {
+    return external_ != nullptr ? *external_ : *storage_;
+  }
+
+ private:
+  const Column* external_ = nullptr;
+  std::optional<Column> storage_;
+};
+EvalRef EvalExprBorrow(const Expr& expr, const Table& input);
 
 /// Result type of `expr` over `schema` (static type checking).
 DataType ResultType(const Expr& expr, const Schema& schema);

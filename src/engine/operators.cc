@@ -5,45 +5,14 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "common/fnv.h"
 
 namespace sc::engine {
 
 namespace {
 
-/// Serializes the values of `columns` at `row` into a byte string usable
-/// as a hash key (exact equality semantics; int64 values are encoded raw,
-/// doubles via their bit pattern, strings length-prefixed).
-std::string EncodeKey(const std::vector<const Column*>& columns,
-                      std::size_t row) {
-  std::string key;
-  key.reserve(columns.size() * 9);
-  for (const Column* c : columns) {
-    switch (c->type()) {
-      case DataType::kInt64: {
-        const std::int64_t v = c->GetInt(row);
-        key.push_back('i');
-        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-        break;
-      }
-      case DataType::kFloat64: {
-        const double v = c->GetDouble(row);
-        key.push_back('d');
-        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-        break;
-      }
-      case DataType::kString: {
-        const std::string& v = c->GetString(row);
-        const std::uint32_t len = static_cast<std::uint32_t>(v.size());
-        key.push_back('s');
-        key.append(reinterpret_cast<const char*>(&len), sizeof(len));
-        key.append(v);
-        break;
-      }
-    }
-  }
-  return key;
-}
+constexpr std::uint32_t kNoRow = std::numeric_limits<std::uint32_t>::max();
 
 std::vector<const Column*> ResolveColumns(
     const Table& table, const std::vector<std::string>& names) {
@@ -55,14 +24,106 @@ std::vector<const Column*> ResolveColumns(
   return out;
 }
 
+/// Column-at-a-time FNV-1a hashes over the raw key values of every row:
+/// the typed replacement for the scalar reference's per-row EncodeKey
+/// string (which allocated one std::string per input row). Doubles hash
+/// by bit pattern, strings by length + bytes; hash collisions are
+/// resolved by KeyRowsEqual, never trusted.
+std::vector<std::uint64_t> HashKeyRows(
+    const std::vector<const Column*>& cols, std::size_t n) {
+  std::vector<std::uint64_t> hashes(n, kFnvOffset);
+  std::uint64_t* h = hashes.data();
+  for (const Column* c : cols) {
+    switch (c->type()) {
+      case DataType::kInt64: {
+        const std::int64_t* v = c->ints().data();
+        for (std::size_t r = 0; r < n; ++r) FnvMixInt(&h[r], v[r]);
+        break;
+      }
+      case DataType::kFloat64: {
+        const double* v = c->doubles().data();
+        for (std::size_t r = 0; r < n; ++r) FnvMixDouble(&h[r], v[r]);
+        break;
+      }
+      case DataType::kString: {
+        const std::string* v = c->strings().data();
+        for (std::size_t r = 0; r < n; ++r) FnvMixString(&h[r], v[r]);
+        break;
+      }
+    }
+  }
+  return hashes;
+}
+
+/// Typed composite-key equality between row `ra` of key set `a` and row
+/// `rb` of key set `b`. Doubles compare by bit pattern, preserving the
+/// encoded-key semantics of the scalar reference (-0.0 != 0.0 and
+/// NaN == NaN group/join exactly as before).
+bool KeyRowsEqual(const std::vector<const Column*>& a, std::size_t ra,
+                  const std::vector<const Column*>& b, std::size_t rb) {
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    switch (a[k]->type()) {
+      case DataType::kInt64:
+        if (a[k]->ints()[ra] != b[k]->ints()[rb]) return false;
+        break;
+      case DataType::kFloat64: {
+        std::uint64_t bits_a;
+        std::uint64_t bits_b;
+        std::memcpy(&bits_a, &a[k]->doubles()[ra], sizeof(bits_a));
+        std::memcpy(&bits_b, &b[k]->doubles()[rb], sizeof(bits_b));
+        if (bits_a != bits_b) return false;
+        break;
+      }
+      case DataType::kString:
+        if (a[k]->strings()[ra] != b[k]->strings()[rb]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Builds the selection vector of rows where `mask` is non-zero.
+std::vector<std::uint32_t> SelectionFromMask(const Column& mask) {
+  const std::size_t n = mask.size();
+  std::vector<std::uint32_t> sel;
+  sel.reserve(n);
+  switch (mask.type()) {
+    case DataType::kInt64: {
+      const std::int64_t* v = mask.ints().data();
+      for (std::size_t r = 0; r < n; ++r) {
+        if (v[r] != 0) sel.push_back(static_cast<std::uint32_t>(r));
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const double* v = mask.doubles().data();
+      for (std::size_t r = 0; r < n; ++r) {
+        if (v[r] != 0) sel.push_back(static_cast<std::uint32_t>(r));
+      }
+      break;
+    }
+    case DataType::kString:
+      if (n > 0) {
+        throw std::invalid_argument("NumericAt: string column");
+      }
+      break;
+  }
+  return sel;
+}
+
 }  // namespace
 
 Table FilterTable(const Table& input, const Expr& predicate) {
-  const Column mask = EvalExpr(predicate, input);
+  const EvalRef mask = EvalExprBorrow(predicate, input);
+  const std::vector<std::uint32_t> sel = SelectionFromMask(mask.col());
   Table out = Table::Empty(input.schema());
-  for (std::size_t r = 0; r < input.num_rows(); ++r) {
-    if (mask.NumericAt(r) != 0) out.AppendRowFrom(input, r);
-  }
+  out.GatherRowsFrom(input, sel);
   return out;
 }
 
@@ -105,43 +166,54 @@ Table HashJoinTables(const Table& left, const Table& right,
   }
   Table out = Table::Empty(Schema(std::move(fields)));
 
-  // Build side: right table.
-  std::unordered_map<std::string, std::vector<std::size_t>> build;
-  build.reserve(right.num_rows() * 2);
-  for (std::size_t r = 0; r < right.num_rows(); ++r) {
-    build[EncodeKey(rcols, r)].push_back(r);
+  // Build side: a chained bucket table over typed FNV hashes of the
+  // right rows — two flat arrays, zero per-row allocation. Rows are
+  // inserted in reverse so each chain lists its rows in ascending right
+  // order, preserving the scalar reference's match order per key.
+  const std::size_t rn = right.num_rows();
+  const std::size_t ln = left.num_rows();
+  const std::vector<std::uint64_t> rh = HashKeyRows(rcols, rn);
+  const std::size_t cap = NextPow2(std::max<std::size_t>(rn * 2, 1));
+  const std::size_t slot_mask = cap - 1;
+  std::vector<std::uint32_t> head(cap, kNoRow);
+  std::vector<std::uint32_t> next(rn);
+  for (std::size_t r = rn; r > 0;) {
+    --r;
+    const std::size_t slot = rh[r] & slot_mask;
+    next[r] = head[slot];
+    head[slot] = static_cast<std::uint32_t>(r);
   }
 
-  // Probe side: left table.
-  const std::size_t left_width = left.num_columns();
-  for (std::size_t l = 0; l < left.num_rows(); ++l) {
-    auto it = build.find(EncodeKey(lcols, l));
-    if (it == build.end()) continue;
-    for (std::size_t r : it->second) {
-      for (std::size_t c = 0; c < left_width; ++c) {
-        out.mutable_column(c).AppendFrom(left.column(c), l);
-      }
-      for (std::size_t k = 0; k < right_cols_kept.size(); ++k) {
-        out.mutable_column(left_width + k)
-            .AppendFrom(right.column(right_cols_kept[k]), r);
+  // Probe side: collect matching (left, right) row pairs, then gather
+  // both sides column-at-a-time instead of appending cell-by-cell.
+  const std::vector<std::uint64_t> lh = HashKeyRows(lcols, ln);
+  std::vector<std::uint32_t> match_left;
+  std::vector<std::uint32_t> match_right;
+  match_left.reserve(ln);
+  match_right.reserve(ln);
+  for (std::size_t l = 0; l < ln; ++l) {
+    for (std::uint32_t r = head[lh[l] & slot_mask]; r != kNoRow;
+         r = next[r]) {
+      if (rh[r] == lh[l] && KeyRowsEqual(lcols, l, rcols, r)) {
+        match_left.push_back(static_cast<std::uint32_t>(l));
+        match_right.push_back(r);
       }
     }
+  }
+
+  const std::size_t left_width = left.num_columns();
+  for (std::size_t c = 0; c < left_width; ++c) {
+    out.mutable_column(c).GatherFrom(left.column(c), match_left);
+  }
+  for (std::size_t k = 0; k < right_cols_kept.size(); ++k) {
+    out.mutable_column(left_width + k)
+        .GatherFrom(right.column(right_cols_kept[k]), match_right);
   }
   out.SyncRowCount();
   return out;
 }
 
 namespace {
-
-/// Accumulator for one (group, aggregate) pair.
-struct AggState {
-  double sum = 0.0;
-  std::int64_t isum = 0;
-  std::int64_t count = 0;
-  bool has_value = false;
-  Value min_value;
-  Value max_value;
-};
 
 DataType AggOutputType(const AggSpec& spec, const Schema& schema) {
   switch (spec.func) {
@@ -167,76 +239,61 @@ Table AggregateTable(const Table& input,
                      const std::vector<std::string>& group_keys,
                      const std::vector<AggSpec>& aggregates) {
   const auto key_cols = ResolveColumns(input, group_keys);
+  const std::size_t n = input.num_rows();
 
-  // Pre-evaluate aggregate arguments column-at-a-time.
-  std::vector<Column> args;
-  args.reserve(aggregates.size());
-  for (const AggSpec& spec : aggregates) {
-    if (spec.func == AggSpec::Func::kCount) {
-      args.emplace_back(DataType::kInt64);  // unused placeholder
-    } else {
-      args.push_back(EvalExpr(*spec.arg, input));
+  // Pre-evaluate aggregate arguments column-at-a-time (borrowing the
+  // input column outright for plain Col(...) arguments).
+  std::vector<EvalRef> args(aggregates.size());
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    if (aggregates[a].func != AggSpec::Func::kCount) {
+      args[a] = EvalExprBorrow(*aggregates[a].arg, input);
     }
   }
 
-  // Group rows.
-  std::unordered_map<std::string, std::size_t> group_of;
-  std::vector<std::size_t> representative_row;
-  std::vector<std::vector<AggState>> states;
+  // Pass 1 — group assignment. An incremental chained hash table over
+  // typed FNV key hashes maps every row to a dense group id; groups are
+  // numbered in first-occurrence order (the scalar reference's output
+  // order). No per-row allocation: the scalar path built a std::string
+  // key per row here.
   const bool global = group_keys.empty();
+  std::vector<std::uint32_t> group_of_row(n);
+  std::vector<std::uint32_t> representative;  // first row of each group
   if (global) {
-    group_of.emplace("", 0);
-    representative_row.push_back(0);
-    states.emplace_back(aggregates.size());
-  }
-  for (std::size_t r = 0; r < input.num_rows(); ++r) {
-    std::size_t g;
-    if (global) {
-      g = 0;
-    } else {
-      const std::string key = EncodeKey(key_cols, r);
-      auto [it, inserted] = group_of.emplace(key, states.size());
-      if (inserted) {
-        representative_row.push_back(r);
-        states.emplace_back(aggregates.size());
+    representative.push_back(0);
+    std::fill(group_of_row.begin(), group_of_row.end(), 0u);
+  } else {
+    const std::vector<std::uint64_t> h = HashKeyRows(key_cols, n);
+    const std::size_t cap = NextPow2(std::max<std::size_t>(n * 2, 1));
+    const std::size_t slot_mask = cap - 1;
+    std::vector<std::uint32_t> head(cap, kNoRow);
+    std::vector<std::uint32_t> next_group;
+    std::vector<std::uint64_t> group_hash;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t slot = h[r] & slot_mask;
+      std::uint32_t g = head[slot];
+      while (g != kNoRow &&
+             !(group_hash[g] == h[r] &&
+               KeyRowsEqual(key_cols, r, key_cols, representative[g]))) {
+        g = next_group[g];
       }
-      g = it->second;
-    }
-    for (std::size_t a = 0; a < aggregates.size(); ++a) {
-      AggState& st = states[g][a];
-      st.count++;
-      if (aggregates[a].func == AggSpec::Func::kCount) continue;
-      const Column& arg = args[a];
-      switch (aggregates[a].func) {
-        case AggSpec::Func::kSum:
-        case AggSpec::Func::kAvg:
-          if (arg.type() == DataType::kInt64) {
-            st.isum += arg.GetInt(r);
-            st.sum += static_cast<double>(arg.GetInt(r));
-          } else {
-            st.sum += arg.NumericAt(r);
-          }
-          break;
-        case AggSpec::Func::kMin:
-        case AggSpec::Func::kMax: {
-          const Value v = arg.GetValue(r);
-          if (!st.has_value) {
-            st.min_value = v;
-            st.max_value = v;
-            st.has_value = true;
-          } else {
-            if (CompareValues(v, st.min_value) < 0) st.min_value = v;
-            if (CompareValues(v, st.max_value) > 0) st.max_value = v;
-          }
-          break;
-        }
-        case AggSpec::Func::kCount:
-          break;
+      if (g == kNoRow) {
+        g = static_cast<std::uint32_t>(representative.size());
+        representative.push_back(static_cast<std::uint32_t>(r));
+        group_hash.push_back(h[r]);
+        next_group.push_back(head[slot]);
+        head[slot] = g;
       }
+      group_of_row[r] = g;
     }
   }
+  const std::size_t num_groups = representative.size();
 
-  // Assemble output.
+  // Shared row counts per group (what AggState::count accumulated for
+  // every aggregate in the scalar path).
+  std::vector<std::int64_t> counts(num_groups, 0);
+  for (std::size_t r = 0; r < n; ++r) counts[group_of_row[r]]++;
+
+  // Output schema.
   std::vector<Field> fields;
   for (const std::string& k : group_keys) {
     const std::int32_t i = input.schema().IndexOf(k);
@@ -247,58 +304,158 @@ Table AggregateTable(const Table& input,
     fields.push_back(
         Field{spec.output_name, AggOutputType(spec, input.schema())});
   }
-  Table out = Table::Empty(Schema(std::move(fields)));
-  const std::size_t num_groups =
-      global && input.num_rows() == 0 ? 1 : states.size();
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    for (std::size_t k = 0; k < group_keys.size(); ++k) {
-      out.mutable_column(k).AppendFrom(*key_cols[k], representative_row[g]);
-    }
-    for (std::size_t a = 0; a < aggregates.size(); ++a) {
-      const AggState& st = states[g][a];
-      Column& col = out.mutable_column(group_keys.size() + a);
-      switch (aggregates[a].func) {
-        case AggSpec::Func::kCount:
-          col.AppendInt(st.count);
-          break;
-        case AggSpec::Func::kSum:
-          if (col.type() == DataType::kInt64) {
-            col.AppendInt(st.isum);
-          } else {
-            col.AppendDouble(st.sum);
+  Schema schema(std::move(fields));
+
+  // Group key columns: gather each key's representative rows in bulk.
+  std::vector<Column> columns;
+  columns.reserve(schema.num_fields());
+  for (std::size_t k = 0; k < group_keys.size(); ++k) {
+    Column col(key_cols[k]->type());
+    col.GatherFrom(*key_cols[k], representative);
+    columns.push_back(std::move(col));
+  }
+
+  // Pass 2 — one tight typed accumulation loop per aggregate. Updates
+  // run in row order per group, so floating-point sums are bit-identical
+  // to the scalar reference's row-at-a-time accumulation.
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    const DataType out_type =
+        schema.field(group_keys.size() + a).type;
+    const std::uint32_t* gid = group_of_row.data();
+    switch (spec.func) {
+      case AggSpec::Func::kCount:
+        columns.push_back(Column::FromInts(
+            std::vector<std::int64_t>(counts.begin(), counts.end())));
+        break;
+      case AggSpec::Func::kSum:
+      case AggSpec::Func::kAvg: {
+        const Column& arg = args[a].col();
+        if (arg.type() == DataType::kString && n > 0) {
+          throw std::invalid_argument("NumericAt: string column");
+        }
+        std::vector<double> sum(num_groups, 0.0);
+        std::vector<std::int64_t> isum;
+        if (arg.type() == DataType::kInt64) {
+          isum.assign(num_groups, 0);
+          const std::int64_t* v = arg.ints().data();
+          for (std::size_t r = 0; r < n; ++r) {
+            isum[gid[r]] += v[r];
+            sum[gid[r]] += static_cast<double>(v[r]);
           }
-          break;
-        case AggSpec::Func::kAvg:
-          col.AppendDouble(st.count > 0
-                               ? st.sum / static_cast<double>(st.count)
-                               : 0.0);
-          break;
-        case AggSpec::Func::kMin:
-          col.AppendValue(st.has_value ? st.min_value
-                                       : Value{std::int64_t{0}});
-          break;
-        case AggSpec::Func::kMax:
-          col.AppendValue(st.has_value ? st.max_value
-                                       : Value{std::int64_t{0}});
-          break;
+        } else if (arg.type() == DataType::kFloat64) {
+          const double* v = arg.doubles().data();
+          for (std::size_t r = 0; r < n; ++r) sum[gid[r]] += v[r];
+        }
+        if (spec.func == AggSpec::Func::kAvg) {
+          std::vector<double> avg(num_groups);
+          for (std::size_t g = 0; g < num_groups; ++g) {
+            avg[g] = counts[g] > 0
+                         ? sum[g] / static_cast<double>(counts[g])
+                         : 0.0;
+          }
+          columns.push_back(Column::FromDoubles(std::move(avg)));
+        } else if (out_type == DataType::kInt64) {
+          columns.push_back(Column::FromInts(std::move(isum)));
+        } else {
+          columns.push_back(Column::FromDoubles(std::move(sum)));
+        }
+        break;
+      }
+      case AggSpec::Func::kMin:
+      case AggSpec::Func::kMax: {
+        const Column& arg = args[a].col();
+        const bool want_min = spec.func == AggSpec::Func::kMin;
+        std::vector<char> has(num_groups, 0);
+        switch (arg.type()) {
+          case DataType::kInt64: {
+            std::vector<std::int64_t> best(num_groups, 0);
+            const std::int64_t* v = arg.ints().data();
+            for (std::size_t r = 0; r < n; ++r) {
+              const std::uint32_t g = gid[r];
+              if (!has[g]) {
+                best[g] = v[r];
+                has[g] = 1;
+              } else if (want_min ? v[r] < best[g] : best[g] < v[r]) {
+                best[g] = v[r];
+              }
+            }
+            columns.push_back(Column::FromInts(std::move(best)));
+            break;
+          }
+          case DataType::kFloat64: {
+            // The replace rule mirrors CompareValues: strictly-less /
+            // strictly-greater, so NaNs never replace an incumbent.
+            std::vector<double> best(num_groups, 0.0);
+            const double* v = arg.doubles().data();
+            for (std::size_t r = 0; r < n; ++r) {
+              const std::uint32_t g = gid[r];
+              if (!has[g]) {
+                best[g] = v[r];
+                has[g] = 1;
+              } else if (want_min ? v[r] < best[g] : best[g] < v[r]) {
+                best[g] = v[r];
+              }
+            }
+            columns.push_back(Column::FromDoubles(std::move(best)));
+            break;
+          }
+          case DataType::kString: {
+            std::vector<std::string> best(num_groups);
+            const std::string* v = arg.strings().data();
+            for (std::size_t r = 0; r < n; ++r) {
+              const std::uint32_t g = gid[r];
+              if (!has[g]) {
+                best[g] = v[r];
+                has[g] = 1;
+              } else if (want_min ? v[r] < best[g] : best[g] < v[r]) {
+                best[g] = v[r];
+              }
+            }
+            columns.push_back(Column::FromStrings(std::move(best)));
+            break;
+          }
+        }
+        break;
       }
     }
   }
-  out.SyncRowCount();
-  return out;
+  return Table(std::move(schema), std::move(columns));
 }
 
 Table SortTable(const Table& input, const std::vector<std::string>& keys,
                 const std::vector<bool>& descending) {
   const auto key_cols = ResolveColumns(input, keys);
-  std::vector<std::size_t> perm(input.num_rows());
-  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::uint32_t> perm(input.num_rows());
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Typed three-way compare per key — no per-comparison Value boxing
+  // (the scalar reference allocated a std::string per string-key
+  // comparison through Column::GetValue).
+  auto compare_key = [](const Column& c, std::uint32_t a,
+                        std::uint32_t b) -> int {
+    switch (c.type()) {
+      case DataType::kInt64: {
+        const std::int64_t va = c.ints()[a];
+        const std::int64_t vb = c.ints()[b];
+        return va < vb ? -1 : (vb < va ? 1 : 0);
+      }
+      case DataType::kFloat64: {
+        const double va = c.doubles()[a];
+        const double vb = c.doubles()[b];
+        return va < vb ? -1 : (vb < va ? 1 : 0);
+      }
+      case DataType::kString: {
+        const std::string& va = c.strings()[a];
+        const std::string& vb = c.strings()[b];
+        return va < vb ? -1 : (vb < va ? 1 : 0);
+      }
+    }
+    return 0;
+  };
   std::stable_sort(perm.begin(), perm.end(),
-                   [&](std::size_t a, std::size_t b) {
+                   [&](std::uint32_t a, std::uint32_t b) {
                      for (std::size_t k = 0; k < key_cols.size(); ++k) {
-                       const int cmp = CompareValues(
-                           key_cols[k]->GetValue(a),
-                           key_cols[k]->GetValue(b));
+                       const int cmp = compare_key(*key_cols[k], a, b);
                        if (cmp != 0) {
                          const bool desc =
                              k < descending.size() && descending[k];
@@ -308,7 +465,7 @@ Table SortTable(const Table& input, const std::vector<std::string>& keys,
                      return false;
                    });
   Table out = Table::Empty(input.schema());
-  for (std::size_t r : perm) out.AppendRowFrom(input, r);
+  out.GatherRowsFrom(input, perm);
   return out;
 }
 
@@ -318,9 +475,7 @@ Table LimitTable(const Table& input, std::int64_t limit) {
     return input;
   }
   Table out = Table::Empty(input.schema());
-  for (std::size_t r = 0; r < static_cast<std::size_t>(limit); ++r) {
-    out.AppendRowFrom(input, r);
-  }
+  out.AppendRangeFrom(input, 0, static_cast<std::size_t>(limit));
   return out;
 }
 
@@ -329,9 +484,7 @@ Table UnionAllTables(const Table& left, const Table& right) {
     throw std::invalid_argument("UnionAll: schema mismatch");
   }
   Table out = left;
-  for (std::size_t r = 0; r < right.num_rows(); ++r) {
-    out.AppendRowFrom(right, r);
-  }
+  out.AppendRangeFrom(right, 0, right.num_rows());
   return out;
 }
 

@@ -9,6 +9,19 @@ namespace sc::engine {
 /// Physical operator implementations, one function per logical operator.
 /// All operators are blocking (materialize their full output), matching
 /// how a warehouse materializes each MV in one statement.
+///
+/// Execution is vectorized (MonetDB/X100-style, applied to blocking
+/// materialization): joins and aggregates hash typed composite keys with
+/// FNV over the raw column values (no per-row key allocation), filters
+/// produce selection vectors that are gathered column-at-a-time
+/// (Column::GatherFrom), and expressions evaluate through tight typed
+/// loops (engine/expr.h). The pre-vectorization row-at-a-time
+/// implementations are retained in engine/scalar_reference.h as the
+/// golden reference; tests/engine_vectorized_test.cc asserts every
+/// operator bit-identical against them (two documented exceptions where
+/// the scalar behaviour was a latent bug — int64 values beyond 2^53 now
+/// compare exactly instead of via double rounding, and empty-input
+/// global string MIN/MAX no longer throws; see scalar_reference.h).
 
 /// Rows of `input` where `predicate` evaluates non-zero.
 Table FilterTable(const Table& input, const Expr& predicate);

@@ -1,0 +1,483 @@
+#include "engine/scalar_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sc::engine::scalar {
+
+namespace {
+
+/// Serializes the values of `columns` at `row` into a byte string usable
+/// as a hash key (exact equality semantics; int64 values are encoded raw,
+/// doubles via their bit pattern, strings length-prefixed). This per-row
+/// allocation is exactly what the vectorized operators' typed FNV keys
+/// eliminate.
+std::string EncodeKey(const std::vector<const Column*>& columns,
+                      std::size_t row) {
+  std::string key;
+  key.reserve(columns.size() * 9);
+  for (const Column* c : columns) {
+    switch (c->type()) {
+      case DataType::kInt64: {
+        const std::int64_t v = c->GetInt(row);
+        key.push_back('i');
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kFloat64: {
+        const double v = c->GetDouble(row);
+        key.push_back('d');
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& v = c->GetString(row);
+        const std::uint32_t len = static_cast<std::uint32_t>(v.size());
+        key.push_back('s');
+        key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        key.append(v);
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+std::vector<const Column*> ResolveColumns(
+    const Table& table, const std::vector<std::string>& names) {
+  std::vector<const Column*> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    out.push_back(&table.column(name));
+  }
+  return out;
+}
+
+bool IsComparison(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kLt:
+    case Expr::Op::kLe:
+    case Expr::Op::kGt:
+    case Expr::Op::kGe:
+    case Expr::Op::kEq:
+    case Expr::Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(Expr::Op op) {
+  return op == Expr::Op::kAnd || op == Expr::Op::kOr || op == Expr::Op::kNot;
+}
+
+Column Eval(const Expr& expr, const Table& input);
+
+Column EvalBinary(const Expr& expr, const Table& input) {
+  const Column lhs = Eval(*expr.left, input);
+  const Column rhs = Eval(*expr.right, input);
+  const std::size_t n = input.num_rows();
+
+  if (IsComparison(expr.op)) {
+    std::vector<std::int64_t> out(n);
+    const bool strings = lhs.type() == DataType::kString;
+    if (strings != (rhs.type() == DataType::kString)) {
+      throw std::invalid_argument("comparison of string vs numeric");
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      int cmp;
+      if (strings) {
+        const auto& a = lhs.GetString(r);
+        const auto& b = rhs.GetString(r);
+        cmp = a < b ? -1 : (b < a ? 1 : 0);
+      } else {
+        const double a = lhs.NumericAt(r);
+        const double b = rhs.NumericAt(r);
+        cmp = a < b ? -1 : (b < a ? 1 : 0);
+      }
+      bool v = false;
+      switch (expr.op) {
+        case Expr::Op::kLt: v = cmp < 0; break;
+        case Expr::Op::kLe: v = cmp <= 0; break;
+        case Expr::Op::kGt: v = cmp > 0; break;
+        case Expr::Op::kGe: v = cmp >= 0; break;
+        case Expr::Op::kEq: v = cmp == 0; break;
+        case Expr::Op::kNe: v = cmp != 0; break;
+        default: break;
+      }
+      out[r] = v ? 1 : 0;
+    }
+    return Column::FromInts(std::move(out));
+  }
+
+  if (IsLogical(expr.op)) {
+    std::vector<std::int64_t> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const bool a = lhs.NumericAt(r) != 0;
+      const bool b = rhs.NumericAt(r) != 0;
+      out[r] = (expr.op == Expr::Op::kAnd ? (a && b) : (a || b)) ? 1 : 0;
+    }
+    return Column::FromInts(std::move(out));
+  }
+
+  // Arithmetic.
+  if (lhs.type() == DataType::kString || rhs.type() == DataType::kString) {
+    throw std::invalid_argument("arithmetic on string column");
+  }
+  const bool as_double = expr.op == Expr::Op::kDiv ||
+                         lhs.type() == DataType::kFloat64 ||
+                         rhs.type() == DataType::kFloat64;
+  if (as_double) {
+    std::vector<double> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = lhs.NumericAt(r);
+      const double b = rhs.NumericAt(r);
+      switch (expr.op) {
+        case Expr::Op::kAdd: out[r] = a + b; break;
+        case Expr::Op::kSub: out[r] = a - b; break;
+        case Expr::Op::kMul: out[r] = a * b; break;
+        case Expr::Op::kDiv: out[r] = b != 0 ? a / b : 0.0; break;
+        case Expr::Op::kMod: out[r] = b != 0 ? std::fmod(a, b) : 0.0; break;
+        default: throw std::logic_error("bad arithmetic op");
+      }
+    }
+    return Column::FromDoubles(std::move(out));
+  }
+  std::vector<std::int64_t> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::int64_t a = lhs.GetInt(r);
+    const std::int64_t b = rhs.GetInt(r);
+    switch (expr.op) {
+      case Expr::Op::kAdd: out[r] = a + b; break;
+      case Expr::Op::kSub: out[r] = a - b; break;
+      case Expr::Op::kMul: out[r] = a * b; break;
+      case Expr::Op::kMod: out[r] = b != 0 ? a % b : 0; break;
+      default: throw std::logic_error("bad arithmetic op");
+    }
+  }
+  return Column::FromInts(std::move(out));
+}
+
+Column Eval(const Expr& expr, const Table& input) {
+  const std::size_t n = input.num_rows();
+  switch (expr.kind) {
+    case Expr::Kind::kColumn:
+      return input.column(expr.column_name);
+    case Expr::Kind::kLiteral: {
+      Column out(TypeOf(expr.literal));
+      out.Reserve(n);
+      for (std::size_t r = 0; r < n; ++r) out.AppendValue(expr.literal);
+      return out;
+    }
+    case Expr::Kind::kUnary: {
+      const Column child = Eval(*expr.left, input);
+      if (expr.op == Expr::Op::kNot) {
+        std::vector<std::int64_t> out(n);
+        for (std::size_t r = 0; r < n; ++r) {
+          out[r] = child.NumericAt(r) == 0 ? 1 : 0;
+        }
+        return Column::FromInts(std::move(out));
+      }
+      // kNeg
+      if (child.type() == DataType::kInt64) {
+        std::vector<std::int64_t> out(n);
+        for (std::size_t r = 0; r < n; ++r) out[r] = -child.GetInt(r);
+        return Column::FromInts(std::move(out));
+      }
+      std::vector<double> out(n);
+      for (std::size_t r = 0; r < n; ++r) out[r] = -child.NumericAt(r);
+      return Column::FromDoubles(std::move(out));
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, input);
+  }
+  throw std::logic_error("Eval: bad expr kind");
+}
+
+/// Accumulator for one (group, aggregate) pair.
+struct AggState {
+  double sum = 0.0;
+  std::int64_t isum = 0;
+  std::int64_t count = 0;
+  bool has_value = false;
+  Value min_value;
+  Value max_value;
+};
+
+DataType AggOutputType(const AggSpec& spec, const Schema& schema) {
+  switch (spec.func) {
+    case AggSpec::Func::kCount:
+      return DataType::kInt64;
+    case AggSpec::Func::kAvg:
+      return DataType::kFloat64;
+    case AggSpec::Func::kSum: {
+      return ResultType(*spec.arg, schema) == DataType::kInt64
+                 ? DataType::kInt64
+                 : DataType::kFloat64;
+    }
+    case AggSpec::Func::kMin:
+    case AggSpec::Func::kMax:
+      return ResultType(*spec.arg, schema);
+  }
+  return DataType::kFloat64;
+}
+
+}  // namespace
+
+Column EvalExprScalar(const Expr& expr, const Table& input) {
+  return Eval(expr, input);
+}
+
+Table FilterTableScalar(const Table& input, const Expr& predicate) {
+  const Column mask = EvalExprScalar(predicate, input);
+  Table out = Table::Empty(input.schema());
+  for (std::size_t r = 0; r < input.num_rows(); ++r) {
+    if (mask.NumericAt(r) != 0) out.AppendRowFrom(input, r);
+  }
+  return out;
+}
+
+Table ProjectTableScalar(const Table& input,
+                         const std::vector<NamedExpr>& exprs) {
+  std::vector<Field> fields;
+  std::vector<Column> columns;
+  fields.reserve(exprs.size());
+  columns.reserve(exprs.size());
+  for (const NamedExpr& ne : exprs) {
+    Column col = EvalExprScalar(*ne.expr, input);
+    fields.push_back(Field{ne.name, col.type()});
+    columns.push_back(std::move(col));
+  }
+  return Table(Schema(std::move(fields)), std::move(columns));
+}
+
+Table HashJoinTablesScalar(const Table& left, const Table& right,
+                           const std::vector<std::string>& left_keys,
+                           const std::vector<std::string>& right_keys) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    throw std::invalid_argument("HashJoin: bad key lists");
+  }
+  const auto lcols = ResolveColumns(left, left_keys);
+  const auto rcols = ResolveColumns(right, right_keys);
+  for (std::size_t k = 0; k < lcols.size(); ++k) {
+    if (lcols[k]->type() != rcols[k]->type()) {
+      throw std::invalid_argument("HashJoin: key type mismatch on '" +
+                                  left_keys[k] + "'");
+    }
+  }
+
+  // Output schema: all left fields, plus right fields with fresh names.
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<std::size_t> right_cols_kept;
+  for (std::size_t c = 0; c < right.schema().num_fields(); ++c) {
+    const Field& f = right.schema().field(c);
+    if (left.schema().Contains(f.name)) continue;  // de-duplicate keys
+    fields.push_back(f);
+    right_cols_kept.push_back(c);
+  }
+  Table out = Table::Empty(Schema(std::move(fields)));
+
+  // Build side: right table.
+  std::unordered_map<std::string, std::vector<std::size_t>> build;
+  build.reserve(right.num_rows() * 2);
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    build[EncodeKey(rcols, r)].push_back(r);
+  }
+
+  // Probe side: left table.
+  const std::size_t left_width = left.num_columns();
+  for (std::size_t l = 0; l < left.num_rows(); ++l) {
+    auto it = build.find(EncodeKey(lcols, l));
+    if (it == build.end()) continue;
+    for (std::size_t r : it->second) {
+      for (std::size_t c = 0; c < left_width; ++c) {
+        out.mutable_column(c).AppendFrom(left.column(c), l);
+      }
+      for (std::size_t k = 0; k < right_cols_kept.size(); ++k) {
+        out.mutable_column(left_width + k)
+            .AppendFrom(right.column(right_cols_kept[k]), r);
+      }
+    }
+  }
+  out.SyncRowCount();
+  return out;
+}
+
+Table AggregateTableScalar(const Table& input,
+                           const std::vector<std::string>& group_keys,
+                           const std::vector<AggSpec>& aggregates) {
+  const auto key_cols = ResolveColumns(input, group_keys);
+
+  // Pre-evaluate aggregate arguments column-at-a-time.
+  std::vector<Column> args;
+  args.reserve(aggregates.size());
+  for (const AggSpec& spec : aggregates) {
+    if (spec.func == AggSpec::Func::kCount) {
+      args.emplace_back(DataType::kInt64);  // unused placeholder
+    } else {
+      args.push_back(EvalExprScalar(*spec.arg, input));
+    }
+  }
+
+  // Group rows.
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::vector<std::size_t> representative_row;
+  std::vector<std::vector<AggState>> states;
+  const bool global = group_keys.empty();
+  if (global) {
+    group_of.emplace("", 0);
+    representative_row.push_back(0);
+    states.emplace_back(aggregates.size());
+  }
+  for (std::size_t r = 0; r < input.num_rows(); ++r) {
+    std::size_t g;
+    if (global) {
+      g = 0;
+    } else {
+      const std::string key = EncodeKey(key_cols, r);
+      auto [it, inserted] = group_of.emplace(key, states.size());
+      if (inserted) {
+        representative_row.push_back(r);
+        states.emplace_back(aggregates.size());
+      }
+      g = it->second;
+    }
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      AggState& st = states[g][a];
+      st.count++;
+      if (aggregates[a].func == AggSpec::Func::kCount) continue;
+      const Column& arg = args[a];
+      switch (aggregates[a].func) {
+        case AggSpec::Func::kSum:
+        case AggSpec::Func::kAvg:
+          if (arg.type() == DataType::kInt64) {
+            st.isum += arg.GetInt(r);
+            st.sum += static_cast<double>(arg.GetInt(r));
+          } else {
+            st.sum += arg.NumericAt(r);
+          }
+          break;
+        case AggSpec::Func::kMin:
+        case AggSpec::Func::kMax: {
+          const Value v = arg.GetValue(r);
+          if (!st.has_value) {
+            st.min_value = v;
+            st.max_value = v;
+            st.has_value = true;
+          } else {
+            if (CompareValues(v, st.min_value) < 0) st.min_value = v;
+            if (CompareValues(v, st.max_value) > 0) st.max_value = v;
+          }
+          break;
+        }
+        case AggSpec::Func::kCount:
+          break;
+      }
+    }
+  }
+
+  // Assemble output.
+  std::vector<Field> fields;
+  for (const std::string& k : group_keys) {
+    const std::int32_t i = input.schema().IndexOf(k);
+    if (i < 0) throw std::invalid_argument("Aggregate: unknown key " + k);
+    fields.push_back(input.schema().field(static_cast<std::size_t>(i)));
+  }
+  for (const AggSpec& spec : aggregates) {
+    fields.push_back(
+        Field{spec.output_name, AggOutputType(spec, input.schema())});
+  }
+  Table out = Table::Empty(Schema(std::move(fields)));
+  const std::size_t num_groups =
+      global && input.num_rows() == 0 ? 1 : states.size();
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (std::size_t k = 0; k < group_keys.size(); ++k) {
+      out.mutable_column(k).AppendFrom(*key_cols[k], representative_row[g]);
+    }
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      const AggState& st = states[g][a];
+      Column& col = out.mutable_column(group_keys.size() + a);
+      switch (aggregates[a].func) {
+        case AggSpec::Func::kCount:
+          col.AppendInt(st.count);
+          break;
+        case AggSpec::Func::kSum:
+          if (col.type() == DataType::kInt64) {
+            col.AppendInt(st.isum);
+          } else {
+            col.AppendDouble(st.sum);
+          }
+          break;
+        case AggSpec::Func::kAvg:
+          col.AppendDouble(st.count > 0
+                               ? st.sum / static_cast<double>(st.count)
+                               : 0.0);
+          break;
+        case AggSpec::Func::kMin:
+          col.AppendValue(st.has_value ? st.min_value
+                                       : Value{std::int64_t{0}});
+          break;
+        case AggSpec::Func::kMax:
+          col.AppendValue(st.has_value ? st.max_value
+                                       : Value{std::int64_t{0}});
+          break;
+      }
+    }
+  }
+  out.SyncRowCount();
+  return out;
+}
+
+Table SortTableScalar(const Table& input,
+                      const std::vector<std::string>& keys,
+                      const std::vector<bool>& descending) {
+  const auto key_cols = ResolveColumns(input, keys);
+  std::vector<std::size_t> perm(input.num_rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (std::size_t k = 0; k < key_cols.size(); ++k) {
+                       const int cmp = CompareValues(
+                           key_cols[k]->GetValue(a),
+                           key_cols[k]->GetValue(b));
+                       if (cmp != 0) {
+                         const bool desc =
+                             k < descending.size() && descending[k];
+                         return desc ? cmp > 0 : cmp < 0;
+                       }
+                     }
+                     return false;
+                   });
+  Table out = Table::Empty(input.schema());
+  for (std::size_t r : perm) out.AppendRowFrom(input, r);
+  return out;
+}
+
+Table LimitTableScalar(const Table& input, std::int64_t limit) {
+  if (limit < 0 ||
+      static_cast<std::size_t>(limit) >= input.num_rows()) {
+    return input;
+  }
+  Table out = Table::Empty(input.schema());
+  for (std::size_t r = 0; r < static_cast<std::size_t>(limit); ++r) {
+    out.AppendRowFrom(input, r);
+  }
+  return out;
+}
+
+Table UnionAllTablesScalar(const Table& left, const Table& right) {
+  if (!(left.schema() == right.schema())) {
+    throw std::invalid_argument("UnionAll: schema mismatch");
+  }
+  Table out = left;
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    out.AppendRowFrom(right, r);
+  }
+  return out;
+}
+
+}  // namespace sc::engine::scalar

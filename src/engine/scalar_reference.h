@@ -1,0 +1,54 @@
+#ifndef SC_ENGINE_SCALAR_REFERENCE_H_
+#define SC_ENGINE_SCALAR_REFERENCE_H_
+
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace sc::engine::scalar {
+
+/// The pre-vectorization row-at-a-time operator implementations, retained
+/// verbatim as the golden reference: string-encoded hash keys
+/// (one std::string allocation per input row), cell-by-cell
+/// Column::AppendFrom output materialization, and per-row Value-based
+/// expression evaluation. The vectorized operators in operators.cc are
+/// asserted bit-identical to these (tests/engine_vectorized_test.cc), and
+/// bench_engine_operators measures old-vs-new throughput against them.
+/// Never call these from production code paths.
+///
+/// Two deliberate divergences where the scalar path's behaviour was a
+/// latent bug (both pinned in engine_vectorized_test):
+///  - int64 comparisons/min/max/sort here route through double
+///    (NumericAt / CompareValues), silently rounding |v| >= 2^53; the
+///    vectorized engine compares int64 exactly. Identical results for
+///    every exactly-representable value.
+///  - global (no group keys) MIN/MAX over a string column of an empty
+///    table throws bad_variant_access here (AppendValue of the int64
+///    placeholder into a string column); the vectorized engine returns
+///    one row with an empty string.
+
+Column EvalExprScalar(const Expr& expr, const Table& input);
+
+Table FilterTableScalar(const Table& input, const Expr& predicate);
+
+Table ProjectTableScalar(const Table& input,
+                         const std::vector<NamedExpr>& exprs);
+
+Table HashJoinTablesScalar(const Table& left, const Table& right,
+                           const std::vector<std::string>& left_keys,
+                           const std::vector<std::string>& right_keys);
+
+Table AggregateTableScalar(const Table& input,
+                           const std::vector<std::string>& group_keys,
+                           const std::vector<AggSpec>& aggregates);
+
+Table SortTableScalar(const Table& input,
+                      const std::vector<std::string>& keys,
+                      const std::vector<bool>& descending);
+
+Table LimitTableScalar(const Table& input, std::int64_t limit);
+
+Table UnionAllTablesScalar(const Table& left, const Table& right);
+
+}  // namespace sc::engine::scalar
+
+#endif  // SC_ENGINE_SCALAR_REFERENCE_H_

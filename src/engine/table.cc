@@ -61,6 +61,22 @@ void Table::AppendRowFrom(const Table& other, std::size_t row) {
   ++num_rows_;
 }
 
+void Table::GatherRowsFrom(const Table& other,
+                           const std::vector<std::uint32_t>& rows) {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].GatherFrom(other.columns_[c], rows);
+  }
+  num_rows_ += rows.size();
+}
+
+void Table::AppendRangeFrom(const Table& other, std::size_t begin,
+                            std::size_t end) {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendRangeFrom(other.columns_[c], begin, end);
+  }
+  num_rows_ += end - begin;
+}
+
 void Table::SyncRowCount() {
   num_rows_ = columns_.empty() ? 0 : columns_[0].size();
   for (const Column& c : columns_) {

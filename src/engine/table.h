@@ -64,6 +64,16 @@ class Table {
   /// Appends row `row` of `other` (same schema) to this table.
   void AppendRowFrom(const Table& other, std::size_t row);
 
+  /// Bulk row gather: appends `other`'s rows listed in `rows` (in order),
+  /// column-at-a-time. The vectorized materialization path for selection
+  /// vectors (filter) and sort permutations.
+  void GatherRowsFrom(const Table& other,
+                      const std::vector<std::uint32_t>& rows);
+
+  /// Bulk range append of `other`'s rows [begin, end), column-at-a-time.
+  void AppendRangeFrom(const Table& other, std::size_t begin,
+                       std::size_t end);
+
   /// Recomputes num_rows after direct column mutation; throws
   /// std::logic_error if columns disagree on length.
   void SyncRowCount();

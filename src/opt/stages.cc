@@ -1,6 +1,7 @@
 #include "opt/stages.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -62,6 +63,41 @@ std::size_t StageWidth(const graph::Graph& g, const graph::Order& order) {
     widest = std::max(widest, ++counts[static_cast<std::size_t>(stage)]);
   }
   return widest;
+}
+
+std::vector<double> EstimateNodeSeconds(const graph::Graph& g,
+                                        const FlagSet& flags,
+                                        const cost::CostModel& model,
+                                        bool charge_io) {
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> seconds(n, 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const graph::NodeInfo& info = g.node(v);
+    if (info.compute_seconds <= 0.0 && info.size_bytes <= 0) {
+      // Never profiled: cost unknown — assume large.
+      seconds[static_cast<std::size_t>(v)] =
+          std::numeric_limits<double>::infinity();
+      continue;
+    }
+    double est = info.compute_seconds;
+    if (charge_io) {
+      std::int64_t read_bytes = std::max<std::int64_t>(
+          0, info.base_input_bytes);
+      for (const graph::NodeId p : g.parents(v)) {
+        read_bytes += std::max<std::int64_t>(0, g.node(p).size_bytes);
+      }
+      const bool flagged = static_cast<std::size_t>(v) < flags.size() &&
+                           flags[static_cast<std::size_t>(v)];
+      // Flagged outputs enter the Memory Catalog and write in the
+      // background — only unflagged nodes block the lane on the write.
+      const std::int64_t write_bytes =
+          flagged ? 0 : std::max<std::int64_t>(0, info.size_bytes);
+      est = model.NodeExecSeconds(info.compute_seconds, read_bytes,
+                                  write_bytes, info.file_count);
+    }
+    seconds[static_cast<std::size_t>(v)] = est;
+  }
+  return seconds;
 }
 
 std::string DescribeStages(const graph::Graph& g,

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "cost/cost_model.h"
 #include "opt/types.h"
 
 namespace sc::opt {
@@ -25,6 +26,20 @@ std::size_t StageWidth(const graph::Graph& g, const graph::Order& order);
 /// One line per stage ("stage 3 [width 4]: a b c d") for debugging.
 std::string DescribeStages(const graph::Graph& g,
                            const StageDecomposition& stages);
+
+/// Per-node wall-cost estimates feeding the runtime's inline-dispatch
+/// decision: seconds[v] = compute_seconds + (when `charge_io`) the
+/// modeled read of v's inputs (base bytes + parent output sizes) and —
+/// for unflagged nodes, whose write blocks the lane — the modeled output
+/// write. `charge_io` is false when storage runs at native speed (no
+/// throttle emulation), where only compute occupies the lane
+/// meaningfully. Nodes without execution metadata (never profiled)
+/// estimate to +infinity: with unknown cost the runtime must assume the
+/// node is large and keep it on a lane.
+std::vector<double> EstimateNodeSeconds(const graph::Graph& g,
+                                        const FlagSet& flags,
+                                        const cost::CostModel& model,
+                                        bool charge_io);
 
 }  // namespace sc::opt
 

@@ -198,9 +198,10 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
   // (the producer's write landed), so this run's durability never
   // depends on another tenant's in-flight write.
   bool reused_durable = false;
-  if (engine::TablePtr reused =
-          s.catalog.PinSharedOutput(stats.name, &reused_durable)) {
-    stats.output_bytes = reused->ByteSize();
+  std::int64_t reused_bytes = 0;
+  if (engine::TablePtr reused = s.catalog.PinSharedOutput(
+          stats.name, &reused_durable, &reused_bytes)) {
+    stats.output_bytes = reused_bytes;  // accounted size; no table walk
     stats.output_rows = reused->num_rows();
     stats.reused_cross_job = true;
     result.reused_durable = reused_durable;
@@ -331,6 +332,33 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
   report->nodes.push_back(std::move(stats));
 }
 
+/// Per-node inline-dispatch eligibility: true when the node's estimated
+/// wall cost (opt::EstimateNodeSeconds over the profiled graph metadata
+/// and the run's storage device) is at or below the configured
+/// threshold, so executing it on the coordinator thread beats paying the
+/// lane handoff. Unprofiled nodes estimate to +inf and stay on lanes.
+std::vector<char> InlineEligible(const RunState& s) {
+  const graph::Graph& g = s.wl.graph;
+  std::vector<char> ok(static_cast<std::size_t>(g.num_nodes()), 0);
+  const double threshold = s.options.inline_node_cost_seconds;
+  if (threshold <= 0) return ok;
+  const storage::DiskProfile& dp = s.disk->profile();
+  cost::DeviceProfile device;
+  device.disk_read_bw = dp.read_bw;
+  device.disk_write_bw = dp.write_bw;
+  device.disk_latency = dp.latency;
+  // ThrottledDisk emulates bandwidth + latency only; the cost model's
+  // per-table open/commit overheads are not lane-occupancy time here.
+  device.table_read_overhead = 0.0;
+  device.table_write_overhead = 0.0;
+  const std::vector<double> est = opt::EstimateNodeSeconds(
+      g, s.plan.flags, cost::CostModel(device), dp.throttle);
+  for (std::size_t v = 0; v < est.size(); ++v) {
+    ok[v] = est[v] <= threshold ? 1 : 0;
+  }
+  return ok;
+}
+
 /// Blocks until every background materialization finished, rethrowing the
 /// first failure.
 void AwaitMaterializations(RunState& s) {
@@ -361,6 +389,13 @@ void RunSequential(RunState& s, RunReport* report) {
 /// nodes. Availability is equally decoupled: an unflagged node's children
 /// are released the moment its write completes, before its publish slot.
 ///
+/// Small nodes short-circuit the lane machinery entirely: a ready node
+/// whose estimated cost falls below ControllerOptions::
+/// inline_node_cost_seconds is queued to the coordinator itself, which
+/// executes it between publishes — same readiness rules, same
+/// reservation backpressure, same in-order publish, but no cross-thread
+/// handoff (RunReport::inlined_nodes counts these).
+///
 /// Dispatch of flagged nodes is backpressured by catalog reservations
 /// (estimated size) so that concurrently executing nodes cannot jointly
 /// overshoot the budget; when a reservation cannot be funded and the node
@@ -379,6 +414,12 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   std::size_t next_publish = 0;
   int executing = 0;
   std::string error;
+  // Below-threshold nodes queue here instead of going to a lane; the
+  // coordinator executes them itself between publishes (inline
+  // small-node dispatch). They count toward `executing` from dispatch to
+  // completion, like lane nodes.
+  const std::vector<char> inline_ok = InlineEligible(s);
+  std::deque<graph::NodeId> inline_ready;
   // Owned fallback for standalone Controllers (no service pool). Declared
   // after every piece of state its lane tasks touch: if the coordinator
   // unwinds, ~LanePool joins the lanes while scheduler / mutex / cv /
@@ -393,8 +434,12 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   // execution keeps flowing while the coordinator is blocked inside
   // PublishNode.
   std::function<void()> dispatch = [&] {
-    while (error.empty() && executing < lanes && scheduler.HasReady()) {
+    while (error.empty() && scheduler.HasReady()) {
       const graph::NodeId v = scheduler.PeekReady();
+      // Cheap nodes run inline on the coordinator and consume no lane;
+      // everything else waits for a free lane as before.
+      const bool run_inline = inline_ok[static_cast<std::size_t>(v)] != 0;
+      if (!run_inline && executing >= lanes) break;
       const std::string& name = g.node(v).name;
       if (s.plan.flags[v]) {
         const std::int64_t estimate =
@@ -422,6 +467,10 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
         }
       }
       ++executing;
+      if (run_inline) {
+        inline_ready.push_back(v);
+        continue;  // the coordinator picks it up (cv signaled by caller)
+      }
       pool->Submit([&s, &g, &mutex, &cv, &executing, &error, &completed,
                     &scheduler, &dispatch, v] {
         NodeResult result;
@@ -465,8 +514,40 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
       const graph::NodeId v = seq[next_publish];
       auto it = completed.find(v);
       if (it == completed.end()) {
+        // No publish possible yet: execute queued inline nodes here, on
+        // the coordinator thread — the whole point of inline dispatch is
+        // skipping the lane handoff for sub-threshold nodes.
+        if (!inline_ready.empty()) {
+          const graph::NodeId iv = inline_ready.front();
+          inline_ready.pop_front();
+          lock.unlock();
+          NodeResult result;
+          std::string exec_error;
+          try {
+            result = ExecuteNode(s, iv);
+          } catch (const std::exception& e) {
+            exec_error = e.what();
+          }
+          lock.lock();
+          --executing;
+          if (exec_error.empty()) {
+            ++report->inlined_nodes;
+            if (!s.plan.flags[iv]) scheduler.MarkAvailable(iv);
+            completed.emplace(iv, std::move(result));
+            try {
+              dispatch();
+            } catch (const std::exception& e) {
+              if (error.empty()) error = e.what();
+            }
+          } else {
+            s.catalog.CancelReservation(g.node(iv).name);
+            if (error.empty()) error = exec_error;
+          }
+          cv.notify_all();
+          continue;
+        }
         cv.wait(lock, [&] {
-          return !error.empty() ||
+          return !error.empty() || !inline_ready.empty() ||
                  completed.count(seq[next_publish]) > 0;
         });
         continue;
@@ -495,6 +576,15 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   } catch (const std::exception& e) {
     if (!lock.owns_lock()) lock.lock();
     if (error.empty()) error = e.what();
+  }
+  // Inline nodes still queued (error unwind) were never handed to a
+  // lane: release their execution claims here so the wait below and the
+  // liveness escape's executing==0 invariant stay truthful.
+  while (!inline_ready.empty()) {
+    const graph::NodeId v = inline_ready.front();
+    inline_ready.pop_front();
+    --executing;
+    if (s.plan.flags[v]) s.catalog.CancelReservation(g.node(v).name);
   }
   // Every submitted task must finish before the run state unwinds —
   // mandatory with a shared pool, where nothing joins on our behalf.

@@ -78,6 +78,24 @@ struct ControllerOptions {
   /// the classic sequential loop. Semantics are identical either way;
   /// the knob exists so tests can assert that equivalence.
   bool force_stage_runtime = false;
+  /// Inline small-node dispatch threshold (seconds). In parallel runs,
+  /// a ready node whose estimated wall cost (opt::EstimateNodeSeconds:
+  /// profiled compute plus modeled I/O under throttled storage) is at or
+  /// below this threshold executes on the coordinator thread itself
+  /// instead of being handed to a LanePool lane — for sub-millisecond
+  /// nodes the cross-thread handoff and wakeup cost more than the node,
+  /// which is what made lanes *lose* to the sequential loop on cheap
+  /// workloads. Nodes that were never profiled have unknown cost and
+  /// always go to a lane. <= 0 disables inlining. Inlined executions are
+  /// reported in RunReport::inlined_nodes; results, publish order, and
+  /// catalog behaviour are unaffected (stage_runtime_test asserts the
+  /// sequential-equivalence contract with the threshold active).
+  ///
+  /// The 1 ms default is ~10x the measured lane handoff + wakeup cost:
+  /// vectorized operator nodes at bench scale profile at 5-200 us (pure
+  /// dispatch overhead if offloaded), while I/O-bound nodes on throttled
+  /// storage estimate at several ms and keep their lane parallelism.
+  double inline_node_cost_seconds = 0.001;
   /// Service-wide executor pool the run borrows its execution lanes from
   /// (not owned; must outlive the Controller's runs). When null, parallel
   /// runs fall back to an owned pool constructed per run — the standalone
@@ -153,6 +171,10 @@ struct RunReport {
   /// (0 for sequential runs): how often concurrent lanes were held back
   /// to keep in-flight flagged outputs within the budget.
   std::int64_t reserve_denials = 0;
+  /// Nodes executed inline on the coordinator thread instead of a lane
+  /// (below-threshold estimated cost; 0 for sequential runs, which have
+  /// no handoff to skip).
+  std::int64_t inlined_nodes = 0;
   /// Resolutions and whole-node reuses served from the cross-job
   /// SharedCatalog (0 without one; subset of catalog_hits).
   std::int64_t cross_job_hits = 0;

@@ -303,6 +303,8 @@ JobResult RefreshService::Execute(Job& job) {
     controller_options.background_materialize =
         options_.background_materialize;
     controller_options.max_parallel_nodes = lanes;
+    controller_options.inline_node_cost_seconds =
+        options_.inline_node_cost_seconds;
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;

@@ -43,6 +43,11 @@ struct ServiceOptions {
   /// idle this long exit and are respawned on demand. <= 0 keeps idle
   /// lanes alive for the service's lifetime.
   double lane_idle_shutdown_seconds = 30.0;
+  /// Inline small-node dispatch threshold forwarded to every job's
+  /// Controller (ControllerOptions::inline_node_cost_seconds): parallel
+  /// runs execute nodes estimated at or below this many seconds on the
+  /// coordinator thread instead of a pool lane. <= 0 disables inlining.
+  double inline_node_cost_seconds = 0.001;
   /// Global Memory-Catalog bytes shared by all in-flight jobs.
   std::int64_t global_budget = 256LL * 1024 * 1024;
   /// Per-job budget request when the job does not name one. 0 = ask for

@@ -97,7 +97,8 @@ void MemoryCatalog::MarkSharedDurable(const std::string& name) {
 
 engine::TablePtr MemoryCatalog::SharedLookup(const std::string& name,
                                              bool count_hit,
-                                             bool* durable) const {
+                                             bool* durable,
+                                             std::int64_t* bytes) const {
   std::uint64_t key = 0;
   std::int64_t size = 0;
   engine::TablePtr table;
@@ -142,6 +143,7 @@ engine::TablePtr MemoryCatalog::SharedLookup(const std::string& name,
       }
     }
   }
+  if (table != nullptr && bytes != nullptr) *bytes = size;
   if (fresh_charged_pin && listener_) listener_(key, size, true);
   return table;
 }
@@ -168,8 +170,9 @@ engine::TablePtr MemoryCatalog::Get(const std::string& name) const {
 }
 
 engine::TablePtr MemoryCatalog::PinSharedOutput(const std::string& name,
-                                                bool* durable) {
-  return SharedLookup(name, /*count_hit=*/true, durable);
+                                                bool* durable,
+                                                std::int64_t* bytes) {
+  return SharedLookup(name, /*count_hit=*/true, durable, bytes);
 }
 
 bool MemoryCatalog::PinSharedInput(const std::string& name) {

@@ -103,8 +103,11 @@ class MemoryCatalog {
   /// their own write must check it). Returns nullptr without a shared
   /// layer, binding, or resident entry (no miss counted: the node is
   /// then simply executed).
+  /// `bytes` (optional) receives the entry's accounted size, saving the
+  /// caller a full-table ByteSize() walk on the reuse hot path.
   engine::TablePtr PinSharedOutput(const std::string& name,
-                                   bool* durable = nullptr);
+                                   bool* durable = nullptr,
+                                   std::int64_t* bytes = nullptr);
 
   /// Publishes `table` into the cross-job layer under `name`'s bound
   /// content key without touching the private, budget-charged entries —
@@ -220,7 +223,8 @@ class MemoryCatalog {
   /// durability. Returns nullptr when unavailable. Takes mutex_; fires
   /// the pin listener outside it.
   engine::TablePtr SharedLookup(const std::string& name, bool count_hit,
-                                bool* durable = nullptr) const;
+                                bool* durable = nullptr,
+                                std::int64_t* bytes = nullptr) const;
 
   const std::int64_t budget_;
   SharedCatalog* const shared_;  // not owned; may be null

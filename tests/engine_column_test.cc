@@ -79,6 +79,40 @@ TEST(ColumnTest, ByteSizeScalesWithRows) {
   EXPECT_GT(s.ByteSize(), 5);
 }
 
+// Pins the string accounting: ByteSize must charge the std::string
+// objects plus each string's *heap capacity* (the bytes the allocator
+// actually handed out), not just the character count — string-heavy MVs
+// were undercounted in the Memory Catalog before.
+TEST(ColumnTest, StringByteSizeCountsHeapCapacity) {
+  const auto obj = static_cast<std::int64_t>(sizeof(std::string));
+
+  // SSO-resident strings own no heap block: object size only.
+  Column sso = Column::FromStrings({"ab", "cd"});
+  EXPECT_EQ(sso.ByteSize(), 2 * obj);
+
+  // A long string charges object + its heap capacity (+ terminator).
+  // The expected heap size comes from the *stored* string: copies made
+  // on the way in may round capacity up, implementation-defined.
+  Column one = Column::FromStrings({std::string(256, 'x')});
+  const auto heap =
+      static_cast<std::int64_t>(one.strings()[0].capacity()) + 1;
+  EXPECT_EQ(one.ByteSize(), obj + heap);
+  EXPECT_GE(one.ByteSize(), obj + 256);
+
+  // Capacity, not size: a shrunk-but-over-allocated string still
+  // occupies its full heap block (AppendString moves, so the stored
+  // string keeps the reserved capacity).
+  std::string grown;
+  grown.reserve(512);
+  grown.assign("tiny");
+  Column c(DataType::kString);
+  c.AppendString(std::move(grown));
+  const auto grown_heap =
+      static_cast<std::int64_t>(c.strings()[0].capacity()) + 1;
+  EXPECT_EQ(c.ByteSize(), obj + grown_heap);
+  EXPECT_GE(c.ByteSize(), obj + 512);
+}
+
 TEST(ColumnTest, NumericAtThrowsOnStrings) {
   Column s = Column::FromStrings({"x"});
   EXPECT_THROW(s.NumericAt(0), std::invalid_argument);

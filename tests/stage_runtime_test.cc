@@ -351,6 +351,91 @@ TEST(StageRuntimeTest, FourLaneRelaxedPublishMatchesSequentialStats) {
   }
 }
 
+// Inline small-node dispatch: nodes whose estimated cost falls below
+// ControllerOptions::inline_node_cost_seconds execute on the coordinator
+// thread instead of a LanePool lane. The sequential-equivalence contract
+// must hold with the threshold active — identical node stats, catalog
+// hit/miss counts, peak memory, and MV bytes at 1 *and* 4 lanes — and
+// RunReport must expose how many nodes were inlined.
+TEST(StageRuntimeTest, InlineDispatchKeepsSequentialEquivalence) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = workload::BuildIo1();
+
+  storage::ThrottledDisk profile_disk(FreshDir("inline_profile"),
+                                      FastDisk());
+  Controller profiler(&profile_disk, ControllerOptions{});
+  profiler.LoadBaseTables(data);
+  ASSERT_TRUE(profiler.ProfileAndAnnotate(&wl).ok);
+
+  const std::int64_t budget = 8LL * 1024 * 1024;
+  const auto plan = opt::Optimizer{}.Optimize(wl.graph, budget).plan;
+  ASSERT_FALSE(opt::FlaggedNodes(plan.flags).empty());
+
+  // Baseline: the classic sequential loop (no lanes, nothing to inline).
+  storage::ThrottledDisk disk_seq(FreshDir("inline_seq"), FastDisk());
+  ControllerOptions seq_options;
+  seq_options.budget = budget;
+  Controller sequential(&disk_seq, seq_options);
+  sequential.LoadBaseTables(data);
+  const RunReport seq = sequential.Run(wl, plan);
+  ASSERT_TRUE(seq.ok) << seq.error;
+  EXPECT_EQ(seq.inlined_nodes, 0);
+
+  // A threshold large enough that every profiled node qualifies; the
+  // whole run executes inline on the coordinator at any lane count.
+  for (const int lanes : {1, 4}) {
+    storage::ThrottledDisk disk_par(
+        FreshDir("inline_par" + std::to_string(lanes)), FastDisk());
+    ControllerOptions par_options;
+    par_options.budget = budget;
+    par_options.max_parallel_nodes = lanes;
+    par_options.force_stage_runtime = true;
+    par_options.inline_node_cost_seconds = 3600.0;
+    Controller parallel(&disk_par, par_options);
+    parallel.LoadBaseTables(data);
+    const RunReport par = parallel.Run(wl, plan);
+    ASSERT_TRUE(par.ok) << par.error;
+
+    EXPECT_EQ(par.inlined_nodes,
+              static_cast<std::int64_t>(wl.graph.num_nodes()))
+        << lanes;
+    EXPECT_EQ(seq.peak_memory, par.peak_memory) << lanes;
+    EXPECT_EQ(seq.catalog_hits, par.catalog_hits) << lanes;
+    EXPECT_EQ(seq.catalog_misses, par.catalog_misses) << lanes;
+    ASSERT_EQ(seq.nodes.size(), par.nodes.size());
+    for (std::size_t i = 0; i < seq.nodes.size(); ++i) {
+      EXPECT_EQ(seq.nodes[i].name, par.nodes[i].name);  // publish order
+      EXPECT_EQ(seq.nodes[i].output_bytes, par.nodes[i].output_bytes);
+      EXPECT_EQ(seq.nodes[i].output_rows, par.nodes[i].output_rows);
+      EXPECT_EQ(seq.nodes[i].output_in_memory,
+                par.nodes[i].output_in_memory);
+    }
+    for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+      const std::string& name = wl.graph.node(v).name;
+      EXPECT_TRUE(disk_seq.ReadTable(name) == disk_par.ReadTable(name))
+          << name;
+    }
+  }
+}
+
+// Unprofiled nodes have unknown cost and must never be inlined — the
+// wide synthetic DAG carries no execution metadata, so its parallel
+// speedup path (lanes) stays intact regardless of the threshold.
+TEST(StageRuntimeTest, UnknownCostNodesAreNeverInlined) {
+  const auto data = TinyData();
+  const workload::MvWorkload wl = WideWorkload(6);
+  storage::ThrottledDisk disk(FreshDir("inline_unknown"), FastDisk());
+  ControllerOptions options;
+  options.max_parallel_nodes = 4;
+  options.inline_node_cost_seconds = 3600.0;
+  Controller controller(&disk, options);
+  controller.LoadBaseTables(data);
+  const RunReport report = controller.RunUnoptimized(wl);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.inlined_nodes, 0);
+  EXPECT_EQ(report.parallel_lanes, 4);
+}
+
 // widen_stages must not break the error-report contract: an invalid plan
 // still yields report.error (validation runs before the widening pass,
 // whose DecomposeStages would otherwise throw out of Run).
