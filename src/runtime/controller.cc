@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/str_util.h"
 #include "cost/speedup.h"
 #include "engine/executor.h"
 #include "graph/fingerprint.h"
@@ -23,7 +24,9 @@ namespace sc::runtime {
 // Materializer
 // ---------------------------------------------------------------------------
 
-Materializer::Materializer(storage::ThrottledDisk* disk) : disk_(disk) {
+Materializer::Materializer(storage::ThrottledDisk* disk,
+                           obs::TraceRecorder* trace)
+    : disk_(disk), trace_(trace) {
   worker_ = std::thread([this] { Loop(); });
 }
 
@@ -56,6 +59,14 @@ void Materializer::Drain() {
 }
 
 void Materializer::Loop() {
+  // Writer threads get their own trace tracks so background writes
+  // render as a separate timeline row next to the lanes. The index is
+  // process-wide: runs overlap, and re-used indices would merge rows.
+  static std::atomic<int> next_writer_index{0};
+  obs::SetThreadTrack(
+      "materializer-" +
+      std::to_string(next_writer_index.fetch_add(
+          1, std::memory_order_relaxed)));
   for (;;) {
     Task task;
     {
@@ -70,7 +81,15 @@ void Materializer::Loop() {
       busy_ = true;
     }
     try {
+      const double write_start = MonotonicSeconds();
       disk_->WriteTable(task.name, *task.table);
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Complete(
+            "materialize", task.name, write_start,
+            MonotonicSeconds() - write_start,
+            StrFormat("\"bytes\":%lld",
+                      static_cast<long long>(task.table->ByteSize())));
+      }
       task.done.set_value();
     } catch (...) {
       task.done.set_exception(std::current_exception());
@@ -130,7 +149,7 @@ struct RunState {
         options(options_in),
         disk(disk_in),
         catalog(budget, options_in.shared_catalog),
-        materializer(disk_in) {
+        materializer(disk_in, options_in.trace) {
     const graph::Graph& g = wl.graph;
     if (options.shared_catalog != nullptr) {
       // The catalog becomes the per-job view onto the cross-job layer:
@@ -183,12 +202,36 @@ struct NodeResult {
 /// first and external storage second, and — for unflagged nodes — writes
 /// the output to external storage. Safe to call from concurrent lanes:
 /// it touches only the (thread-safe) catalog and disk plus local state.
-NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
+/// `inline_exec` marks coordinator-thread inline dispatch in the span.
+NodeResult ExecuteNode(RunState& s, graph::NodeId v,
+                       bool inline_exec = false) {
   const graph::Graph& g = s.wl.graph;
   NodeResult result;
   NodeRunStats& stats = result.stats;
   stats.name = g.node(v).name;
   stats.stage = s.stages.stage_of[v];
+
+  // Span bracketing the whole node — reuse, resolve, execute, and the
+  // unflagged synchronous write — on whichever track (lane, worker, or
+  // coordinator thread) actually ran it. Emitted on every return path.
+  obs::TraceRecorder* const trace = s.options.trace;
+  const bool tracing = trace != nullptr && trace->enabled();
+  const double node_start = tracing ? MonotonicSeconds() : 0.0;
+  auto emit_node_span = [&](const NodeRunStats& st) {
+    if (!tracing) return;
+    trace->Complete(
+        "node", st.name, node_start, MonotonicSeconds() - node_start,
+        StrFormat("\"job\":%llu,\"stage\":%d,\"flagged\":%s,"
+                  "\"read_s\":%.6f,\"compute_s\":%.6f,\"write_s\":%.6f,"
+                  "\"bytes\":%lld,\"reused\":%s,\"inline\":%s",
+                  static_cast<unsigned long long>(s.options.trace_job_id),
+                  static_cast<int>(st.stage),
+                  s.plan.flags[v] ? "true" : "false", st.read_seconds,
+                  st.compute_seconds, st.write_seconds,
+                  static_cast<long long>(st.output_bytes),
+                  st.reused_cross_job ? "true" : "false",
+                  inline_exec ? "true" : "false"));
+  };
 
   // Cross-job reuse: another job refreshing the same content already has
   // this node's output resident in the shared layer. Pin it and skip the
@@ -213,6 +256,7 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
       s.catalog.MarkSharedDurable(stats.name);
     }
     result.output = std::move(reused);
+    emit_node_span(stats);
     return result;
   }
 
@@ -240,6 +284,7 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v) {
     s.disk->WriteTable(stats.name, *result.output);
     stats.write_seconds = MonotonicSeconds() - w0;
   }
+  emit_node_span(stats);
   return result;
 }
 
@@ -256,6 +301,14 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
   const graph::Graph& g = s.wl.graph;
   NodeRunStats& stats = result.stats;
   const std::string& name = g.node(v).name;
+
+  // The publish replay runs on the coordinator thread; its span measures
+  // the in-order Put / lazy-release step (including any materialization
+  // waits it blocks on) — time a job spends "publishing" per the trace
+  // breakdown. Not emitted on the throwing paths (the run fails anyway).
+  obs::TraceRecorder* const trace = s.options.trace;
+  const bool tracing = trace != nullptr && trace->enabled();
+  const double publish_start = tracing ? MonotonicSeconds() : 0.0;
 
   // Releases one releasable entry (all dependants done), waiting for its
   // in-flight materialization first — the data must exist on disk before
@@ -329,6 +382,14 @@ void PublishNode(RunState& s, graph::NodeId v, NodeResult result,
     }
   }
 
+  if (tracing) {
+    trace->Complete(
+        "publish", name, publish_start,
+        MonotonicSeconds() - publish_start,
+        StrFormat("\"job\":%llu,\"flagged\":%s",
+                  static_cast<unsigned long long>(s.options.trace_job_id),
+                  s.plan.flags[v] ? "true" : "false"));
+  }
   report->nodes.push_back(std::move(stats));
 }
 
@@ -433,6 +494,9 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   // (initially and after each publish) and by every lane completion, so
   // execution keeps flowing while the coordinator is blocked inside
   // PublishNode.
+  // First dispatch into each antichain stage is marked with an instant
+  // event — the trace shows where the run crossed stage boundaries.
+  std::int32_t last_dispatched_stage = -1;
   std::function<void()> dispatch = [&] {
     while (error.empty() && scheduler.HasReady()) {
       const graph::NodeId v = scheduler.PeekReady();
@@ -458,6 +522,18 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
         if (!s.catalog.Reserve(name, estimate) && !sequential_turn) break;
       }
       scheduler.PopReady();
+      if (s.options.trace != nullptr && s.options.trace->enabled()) {
+        const std::int32_t stage = s.stages.stage_of[v];
+        if (stage > last_dispatched_stage) {
+          last_dispatched_stage = stage;
+          s.options.trace->Instant(
+              "stage", "dispatch-stage-" + std::to_string(stage),
+              StrFormat("\"job\":%llu,\"stage\":%d",
+                        static_cast<unsigned long long>(
+                            s.options.trace_job_id),
+                        static_cast<int>(stage)));
+        }
+      }
       // Pin resident cross-job inputs at dispatch so the shared LRU
       // cannot evict them between the scheduling decision and the
       // lane's read.
@@ -524,7 +600,7 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
           NodeResult result;
           std::string exec_error;
           try {
-            result = ExecuteNode(s, iv);
+            result = ExecuteNode(s, iv, /*inline_exec=*/true);
           } catch (const std::exception& e) {
             exec_error = e.what();
           }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "obs/trace.h"
 #include "opt/types.h"
 #include "storage/memory_catalog.h"
 #include "storage/throttled_disk.h"
@@ -27,7 +28,11 @@ class LanePool;
 /// channel.
 class Materializer {
  public:
-  explicit Materializer(storage::ThrottledDisk* disk);
+  /// `trace` (optional, not owned) receives a "materialize" span per
+  /// completed write on the writer thread's own track
+  /// ("materializer-<k>").
+  explicit Materializer(storage::ThrottledDisk* disk,
+                        obs::TraceRecorder* trace = nullptr);
   ~Materializer();
 
   Materializer(const Materializer&) = delete;
@@ -51,6 +56,7 @@ class Materializer {
   void Loop();
 
   storage::ThrottledDisk* disk_;
+  obs::TraceRecorder* trace_;  // not owned; may be null
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
@@ -132,6 +138,17 @@ struct ControllerOptions {
   /// pinned). The RefreshService charges pinned shared bytes to the
   /// reading tenant's quota through this hook.
   storage::MemoryCatalog::SharedPinListener shared_pin_listener;
+  /// Observability trace recorder. When set (and enabled), the run emits
+  /// spans at every execution boundary — per-node execute (on the lane
+  /// track that ran it, with read/compute/write args), the in-plan-order
+  /// publish replay, and Materializer writes — rendering in
+  /// chrome://tracing as a per-lane occupancy timeline. Not owned; must
+  /// outlive the runs. Null (the default) keeps the hot path span-free.
+  obs::TraceRecorder* trace = nullptr;
+  /// Job id stamped into every span this run emits (the "job" arg), so a
+  /// multi-job service trace can be sliced per job. 0 for standalone
+  /// runs.
+  std::uint64_t trace_job_id = 0;
 };
 
 /// Per-node statistics from a real refresh run.

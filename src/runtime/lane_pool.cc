@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace sc::runtime {
+
+namespace {
+thread_local int current_lane_index = -1;
+}  // namespace
+
+int CurrentLaneIndex() { return current_lane_index; }
 
 LanePool::LanePool(LanePoolOptions options) : options_([&] {
   LanePoolOptions o = options;
@@ -40,8 +48,9 @@ void LanePool::Submit(std::function<void()> task) {
       lanes_.emplace_back();
       auto self = std::prev(lanes_.end());
       ++live_;
-      ++threads_started_;
-      self->thread = std::thread([this, self] { Loop(self); });
+      const int lane_index = static_cast<int>(threads_started_++);
+      self->thread =
+          std::thread([this, self, lane_index] { Loop(self, lane_index); });
     }
   }
   cv_.notify_one();
@@ -58,7 +67,11 @@ void LanePool::ReapLocked() {
   }
 }
 
-void LanePool::Loop(std::list<Lane>::iterator self) {
+void LanePool::Loop(std::list<Lane>::iterator self, int lane_index) {
+  // Lane identity for the observability layer: node spans emitted while
+  // this lane executes land on its own trace track.
+  current_lane_index = lane_index;
+  obs::SetThreadTrack("lane-" + std::to_string(lane_index));
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     ++idle_;
@@ -82,8 +95,13 @@ void LanePool::Loop(std::list<Lane>::iterator self) {
     const double start = MonotonicSeconds();
     task();
     const double elapsed = MonotonicSeconds() - start;
+    // Accumulate busy time lock-free, before re-taking the pool lock:
+    // concurrent lane completions each fetch_add their own elapsed time,
+    // so no increment can be lost and busy_seconds() readers (benches,
+    // the metrics registry) never contend with the lanes.
+    busy_nanos_.fetch_add(static_cast<std::int64_t>(elapsed * 1e9),
+                          std::memory_order_relaxed);
     lock.lock();
-    busy_seconds_ += elapsed;
     ++tasks_completed_;
   }
   --live_;
@@ -110,11 +128,6 @@ int LanePool::idle_lanes() const {
 std::int64_t LanePool::tasks_completed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return tasks_completed_;
-}
-
-double LanePool::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return busy_seconds_;
 }
 
 }  // namespace sc::runtime

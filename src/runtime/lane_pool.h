@@ -1,6 +1,7 @@
 #ifndef SC_RUNTIME_LANE_POOL_H_
 #define SC_RUNTIME_LANE_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -59,8 +60,17 @@ class LanePool {
   int idle_lanes() const;
   std::int64_t tasks_completed() const;
   /// Cumulative seconds lanes spent executing tasks; together with a wall
-  /// clock and the capacity this yields the lane-idle fraction.
-  double busy_seconds() const;
+  /// clock and the capacity this yields the lane-idle fraction. Lanes
+  /// accumulate into one atomic the moment their task returns — before
+  /// re-taking the pool lock — so concurrent completions can never lose
+  /// an increment and monitoring reads never contend (the PR-6
+  /// busy-seconds race fix; lane_pool_test asserts monotonicity under
+  /// concurrent readers and TSAN covers the accumulation).
+  double busy_seconds() const {
+    return static_cast<double>(
+               busy_nanos_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
 
  private:
   struct Lane {
@@ -68,7 +78,7 @@ class LanePool {
     bool exited = false;
   };
 
-  void Loop(std::list<Lane>::iterator self);
+  void Loop(std::list<Lane>::iterator self, int lane_index);
   /// Joins and erases lanes that exited (idle shutdown). Requires mutex_.
   void ReapLocked();
 
@@ -82,8 +92,13 @@ class LanePool {
   int idle_ = 0;
   std::int64_t threads_started_ = 0;
   std::int64_t tasks_completed_ = 0;
-  double busy_seconds_ = 0.0;
+  std::atomic<std::int64_t> busy_nanos_{0};
 };
+
+/// The calling lane's pool-assigned index, or -1 off a lane thread. Lane
+/// indices also name the thread's trace track ("lane-<n>"), which is
+/// what renders the obs trace as a lane-occupancy timeline.
+int CurrentLaneIndex();
 
 }  // namespace sc::runtime
 

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/fnv.h"
+#include "common/str_util.h"
 #include "graph/fingerprint.h"
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
@@ -34,9 +35,107 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
           options_.lane_idle_shutdown_seconds}),
       plan_cache_(options_.plan_cache_capacity),
       shared_catalog_(options_.global_budget) {
+  // Trace wiring happens before any worker spawns: the SharedCatalog's
+  // recorder hook must be set before concurrent use.
+  if (options_.trace != nullptr) {
+    trace_ = options_.trace;
+  } else if (!options_.trace_path.empty()) {
+    owned_trace_ = std::make_unique<obs::TraceRecorder>();
+    trace_ = owned_trace_.get();
+  }
+  shared_catalog_.SetTraceRecorder(trace_);
+  RegisterComponentGauges();
   workers_.reserve(static_cast<std::size_t>(split_.workers));
   for (int i = 0; i < split_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void RefreshService::RegisterComponentGauges() {
+  // Callback gauges mirror monitoring counters that already live on the
+  // components; the callbacks run at exposition/snapshot time only, so
+  // mirroring costs nothing on the hot path. Names are part of the
+  // documented surface (README "Observability") — keep them stable.
+  struct Mirror {
+    const char* name;
+    const char* help;
+    std::function<double()> fn;
+  };
+  const Mirror mirrors[] = {
+      {"sc_lane_pool_busy_seconds",
+       "Cumulative seconds lanes spent executing tasks",
+       [this] { return lane_pool_.busy_seconds(); }},
+      {"sc_lane_pool_threads_started",
+       "Cumulative lane threads ever started (thread-churn witness)",
+       [this] { return static_cast<double>(lane_pool_.threads_started()); }},
+      {"sc_lane_pool_tasks_completed", "Tasks completed by pool lanes",
+       [this] { return static_cast<double>(lane_pool_.tasks_completed()); }},
+      {"sc_lane_pool_live_lanes", "Lane threads currently alive",
+       [this] { return static_cast<double>(lane_pool_.live_lanes()); }},
+      {"sc_lane_pool_idle_lanes", "Lane threads parked waiting for work",
+       [this] { return static_cast<double>(lane_pool_.idle_lanes()); }},
+      {"sc_shared_catalog_used_bytes",
+       "Bytes resident in the cross-job shared catalog",
+       [this] { return static_cast<double>(shared_catalog_.used_bytes()); }},
+      {"sc_shared_catalog_pinned_bytes",
+       "Resident bytes currently holding at least one pin",
+       [this] {
+         return static_cast<double>(shared_catalog_.pinned_bytes());
+       }},
+      {"sc_shared_catalog_peak_bytes",
+       "High-water mark of shared-catalog residency",
+       [this] { return static_cast<double>(shared_catalog_.peak_bytes()); }},
+      {"sc_shared_catalog_hits", "Counted Pin() lookups served resident",
+       [this] { return static_cast<double>(shared_catalog_.hits()); }},
+      {"sc_shared_catalog_misses",
+       "Counted Pin() lookups that missed (damping-bounded per epoch)",
+       [this] { return static_cast<double>(shared_catalog_.misses()); }},
+      {"sc_shared_catalog_damped_lookups",
+       "Miss-path probes short-circuited by negative-lookup damping",
+       [this] {
+         return static_cast<double>(shared_catalog_.damped_lookups());
+       }},
+      {"sc_shared_catalog_publishes", "Successful shared-catalog inserts",
+       [this] { return static_cast<double>(shared_catalog_.publishes()); }},
+      {"sc_shared_catalog_rejects", "Failed shared-catalog inserts",
+       [this] { return static_cast<double>(shared_catalog_.rejects()); }},
+      {"sc_shared_catalog_evictions",
+       "Entries dropped under shared-catalog budget pressure",
+       [this] { return static_cast<double>(shared_catalog_.evictions()); }},
+      {"sc_budget_reserved_bytes",
+       "Memory-catalog bytes currently granted to running jobs",
+       [this] { return static_cast<double>(broker_.reserved_bytes()); }},
+      {"sc_budget_free_bytes", "Ungranted memory-catalog bytes",
+       [this] { return static_cast<double>(broker_.free_bytes()); }},
+      {"sc_budget_peak_reserved_bytes",
+       "High-water mark of concurrently granted bytes",
+       [this] {
+         return static_cast<double>(broker_.peak_reserved_bytes());
+       }},
+      {"sc_budget_waiting_jobs", "Jobs blocked in budget arbitration",
+       [this] { return static_cast<double>(broker_.waiting_count()); }},
+      {"sc_plan_cache_hits", "Plan-cache lookups served",
+       [this] { return static_cast<double>(plan_cache_.stats().hits); }},
+      {"sc_plan_cache_misses", "Plan-cache lookups that missed",
+       [this] { return static_cast<double>(plan_cache_.stats().misses); }},
+      {"sc_plan_cache_insertions", "Plans inserted into the cache",
+       [this] {
+         return static_cast<double>(plan_cache_.stats().insertions);
+       }},
+      {"sc_plan_cache_evictions", "Plans evicted LRU under capacity",
+       [this] {
+         return static_cast<double>(plan_cache_.stats().evictions);
+       }},
+      {"sc_plan_cache_size", "Plans currently cached",
+       [this] { return static_cast<double>(plan_cache_.size()); }},
+      {"sc_queue_depth", "Jobs waiting in the admission queue",
+       [this] { return static_cast<double>(queue_depth()); }},
+      {"sc_starvation_seconds",
+       "Longest wait among jobs queued right now",
+       [this] { return metrics_.StarvationSeconds(); }},
+  };
+  for (const Mirror& m : mirrors) {
+    registry_.RegisterCallbackGauge(m.name, m.help, {}, m.fn);
   }
 }
 
@@ -89,6 +188,14 @@ void RefreshService::Shutdown(bool drain) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // All spans are recorded by now (workers joined); flush the owned
+  // recorder's trace exactly once. A caller-supplied recorder is the
+  // caller's to export.
+  if (owned_trace_ != nullptr && !trace_written_ &&
+      !options_.trace_path.empty()) {
+    trace_written_ = true;
+    obs::WriteChromeTraceFile(*owned_trace_, options_.trace_path);
+  }
 }
 
 void RefreshService::SetTenantQuota(const std::string& tenant,
@@ -124,10 +231,18 @@ void RefreshService::FailJob(Job& job, const std::string& error) {
   observation.queue_wait_seconds = result.queue_wait_seconds;
   observation.exec_seconds = result.exec_seconds;
   metrics_.Record(observation);
+  registry_
+      .GetCounter("sc_jobs_total", "Finished refresh jobs",
+                  {{"tenant", result.tenant}, {"status", "failed"}})
+      ->Increment();
   job.promise.set_value(std::move(result));
 }
 
-void RefreshService::WorkerLoop() {
+void RefreshService::WorkerLoop(int worker_index) {
+  // Worker threads are the jobs' coordinator threads: job lifecycle
+  // spans, inline node executions, and the publish replay all land on
+  // this track.
+  obs::SetThreadTrack("worker-" + std::to_string(worker_index));
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -159,12 +274,35 @@ JobResult RefreshService::Execute(Job& job) {
           ? options_.default_job_budget
           : options_.global_budget;
 
+  // Trace the job's waiting states on this worker's track: time in the
+  // admission queue (submit -> this worker picking it up), then time
+  // blocked in budget arbitration. The args carry job id and tenant so
+  // AnalyzeTrace can slice the breakdown per job.
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  const double picked_up_seconds = MonotonicSeconds();
+  std::string job_args;
+  if (tracing) {
+    job_args = StrFormat("\"job\":%llu,\"tenant\":\"%s\"",
+                         static_cast<unsigned long long>(job.id),
+                         job.spec.tenant.c_str());
+    trace_->Complete("job", "queued", job.submit_seconds,
+                     picked_up_seconds - job.submit_seconds, job_args);
+  }
+
   BudgetGrant grant = broker_.Acquire(job.spec.tenant,
                                       result.requested_budget,
                                       job.spec.priority);
   // Queue wait covers both the admission queue and budget arbitration:
   // the job is "waiting" until it holds everything it needs to run.
   job.admit_seconds = MonotonicSeconds();
+  if (tracing) {
+    trace_->Complete("job", "wait-budget", picked_up_seconds,
+                     job.admit_seconds - picked_up_seconds, job_args);
+    trace_->Instant(
+        "budget", "grant",
+        job_args + StrFormat(",\"bytes\":%lld",
+                             static_cast<long long>(grant.bytes)));
+  }
   metrics_.JobDequeued(job.id);
   result.queue_wait_seconds = job.admit_seconds - job.submit_seconds;
   result.granted_budget = grant.bytes;
@@ -213,6 +351,9 @@ JobResult RefreshService::Execute(Job& job) {
 
     opt::Plan plan;
     opt::StageDecomposition stages;
+    // Plan resolution span: cache lookup plus any optimization it falls
+    // back to — the non-execution cost a cache hit is supposed to erase.
+    const double plan_start = tracing ? MonotonicSeconds() : 0.0;
     if (auto cached = plan_cache_.Lookup(plan_key, grant.bytes)) {
       plan = std::move(cached->plan);
       stages = std::move(cached->stages);
@@ -271,6 +412,11 @@ JobResult RefreshService::Execute(Job& job) {
       stages = opt::DecomposeStages(wl.graph, plan.order);
       plan_cache_.Insert(plan_key, grant.bytes, plan, stages);
     }
+    if (tracing) {
+      trace_->Complete(
+          "plan", result.plan_cache_hit ? "cache-hit" : "optimize",
+          plan_start, MonotonicSeconds() - plan_start, job_args);
+    }
 
     // Grant renegotiation: the plan's peak memory need is now known, so
     // budget beyond need × slack goes back to the broker immediately,
@@ -289,6 +435,13 @@ JobResult RefreshService::Execute(Job& job) {
       if (estimates_present && keep < grant.bytes) {
         result.returned_budget = grant.bytes - keep;
         broker_.ReturnUnused(&grant, result.returned_budget);
+        if (tracing) {
+          trace_->Instant(
+              "budget", "return",
+              job_args +
+                  StrFormat(",\"bytes\":%lld",
+                            static_cast<long long>(result.returned_budget)));
+        }
       }
     }
 
@@ -308,6 +461,10 @@ JobResult RefreshService::Execute(Job& job) {
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;
+    // The run's node/publish/materialize spans join this job's slice of
+    // the service trace.
+    controller_options.trace = trace_;
+    controller_options.trace_job_id = job.id;
     if (options_.share_catalog) {
       // All workers publish to and read from the one shared layer;
       // pinned cross-job bytes are charged to the reading tenant's
@@ -363,6 +520,25 @@ JobResult RefreshService::Execute(Job& job) {
   lanes_broker_.ReleaseLanes(lanes);
   broker_.Release(&grant);
   result.exec_seconds = MonotonicSeconds() - exec_start;
+  if (tracing) {
+    trace_->Instant("budget", "release", job_args);
+    trace_->Complete("job", "execute", exec_start, result.exec_seconds,
+                     job_args);
+  }
+
+  registry_
+      .GetCounter("sc_jobs_total", "Finished refresh jobs",
+                  {{"tenant", result.tenant},
+                   {"status", result.report.ok ? "ok" : "failed"}})
+      ->Increment();
+  registry_
+      .GetHistogram("sc_job_queue_wait_seconds",
+                    "Admission-queue + budget-arbitration wait per job")
+      ->Observe(result.queue_wait_seconds);
+  registry_
+      .GetHistogram("sc_job_exec_seconds",
+                    "Execution wall time per job (admission to finish)")
+      ->Observe(result.exec_seconds);
 
   JobObservation observation;
   observation.tenant = result.tenant;

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "opt/alternating.h"
 #include "runtime/controller.h"
 #include "runtime/lane_pool.h"
@@ -87,6 +89,19 @@ struct ServiceOptions {
   bool background_materialize = true;
   /// Optimizer configuration used when a job misses the plan cache.
   opt::AlternatingOptions optimizer;
+  /// Observability trace recorder (obs::TraceRecorder) every job's
+  /// lifecycle spans are emitted into: queued / wait-budget / execute on
+  /// the worker tracks, budget grant / return / release instants,
+  /// plan-cache lookups, and — via the Controller — per-node execute /
+  /// publish / materialize spans on the lane tracks. Not owned; must
+  /// outlive the service. Null with an empty trace_path (the default)
+  /// disables tracing entirely: every boundary costs one branch.
+  obs::TraceRecorder* trace = nullptr;
+  /// Convenience alternative to `trace`: when non-empty (and `trace` is
+  /// null), the service owns a recorder and writes the Chrome/Perfetto
+  /// trace JSON here at Shutdown — load the file in chrome://tracing or
+  /// ui.perfetto.dev to see the run as a per-lane timeline.
+  std::string trace_path;
 };
 
 /// One refresh job: an annotated workload (speedup scores present, e.g.
@@ -192,6 +207,20 @@ class RefreshService {
   }
   std::size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
+  /// Unified metrics registry (tentpole of the observability layer):
+  /// job counters and latency histograms recorded by the service, plus
+  /// callback gauges mirroring the LanePool, SharedCatalog, BudgetBroker,
+  /// and PlanCache counters. See README "Observability" for the full
+  /// metric-name table.
+  const obs::Registry& registry() const { return registry_; }
+  obs::Registry& registry() { return registry_; }
+  /// Prometheus text exposition of registry().
+  std::string PrometheusText() const {
+    return registry_.ToPrometheusText();
+  }
+  /// The active trace recorder (options().trace, the owned recorder
+  /// behind trace_path, or null when tracing is off).
+  obs::TraceRecorder* trace() const { return trace_; }
 
  private:
   struct Job {
@@ -214,11 +243,14 @@ class RefreshService {
     }
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   JobResult Execute(Job& job);
   /// Resolves `job`'s promise with a failed report and records the
   /// failure in the metrics registry.
   void FailJob(Job& job, const std::string& error);
+  /// Wires the callback gauges mirroring LanePool / SharedCatalog /
+  /// BudgetBroker / PlanCache monitoring counters into registry_.
+  void RegisterComponentGauges();
 
   storage::ThrottledDisk* disk_;
   const ServiceOptions options_;
@@ -229,6 +261,15 @@ class RefreshService {
   PlanCache plan_cache_;
   storage::SharedCatalog shared_catalog_;
   ServiceMetrics metrics_;
+  /// Owned recorder behind ServiceOptions::trace_path (null when the
+  /// caller supplied one or tracing is off).
+  std::unique_ptr<obs::TraceRecorder> owned_trace_;
+  obs::TraceRecorder* trace_ = nullptr;  // the active recorder, if any
+  /// Declared after every component it mirrors: its callback gauges read
+  /// lane_pool_ / shared_catalog_ / broker_ / plan_cache_, so it must be
+  /// destroyed first.
+  obs::Registry registry_;
+  bool trace_written_ = false;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/str_util.h"
+
 namespace sc::storage {
 
-SharedCatalog::SharedCatalog(std::int64_t budget_bytes)
-    : budget_(budget_bytes) {}
+SharedCatalog::SharedCatalog(std::int64_t budget_bytes,
+                             int negative_lookup_damp_limit)
+    : budget_(budget_bytes), damp_limit_(negative_lookup_damp_limit) {}
 
 bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
                             std::int64_t size, bool durable) {
@@ -27,6 +30,12 @@ bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
   // (oversize nodes are routinely published unflagged).
   if (size > budget_ - pinned_.load(std::memory_order_relaxed)) {
     rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("shared", "reject",
+                      StrFormat("\"key\":%llu,\"bytes\":%lld",
+                                static_cast<unsigned long long>(key),
+                                static_cast<long long>(size)));
+    }
     return false;
   }
   std::int64_t used = used_.load(std::memory_order_relaxed);
@@ -51,6 +60,15 @@ bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
     peak_.store(used, std::memory_order_relaxed);
   }
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  // New content starts a new damping epoch: any key that kept missing may
+  // now hit, so stale per-key miss counts must stop suppressing probes.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant("shared", "publish",
+                    StrFormat("\"key\":%llu,\"bytes\":%lld",
+                              static_cast<unsigned long long>(key),
+                              static_cast<long long>(size)));
+  }
   return true;
 }
 
@@ -66,7 +84,7 @@ engine::TablePtr SharedCatalog::Pin(std::uint64_t key,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    if (count) misses_.fetch_add(1, std::memory_order_relaxed);
+    if (count) CountMissLocked(key);
     return nullptr;
   }
   Entry& entry = it->second;
@@ -117,9 +135,35 @@ void SharedCatalog::EvictOneLocked() {
   const std::uint64_t victim = lru_.back();
   lru_.pop_back();
   auto it = entries_.find(victim);
-  used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+  const std::int64_t size = it->second.size;
+  used_.fetch_sub(size, std::memory_order_relaxed);
   entries_.erase(it);
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant("shared", "evict",
+                    StrFormat("\"key\":%llu,\"bytes\":%lld",
+                              static_cast<unsigned long long>(victim),
+                              static_cast<long long>(size)));
+  }
+}
+
+void SharedCatalog::CountMissLocked(std::uint64_t key) {
+  if (damp_limit_ <= 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  auto& stamped = miss_counts_[key];
+  if (stamped.first != epoch) {
+    // Count belongs to an older epoch — content has been published since,
+    // so the key earned a fresh budget of counted misses.
+    stamped = {epoch, 0};
+  }
+  if (++stamped.second > damp_limit_) {
+    damped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void SharedCatalog::Clear() {
@@ -130,6 +174,8 @@ void SharedCatalog::Clear() {
     entries_.erase(it);
   }
   lru_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  miss_counts_.clear();
 }
 
 }  // namespace sc::storage

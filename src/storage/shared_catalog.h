@@ -6,9 +6,11 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/table.h"
+#include "obs/trace.h"
 
 namespace sc::storage {
 
@@ -33,10 +35,26 @@ namespace sc::storage {
 /// Thread-safe; monitoring reads are atomics and never contend.
 class SharedCatalog {
  public:
-  explicit SharedCatalog(std::int64_t budget_bytes);
+  /// `negative_lookup_damp_limit` bounds repeated miss-path probes per
+  /// key per epoch (an epoch = the interval between successful
+  /// publishes): the first N misses of a key count as misses, every
+  /// further probe of the same still-absent key counts as *damped*
+  /// instead — repeated fingerprint probes for content nobody publishes
+  /// (private workloads, cold tenants) stop distorting the miss-rate
+  /// monitoring, and the damped counter itself exposes how much probe
+  /// traffic the shared layer absorbs for nothing. A publish starts a
+  /// new epoch (fresh content can turn any miss into a hit).
+  /// <= 0 disables damping.
+  explicit SharedCatalog(std::int64_t budget_bytes,
+                         int negative_lookup_damp_limit = 8);
 
   SharedCatalog(const SharedCatalog&) = delete;
   SharedCatalog& operator=(const SharedCatalog&) = delete;
+
+  /// Mirrors publish / evict / reject lifecycle moments into `trace` as
+  /// instant events (category "shared"). Not owned; call before
+  /// concurrent use; nullptr detaches.
+  void SetTraceRecorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// Inserts `table` under content key `key`, accounting `size` bytes.
   /// Evicts unpinned entries (least-recently-used first) as needed to
@@ -110,6 +128,17 @@ class SharedCatalog {
   std::int64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Miss-path probes short-circuited by negative-lookup damping (the
+  /// key had already missed `negative_lookup_damp_limit` times this
+  /// epoch). Not counted in misses().
+  std::int64_t damped_lookups() const {
+    return damped_.load(std::memory_order_relaxed);
+  }
+  /// Publish epoch: bumps on every successful publish (and Clear), the
+  /// boundary at which negative-lookup damping forgets past misses.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Drops every *unpinned* entry; pinned entries stay (a job still
   /// holds them).
@@ -128,8 +157,12 @@ class SharedCatalog {
 
   /// Erases the LRU tail entry. Requires mutex_; lru_ must be non-empty.
   void EvictOneLocked();
+  /// Counts a miss or a damped probe for absent `key`. Requires mutex_.
+  void CountMissLocked(std::uint64_t key);
 
   const std::int64_t budget_;
+  const int damp_limit_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // unpinned keys, front = most recent
@@ -141,6 +174,14 @@ class SharedCatalog {
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> rejects_{0};
   std::atomic<std::int64_t> evictions_{0};
+  mutable std::atomic<std::int64_t> damped_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Per-key miss bookkeeping for negative-lookup damping: stamped with
+  /// the epoch the count belongs to, so a publish invalidates every
+  /// stale count in O(1) (no sweep). Guarded by mutex_.
+  mutable std::unordered_map<std::uint64_t,
+                             std::pair<std::uint64_t, int>>
+      miss_counts_;
 };
 
 }  // namespace sc::storage

@@ -163,5 +163,42 @@ TEST(LanePoolTest, BackToBackServiceJobsReuseLanes) {
   EXPECT_EQ(service.lane_pool().threads_started(), started);
 }
 
+TEST(LanePoolTest, BusySecondsMonotonicUnderConcurrentReaders) {
+  // The PR-6 busy-seconds race fix: lanes fold their task time into one
+  // atomic before re-taking the pool lock, so concurrent completions
+  // never lose an increment and a monitoring reader always sees a
+  // monotonically non-decreasing value.
+  LanePool pool(4);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> regressed{false};
+  std::thread reader([&pool, &stop, &regressed] {
+    double last = 0.0;
+    while (!stop.load()) {
+      const double now = pool.busy_seconds();
+      if (now < last) regressed.store(true);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      done.fetch_add(1);
+    });
+  }
+  WaitFor([&done] { return done.load() == kTasks; });
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_FALSE(regressed.load());
+  // 200 tasks x 200us of sleep each: the accumulated busy time must at
+  // least cover the sleeps (scheduling overhead only adds to it).
+  EXPECT_GE(pool.busy_seconds(), kTasks * 200e-6 * 0.9);
+  EXPECT_EQ(pool.tasks_completed(), kTasks);
+}
+
 }  // namespace
 }  // namespace sc::runtime

@@ -179,5 +179,51 @@ TEST(SharedCatalogTest, ConcurrentPublishPinEvictStress) {
   EXPECT_GT(catalog.hits() + catalog.misses(), 0);
 }
 
+TEST(SharedCatalogTest, NegativeLookupDampingCapsPerKeyMisses) {
+  SharedCatalog catalog(100, /*negative_lookup_damp_limit=*/3);
+  // Repeated probes of the same absent key: the first 3 count as
+  // misses, the rest as damped.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(catalog.Pin(7), nullptr);
+  }
+  EXPECT_EQ(catalog.misses(), 3);
+  EXPECT_EQ(catalog.damped_lookups(), 7);
+  // A different absent key gets its own budget.
+  catalog.Pin(8);
+  EXPECT_EQ(catalog.misses(), 4);
+  // Uncounted (speculative) probes touch neither counter.
+  catalog.Pin(7, nullptr, /*count=*/false);
+  EXPECT_EQ(catalog.misses(), 4);
+  EXPECT_EQ(catalog.damped_lookups(), 7);
+}
+
+TEST(SharedCatalogTest, PublishOpensNewDampingEpoch) {
+  SharedCatalog catalog(100, /*negative_lookup_damp_limit=*/2);
+  const std::uint64_t before = catalog.epoch();
+  for (int i = 0; i < 5; ++i) catalog.Pin(7);
+  EXPECT_EQ(catalog.misses(), 2);
+  EXPECT_EQ(catalog.damped_lookups(), 3);
+
+  // A successful publish bumps the epoch: fresh content can turn any
+  // miss into a hit, so past miss counts are forgotten.
+  EXPECT_TRUE(catalog.Publish(99, Tiny(), 10));
+  EXPECT_GT(catalog.epoch(), before);
+  for (int i = 0; i < 5; ++i) catalog.Pin(7);
+  EXPECT_EQ(catalog.misses(), 4);
+  EXPECT_EQ(catalog.damped_lookups(), 6);
+
+  // Clear also opens a new epoch.
+  catalog.Clear();
+  catalog.Pin(7);
+  EXPECT_EQ(catalog.misses(), 5);
+}
+
+TEST(SharedCatalogTest, DampingDisabledCountsEveryMiss) {
+  SharedCatalog catalog(100, /*negative_lookup_damp_limit=*/0);
+  for (int i = 0; i < 10; ++i) catalog.Pin(7);
+  EXPECT_EQ(catalog.misses(), 10);
+  EXPECT_EQ(catalog.damped_lookups(), 0);
+}
+
 }  // namespace
 }  // namespace sc::storage
