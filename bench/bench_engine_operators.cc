@@ -21,8 +21,11 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "engine/morsel.h"
 #include "engine/operators.h"
 #include "engine/scalar_reference.h"
+#include "runtime/lane_pool.h"
+#include "runtime/morsel.h"
 
 namespace sc::bench {
 namespace {
@@ -228,6 +231,92 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   if (sink == 0) std::cout << " ";  // keep `sink` observable
 
+  // -------------------------------------------------------------------
+  // Morsel lane scaling: the same wide hash join / hash aggregate run
+  // under a MorselScope at 1/2/4/8 morsels, fanning interior build,
+  // probe, and partial-aggregate passes across a LanePool via
+  // runtime::LaneMorselRunner — exactly the path the stage runtime
+  // installs around a node. Speedup is relative to the 1-morsel run of
+  // the same binary (1 morsel takes the sequential code path).
+  // -------------------------------------------------------------------
+  Banner("Morsel lane scaling (intra-operator parallelism)",
+         "partitioned hash build/probe and partial-aggregate merge on "
+         "the LanePool; bit-identity vs scalar reference checked before "
+         "timing");
+  struct MorselSample {
+    std::string op;
+    std::size_t rows = 0;
+    int morsels = 0;
+    double mrows = 0.0;
+    double speedup = 0.0;  // vs the 1-morsel run
+  };
+  std::vector<MorselSample> morsel_samples;
+  {
+    const std::size_t rows = smoke ? 100'000 : 1'000'000;
+    Rng rng(314159);
+    const Table input = MakeTable(&rng, rows, rows / 8 + 1);
+    const Table build = MakeTable(&rng, rows / 4 + 1, rows / 8 + 1);
+    runtime::LanePool pool(8);
+
+    struct MorselVariant {
+      std::string name;
+      std::function<Table()> run;
+      std::function<Table()> reference;
+    };
+    const std::vector<MorselVariant> mvariants = {
+        {"morsel_hash_join",
+         [&] { return engine::HashJoinTables(input, build, {"key"},
+                                             {"key"}); },
+         [&] {
+           return engine::scalar::HashJoinTablesScalar(input, build,
+                                                       {"key"}, {"key"});
+         }},
+        {"morsel_hash_aggregate",
+         [&] { return engine::AggregateTable(input, {"key"}, aggregates); },
+         [&] {
+           return engine::scalar::AggregateTableScalar(input, {"key"},
+                                                       aggregates);
+         }},
+    };
+    TablePrinter mtable({"operator", "rows", "morsels", "Mrows/s",
+                         "speedup vs 1"});
+    for (const MorselVariant& v : mvariants) {
+      const Table ref = v.reference();
+      double one_morsel_s = 0.0;
+      for (const int morsels : {1, 2, 4, 8}) {
+        engine::MorselRunner* runner_ptr = nullptr;
+        runtime::LaneMorselRunner runner(&pool, /*trace=*/nullptr,
+                                         /*trace_job_id=*/0, v.name,
+                                         /*task_counter=*/nullptr);
+        if (morsels > 1) runner_ptr = &runner;
+        engine::MorselContext context(runner_ptr, morsels,
+                                      /*min_morsel_rows=*/1);
+        engine::MorselScope scope(&context);
+        if (!(v.run() == ref)) {
+          std::cerr << "MISMATCH vs scalar reference for " << v.name
+                    << " at " << morsels << " morsels\n";
+          return 1;
+        }
+        const double s =
+            BestOfSeconds(reps, [&] { sink += v.run().num_rows(); });
+        if (morsels == 1) one_morsel_s = s;
+        MorselSample m;
+        m.op = v.name;
+        m.rows = rows;
+        m.morsels = morsels;
+        m.mrows = static_cast<double>(rows) / s / 1e6;
+        m.speedup = one_morsel_s / s;
+        morsel_samples.push_back(m);
+        mtable.AddRow({m.op, std::to_string(rows),
+                       std::to_string(morsels),
+                       StrFormat("%.2f", m.mrows),
+                       StrFormat("%.2fx", m.speedup)});
+      }
+    }
+    mtable.Print(std::cout);
+    if (sink == 0) std::cout << " ";
+  }
+
   std::ostringstream json;
   json << "{\"bench\":\"engine_operators\",\"samples\":[";
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -238,6 +327,15 @@ int Main(int argc, char** argv) {
         "\"vectorized_mrows_per_sec\":%.3f,\"speedup\":%.3f}",
         s.op.c_str(), s.rows, s.scalar_mrows, s.vectorized_mrows,
         s.speedup);
+  }
+  json << "],\"morsels\":[";
+  for (std::size_t i = 0; i < morsel_samples.size(); ++i) {
+    const MorselSample& m = morsel_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"op\":\"%s\",\"rows\":%zu,\"morsels\":%d,"
+        "\"mrows_per_sec\":%.3f,\"speedup_vs_1\":%.3f}",
+        m.op.c_str(), m.rows, m.morsels, m.mrows, m.speedup);
   }
   json << "]}";
   std::cout << "\n" << json.str() << "\n";
@@ -269,6 +367,30 @@ int Main(int argc, char** argv) {
       std::cout << StrFormat(
           "floor check %s: measured %.2f Mrows/s vs floor %.2f (baseline "
           "%.2f - 30%%): %s\n",
+          op.c_str(), measured, floor, baseline,
+          measured >= floor ? "ok" : "REGRESSION");
+      if (measured < floor) ok = false;
+    }
+    // Morsel scaling floor: the 4-morsel speedup over the 1-morsel run
+    // must stay above 0.7 x the committed baseline. The baseline is set
+    // conservatively (CI runners may have fewer cores than lanes) so
+    // this catches fan-out turning into a slowdown, not tuning noise.
+    for (const std::string op :
+         {"morsel_hash_join", "morsel_hash_aggregate"}) {
+      double baseline = 0.0;
+      if (!ParseJsonNumber(text, op + "_speedup_4", &baseline)) {
+        std::cerr << "floor file missing " << op << "_speedup_4\n";
+        ok = false;
+        continue;
+      }
+      double measured = 0.0;
+      for (const MorselSample& m : morsel_samples) {
+        if (m.op == op && m.morsels == 4) measured = m.speedup;
+      }
+      const double floor = 0.7 * baseline;
+      std::cout << StrFormat(
+          "floor check %s: 4-morsel speedup %.2fx vs floor %.2fx "
+          "(baseline %.2fx - 30%%): %s\n",
           op.c_str(), measured, floor, baseline,
           measured >= floor ? "ok" : "REGRESSION");
       if (measured < floor) ok = false;

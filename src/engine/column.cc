@@ -87,6 +87,12 @@ void Column::GatherFrom(const Column& other,
   switch (type_) {
     case DataType::kInt64: {
       const std::size_t base = ints_.size();
+      // Exact reserve before resize: morsel merges gather many chunks
+      // into one output, and libstdc++'s geometric resize would
+      // over-allocate up to 2x on each of them.
+      if (base + rows.size() > ints_.capacity()) {
+        ints_.reserve(base + rows.size());
+      }
       ints_.resize(base + rows.size());
       const std::int64_t* src = other.ints_.data();
       std::int64_t* dst = ints_.data() + base;
@@ -95,6 +101,9 @@ void Column::GatherFrom(const Column& other,
     }
     case DataType::kFloat64: {
       const std::size_t base = doubles_.size();
+      if (base + rows.size() > doubles_.capacity()) {
+        doubles_.reserve(base + rows.size());
+      }
       doubles_.resize(base + rows.size());
       const double* src = other.doubles_.data();
       double* dst = doubles_.data() + base;
@@ -116,16 +125,27 @@ void Column::AppendRangeFrom(const Column& other, std::size_t begin,
   if (other.type_ != type_) {
     throw std::invalid_argument("Column::AppendRangeFrom: type mismatch");
   }
+  // Exact reserve: vector::insert grows geometrically when the range
+  // overflows capacity, which over-allocates on chunked appends.
   switch (type_) {
     case DataType::kInt64:
+      if (ints_.size() + (end - begin) > ints_.capacity()) {
+        ints_.reserve(ints_.size() + (end - begin));
+      }
       ints_.insert(ints_.end(), other.ints_.begin() + begin,
                    other.ints_.begin() + end);
       return;
     case DataType::kFloat64:
+      if (doubles_.size() + (end - begin) > doubles_.capacity()) {
+        doubles_.reserve(doubles_.size() + (end - begin));
+      }
       doubles_.insert(doubles_.end(), other.doubles_.begin() + begin,
                       other.doubles_.begin() + end);
       return;
     case DataType::kString:
+      if (strings_.size() + (end - begin) > strings_.capacity()) {
+        strings_.reserve(strings_.size() + (end - begin));
+      }
       strings_.insert(strings_.end(), other.strings_.begin() + begin,
                       other.strings_.begin() + end);
       return;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/fnv.h"
+#include "engine/morsel.h"
 
 namespace sc::engine {
 
@@ -24,36 +25,70 @@ std::vector<const Column*> ResolveColumns(
   return out;
 }
 
-/// Column-at-a-time FNV-1a hashes over the raw key values of every row:
-/// the typed replacement for the scalar reference's per-row EncodeKey
-/// string (which allocated one std::string per input row). Doubles hash
-/// by bit pattern, strings by length + bytes; hash collisions are
-/// resolved by KeyRowsEqual, never trusted.
-std::vector<std::uint64_t> HashKeyRows(
-    const std::vector<const Column*>& cols, std::size_t n) {
-  std::vector<std::uint64_t> hashes(n, kFnvOffset);
-  std::uint64_t* h = hashes.data();
+/// Column-at-a-time FNV-1a hashes over the raw key values of rows
+/// [begin, end), written into the caller-owned buffer (h[r] for r in the
+/// range): the typed replacement for the scalar reference's per-row
+/// EncodeKey string (which allocated one std::string per input row).
+/// Doubles hash by bit pattern, strings by length + bytes; hash
+/// collisions are resolved by KeyRowsEqual, never trusted. The range
+/// form is the morsel body: concurrent morsels hash disjoint row ranges
+/// of one shared buffer.
+void HashKeyRowsRange(const std::vector<const Column*>& cols,
+                      std::size_t begin, std::size_t end,
+                      std::uint64_t* h) {
+  for (std::size_t r = begin; r < end; ++r) h[r] = kFnvOffset;
   for (const Column* c : cols) {
     switch (c->type()) {
       case DataType::kInt64: {
         const std::int64_t* v = c->ints().data();
-        for (std::size_t r = 0; r < n; ++r) FnvMixInt(&h[r], v[r]);
+        for (std::size_t r = begin; r < end; ++r) FnvMixInt(&h[r], v[r]);
         break;
       }
       case DataType::kFloat64: {
         const double* v = c->doubles().data();
-        for (std::size_t r = 0; r < n; ++r) FnvMixDouble(&h[r], v[r]);
+        for (std::size_t r = begin; r < end; ++r) {
+          FnvMixDouble(&h[r], v[r]);
+        }
         break;
       }
       case DataType::kString: {
         const std::string* v = c->strings().data();
-        for (std::size_t r = 0; r < n; ++r) FnvMixString(&h[r], v[r]);
+        for (std::size_t r = begin; r < end; ++r) {
+          FnvMixString(&h[r], v[r]);
+        }
         break;
       }
     }
   }
-  return hashes;
 }
+
+/// HashKeyRows buffer that recycles allocations through the current
+/// MorselContext's scratch pool (satellite: morsels of one node reuse
+/// hash buffers instead of growing fresh vectors per operator call).
+class HashBuffer {
+ public:
+  HashBuffer(MorselContext* context, std::size_t n) : context_(context) {
+    if (context_ != nullptr) {
+      buffer_ = context_->BorrowHashBuffer(n);
+    } else {
+      buffer_.resize(n);
+    }
+  }
+  ~HashBuffer() {
+    if (context_ != nullptr) {
+      context_->ReturnHashBuffer(std::move(buffer_));
+    }
+  }
+  HashBuffer(const HashBuffer&) = delete;
+  HashBuffer& operator=(const HashBuffer&) = delete;
+
+  std::uint64_t* data() { return buffer_.data(); }
+  std::uint64_t operator[](std::size_t i) const { return buffer_[i]; }
+
+ private:
+  MorselContext* context_;
+  std::vector<std::uint64_t> buffer_;
+};
 
 /// Typed composite-key equality between row `ra` of key set `a` and row
 /// `rb` of key set `b`. Doubles compare by bit pattern, preserving the
@@ -117,6 +152,234 @@ std::vector<std::uint32_t> SelectionFromMask(const Column& mask) {
   return sel;
 }
 
+/// Morsel-parallel interior of HashJoinTables. Build rows are scattered
+/// into partitions by the high bits of their FNV hash (FNV's multiply
+/// mixes high bits hardest; the low bits still index slots within a
+/// partition), each partition's chained table is built by one task, and
+/// probe morsels scan disjoint probe ranges. A probe key's entire chain
+/// lives in exactly one partition, the partition scatter preserves
+/// ascending build-row order, and per-morsel match chunks concatenate in
+/// morsel order — so the emitted (left, right) pairs are exactly the
+/// sequential probe's output.
+void PartitionedJoinMatches(MorselContext& ctx, std::size_t morsels,
+                            const std::vector<const Column*>& lcols,
+                            std::size_t ln, const std::uint64_t* lh,
+                            const std::vector<const Column*>& rcols,
+                            std::size_t rn, const std::uint64_t* rh,
+                            std::vector<std::uint32_t>* match_left,
+                            std::vector<std::uint32_t>* match_right) {
+  MorselRunner& runner = *ctx.runner();
+  const std::size_t partitions = NextPow2(morsels);  // >= 2
+  int bits = 0;
+  while ((static_cast<std::size_t>(1) << bits) < partitions) ++bits;
+  const int shift = 64 - bits;
+
+  // Scatter build rows into partitions: count per (morsel, partition),
+  // prefix into write cursors, then place. Cursors advance in morsel
+  // order, so each partition lists its rows ascending.
+  const std::vector<std::size_t> rb = MorselBounds(rn, morsels);
+  std::vector<std::vector<std::uint32_t>> part_count(
+      morsels, std::vector<std::uint32_t>(partitions, 0));
+  runner.Run(morsels, [&](std::size_t m) {
+    std::vector<std::uint32_t>& count = part_count[m];
+    for (std::size_t r = rb[m]; r < rb[m + 1]; ++r) {
+      count[rh[r] >> shift]++;
+    }
+  });
+  std::vector<std::size_t> part_begin(partitions + 1, 0);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    std::size_t total = 0;
+    for (std::size_t m = 0; m < morsels; ++m) total += part_count[m][p];
+    part_begin[p + 1] = part_begin[p] + total;
+  }
+  std::vector<std::vector<std::size_t>> cursor(
+      morsels, std::vector<std::size_t>(partitions));
+  {
+    std::vector<std::size_t> running(part_begin.begin(),
+                                     part_begin.end() - 1);
+    for (std::size_t m = 0; m < morsels; ++m) {
+      for (std::size_t p = 0; p < partitions; ++p) {
+        cursor[m][p] = running[p];
+        running[p] += part_count[m][p];
+      }
+    }
+  }
+  std::vector<std::uint32_t> part_rows(rn);
+  runner.Run(morsels, [&](std::size_t m) {
+    std::vector<std::size_t>& cur = cursor[m];
+    for (std::size_t r = rb[m]; r < rb[m + 1]; ++r) {
+      part_rows[cur[rh[r] >> shift]++] = static_cast<std::uint32_t>(r);
+    }
+  });
+
+  // Per-partition chained tables. `next` is indexed by global build row,
+  // so probes walk it directly; only `head` and the slot mask are
+  // per-partition. Reverse insertion keeps chains ascending, as in the
+  // sequential build.
+  struct PartTable {
+    std::vector<std::uint32_t> head;
+    std::size_t slot_mask = 0;
+  };
+  std::vector<PartTable> tables(partitions);
+  std::vector<std::uint32_t> next(rn);
+  runner.Run(partitions, [&](std::size_t p) {
+    const std::size_t lo = part_begin[p];
+    const std::size_t hi = part_begin[p + 1];
+    PartTable& t = tables[p];
+    const std::size_t cap =
+        NextPow2(std::max<std::size_t>((hi - lo) * 2, 1));
+    t.slot_mask = cap - 1;
+    t.head.assign(cap, kNoRow);
+    for (std::size_t i = hi; i > lo;) {
+      --i;
+      const std::uint32_t r = part_rows[i];
+      const std::size_t slot = rh[r] & t.slot_mask;
+      next[r] = t.head[slot];
+      t.head[slot] = r;
+    }
+  });
+
+  // Probe morsels into per-morsel chunks, concatenated in morsel order.
+  const std::vector<std::size_t> lb = MorselBounds(ln, morsels);
+  std::vector<std::vector<std::uint32_t>> chunk_left(morsels);
+  std::vector<std::vector<std::uint32_t>> chunk_right(morsels);
+  runner.Run(morsels, [&](std::size_t m) {
+    std::vector<std::uint32_t>& ml = chunk_left[m];
+    std::vector<std::uint32_t>& mr = chunk_right[m];
+    ml.reserve(lb[m + 1] - lb[m]);
+    mr.reserve(lb[m + 1] - lb[m]);
+    for (std::size_t l = lb[m]; l < lb[m + 1]; ++l) {
+      const PartTable& t = tables[lh[l] >> shift];
+      for (std::uint32_t r = t.head[lh[l] & t.slot_mask]; r != kNoRow;
+           r = next[r]) {
+        if (rh[r] == lh[l] && KeyRowsEqual(lcols, l, rcols, r)) {
+          ml.push_back(static_cast<std::uint32_t>(l));
+          mr.push_back(r);
+        }
+      }
+    }
+  });
+  std::vector<std::size_t> out_at(morsels + 1, 0);
+  for (std::size_t m = 0; m < morsels; ++m) {
+    out_at[m + 1] = out_at[m] + chunk_left[m].size();
+  }
+  match_left->resize(out_at[morsels]);
+  match_right->resize(out_at[morsels]);
+  runner.Run(morsels, [&](std::size_t m) {
+    std::copy(chunk_left[m].begin(), chunk_left[m].end(),
+              match_left->begin() + out_at[m]);
+    std::copy(chunk_right[m].begin(), chunk_right[m].end(),
+              match_right->begin() + out_at[m]);
+  });
+}
+
+/// Morsel-parallel pass 1 of AggregateTable. Each morsel builds a
+/// partial group table over its contiguous row range; a sequential merge
+/// in (morsel, local-group) order then assigns global ids. Because
+/// morsels are ascending contiguous ranges, that merge order IS global
+/// first-occurrence order: every key first seen in morsel m precedes
+/// every key first seen in a later morsel, and within a morsel local ids
+/// are already first-occurrence-ordered. Group numbering,
+/// representatives, and counts therefore match the sequential pass
+/// exactly.
+void ParallelGroupRows(MorselContext& ctx, std::size_t morsels,
+                       const std::vector<const Column*>& key_cols,
+                       std::size_t n,
+                       std::vector<std::uint32_t>* group_of_row,
+                       std::vector<std::uint32_t>* representative,
+                       std::vector<std::int64_t>* counts) {
+  MorselRunner& runner = *ctx.runner();
+  const std::vector<std::size_t> bounds = MorselBounds(n, morsels);
+  HashBuffer h(&ctx, n);
+  runner.Run(morsels, [&](std::size_t m) {
+    HashKeyRowsRange(key_cols, bounds[m], bounds[m + 1], h.data());
+  });
+
+  // Per-morsel partial group tables over the shared hashes.
+  // group_of_row holds local ids until the final pass translates them.
+  struct LocalGroups {
+    std::vector<std::uint32_t> rep;        // global row of local group
+    std::vector<std::uint32_t> count;      // rows per local group
+    std::vector<std::uint32_t> to_global;  // local id -> global id
+  };
+  std::vector<LocalGroups> locals(morsels);
+  group_of_row->resize(n);
+  std::uint32_t* gid = group_of_row->data();
+  const std::uint64_t* hashes = h.data();
+  runner.Run(morsels, [&](std::size_t m) {
+    LocalGroups& lg = locals[m];
+    const std::size_t lo = bounds[m];
+    const std::size_t hi = bounds[m + 1];
+    const std::size_t cap =
+        NextPow2(std::max<std::size_t>((hi - lo) * 2, 1));
+    const std::size_t slot_mask = cap - 1;
+    std::vector<std::uint32_t> head(cap, kNoRow);
+    std::vector<std::uint32_t> next_group;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t slot = hashes[r] & slot_mask;
+      std::uint32_t g = head[slot];
+      while (g != kNoRow &&
+             !(hashes[lg.rep[g]] == hashes[r] &&
+               KeyRowsEqual(key_cols, r, key_cols, lg.rep[g]))) {
+        g = next_group[g];
+      }
+      if (g == kNoRow) {
+        g = static_cast<std::uint32_t>(lg.rep.size());
+        lg.rep.push_back(static_cast<std::uint32_t>(r));
+        lg.count.push_back(0);
+        next_group.push_back(head[slot]);
+        head[slot] = g;
+      }
+      lg.count[g]++;
+      gid[r] = g;
+    }
+  });
+
+  // Deterministic sequential merge: global group table keyed by the
+  // local representatives, visited in (morsel, local id) order.
+  std::size_t total_local = 0;
+  for (const LocalGroups& lg : locals) total_local += lg.rep.size();
+  const std::size_t cap =
+      NextPow2(std::max<std::size_t>(total_local * 2, 1));
+  const std::size_t slot_mask = cap - 1;
+  std::vector<std::uint32_t> head(cap, kNoRow);
+  std::vector<std::uint32_t> next_group;
+  representative->clear();
+  counts->clear();
+  for (std::size_t m = 0; m < morsels; ++m) {
+    LocalGroups& lg = locals[m];
+    lg.to_global.resize(lg.rep.size());
+    for (std::size_t i = 0; i < lg.rep.size(); ++i) {
+      const std::uint32_t row = lg.rep[i];
+      const std::size_t slot = hashes[row] & slot_mask;
+      std::uint32_t g = head[slot];
+      while (g != kNoRow &&
+             !(hashes[(*representative)[g]] == hashes[row] &&
+               KeyRowsEqual(key_cols, row, key_cols,
+                            (*representative)[g]))) {
+        g = next_group[g];
+      }
+      if (g == kNoRow) {
+        g = static_cast<std::uint32_t>(representative->size());
+        representative->push_back(row);
+        counts->push_back(0);
+        next_group.push_back(head[slot]);
+        head[slot] = g;
+      }
+      lg.to_global[i] = g;
+      (*counts)[g] += lg.count[i];
+    }
+  }
+
+  // Translate local ids to global in one parallel pass.
+  runner.Run(morsels, [&](std::size_t m) {
+    const LocalGroups& lg = locals[m];
+    for (std::size_t r = bounds[m]; r < bounds[m + 1]; ++r) {
+      gid[r] = lg.to_global[gid[r]];
+    }
+  });
+}
+
 }  // namespace
 
 Table FilterTable(const Table& input, const Expr& predicate) {
@@ -166,48 +429,83 @@ Table HashJoinTables(const Table& left, const Table& right,
   }
   Table out = Table::Empty(Schema(std::move(fields)));
 
-  // Build side: a chained bucket table over typed FNV hashes of the
-  // right rows — two flat arrays, zero per-row allocation. Rows are
-  // inserted in reverse so each chain lists its rows in ascending right
-  // order, preserving the scalar reference's match order per key.
+  // Both sides hash first (typed FNV over the key columns); the probe
+  // side's row count decides the morsel fan-out. With a morsel context
+  // installed, hashing itself runs as morsels over disjoint row ranges
+  // of shared scratch buffers.
   const std::size_t rn = right.num_rows();
   const std::size_t ln = left.num_rows();
-  const std::vector<std::uint64_t> rh = HashKeyRows(rcols, rn);
-  const std::size_t cap = NextPow2(std::max<std::size_t>(rn * 2, 1));
-  const std::size_t slot_mask = cap - 1;
-  std::vector<std::uint32_t> head(cap, kNoRow);
-  std::vector<std::uint32_t> next(rn);
-  for (std::size_t r = rn; r > 0;) {
-    --r;
-    const std::size_t slot = rh[r] & slot_mask;
-    next[r] = head[slot];
-    head[slot] = static_cast<std::uint32_t>(r);
+  MorselContext* ctx = CurrentMorselContext();
+  const std::size_t morsels = ctx != nullptr ? ctx->PlanMorsels(ln) : 1;
+  HashBuffer rh(ctx, rn);
+  HashBuffer lh(ctx, ln);
+  if (morsels > 1) {
+    const std::vector<std::size_t> rb = MorselBounds(rn, morsels);
+    const std::vector<std::size_t> lb = MorselBounds(ln, morsels);
+    ctx->runner()->Run(2 * morsels, [&](std::size_t t) {
+      if (t < morsels) {
+        HashKeyRowsRange(rcols, rb[t], rb[t + 1], rh.data());
+      } else {
+        const std::size_t m = t - morsels;
+        HashKeyRowsRange(lcols, lb[m], lb[m + 1], lh.data());
+      }
+    });
+  } else {
+    HashKeyRowsRange(rcols, 0, rn, rh.data());
+    HashKeyRowsRange(lcols, 0, ln, lh.data());
   }
 
-  // Probe side: collect matching (left, right) row pairs, then gather
-  // both sides column-at-a-time instead of appending cell-by-cell.
-  const std::vector<std::uint64_t> lh = HashKeyRows(lcols, ln);
   std::vector<std::uint32_t> match_left;
   std::vector<std::uint32_t> match_right;
-  match_left.reserve(ln);
-  match_right.reserve(ln);
-  for (std::size_t l = 0; l < ln; ++l) {
-    for (std::uint32_t r = head[lh[l] & slot_mask]; r != kNoRow;
-         r = next[r]) {
-      if (rh[r] == lh[l] && KeyRowsEqual(lcols, l, rcols, r)) {
-        match_left.push_back(static_cast<std::uint32_t>(l));
-        match_right.push_back(r);
+  if (morsels > 1) {
+    PartitionedJoinMatches(*ctx, morsels, lcols, ln, lh.data(), rcols, rn,
+                           rh.data(), &match_left, &match_right);
+  } else {
+    // Build side: a chained bucket table over the right-row hashes — two
+    // flat arrays, zero per-row allocation. Rows are inserted in reverse
+    // so each chain lists its rows in ascending right order, preserving
+    // the scalar reference's match order per key.
+    const std::size_t cap = NextPow2(std::max<std::size_t>(rn * 2, 1));
+    const std::size_t slot_mask = cap - 1;
+    std::vector<std::uint32_t> head(cap, kNoRow);
+    std::vector<std::uint32_t> next(rn);
+    for (std::size_t r = rn; r > 0;) {
+      --r;
+      const std::size_t slot = rh[r] & slot_mask;
+      next[r] = head[slot];
+      head[slot] = static_cast<std::uint32_t>(r);
+    }
+
+    // Probe side: collect matching (left, right) row pairs, then gather
+    // both sides column-at-a-time instead of appending cell-by-cell.
+    match_left.reserve(ln);
+    match_right.reserve(ln);
+    for (std::size_t l = 0; l < ln; ++l) {
+      for (std::uint32_t r = head[lh[l] & slot_mask]; r != kNoRow;
+           r = next[r]) {
+        if (rh[r] == lh[l] && KeyRowsEqual(lcols, l, rcols, r)) {
+          match_left.push_back(static_cast<std::uint32_t>(l));
+          match_right.push_back(r);
+        }
       }
     }
   }
 
   const std::size_t left_width = left.num_columns();
-  for (std::size_t c = 0; c < left_width; ++c) {
-    out.mutable_column(c).GatherFrom(left.column(c), match_left);
-  }
-  for (std::size_t k = 0; k < right_cols_kept.size(); ++k) {
-    out.mutable_column(left_width + k)
-        .GatherFrom(right.column(right_cols_kept[k]), match_right);
+  const std::size_t out_cols = left_width + right_cols_kept.size();
+  auto gather_one = [&](std::size_t c) {
+    if (c < left_width) {
+      out.mutable_column(c).GatherFrom(left.column(c), match_left);
+    } else {
+      out.mutable_column(c).GatherFrom(
+          right.column(right_cols_kept[c - left_width]), match_right);
+    }
+  };
+  if (morsels > 1 && out_cols > 1) {
+    // Columns are independent output vectors — gather them concurrently.
+    ctx->runner()->Run(out_cols, gather_one);
+  } else {
+    for (std::size_t c = 0; c < out_cols; ++c) gather_one(c);
   }
   out.SyncRowCount();
   return out;
@@ -256,13 +554,25 @@ Table AggregateTable(const Table& input,
   // order). No per-row allocation: the scalar path built a std::string
   // key per row here.
   const bool global = group_keys.empty();
+  MorselContext* ctx = CurrentMorselContext();
+  const std::size_t morsels =
+      (!global && ctx != nullptr) ? ctx->PlanMorsels(n) : 1;
   std::vector<std::uint32_t> group_of_row(n);
   std::vector<std::uint32_t> representative;  // first row of each group
+  // counts: shared row counts per group (what AggState::count
+  // accumulated for every aggregate in the scalar path).
+  std::vector<std::int64_t> counts;
   if (global) {
     representative.push_back(0);
     std::fill(group_of_row.begin(), group_of_row.end(), 0u);
+    counts.assign(1, static_cast<std::int64_t>(n));
+  } else if (morsels > 1) {
+    ParallelGroupRows(*ctx, morsels, key_cols, n, &group_of_row,
+                      &representative, &counts);
   } else {
-    const std::vector<std::uint64_t> h = HashKeyRows(key_cols, n);
+    HashBuffer hb(ctx, n);
+    HashKeyRowsRange(key_cols, 0, n, hb.data());
+    const std::uint64_t* h = hb.data();
     const std::size_t cap = NextPow2(std::max<std::size_t>(n * 2, 1));
     const std::size_t slot_mask = cap - 1;
     std::vector<std::uint32_t> head(cap, kNoRow);
@@ -285,13 +595,10 @@ Table AggregateTable(const Table& input,
       }
       group_of_row[r] = g;
     }
+    counts.assign(representative.size(), 0);
+    for (std::size_t r = 0; r < n; ++r) counts[group_of_row[r]]++;
   }
   const std::size_t num_groups = representative.size();
-
-  // Shared row counts per group (what AggState::count accumulated for
-  // every aggregate in the scalar path).
-  std::vector<std::int64_t> counts(num_groups, 0);
-  for (std::size_t r = 0; r < n; ++r) counts[group_of_row[r]]++;
 
   // Output schema.
   std::vector<Field> fields;
@@ -315,19 +622,22 @@ Table AggregateTable(const Table& input,
     columns.push_back(std::move(col));
   }
 
-  // Pass 2 — one tight typed accumulation loop per aggregate. Updates
-  // run in row order per group, so floating-point sums are bit-identical
-  // to the scalar reference's row-at-a-time accumulation.
-  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+  // Pass 2 — one tight typed accumulation loop per aggregate, always a
+  // linear row scan accumulating into per-group slots: a linear scan
+  // visits each group's rows in ascending row order, so floating-point
+  // sums and NaN-sensitive MIN/MAX replay the scalar reference's
+  // row-at-a-time fold exactly. Under morsel execution the *aggregates*
+  // fan out across lanes (each builds an independent output column)
+  // rather than the rows — parallel and bit-identical at once, with
+  // every lane streaming its argument column sequentially.
+  auto build_aggregate = [&](std::size_t a) -> Column {
     const AggSpec& spec = aggregates[a];
-    const DataType out_type =
-        schema.field(group_keys.size() + a).type;
+    const DataType out_type = schema.field(group_keys.size() + a).type;
     const std::uint32_t* gid = group_of_row.data();
     switch (spec.func) {
       case AggSpec::Func::kCount:
-        columns.push_back(Column::FromInts(
-            std::vector<std::int64_t>(counts.begin(), counts.end())));
-        break;
+        return Column::FromInts(
+            std::vector<std::int64_t>(counts.begin(), counts.end()));
       case AggSpec::Func::kSum:
       case AggSpec::Func::kAvg: {
         const Column& arg = args[a].col();
@@ -354,13 +664,12 @@ Table AggregateTable(const Table& input,
                          ? sum[g] / static_cast<double>(counts[g])
                          : 0.0;
           }
-          columns.push_back(Column::FromDoubles(std::move(avg)));
-        } else if (out_type == DataType::kInt64) {
-          columns.push_back(Column::FromInts(std::move(isum)));
-        } else {
-          columns.push_back(Column::FromDoubles(std::move(sum)));
+          return Column::FromDoubles(std::move(avg));
         }
-        break;
+        if (out_type == DataType::kInt64) {
+          return Column::FromInts(std::move(isum));
+        }
+        return Column::FromDoubles(std::move(sum));
       }
       case AggSpec::Func::kMin:
       case AggSpec::Func::kMax: {
@@ -380,8 +689,7 @@ Table AggregateTable(const Table& input,
                 best[g] = v[r];
               }
             }
-            columns.push_back(Column::FromInts(std::move(best)));
-            break;
+            return Column::FromInts(std::move(best));
           }
           case DataType::kFloat64: {
             // The replace rule mirrors CompareValues: strictly-less /
@@ -397,8 +705,7 @@ Table AggregateTable(const Table& input,
                 best[g] = v[r];
               }
             }
-            columns.push_back(Column::FromDoubles(std::move(best)));
-            break;
+            return Column::FromDoubles(std::move(best));
           }
           case DataType::kString: {
             std::vector<std::string> best(num_groups);
@@ -412,12 +719,27 @@ Table AggregateTable(const Table& input,
                 best[g] = v[r];
               }
             }
-            columns.push_back(Column::FromStrings(std::move(best)));
-            break;
+            return Column::FromStrings(std::move(best));
           }
         }
         break;
       }
+    }
+    return Column(out_type);
+  };
+  if (morsels > 1 && aggregates.size() > 1) {
+    std::vector<Column> agg_cols;
+    agg_cols.reserve(aggregates.size());
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      agg_cols.emplace_back(schema.field(group_keys.size() + a).type);
+    }
+    ctx->runner()->Run(aggregates.size(), [&](std::size_t a) {
+      agg_cols[a] = build_aggregate(a);
+    });
+    for (Column& c : agg_cols) columns.push_back(std::move(c));
+  } else {
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      columns.push_back(build_aggregate(a));
     }
   }
   return Table(std::move(schema), std::move(columns));

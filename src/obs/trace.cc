@@ -106,6 +106,23 @@ void TraceRecorder::Complete(const char* category, std::string name,
   Append(std::move(event));
 }
 
+void TraceRecorder::CompleteOnTrack(std::string track,
+                                    const char* category,
+                                    std::string name,
+                                    double start_seconds,
+                                    double dur_seconds,
+                                    std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = std::move(name);
+  event.track = std::move(track);
+  event.start_seconds = start_seconds;
+  event.dur_seconds = std::max(0.0, dur_seconds);
+  event.args_json = std::move(args_json);
+  Append(std::move(event));
+}
+
 void TraceRecorder::Instant(const char* category, std::string name,
                             std::string args_json, double at_seconds) {
   if (!enabled()) return;

@@ -1,6 +1,7 @@
 #include "opt/stages.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -98,6 +99,15 @@ std::vector<double> EstimateNodeSeconds(const graph::Graph& g,
     seconds[static_cast<std::size_t>(v)] = est;
   }
   return seconds;
+}
+
+int MorselBudget(double est_seconds, double target_seconds,
+                 int max_morsels) {
+  if (target_seconds <= 0 || max_morsels <= 1) return 1;
+  if (!(est_seconds > target_seconds)) return 1;  // also rejects NaN
+  const double ratio = est_seconds / target_seconds;
+  if (!(ratio < static_cast<double>(max_morsels))) return max_morsels;
+  return static_cast<int>(std::ceil(ratio));
 }
 
 std::string DescribeStages(const graph::Graph& g,

@@ -41,6 +41,16 @@ std::vector<double> EstimateNodeSeconds(const graph::Graph& g,
                                         const cost::CostModel& model,
                                         bool charge_io);
 
+/// Interior morsel budget for one node: how many morsels its operators
+/// may fan out into so each morsel lands near `target_seconds` of work.
+/// ceil(est_seconds / target_seconds), clamped to [1, max_morsels].
+/// Unprofiled nodes (est = +infinity) get the full budget — with unknown
+/// cost the runtime assumes the node is large and lets the engine's
+/// per-operator row floor make the final call at execution time. A
+/// non-positive target disables morsels (returns 1).
+int MorselBudget(double est_seconds, double target_seconds,
+                 int max_morsels);
+
 }  // namespace sc::opt
 
 #endif  // SC_OPT_STAGES_H_

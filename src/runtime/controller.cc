@@ -4,17 +4,20 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/str_util.h"
 #include "cost/speedup.h"
 #include "engine/executor.h"
+#include "engine/morsel.h"
 #include "graph/fingerprint.h"
 #include "opt/memory_usage.h"
 #include "opt/optimizer.h"
 #include "opt/stages.h"
 #include "runtime/lane_pool.h"
+#include "runtime/morsel.h"
 #include "runtime/stage_scheduler.h"
 #include "storage/format.h"
 
@@ -24,16 +27,38 @@ namespace sc::runtime {
 // Materializer
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Materializer channels get their own trace tracks so background
+/// writes render as a separate timeline row next to the lanes. The
+/// index is process-wide: runs overlap, and re-used indices would merge
+/// rows.
+std::string NextMaterializerTrack() {
+  static std::atomic<int> next_writer_index{0};
+  return "materializer-" +
+         std::to_string(
+             next_writer_index.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
+
 Materializer::Materializer(storage::ThrottledDisk* disk,
-                           obs::TraceRecorder* trace)
-    : disk_(disk), trace_(trace) {
-  worker_ = std::thread([this] { Loop(); });
+                           obs::TraceRecorder* trace, LanePool* pool)
+    : disk_(disk),
+      trace_(trace),
+      pool_(pool),
+      track_(NextMaterializerTrack()) {
+  if (pool_ == nullptr) {
+    worker_ = std::thread([this] { Loop(); });
+  }
 }
 
 Materializer::~Materializer() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
+    // Pooled mode: the in-flight drain task references `this` and
+    // processes every queued write before retiring — wait it out (the
+    // owned-thread mode equally drains its queue before Loop returns).
+    drained_cv_.wait(lock, [this] { return !pool_task_active_; });
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
@@ -45,9 +70,18 @@ std::shared_future<void> Materializer::Enqueue(std::string name,
   task.name = std::move(name);
   task.table = std::move(table);
   std::shared_future<void> future = task.done.get_future().share();
+  bool submit_drain = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    if (pool_ != nullptr && !pool_task_active_) {
+      // One drain task at a time: the single-writer FIFO channel.
+      pool_task_active_ = true;
+      submit_drain = true;
+    }
+  }
+  if (submit_drain) {
+    pool_->Submit([this] { DrainOnPool(); });
   }
   cv_.notify_one();
   return future;
@@ -58,15 +92,27 @@ void Materializer::Drain() {
   drained_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
 }
 
+void Materializer::WriteOne(Task task) {
+  try {
+    const double write_start = MonotonicSeconds();
+    disk_->WriteTable(task.name, *task.table);
+    if (trace_ != nullptr && trace_->enabled()) {
+      // Explicit track: in pooled mode the executing thread is some
+      // lane, but the write belongs on this materializer's timeline.
+      trace_->CompleteOnTrack(
+          track_, "materialize", task.name, write_start,
+          MonotonicSeconds() - write_start,
+          StrFormat("\"bytes\":%lld",
+                    static_cast<long long>(task.table->ByteSize())));
+    }
+    task.done.set_value();
+  } catch (...) {
+    task.done.set_exception(std::current_exception());
+  }
+}
+
 void Materializer::Loop() {
-  // Writer threads get their own trace tracks so background writes
-  // render as a separate timeline row next to the lanes. The index is
-  // process-wide: runs overlap, and re-used indices would merge rows.
-  static std::atomic<int> next_writer_index{0};
-  obs::SetThreadTrack(
-      "materializer-" +
-      std::to_string(next_writer_index.fetch_add(
-          1, std::memory_order_relaxed)));
+  obs::SetThreadTrack(track_);
   for (;;) {
     Task task;
     {
@@ -80,20 +126,30 @@ void Materializer::Loop() {
       queue_.pop_front();
       busy_ = true;
     }
-    try {
-      const double write_start = MonotonicSeconds();
-      disk_->WriteTable(task.name, *task.table);
-      if (trace_ != nullptr && trace_->enabled()) {
-        trace_->Complete(
-            "materialize", task.name, write_start,
-            MonotonicSeconds() - write_start,
-            StrFormat("\"bytes\":%lld",
-                      static_cast<long long>(task.table->ByteSize())));
-      }
-      task.done.set_value();
-    } catch (...) {
-      task.done.set_exception(std::current_exception());
+    WriteOne(std::move(task));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      busy_ = false;
     }
+    drained_cv_.notify_all();
+  }
+}
+
+void Materializer::DrainOnPool() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        pool_task_active_ = false;
+        drained_cv_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    WriteOne(std::move(task));
     {
       std::unique_lock<std::mutex> lock(mutex_);
       busy_ = false;
@@ -135,6 +191,25 @@ double RunReport::CatalogHitRate() const {
 
 namespace {
 
+/// Per-node wall-cost estimates over the run's storage device — the
+/// shared model behind both inline dispatch and the interior morsel
+/// budget. Unprofiled nodes estimate to +infinity.
+std::vector<double> EstimateNodeCosts(const graph::Graph& g,
+                                      const opt::FlagSet& flags,
+                                      storage::ThrottledDisk* disk) {
+  const storage::DiskProfile& dp = disk->profile();
+  cost::DeviceProfile device;
+  device.disk_read_bw = dp.read_bw;
+  device.disk_write_bw = dp.write_bw;
+  device.disk_latency = dp.latency;
+  // ThrottledDisk emulates bandwidth + latency only; the cost model's
+  // per-table open/commit overheads are not lane-occupancy time here.
+  device.table_read_overhead = 0.0;
+  device.table_write_overhead = 0.0;
+  return opt::EstimateNodeSeconds(g, flags, cost::CostModel(device),
+                                  dp.throttle);
+}
+
 /// Everything one refresh run owns. Both execution paths drive the same
 /// ExecuteNode / PublishNode pair against this state, which is what makes
 /// the 1-lane mode provably identical to the stage runtime at 1 lane.
@@ -149,8 +224,12 @@ struct RunState {
         options(options_in),
         disk(disk_in),
         catalog(budget, options_in.shared_catalog),
-        materializer(disk_in, options_in.trace) {
+        materializer(disk_in, options_in.trace, options_in.lane_pool),
+        morsel_pool(options_in.lane_pool) {
     const graph::Graph& g = wl.graph;
+    if (options.morsel_target_seconds > 0) {
+      node_est_seconds = EstimateNodeCosts(g, plan.flags, disk);
+    }
     if (options.shared_catalog != nullptr) {
       // The catalog becomes the per-job view onto the cross-job layer:
       // every MV name is bound to its content fingerprint (reusing the
@@ -188,6 +267,15 @@ struct RunState {
   std::vector<std::int32_t> pending_children;
   std::map<std::string, std::shared_future<void>> in_flight;
   std::vector<graph::NodeId> releasable;
+  /// Pool backing interior morsel fan-out (the service pool, or the
+  /// parallel runtime's owned fallback wired in by RunStageParallel);
+  /// null keeps every node single-morsel.
+  LanePool* morsel_pool = nullptr;
+  /// Per-node cost estimates feeding opt::MorselBudget; empty when
+  /// morsel_target_seconds disables interior fan-out.
+  std::vector<double> node_est_seconds;
+  /// Morsel tasks executed across the run (RunReport::morsel_tasks).
+  std::atomic<std::int64_t> morsel_tasks{0};
 };
 
 struct NodeResult {
@@ -270,9 +358,46 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v,
     return engine::TablePtr(table);
   });
 
+  // Interior morsel fan-out: when the cost model marks this node large
+  // enough (opt::MorselBudget over the same estimates as inline
+  // dispatch), install a MorselContext so the engine's hash join and
+  // aggregation split their interiors across idle lanes of the run's
+  // pool. Results are bit-identical to single-morsel execution, and the
+  // node still completes and publishes as one unit — the in-order
+  // publish protocol never observes the fan-out.
+  int morsel_budget = 1;
+  if (s.morsel_pool != nullptr &&
+      static_cast<std::size_t>(v) < s.node_est_seconds.size()) {
+    // Morsel work is pure compute, so fan-out beyond physical cores only
+    // adds dispatch cost even when the pool is (deliberately)
+    // oversubscribed for I/O-bound nodes. Cap at hardware concurrency
+    // unless the caller pinned an explicit lane cap.
+    int lane_cap = s.options.morsel_max_lanes;
+    if (lane_cap <= 0) {
+      lane_cap = static_cast<int>(std::thread::hardware_concurrency());
+      if (lane_cap <= 0) lane_cap = 1;
+    }
+    morsel_budget = opt::MorselBudget(
+        s.node_est_seconds[static_cast<std::size_t>(v)],
+        s.options.morsel_target_seconds,
+        std::min(s.morsel_pool->capacity(), lane_cap));
+  }
+
   const double exec_start = MonotonicSeconds();
-  result.output = std::make_shared<engine::Table>(
-      engine::ExecutePlan(*s.wl.plans[v], resolver));
+  if (morsel_budget > 1) {
+    LaneMorselRunner runner(s.morsel_pool, trace, s.options.trace_job_id,
+                            stats.name, &s.morsel_tasks);
+    engine::MorselContext morsel_context(
+        &runner, morsel_budget,
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(1, s.options.morsel_min_rows)));
+    engine::MorselScope scope(&morsel_context);
+    result.output = std::make_shared<engine::Table>(
+        engine::ExecutePlan(*s.wl.plans[v], resolver));
+  } else {
+    result.output = std::make_shared<engine::Table>(
+        engine::ExecutePlan(*s.wl.plans[v], resolver));
+  }
   const double exec_seconds = MonotonicSeconds() - exec_start;
   stats.read_seconds = read_seconds;
   stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
@@ -403,17 +528,10 @@ std::vector<char> InlineEligible(const RunState& s) {
   std::vector<char> ok(static_cast<std::size_t>(g.num_nodes()), 0);
   const double threshold = s.options.inline_node_cost_seconds;
   if (threshold <= 0) return ok;
-  const storage::DiskProfile& dp = s.disk->profile();
-  cost::DeviceProfile device;
-  device.disk_read_bw = dp.read_bw;
-  device.disk_write_bw = dp.write_bw;
-  device.disk_latency = dp.latency;
-  // ThrottledDisk emulates bandwidth + latency only; the cost model's
-  // per-table open/commit overheads are not lane-occupancy time here.
-  device.table_read_overhead = 0.0;
-  device.table_write_overhead = 0.0;
-  const std::vector<double> est = opt::EstimateNodeSeconds(
-      g, s.plan.flags, cost::CostModel(device), dp.throttle);
+  const std::vector<double> est =
+      !s.node_est_seconds.empty()
+          ? s.node_est_seconds
+          : EstimateNodeCosts(g, s.plan.flags, s.disk);
   for (std::size_t v = 0; v < est.size(); ++v) {
     ok[v] = est[v] <= threshold ? 1 : 0;
   }
@@ -488,6 +606,11 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   // returns before `executing` drops to zero instead.)
   std::optional<LanePool> owned;
   if (pool == nullptr) pool = &owned.emplace(lanes);
+  // Standalone runs get interior morsels on the owned fallback pool too
+  // (every ExecuteNode below happens before `owned` unwinds).
+  if (s.morsel_pool == nullptr && s.options.morsel_target_seconds > 0) {
+    s.morsel_pool = pool;
+  }
 
   // Dispatches ready nodes while this run's lanes are free, in
   // order-position priority. Requires `mutex`; called by the coordinator
@@ -749,6 +872,8 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
   report.catalog_hits = state.catalog.hits();
   report.catalog_misses = state.catalog.misses();
   report.reserve_denials = state.catalog.reserve_denials();
+  report.morsel_tasks =
+      state.morsel_tasks.load(std::memory_order_relaxed);
   report.cross_job_hits = state.catalog.cross_job_hits();
   report.cross_job_bytes_saved = state.catalog.cross_job_bytes_saved();
   report.ok = true;

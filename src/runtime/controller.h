@@ -23,16 +23,29 @@ namespace sc::runtime {
 class LanePool;
 
 /// Background materialization worker (paper §III-C): a single writer
-/// thread that persists Memory Catalog tables to external storage while
+/// channel that persists Memory Catalog tables to external storage while
 /// the DBMS executes downstream nodes. FIFO, mirroring one storage write
 /// channel.
+///
+/// Two execution modes share the same queue and semantics:
+/// - Owned thread (pool == nullptr): the pre-pool behaviour — one writer
+///   thread per Materializer, constructed eagerly. Standalone fallback.
+/// - Pooled (pool != nullptr): writes drain on the service-wide LanePool
+///   via a single self-requeueing drain task, so steady-state jobs spawn
+///   no per-run writer thread (the last per-run thread construction).
+///   At most one drain task is ever in flight, which preserves the
+///   strict single-writer FIFO ordering per file; spans still land on
+///   this materializer's own "materializer-<k>" track regardless of
+///   which lane executes the drain.
 class Materializer {
  public:
   /// `trace` (optional, not owned) receives a "materialize" span per
-  /// completed write on the writer thread's own track
-  /// ("materializer-<k>").
+  /// completed write on this materializer's track ("materializer-<k>").
+  /// `pool` (optional, not owned; must outlive this object) switches to
+  /// pooled mode.
   explicit Materializer(storage::ThrottledDisk* disk,
-                        obs::TraceRecorder* trace = nullptr);
+                        obs::TraceRecorder* trace = nullptr,
+                        LanePool* pool = nullptr);
   ~Materializer();
 
   Materializer(const Materializer&) = delete;
@@ -54,15 +67,24 @@ class Materializer {
   };
 
   void Loop();
+  /// Pooled-mode drain body: writes queued tasks FIFO until the queue is
+  /// empty, then retires (Enqueue schedules a fresh one as needed).
+  void DrainOnPool();
+  /// Executes one write and settles its promise (both modes).
+  void WriteOne(Task task);
 
   storage::ThrottledDisk* disk_;
   obs::TraceRecorder* trace_;  // not owned; may be null
+  LanePool* pool_;             // not owned; null = owned-thread mode
+  std::string track_;          // "materializer-<k>" trace track
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
   std::deque<Task> queue_;
   bool busy_ = false;
   bool stopping_ = false;
+  /// Pooled mode: a drain task has been submitted and not yet retired.
+  bool pool_task_active_ = false;
   std::thread worker_;
 };
 
@@ -108,6 +130,32 @@ struct ControllerOptions {
   /// Controller behaviour. The RefreshService always supplies its shared
   /// pool so steady-state jobs pay zero thread construction.
   LanePool* lane_pool = nullptr;
+  /// Morsel-driven intra-operator parallelism (Leis et al., SIGMOD
+  /// 2014): a node whose estimated wall cost (opt::EstimateNodeSeconds,
+  /// the same model behind inline dispatch) exceeds this target has its
+  /// hash-join and aggregation interiors split into up to
+  /// opt::MorselBudget(est, target, pool capacity) morsels executed by
+  /// idle lanes of the run's LanePool — so one giant node no longer
+  /// pins job latency to a single lane. Results are bit-identical to
+  /// single-morsel execution (engine_morsel_test pins this against
+  /// scalar_reference), the node still completes and publishes as one
+  /// unit, and unprofiled nodes (est = +inf) get the full budget with
+  /// the per-operator row floor below making the runtime call. <= 0
+  /// disables interior fan-out entirely (the exact pre-morsel code
+  /// path). Requires a lane_pool (or the parallel runtime's owned
+  /// fallback pool); sequential runs without any pool stay sequential.
+  double morsel_target_seconds = 0.005;
+  /// Row floor per morsel: operators fan out only ranges of at least
+  /// this many rows (a smaller morsel pays more in dispatch than it
+  /// saves), regardless of the cost-model budget.
+  std::int64_t morsel_min_rows = 8192;
+  /// Cap on a node's interior fan-out. 0 (default) caps at the machine's
+  /// hardware concurrency: morsel work is pure compute, so extra morsels
+  /// beyond physical cores only add dispatch cost even when the LanePool
+  /// is deliberately oversubscribed for I/O-bound nodes (on a 1-core CI
+  /// runner this disables fan-out outright). An explicit value overrides
+  /// the hardware cap — tests pin it for machine-independent behaviour.
+  int morsel_max_lanes = 0;
   /// Applies the opt::WidenStagesPrefix post-pass to the plan before
   /// executing: reorders the total order stage-major among
   /// budget-feasible leading stages so early antichains are as wide as
@@ -192,6 +240,10 @@ struct RunReport {
   /// (below-threshold estimated cost; 0 for sequential runs, which have
   /// no handoff to skip).
   std::int64_t inlined_nodes = 0;
+  /// Interior morsel tasks executed by fanned-out operators across the
+  /// run (0 when every node ran single-morsel). Counts all participants
+  /// of each fan-out, caller and helper lanes alike.
+  std::int64_t morsel_tasks = 0;
   /// Resolutions and whole-node reuses served from the cross-job
   /// SharedCatalog (0 without one; subset of catalog_hits).
   std::int64_t cross_job_hits = 0;

@@ -458,6 +458,10 @@ JobResult RefreshService::Execute(Job& job) {
     controller_options.max_parallel_nodes = lanes;
     controller_options.inline_node_cost_seconds =
         options_.inline_node_cost_seconds;
+    controller_options.morsel_target_seconds =
+        options_.morsel_target_seconds;
+    controller_options.morsel_min_rows = options_.morsel_min_rows;
+    controller_options.morsel_max_lanes = options_.morsel_max_lanes;
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;

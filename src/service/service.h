@@ -50,6 +50,18 @@ struct ServiceOptions {
   /// runs execute nodes estimated at or below this many seconds on the
   /// coordinator thread instead of a pool lane. <= 0 disables inlining.
   double inline_node_cost_seconds = 0.001;
+  /// Morsel granularity forwarded to every job's Controller
+  /// (ControllerOptions::morsel_target_seconds): a node estimated above
+  /// this many seconds splits its hash-join / aggregation interiors into
+  /// morsels executed by idle lanes of the service pool, so one giant
+  /// node no longer pins job latency to a single lane. Results are
+  /// bit-identical; <= 0 disables interior fan-out.
+  double morsel_target_seconds = 0.005;
+  /// Row floor per morsel (ControllerOptions::morsel_min_rows).
+  std::int64_t morsel_min_rows = 8192;
+  /// Interior fan-out cap (ControllerOptions::morsel_max_lanes):
+  /// 0 = the machine's hardware concurrency.
+  int morsel_max_lanes = 0;
   /// Global Memory-Catalog bytes shared by all in-flight jobs.
   std::int64_t global_budget = 256LL * 1024 * 1024;
   /// Per-job budget request when the job does not name one. 0 = ask for

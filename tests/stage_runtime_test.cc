@@ -418,6 +418,67 @@ TEST(StageRuntimeTest, InlineDispatchKeepsSequentialEquivalence) {
   }
 }
 
+// Morsel-driven intra-operator parallelism must be invisible in every
+// observable output: with interior fan-out forced on (tiny per-morsel
+// cost target, no row floor), publish order, per-node stats, and the
+// MV bytes written to disk are identical to a run with morsels disabled
+// — at 1 lane (fan-out degenerates to the sequential path) and at 4
+// lanes (joins and aggregates actually split). RunReport::morsel_tasks
+// must expose the fan-out at 4 lanes.
+TEST(StageRuntimeTest, MorselExecutionKeepsPublishOrderAndMvBytes) {
+  const auto data = TinyData();
+  workload::MvWorkload wl = workload::BuildIo1();
+
+  // Baseline: morsels disabled entirely (target 0), classic loop.
+  storage::ThrottledDisk disk_seq(FreshDir("morsel_seq"), FastDisk());
+  ControllerOptions seq_options;
+  seq_options.morsel_target_seconds = 0.0;
+  Controller sequential(&disk_seq, seq_options);
+  sequential.LoadBaseTables(data);
+  const RunReport seq = sequential.RunUnoptimized(wl);
+  ASSERT_TRUE(seq.ok) << seq.error;
+  EXPECT_EQ(seq.morsel_tasks, 0);
+
+  for (const int lanes : {1, 4}) {
+    storage::ThrottledDisk disk_par(
+        FreshDir("morsel_par" + std::to_string(lanes)), FastDisk());
+    ControllerOptions par_options;
+    par_options.max_parallel_nodes = lanes;
+    par_options.force_stage_runtime = true;
+    // Every node overshoots a 1ns target, so each one gets the full
+    // lane-capacity morsel budget; the row floor of 1 makes even the
+    // tiny-scale tables split.
+    par_options.morsel_target_seconds = 1e-9;
+    par_options.morsel_min_rows = 1;
+    // Pin the fan-out cap so the morsel_tasks assertions below hold on
+    // single-core runners too (0 would cap at hardware concurrency).
+    par_options.morsel_max_lanes = 8;
+    Controller parallel(&disk_par, par_options);
+    parallel.LoadBaseTables(data);
+    const RunReport par = parallel.RunUnoptimized(wl);
+    ASSERT_TRUE(par.ok) << par.error;
+
+    ASSERT_EQ(seq.nodes.size(), par.nodes.size());
+    for (std::size_t i = 0; i < seq.nodes.size(); ++i) {
+      EXPECT_EQ(seq.nodes[i].name, par.nodes[i].name);  // publish order
+      EXPECT_EQ(seq.nodes[i].output_bytes, par.nodes[i].output_bytes);
+      EXPECT_EQ(seq.nodes[i].output_rows, par.nodes[i].output_rows);
+    }
+    EXPECT_EQ(seq.peak_memory, par.peak_memory) << lanes;
+    for (graph::NodeId v = 0; v < wl.graph.num_nodes(); ++v) {
+      const std::string& name = wl.graph.node(v).name;
+      EXPECT_TRUE(disk_seq.ReadTable(name) == disk_par.ReadTable(name))
+          << name;
+    }
+    if (lanes > 1) {
+      EXPECT_GT(par.morsel_tasks, 0) << lanes;
+    } else {
+      // A 1-lane pool caps every morsel budget at 1: no fan-out.
+      EXPECT_EQ(par.morsel_tasks, 0);
+    }
+  }
+}
+
 // Unprofiled nodes have unknown cost and must never be inlined — the
 // wide synthetic DAG carries no execution metadata, so its parallel
 // speedup path (lanes) stays intact regardless of the threshold.
