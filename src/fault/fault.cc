@@ -1,0 +1,82 @@
+#include "fault/fault.h"
+
+namespace sc::fault {
+
+const char* SiteName(Site site) {
+  switch (site) {
+    case Site::kDiskRead: return "disk-read";
+    case Site::kDiskWrite: return "disk-write";
+    case Site::kCatalogPublish: return "catalog-publish";
+    case Site::kBudgetGrant: return "budget-grant";
+    case Site::kNodeExecute: return "node-execute";
+  }
+  return "unknown";
+}
+
+bool IsTransient(const std::exception& error) {
+  if (const auto* fault = dynamic_cast<const FaultError*>(&error)) {
+    return fault->transient();
+  }
+  return dynamic_cast<const TransientTag*>(&error) != nullptr;
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(RuleState{rule, 0, 0});
+}
+
+bool FaultInjector::CheckLocked(Site site, const std::string& name,
+                                bool* transient) {
+  ++site_hits_[static_cast<int>(site)];
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site) continue;
+    if (!rule.match.empty() && name.find(rule.match) == std::string::npos) {
+      continue;
+    }
+    ++state.hits;
+    if (rule.max_fires > 0 && state.fires >= rule.max_fires) continue;
+    bool fire = false;
+    if (rule.nth_hit > 0) {
+      fire = state.hits == rule.nth_hit;
+    } else if (rule.probability > 0.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fire = dist(rng_) < rule.probability;
+    }
+    if (fire) {
+      ++state.fires;
+      ++fires_;
+      *transient = rule.transient;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::MaybeThrow(Site site, const std::string& name) {
+  bool transient = false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fire = CheckLocked(site, name, &transient);
+  }
+  if (fire) throw FaultError(site, name, transient);
+}
+
+bool FaultInjector::ShouldFail(Site site, const std::string& name) {
+  bool transient = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CheckLocked(site, name, &transient);
+}
+
+std::int64_t FaultInjector::hits(Site site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_hits_[static_cast<int>(site)];
+}
+
+std::int64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+}  // namespace sc::fault

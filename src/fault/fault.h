@@ -1,0 +1,108 @@
+#ifndef SC_FAULT_FAULT_H_
+#define SC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sc::fault {
+
+/// Where in the stack a fault fires. Each site corresponds to one
+/// explicit `MaybeThrow` (or degrade) hook in production code.
+enum class Site {
+  kDiskRead = 0,
+  kDiskWrite = 1,
+  kCatalogPublish = 2,
+  kBudgetGrant = 3,
+  kNodeExecute = 4,
+};
+
+const char* SiteName(Site site);
+
+/// Marker base: exceptions deriving from this are retryable. Real I/O
+/// errors can opt in by inheriting it; injected faults carry an explicit
+/// flag instead.
+struct TransientTag {
+  virtual ~TransientTag() = default;
+};
+
+/// Raised by FaultInjector::MaybeThrow at a firing site.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(Site site, const std::string& name, bool transient)
+      : std::runtime_error(std::string("injected fault at ") +
+                           SiteName(site) + " (" + name + ")"),
+        site_(site),
+        transient_(transient) {}
+
+  Site site() const { return site_; }
+  bool transient() const { return transient_; }
+
+ private:
+  Site site_;
+  bool transient_;
+};
+
+/// True when `error` is safe to retry: an injected transient FaultError,
+/// or any exception type tagged TransientTag.
+bool IsTransient(const std::exception& error);
+
+/// One deterministic trigger. Either probabilistic (`probability` of
+/// firing per hit, driven by the plan's seeded RNG) or positional
+/// (`nth_hit` == fire on exactly the Nth matching hit, 1-based).
+/// `match` is a substring filter on the site's operand name (table name,
+/// node name, tenant) — empty matches everything. `max_fires` bounds the
+/// total number of firings (<= 0 means unlimited).
+struct FaultRule {
+  Site site = Site::kNodeExecute;
+  std::string match;
+  double probability = 0.0;
+  std::int64_t nth_hit = 0;
+  std::int64_t max_fires = 1;
+  bool transient = true;
+};
+
+/// A seeded failure schedule. Thread-safe; the same seed + same sequence
+/// of hits replays the same firings, which is what lets chaos tests
+/// assert exact invariants and then re-run clean.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void AddRule(const FaultRule& rule);
+
+  /// Records a hit at `site` and throws FaultError if a rule fires.
+  void MaybeThrow(Site site, const std::string& name);
+
+  /// Non-throwing probe for sites that degrade instead of failing
+  /// (SharedCatalog publish). Returns true when a rule fired.
+  bool ShouldFail(Site site, const std::string& name);
+
+  std::int64_t hits(Site site) const;
+  std::int64_t total_fires() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::int64_t hits = 0;
+    std::int64_t fires = 0;
+  };
+
+  bool CheckLocked(Site site, const std::string& name, bool* transient);
+
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;
+  std::vector<RuleState> rules_;
+  std::int64_t site_hits_[5] = {0, 0, 0, 0, 0};
+  std::int64_t fires_ = 0;
+};
+
+}  // namespace sc::fault
+
+#endif  // SC_FAULT_FAULT_H_

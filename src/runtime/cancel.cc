@@ -1,0 +1,20 @@
+#include "runtime/cancel.h"
+
+#include "common/clock.h"
+
+namespace sc::runtime {
+
+bool CancelToken::cancelled() const {
+  if (reason_.load(std::memory_order_acquire) != 0) return true;
+  const double deadline = deadline_.load(std::memory_order_acquire);
+  if (deadline > 0.0 && MonotonicSeconds() >= deadline) {
+    int expected = 0;
+    reason_.compare_exchange_strong(
+        expected, static_cast<int>(CancelReason::kDeadline),
+        std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sc::runtime

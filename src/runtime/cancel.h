@@ -1,0 +1,92 @@
+#ifndef SC_RUNTIME_CANCEL_H_
+#define SC_RUNTIME_CANCEL_H_
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace sc::runtime {
+
+/// Why a job was asked to stop. `kDeadline` is latched lazily: the token
+/// stores an absolute deadline and the first `cancelled()` probe past it
+/// promotes the token into the cancelled state.
+enum class CancelReason {
+  kNone = 0,
+  kCancelled = 1,  // explicit RefreshService::Cancel / RequestCancel
+  kDeadline = 2,   // wall-clock deadline exceeded
+};
+
+/// Exact messages carried by CancelledError. The stage runtime collapses
+/// worker exceptions into a string, so the Controller recognises a
+/// cooperative cancel by comparing against these constants.
+inline constexpr const char kCancelledMessage[] = "job cancelled";
+inline constexpr const char kDeadlineMessage[] = "job deadline exceeded";
+
+/// Thrown at cancellation checkpoints. Deliberately *not* transient: the
+/// retry machinery must never retry a cancelled unit of work.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(reason == CancelReason::kDeadline
+                               ? kDeadlineMessage
+                               : kCancelledMessage),
+        reason_(reason) {}
+
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// Cooperative cancellation flag shared between the service (which sets
+/// it) and every execution layer (which polls it at morsel/node/stage
+/// boundaries). All members are lock-free; a token outlives the job it
+/// guards because the service keeps the owning Job alive until the result
+/// promise settles.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latches the token into the cancelled state. First reason wins.
+  void RequestCancel(CancelReason reason = CancelReason::kCancelled) {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_acq_rel);
+  }
+
+  /// Arms a monotonic-clock deadline (seconds, same epoch as
+  /// MonotonicSeconds). <= 0 disarms.
+  void SetDeadline(double deadline_seconds) {
+    deadline_.store(deadline_seconds, std::memory_order_release);
+  }
+
+  double deadline_seconds() const {
+    return deadline_.load(std::memory_order_acquire);
+  }
+
+  /// True once cancel was requested or the deadline passed. Promotes an
+  /// expired deadline into a latched kDeadline reason so later probes are
+  /// a single atomic load.
+  bool cancelled() const;
+
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Checkpoint helper: throws CancelledError when cancelled.
+  void ThrowIfCancelled() const {
+    if (cancelled()) throw CancelledError(reason());
+  }
+
+ private:
+  // 0 = live; otherwise a latched CancelReason. Mutable because a
+  // deadline probe from a const context latches the reason.
+  mutable std::atomic<int> reason_{0};
+  std::atomic<double> deadline_{0.0};
+};
+
+}  // namespace sc::runtime
+
+#endif  // SC_RUNTIME_CANCEL_H_

@@ -1,6 +1,7 @@
 #include "runtime/controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <stdexcept>
@@ -37,6 +38,24 @@ std::string NextMaterializerTrack() {
   return "materializer-" +
          std::to_string(
              next_writer_index.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Capped exponential backoff between retry attempts: base * 2^attempt,
+/// capped at 64x base. Sleeps in short slices so a cancel latching
+/// mid-backoff aborts the wait within ~1 ms instead of serving it out.
+void BackoffSleep(int attempt, double base_ms, const CancelToken* cancel) {
+  if (base_ms <= 0.0) return;
+  const double capped_ms =
+      std::min(base_ms * static_cast<double>(1 << std::min(attempt, 6)),
+               base_ms * 64.0);
+  const double until = MonotonicSeconds() + capped_ms / 1000.0;
+  for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) return;
+    const double remaining = until - MonotonicSeconds();
+    if (remaining <= 0.0) return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(remaining, 1e-3)));
+  }
 }
 }  // namespace
 
@@ -92,22 +111,61 @@ void Materializer::Drain() {
   drained_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
 }
 
+void Materializer::SetRetryPolicy(int retry_limit, double retry_backoff_ms,
+                                  const CancelToken* cancel,
+                                  std::atomic<std::int64_t>* retry_counter) {
+  retry_limit_ = std::max(0, retry_limit);
+  retry_backoff_ms_ = retry_backoff_ms;
+  cancel_ = cancel;
+  retry_counter_ = retry_counter;
+}
+
+void Materializer::SetWriteFailureHook(
+    std::function<void(const std::string&)> hook) {
+  write_failure_hook_ = std::move(hook);
+}
+
 void Materializer::WriteOne(Task task) {
-  try {
-    const double write_start = MonotonicSeconds();
-    disk_->WriteTable(task.name, *task.table);
-    if (trace_ != nullptr && trace_->enabled()) {
-      // Explicit track: in pooled mode the executing thread is some
-      // lane, but the write belongs on this materializer's timeline.
-      trace_->CompleteOnTrack(
-          track_, "materialize", task.name, write_start,
-          MonotonicSeconds() - write_start,
-          StrFormat("\"bytes\":%lld",
-                    static_cast<long long>(task.table->ByteSize())));
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const double write_start = MonotonicSeconds();
+      disk_->WriteTable(task.name, *task.table);
+      if (trace_ != nullptr && trace_->enabled()) {
+        // Explicit track: in pooled mode the executing thread is some
+        // lane, but the write belongs on this materializer's timeline.
+        trace_->CompleteOnTrack(
+            track_, "materialize", task.name, write_start,
+            MonotonicSeconds() - write_start,
+            StrFormat("\"bytes\":%lld",
+                      static_cast<long long>(task.table->ByteSize())));
+      }
+      task.done.set_value();
+      return;
+    } catch (const std::exception& e) {
+      const bool cancelled = cancel_ != nullptr && cancel_->cancelled();
+      if (attempt < retry_limit_ && fault::IsTransient(e) && !cancelled) {
+        if (retry_counter_ != nullptr) {
+          retry_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (trace_ != nullptr && trace_->enabled()) {
+          trace_->Instant("retry", task.name,
+                          StrFormat("\"attempt\":%d,\"site\":\"write\"",
+                                    attempt + 1));
+        }
+        BackoffSleep(attempt, retry_backoff_ms_, cancel_);
+        continue;
+      }
+      // Permanent failure: give the owner its chance to quarantine the
+      // optimistic shared publish of this output before any waiter of
+      // the future observes the error.
+      if (write_failure_hook_) write_failure_hook_(task.name);
+      task.done.set_exception(std::current_exception());
+      return;
+    } catch (...) {
+      if (write_failure_hook_) write_failure_hook_(task.name);
+      task.done.set_exception(std::current_exception());
+      return;
     }
-    task.done.set_value();
-  } catch (...) {
-    task.done.set_exception(std::current_exception());
   }
 }
 
@@ -227,6 +285,16 @@ struct RunState {
         materializer(disk_in, options_in.trace, options_in.lane_pool),
         morsel_pool(options_in.lane_pool) {
     const graph::Graph& g = wl.graph;
+    materializer.SetRetryPolicy(options.retry_limit,
+                                options.retry_backoff_ms, options.cancel,
+                                &retries);
+    // A write that permanently fails leaves the shared layer holding an
+    // entry whose durability signal will never arrive: condemn it so no
+    // later job skips its own write against a phantom file. (The members
+    // outlive the materializer — it is declared after them.)
+    materializer.SetWriteFailureHook([this](const std::string& name) {
+      catalog.QuarantineShared(name);
+    });
     if (options.morsel_target_seconds > 0) {
       node_est_seconds = EstimateNodeCosts(g, plan.flags, disk);
     }
@@ -276,6 +344,9 @@ struct RunState {
   std::vector<double> node_est_seconds;
   /// Morsel tasks executed across the run (RunReport::morsel_tasks).
   std::atomic<std::int64_t> morsel_tasks{0};
+  /// Transient-failure retries consumed across all nodes and
+  /// materializations (RunReport::node_retries).
+  std::atomic<std::int64_t> retries{0};
 };
 
 struct NodeResult {
@@ -293,6 +364,10 @@ struct NodeResult {
 /// `inline_exec` marks coordinator-thread inline dispatch in the span.
 NodeResult ExecuteNode(RunState& s, graph::NodeId v,
                        bool inline_exec = false) {
+  // Cancellation checkpoint: every node attempt — lane, inline, or
+  // sequential — starts by probing the token, so a cancelled job stops
+  // within one node boundary no matter which path executes it.
+  if (s.options.cancel != nullptr) s.options.cancel->ThrowIfCancelled();
   const graph::Graph& g = s.wl.graph;
   NodeResult result;
   NodeRunStats& stats = result.stats;
@@ -348,16 +423,6 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v,
     return result;
   }
 
-  double read_seconds = 0.0;
-  engine::FnResolver resolver([&](const std::string& name) {
-    engine::TablePtr cached = s.catalog.Get(name);
-    if (cached != nullptr) return cached;
-    const double start = MonotonicSeconds();
-    auto table = std::make_shared<engine::Table>(s.disk->ReadTable(name));
-    read_seconds += MonotonicSeconds() - start;
-    return engine::TablePtr(table);
-  });
-
   // Interior morsel fan-out: when the cost model marks this node large
   // enough (opt::MorselBudget over the same estimates as inline
   // dispatch), install a MorselContext so the engine's hash join and
@@ -383,31 +448,75 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v,
         std::min(s.morsel_pool->capacity(), lane_cap));
   }
 
-  const double exec_start = MonotonicSeconds();
-  if (morsel_budget > 1) {
-    LaneMorselRunner runner(s.morsel_pool, trace, s.options.trace_job_id,
-                            stats.name, &s.morsel_tasks);
-    engine::MorselContext morsel_context(
-        &runner, morsel_budget,
-        static_cast<std::size_t>(
-            std::max<std::int64_t>(1, s.options.morsel_min_rows)));
-    engine::MorselScope scope(&morsel_context);
-    result.output = std::make_shared<engine::Table>(
-        engine::ExecutePlan(*s.wl.plans[v], resolver));
-  } else {
-    result.output = std::make_shared<engine::Table>(
-        engine::ExecutePlan(*s.wl.plans[v], resolver));
-  }
-  const double exec_seconds = MonotonicSeconds() - exec_start;
-  stats.read_seconds = read_seconds;
-  stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
-  stats.output_bytes = result.output->ByteSize();
-  stats.output_rows = result.output->num_rows();
+  // Each attempt is self-contained (fresh resolver, fresh timings), so a
+  // retried node reports only its successful attempt's stats, plus the
+  // retries it consumed. Only transient-classified failures (injected
+  // transient faults, TransientTag I/O errors) retry; CancelledError and
+  // real bugs propagate on first occurrence, as does anything once the
+  // token latches.
+  const int retry_limit = std::max(0, s.options.retry_limit);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (s.options.faults != nullptr) {
+        s.options.faults->MaybeThrow(fault::Site::kNodeExecute, stats.name);
+      }
+      double read_seconds = 0.0;
+      engine::FnResolver resolver([&](const std::string& name) {
+        engine::TablePtr cached = s.catalog.Get(name);
+        if (cached != nullptr) return cached;
+        const double start = MonotonicSeconds();
+        auto table =
+            std::make_shared<engine::Table>(s.disk->ReadTable(name));
+        read_seconds += MonotonicSeconds() - start;
+        return engine::TablePtr(table);
+      });
 
-  if (!s.plan.flags[v]) {
-    const double w0 = MonotonicSeconds();
-    s.disk->WriteTable(stats.name, *result.output);
-    stats.write_seconds = MonotonicSeconds() - w0;
+      const double exec_start = MonotonicSeconds();
+      if (morsel_budget > 1) {
+        LaneMorselRunner runner(s.morsel_pool, trace,
+                                s.options.trace_job_id, stats.name,
+                                &s.morsel_tasks, s.options.cancel);
+        engine::MorselContext morsel_context(
+            &runner, morsel_budget,
+            static_cast<std::size_t>(
+                std::max<std::int64_t>(1, s.options.morsel_min_rows)));
+        engine::MorselScope scope(&morsel_context);
+        result.output = std::make_shared<engine::Table>(
+            engine::ExecutePlan(*s.wl.plans[v], resolver));
+      } else {
+        result.output = std::make_shared<engine::Table>(
+            engine::ExecutePlan(*s.wl.plans[v], resolver));
+      }
+      const double exec_seconds = MonotonicSeconds() - exec_start;
+      stats.read_seconds = read_seconds;
+      stats.compute_seconds = std::max(0.0, exec_seconds - read_seconds);
+      stats.output_bytes = result.output->ByteSize();
+      stats.output_rows = result.output->num_rows();
+
+      if (!s.plan.flags[v]) {
+        const double w0 = MonotonicSeconds();
+        s.disk->WriteTable(stats.name, *result.output);
+        stats.write_seconds = MonotonicSeconds() - w0;
+      }
+      break;
+    } catch (const std::exception& e) {
+      const bool cancelled =
+          s.options.cancel != nullptr && s.options.cancel->cancelled();
+      if (attempt >= retry_limit || cancelled || !fault::IsTransient(e)) {
+        throw;
+      }
+      ++stats.retries;
+      s.retries.fetch_add(1, std::memory_order_relaxed);
+      if (tracing) {
+        trace->Instant(
+            "retry", stats.name,
+            StrFormat("\"job\":%llu,\"attempt\":%d,\"site\":\"execute\"",
+                      static_cast<unsigned long long>(
+                          s.options.trace_job_id),
+                      attempt + 1));
+      }
+      BackoffSleep(attempt, s.options.retry_backoff_ms, s.options.cancel);
+    }
   }
   emit_node_span(stats);
   return result;
@@ -621,6 +730,15 @@ void RunStageParallel(RunState& s, int lanes, LanePool* pool,
   // event — the trace shows where the run crossed stage boundaries.
   std::int32_t last_dispatched_stage = -1;
   std::function<void()> dispatch = [&] {
+    // Stage-dispatch cancellation checkpoint: a latched token stops all
+    // further dispatch (in-flight nodes notice at their own next
+    // boundary), recorded via the run's single error slot.
+    if (error.empty() && s.options.cancel != nullptr &&
+        s.options.cancel->cancelled()) {
+      error = s.options.cancel->reason() == CancelReason::kDeadline
+                  ? kDeadlineMessage
+                  : kCancelledMessage;
+    }
     while (error.empty() && scheduler.HasReady()) {
       const graph::NodeId v = scheduler.PeekReady();
       // Cheap nodes run inline on the coordinator and consume no lane;
@@ -855,7 +973,32 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
   report.parallel_lanes = lanes;
   report.num_stages = stages->num_stages();
 
+  // Already cancelled before any node ran (e.g. the deadline expired in
+  // the admission queue): report without constructing run state.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    report.cancelled = true;
+    report.cancel_reason = options_.cancel->reason();
+    report.error = report.cancel_reason == CancelReason::kDeadline
+                       ? kDeadlineMessage
+                       : kCancelledMessage;
+    return report;
+  }
+
   RunState state(wl, *active, *stages, options_, disk_, budget);
+  // Classifies a failed run as cooperatively cancelled. The stage
+  // runtime collapses worker exceptions into a string, so the check is
+  // token state + the exact CancelledError message constants (never a
+  // substring of a real storage/engine error).
+  auto classify_cancel = [&] {
+    if (options_.cancel == nullptr || !options_.cancel->cancelled()) {
+      return;
+    }
+    if (report.error == kCancelledMessage ||
+        report.error == kDeadlineMessage) {
+      report.cancelled = true;
+      report.cancel_reason = options_.cancel->reason();
+    }
+  };
   const double run_start = MonotonicSeconds();
   try {
     if (lanes > 1 || options_.force_stage_runtime) {
@@ -865,9 +1008,12 @@ RunReport Controller::RunWithBudget(const workload::MvWorkload& wl,
     }
   } catch (const std::exception& e) {
     report.error = e.what();
+    report.node_retries = state.retries.load(std::memory_order_relaxed);
+    classify_cancel();
     return report;
   }
   report.wall_seconds = MonotonicSeconds() - run_start;
+  report.node_retries = state.retries.load(std::memory_order_relaxed);
   report.peak_memory = state.catalog.peak_bytes();
   report.catalog_hits = state.catalog.hits();
   report.catalog_misses = state.catalog.misses();

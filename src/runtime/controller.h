@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <mutex>
@@ -12,8 +13,10 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "opt/types.h"
+#include "runtime/cancel.h"
 #include "storage/memory_catalog.h"
 #include "storage/throttled_disk.h"
 #include "workload/workloads.h"
@@ -59,6 +62,22 @@ class Materializer {
   /// Blocks until every queued write has finished.
   void Drain();
 
+  /// Retry policy for failed writes: transient failures (fault::
+  /// IsTransient) are retried up to `retry_limit` times with capped
+  /// exponential backoff before the task's future fails. `cancel`
+  /// (optional, not owned) suppresses retries once the owning job is
+  /// cancelled; `retry_counter` (optional, not owned) accumulates
+  /// attempts consumed. Call before the first Enqueue.
+  void SetRetryPolicy(int retry_limit, double retry_backoff_ms,
+                      const CancelToken* cancel,
+                      std::atomic<std::int64_t>* retry_counter = nullptr);
+
+  /// Hook invoked (from the writer thread/lane) with the table name when
+  /// a write permanently fails, *before* the task's future is failed —
+  /// the caller's chance to quarantine optimistic publishes of that
+  /// output. Call before the first Enqueue. Must not throw.
+  void SetWriteFailureHook(std::function<void(const std::string&)> hook);
+
  private:
   struct Task {
     std::string name;
@@ -77,6 +96,11 @@ class Materializer {
   obs::TraceRecorder* trace_;  // not owned; may be null
   LanePool* pool_;             // not owned; null = owned-thread mode
   std::string track_;          // "materializer-<k>" trace track
+  int retry_limit_ = 0;
+  double retry_backoff_ms_ = 1.0;
+  const CancelToken* cancel_ = nullptr;  // not owned; may be null
+  std::atomic<std::int64_t>* retry_counter_ = nullptr;  // not owned
+  std::function<void(const std::string&)> write_failure_hook_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
@@ -197,6 +221,25 @@ struct ControllerOptions {
   /// multi-job service trace can be sliced per job. 0 for standalone
   /// runs.
   std::uint64_t trace_job_id = 0;
+  /// Cooperative cancellation token (not owned; must outlive the run).
+  /// When set, the run polls it at every stage-dispatch, node-execute,
+  /// morsel-claim, and Materializer-retry boundary and unwinds with
+  /// RunReport::cancelled within one such boundary of the token
+  /// latching. Null (the default) keeps the hot path probe-free.
+  const CancelToken* cancel = nullptr;
+  /// Seeded fault injector probed at Site::kNodeExecute before each node
+  /// attempt (disk sites are wired on the ThrottledDisk itself). Not
+  /// owned; nullptr disables.
+  fault::FaultInjector* faults = nullptr;
+  /// Per-node retries for transient-classified failures (injected
+  /// transient faults, or any exception deriving fault::TransientTag).
+  /// 0 — the default — preserves strict fail-fast semantics: any node or
+  /// materialization failure aborts the run on first occurrence.
+  int retry_limit = 0;
+  /// Base backoff between retry attempts, doubling per attempt and
+  /// capped at 64x (so misconfigured limits cannot sleep a lane for
+  /// minutes). Cancellation interrupts the backoff.
+  double retry_backoff_ms = 1.0;
 };
 
 /// Per-node statistics from a real refresh run.
@@ -213,11 +256,22 @@ struct NodeRunStats {
   /// The node was not executed: its output was already resident in the
   /// cross-job SharedCatalog and was reused at memory speed.
   bool reused_cross_job = false;
+  /// Transient-failure retries this node consumed before succeeding.
+  std::int32_t retries = 0;
 };
 
 struct RunReport {
   bool ok = false;
   std::string error;
+  /// The run unwound cooperatively because its cancel token latched
+  /// (explicit cancel or deadline — see cancel_reason). Cleanup is
+  /// complete either way: budget-visible catalog state, shared pins, and
+  /// reservations are all released by the time the report returns.
+  bool cancelled = false;
+  CancelReason cancel_reason = CancelReason::kNone;
+  /// Transient-failure retries consumed across all nodes and
+  /// materializations (0 in fail-fast mode).
+  std::int64_t node_retries = 0;
   double wall_seconds = 0.0;
   std::int64_t peak_memory = 0;
   /// Memory Catalog budget this run actually executed under (equals the

@@ -93,7 +93,15 @@ void LanePool::Loop(std::list<Lane>::iterator self, int lane_index) {
     queue_.pop_front();
     lock.unlock();
     const double start = MonotonicSeconds();
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A lane is shared infrastructure: an exception escaping one job's
+      // task must not std::terminate the whole service. Count it and keep
+      // the lane alive; the submitter's own error plumbing (run-state
+      // error strings, promises) is the intended reporting channel.
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
     const double elapsed = MonotonicSeconds() - start;
     // Accumulate busy time lock-free, before re-taking the pool lock:
     // concurrent lane completions each fetch_add their own elapsed time,

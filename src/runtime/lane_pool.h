@@ -46,8 +46,11 @@ class LanePool {
   LanePool& operator=(const LanePool&) = delete;
 
   /// Queues `task` for execution on some lane, spawning one if none is
-  /// idle and the pool is below capacity. Tasks must not throw — callers
-  /// wrap their work and route errors through their own state.
+  /// idle and the pool is below capacity. Callers normally wrap their
+  /// work and route errors through their own state; an exception that
+  /// does escape a task is swallowed by the lane (counted in
+  /// `tasks_failed()`) instead of taking the process down, because one
+  /// job's bug must never std::terminate a pool shared by every tenant.
   void Submit(std::function<void()> task);
 
   int capacity() const { return options_.capacity; }
@@ -59,6 +62,12 @@ class LanePool {
   /// Lanes currently parked waiting for work.
   int idle_lanes() const;
   std::int64_t tasks_completed() const;
+  /// Tasks whose invocation let an exception escape. Always a bug in the
+  /// submitter (the runtime routes errors through run state), surfaced
+  /// as a counter so monitoring can alarm on it.
+  std::int64_t tasks_failed() const {
+    return tasks_failed_.load(std::memory_order_relaxed);
+  }
   /// Cumulative seconds lanes spent executing tasks; together with a wall
   /// clock and the capacity this yields the lane-idle fraction. Lanes
   /// accumulate into one atomic the moment their task returns — before
@@ -93,6 +102,7 @@ class LanePool {
   std::int64_t threads_started_ = 0;
   std::int64_t tasks_completed_ = 0;
   std::atomic<std::int64_t> busy_nanos_{0};
+  std::atomic<std::int64_t> tasks_failed_{0};
 };
 
 /// The calling lane's pool-assigned index, or -1 off a lane thread. Lane

@@ -16,12 +16,14 @@ LaneMorselRunner::LaneMorselRunner(LanePool* pool,
                                    obs::TraceRecorder* trace,
                                    std::uint64_t trace_job_id,
                                    std::string node_name,
-                                   std::atomic<std::int64_t>* task_counter)
+                                   std::atomic<std::int64_t>* task_counter,
+                                   const CancelToken* cancel)
     : pool_(pool),
       trace_(trace),
       trace_job_id_(trace_job_id),
       node_name_(std::move(node_name)),
-      task_counter_(task_counter) {}
+      task_counter_(task_counter),
+      cancel_(cancel) {}
 
 int LaneMorselRunner::parallelism() const { return pool_->capacity(); }
 
@@ -35,6 +37,7 @@ namespace {
 struct FanOutState {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
+  const CancelToken* cancel = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mutex;
@@ -42,19 +45,29 @@ struct FanOutState {
   std::exception_ptr error;  // first failure; guarded by mutex
 
   /// Claims and runs morsels until none remain. Returns the number of
-  /// morsels this participant executed.
+  /// morsels this participant executed. A latched cancel token turns
+  /// every remaining claim into a skip: the morsel still counts toward
+  /// `done` (so the caller's completion barrier terminates) but `fn` is
+  /// not invoked, and CancelledError is recorded as the fan-out's error.
   std::size_t Drain() {
     std::size_t ran = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return ran;
-      try {
-        (*fn)(i);
-      } catch (...) {
+      if (cancel != nullptr && cancel->cancelled()) {
         std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
+        if (!error) {
+          error = std::make_exception_ptr(CancelledError(cancel->reason()));
+        }
+      } else {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+        ++ran;
       }
-      ++ran;
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
         std::lock_guard<std::mutex> lock(mutex);
         cv.notify_all();
@@ -79,6 +92,7 @@ void LaneMorselRunner::Run(std::size_t count,
   auto state = std::make_shared<FanOutState>();
   state->count = count;
   state->fn = &fn;
+  state->cancel = cancel_;
 
   // Helpers beyond the caller's own slot; extra submissions would only
   // churn the pool queue to find no work.

@@ -8,6 +8,7 @@
 
 #include "engine/morsel.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 
 namespace sc::runtime {
 
@@ -35,10 +36,14 @@ class LaneMorselRunner : public engine::MorselRunner {
   /// on the caller's track, so they emit nothing (per-track busy time in
   /// AnalyzeTrace stays a sum of disjoint spans). `task_counter`
   /// (nullable) accumulates the number of morsel tasks executed by
-  /// fanned-out Run() calls (RunReport::morsel_tasks).
+  /// fanned-out Run() calls (RunReport::morsel_tasks). `cancel`
+  /// (nullable, not owned) is polled before every morsel claim: once it
+  /// latches, remaining morsels are skipped (still counted complete so
+  /// the fan-out barrier terminates) and Run() throws CancelledError.
   LaneMorselRunner(LanePool* pool, obs::TraceRecorder* trace,
                    std::uint64_t trace_job_id, std::string node_name,
-                   std::atomic<std::int64_t>* task_counter);
+                   std::atomic<std::int64_t>* task_counter,
+                   const CancelToken* cancel = nullptr);
 
   int parallelism() const override;
 
@@ -51,6 +56,7 @@ class LaneMorselRunner : public engine::MorselRunner {
   std::uint64_t trace_job_id_;
   std::string node_name_;
   std::atomic<std::int64_t>* task_counter_;
+  const CancelToken* cancel_;
 };
 
 }  // namespace sc::runtime

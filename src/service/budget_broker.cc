@@ -1,6 +1,9 @@
 #include "service/budget_broker.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
 
 namespace sc::service {
 
@@ -120,7 +123,13 @@ void BudgetBroker::AdmitWaitersLocked() {
 
 BudgetGrant BudgetBroker::Acquire(const std::string& tenant,
                                   std::int64_t requested_bytes,
-                                  int priority) {
+                                  int priority,
+                                  const runtime::CancelToken* cancel) {
+  // Fault probe before the request queues: a firing rule rejects the
+  // admission outright and can never strand reserved bytes or a waiter.
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->MaybeThrow(fault::Site::kBudgetGrant, tenant);
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   Waiter waiter;
   waiter.tenant = tenant;
@@ -135,7 +144,29 @@ BudgetGrant BudgetBroker::Acquire(const std::string& tenant,
 
   AdmitWaitersLocked();
   cv_.notify_all();
-  cv_.wait(lock, [&] { return it->admitted; });
+  for (;;) {
+    if (it->admitted) break;
+    if (cancel != nullptr && cancel->cancelled()) break;
+    const double deadline =
+        cancel != nullptr ? cancel->deadline_seconds() : 0.0;
+    if (deadline > 0.0) {
+      // Bounded wait so a deadline fires without anyone calling Poke().
+      const double remaining = deadline - MonotonicSeconds();
+      if (remaining <= 0.0) continue;  // re-probe: token latches kDeadline
+      cv_.wait_for(lock, std::chrono::duration<double>(remaining));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+
+  if (!it->admitted) {
+    // Cancelled while queued: withdraw the request. Nothing was reserved
+    // for it, but its departure can unblock head-of-line admission.
+    waiters_.erase(it);
+    AdmitWaitersLocked();
+    cv_.notify_all();
+    return BudgetGrant{};
+  }
 
   BudgetGrant grant;
   grant.id = next_grant_id_++;
@@ -234,6 +265,13 @@ void BudgetBroker::SetTenantQuota(const std::string& tenant,
     quotas_[tenant] = quota_bytes;
     AdmitWaitersLocked();
   }
+  cv_.notify_all();
+}
+
+void BudgetBroker::Poke() {
+  // Empty critical section: pairs the notify with the waiters' predicate
+  // re-check so a cancel flag set between check and wait is never missed.
+  { std::lock_guard<std::mutex> lock(mutex_); }
   cv_.notify_all();
 }
 

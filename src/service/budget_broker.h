@@ -8,6 +8,9 @@
 #include <mutex>
 #include <string>
 
+#include "fault/fault.h"
+#include "runtime/cancel.h"
+
 namespace sc::service {
 
 /// A funded slice of the global Memory-Catalog budget. Obtained from
@@ -33,6 +36,11 @@ struct BudgetBrokerOptions {
   /// throughput over per-job catalog size; granted jobs re-optimize at
   /// their funded budget.
   double min_grant_fraction = 0.25;
+  /// Seeded fault injector probed at Site::kBudgetGrant on every
+  /// blocking Acquire (fault::FaultError thrown before the request
+  /// queues, so a firing rule never strands reserved bytes). Not owned;
+  /// nullptr disables.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// Arbitrates one global Memory-Catalog budget across concurrent refresh
@@ -61,9 +69,15 @@ class BudgetBroker {
   /// slice of `requested_bytes` for `tenant`, then returns the grant:
   /// min(request, global free, tenant quota headroom), clamped to the
   /// global budget. A request of 0 bytes is granted immediately (the job
-  /// runs unoptimized, nothing kept in memory).
+  /// runs unoptimized, nothing kept in memory). With a `cancel` token
+  /// the wait is interruptible: once the token cancels (explicitly —
+  /// wake the broker with Poke() — or by deadline), the waiter is
+  /// removed from the admission queue and an *invalid* grant is
+  /// returned; callers must check valid(). An already-admitted waiter
+  /// returns its grant even if cancelled (the caller releases it).
   BudgetGrant Acquire(const std::string& tenant,
-                      std::int64_t requested_bytes, int priority = 0);
+                      std::int64_t requested_bytes, int priority = 0,
+                      const runtime::CancelToken* cancel = nullptr);
 
   /// Non-blocking variant: returns an invalid grant if the request cannot
   /// be funded right now (or if waiters of higher precedence are queued —
@@ -105,6 +119,11 @@ class BudgetBroker {
   /// Sets `tenant`'s reservation cap (0 = uncapped). Applies to future
   /// admissions only; outstanding grants are never revoked.
   void SetTenantQuota(const std::string& tenant, std::int64_t quota_bytes);
+
+  /// Wakes every blocked Acquire so it can re-check its cancel token.
+  /// Called by RefreshService::Cancel — a cancelled job may be sitting
+  /// in the admission queue rather than executing.
+  void Poke();
 
   std::int64_t global_budget() const { return options_.global_budget; }
   std::int64_t reserved_bytes() const;

@@ -39,6 +39,17 @@ std::string EscapeJsonString(const std::string& raw) {
 
 }  // namespace
 
+const char* JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kShed: return "shed";
+  }
+  return "failed";
+}
+
 ServiceMetrics::ServiceMetrics(std::size_t max_samples)
     : max_samples_(max_samples == 0 ? 1 : max_samples) {}
 
@@ -50,6 +61,12 @@ void ServiceMetrics::Record(const JobObservation& observation) {
     ++totals.jobs_completed;
   } else {
     ++totals.jobs_failed;
+    switch (observation.status) {
+      case JobStatus::kCancelled: ++totals.jobs_cancelled; break;
+      case JobStatus::kTimeout: ++totals.jobs_timeout; break;
+      case JobStatus::kShed: ++totals.jobs_shed; break;
+      default: break;  // plain failure: no sub-bucket
+    }
   }
   totals.total_queue_wait_seconds += observation.queue_wait_seconds;
   totals.total_exec_seconds += observation.exec_seconds;
@@ -134,6 +151,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     TenantMetrics& agg = snapshot.aggregate;
     agg.jobs_completed += m.jobs_completed;
     agg.jobs_failed += m.jobs_failed;
+    agg.jobs_cancelled += m.jobs_cancelled;
+    agg.jobs_timeout += m.jobs_timeout;
+    agg.jobs_shed += m.jobs_shed;
     agg.total_queue_wait_seconds += m.total_queue_wait_seconds;
     agg.total_exec_seconds += m.total_exec_seconds;
     agg.bytes_requested += m.bytes_requested;
@@ -161,12 +181,15 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
 
 std::string ServiceMetrics::FormatTable() const {
   const MetricsSnapshot snapshot = Snapshot();
-  TablePrinter table({"tenant", "jobs", "failed", "avg wait", "p50", "p99",
-                      "catalog hit%", "xjob hit%", "xjob saved",
-                      "plan cache", "reopt"});
+  TablePrinter table({"tenant", "jobs", "failed", "cancel", "timeout",
+                      "shed", "avg wait", "p50", "p99", "catalog hit%",
+                      "xjob hit%", "xjob saved", "plan cache", "reopt"});
   auto add = [&](const std::string& name, const TenantMetrics& m) {
     table.AddRow({name, std::to_string(m.jobs_total()),
                   std::to_string(m.jobs_failed),
+                  std::to_string(m.jobs_cancelled),
+                  std::to_string(m.jobs_timeout),
+                  std::to_string(m.jobs_shed),
                   StrFormat("%.3fs", m.mean_queue_wait_seconds()),
                   StrFormat("%.3fs", m.p50_latency_seconds),
                   StrFormat("%.3fs", m.p99_latency_seconds),
@@ -206,6 +229,9 @@ std::string ServiceMetrics::ToJson() const {
   auto emit = [&](const TenantMetrics& m) {
     out << "{\"jobs_completed\":" << m.jobs_completed
         << ",\"jobs_failed\":" << m.jobs_failed
+        << ",\"jobs_cancelled\":" << m.jobs_cancelled
+        << ",\"jobs_timeout\":" << m.jobs_timeout
+        << ",\"jobs_shed\":" << m.jobs_shed
         << ",\"mean_queue_wait_seconds\":"
         << StrFormat("%.6f", m.mean_queue_wait_seconds())
         << ",\"p50_latency_seconds\":"

@@ -9,11 +9,30 @@
 
 namespace sc::service {
 
+/// Terminal disposition of one job. Replaces string matching on
+/// report.error as the programmatic failure taxonomy: `kFailed` is a
+/// genuine execution error, while the last three are service decisions
+/// (caller cancel, deadline expiry, queue-wait shedding) that callers
+/// routinely branch on.
+enum class JobStatus {
+  kOk = 0,
+  kFailed = 1,
+  kCancelled = 2,  // RefreshService::Cancel or token cancel
+  kTimeout = 3,    // RefreshJobSpec::deadline_seconds expired
+  kShed = 4,       // RefreshJobSpec::max_queue_wait_seconds expired queued
+};
+
+/// Stable lowercase label ("ok", "failed", "cancelled", "timeout",
+/// "shed") used as the `status` label of sc_jobs_total.
+const char* JobStatusName(JobStatus status);
+
 /// One completed (or failed) job's observation, recorded by the service.
 struct JobObservation {
   std::string tenant;
   int priority = 0;
   bool ok = false;
+  /// Terminal disposition; ok == (status == JobStatus::kOk).
+  JobStatus status = JobStatus::kFailed;
   double queue_wait_seconds = 0.0;
   double exec_seconds = 0.0;
   std::int64_t requested_bytes = 0;
@@ -33,7 +52,13 @@ struct JobObservation {
 /// Aggregated view for one tenant (or the whole service).
 struct TenantMetrics {
   std::int64_t jobs_completed = 0;
+  /// Every non-ok job (errors + cancelled + timeout + shed), preserving
+  /// the pre-fault-tolerance meaning of "failed".
   std::int64_t jobs_failed = 0;
+  /// Disposition breakdown of jobs_failed (disjoint subsets).
+  std::int64_t jobs_cancelled = 0;
+  std::int64_t jobs_timeout = 0;
+  std::int64_t jobs_shed = 0;
   double total_queue_wait_seconds = 0.0;
   double total_exec_seconds = 0.0;
   std::int64_t bytes_requested = 0;

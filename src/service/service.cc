@@ -26,6 +26,7 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
         broker_options.global_budget = options_.global_budget;
         broker_options.default_tenant_quota = options_.default_tenant_quota;
         broker_options.min_grant_fraction = options_.min_grant_fraction;
+        broker_options.fault_injector = options_.fault_injector;
         return broker_options;
       }()),
       lanes_broker_(std::max(1, options_.num_workers),
@@ -44,6 +45,13 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
     trace_ = owned_trace_.get();
   }
   shared_catalog_.SetTraceRecorder(trace_);
+  // Fault wiring also precedes the workers: injection points on the
+  // shared disk, the shared catalog, and the broker (via its options)
+  // must be armed before any job can reach them.
+  if (options_.fault_injector != nullptr) {
+    shared_catalog_.SetFaultInjector(options_.fault_injector);
+    if (disk_ != nullptr) disk_->SetFaultInjector(options_.fault_injector);
+  }
   RegisterComponentGauges();
   workers_.reserve(static_cast<std::size_t>(split_.workers));
   for (int i = 0; i < split_.workers; ++i) {
@@ -142,6 +150,10 @@ void RefreshService::RegisterComponentGauges() {
 RefreshService::~RefreshService() { Shutdown(/*drain=*/true); }
 
 std::future<JobResult> RefreshService::Submit(RefreshJobSpec spec) {
+  return SubmitJob(std::move(spec)).future;
+}
+
+RefreshService::JobHandle RefreshService::SubmitJob(RefreshJobSpec spec) {
   if (spec.workload == nullptr) {
     throw std::invalid_argument("RefreshService::Submit: null workload");
   }
@@ -151,7 +163,13 @@ std::future<JobResult> RefreshService::Submit(RefreshJobSpec spec) {
   job->spec = std::move(spec);
   job->submit_seconds = MonotonicSeconds();
   job->fingerprint = fingerprint;
-  std::future<JobResult> future = job->promise.get_future();
+  if (job->spec.deadline_seconds > 0.0) {
+    // The deadline clock starts at submit: queue time counts against it.
+    job->cancel.SetDeadline(job->submit_seconds +
+                            job->spec.deadline_seconds);
+  }
+  JobHandle handle;
+  handle.future = job->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!accepting_) {
@@ -159,11 +177,35 @@ std::future<JobResult> RefreshService::Submit(RefreshJobSpec spec) {
           "RefreshService::Submit: service is shut down");
     }
     job->id = next_job_id_++;
+    handle.job_id = job->id;
     metrics_.JobQueued(job->id, job->spec.priority, job->submit_seconds);
+    active_jobs_[job->id] = job;
     queue_.push(std::move(job));
   }
   cv_.notify_one();
-  return future;
+  return handle;
+}
+
+bool RefreshService::Cancel(std::uint64_t job_id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = active_jobs_.find(job_id);
+    if (it == active_jobs_.end()) return false;  // already finished
+    job = it->second;
+  }
+  job->cancel.RequestCancel(runtime::CancelReason::kCancelled);
+  // Wake the job wherever it blocks: budget arbitration re-probes its
+  // token on notify; a queued job is checked at pickup; an executing job
+  // polls the token at every boundary.
+  broker_.Poke();
+  cv_.notify_all();
+  return true;
+}
+
+void RefreshService::ForgetJob(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_jobs_.erase(job_id);
 }
 
 void RefreshService::Shutdown(bool drain) {
@@ -208,12 +250,20 @@ std::size_t RefreshService::queue_depth() const {
   return queue_.size();
 }
 
-void RefreshService::FailJob(Job& job, const std::string& error) {
+void RefreshService::FailJob(Job& job, const std::string& error,
+                             JobStatus status) {
   JobResult result;
   result.job_id = job.id;
   result.tenant = job.spec.tenant;
+  result.status = status;
   result.report.ok = false;
   result.report.error = error;
+  if (status == JobStatus::kCancelled || status == JobStatus::kTimeout) {
+    result.report.cancelled = true;
+    result.report.cancel_reason = status == JobStatus::kTimeout
+                                      ? runtime::CancelReason::kDeadline
+                                      : runtime::CancelReason::kCancelled;
+  }
   const double now = MonotonicSeconds();
   if (job.admit_seconds > 0.0) {
     // The job died mid-execution: time past admission is execution, not
@@ -228,13 +278,16 @@ void RefreshService::FailJob(Job& job, const std::string& error) {
   observation.tenant = result.tenant;
   observation.priority = job.spec.priority;
   observation.ok = false;
+  observation.status = status;
   observation.queue_wait_seconds = result.queue_wait_seconds;
   observation.exec_seconds = result.exec_seconds;
   metrics_.Record(observation);
   registry_
       .GetCounter("sc_jobs_total", "Finished refresh jobs",
-                  {{"tenant", result.tenant}, {"status", "failed"}})
+                  {{"tenant", result.tenant},
+                   {"status", JobStatusName(status)}})
       ->Increment();
+  ForgetJob(job.id);
   job.promise.set_value(std::move(result));
 }
 
@@ -255,8 +308,28 @@ void RefreshService::WorkerLoop(int worker_index) {
       job = queue_.top();
       queue_.pop();
     }
+    // Graceful degradation at pickup: a job whose shedding bound expired
+    // while queued is dropped before it can consume budget or lanes, and
+    // a job cancelled (or deadline-expired) while queued never runs.
+    const double waited = MonotonicSeconds() - job->submit_seconds;
+    if (job->spec.max_queue_wait_seconds > 0.0 &&
+        waited > job->spec.max_queue_wait_seconds) {
+      FailJob(*job, "job shed: queue wait exceeded max_queue_wait_seconds",
+              JobStatus::kShed);
+      continue;
+    }
+    if (job->cancel.cancelled()) {
+      const bool deadline =
+          job->cancel.reason() == runtime::CancelReason::kDeadline;
+      FailJob(*job,
+              deadline ? runtime::kDeadlineMessage
+                       : runtime::kCancelledMessage,
+              deadline ? JobStatus::kTimeout : JobStatus::kCancelled);
+      continue;
+    }
     try {
       job->promise.set_value(Execute(*job));
+      ForgetJob(job->id);
     } catch (const std::exception& e) {
       FailJob(*job, std::string("internal service error: ") + e.what());
     }
@@ -289,9 +362,29 @@ JobResult RefreshService::Execute(Job& job) {
                      picked_up_seconds - job.submit_seconds, job_args);
   }
 
-  BudgetGrant grant = broker_.Acquire(job.spec.tenant,
-                                      result.requested_budget,
-                                      job.spec.priority);
+  // Graceful degradation: under a deep backlog, ask the broker for less
+  // than the job wanted. Smaller grants admit sooner and leave memory
+  // for the queue behind this job; the plan is simply optimized at the
+  // granted budget, the same path partial funding already exercises.
+  std::int64_t budget_to_request = result.requested_budget;
+  if (options_.overload_queue_depth > 0 &&
+      queue_depth() > options_.overload_queue_depth) {
+    double fraction = options_.overload_budget_fraction;
+    if (!(fraction > 0.0 && fraction <= 1.0)) fraction = 1.0;
+    budget_to_request = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(budget_to_request) * fraction));
+    if (budget_to_request < result.requested_budget) {
+      registry_
+          .GetCounter("sc_jobs_degraded_total",
+                      "Jobs admitted at a reduced budget under overload",
+                      {{"tenant", result.tenant}})
+          ->Increment();
+    }
+  }
+
+  BudgetGrant grant = broker_.Acquire(job.spec.tenant, budget_to_request,
+                                      job.spec.priority, &job.cancel);
   // Queue wait covers both the admission queue and budget arbitration:
   // the job is "waiting" until it holds everything it needs to run.
   job.admit_seconds = MonotonicSeconds();
@@ -308,6 +401,23 @@ JobResult RefreshService::Execute(Job& job) {
   result.granted_budget = grant.bytes;
   const double exec_start = job.admit_seconds;
   int lanes = 0;
+
+  if (!grant.valid() && job.cancel.cancelled()) {
+    // Cancelled (or deadline-expired) while blocked in budget
+    // arbitration: the broker reserved nothing and no lanes are held,
+    // so reporting is the only cleanup.
+    const bool deadline =
+        job.cancel.reason() == runtime::CancelReason::kDeadline;
+    result.report.ok = false;
+    result.report.cancelled = true;
+    result.report.cancel_reason = deadline
+                                      ? runtime::CancelReason::kDeadline
+                                      : runtime::CancelReason::kCancelled;
+    result.report.error =
+        deadline ? runtime::kDeadlineMessage : runtime::kCancelledMessage;
+    return FinishJob(job, std::move(result), exec_start, job_args,
+                     /*held_grant=*/false);
+  }
 
   try {
     // The run executes at the granted budget, so that is the cache key
@@ -465,6 +575,13 @@ JobResult RefreshService::Execute(Job& job) {
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;
+    // Fault tolerance: the job's token is polled at every stage /
+    // node / morsel / materialize boundary, injected faults fire inside
+    // the run, and transient failures retry per node with backoff.
+    controller_options.cancel = &job.cancel;
+    controller_options.faults = options_.fault_injector;
+    controller_options.retry_limit = options_.retry_limit;
+    controller_options.retry_backoff_ms = options_.retry_backoff_ms;
     // The run's node/publish/materialize spans join this job's slice of
     // the service trace.
     controller_options.trace = trace_;
@@ -505,16 +622,26 @@ JobResult RefreshService::Execute(Job& job) {
       // partial-grant path applies: re-optimize at the funded budget.
       broker_.Release(&grant);
       grant = broker_.Acquire(job.spec.tenant, result.granted_budget,
-                              job.spec.priority);
-      const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
-          wl.graph, plan, grant.bytes, optimizer_options);
-      result.reoptimized = result.reoptimized || reopt.iterations > 0;
-      // The retry plan may differ from the cached one; let the
-      // controller derive its stages.
-      result.report =
-          controller.RunWithBudget(wl, reopt.plan, grant.bytes);
-      result.returned_budget =
-          std::max<std::int64_t>(0, result.granted_budget - grant.bytes);
+                              job.spec.priority, &job.cancel);
+      if (!grant.valid() && job.cancel.cancelled()) {
+        // Cancelled while re-acquiring: leave the budget-violation
+        // report but flag the cancel so status comes out right.
+        result.report.cancelled = true;
+        result.report.cancel_reason =
+            job.cancel.reason() == runtime::CancelReason::kDeadline
+                ? runtime::CancelReason::kDeadline
+                : runtime::CancelReason::kCancelled;
+      } else {
+        const opt::AlternatingResult reopt = opt::ReOptimizeAtBudget(
+            wl.graph, plan, grant.bytes, optimizer_options);
+        result.reoptimized = result.reoptimized || reopt.iterations > 0;
+        // The retry plan may differ from the cached one; let the
+        // controller derive its stages.
+        result.report =
+            controller.RunWithBudget(wl, reopt.plan, grant.bytes);
+        result.returned_budget = std::max<std::int64_t>(
+            0, result.granted_budget - grant.bytes);
+      }
     }
   } catch (...) {
     if (lanes > 0) lanes_broker_.ReleaseLanes(lanes);
@@ -523,18 +650,43 @@ JobResult RefreshService::Execute(Job& job) {
   }
   lanes_broker_.ReleaseLanes(lanes);
   broker_.Release(&grant);
+  return FinishJob(job, std::move(result), exec_start, job_args,
+                   /*held_grant=*/true);
+}
+
+JobResult RefreshService::FinishJob(Job& job, JobResult result,
+                                    double exec_start,
+                                    const std::string& trace_args,
+                                    bool held_grant) {
   result.exec_seconds = MonotonicSeconds() - exec_start;
-  if (tracing) {
-    trace_->Instant("budget", "release", job_args);
+  if (trace_ != nullptr && trace_->enabled()) {
+    if (held_grant) trace_->Instant("budget", "release", trace_args);
     trace_->Complete("job", "execute", exec_start, result.exec_seconds,
-                     job_args);
+                     trace_args);
   }
+  // Disposition taxonomy: the Controller reports *whether* the run was
+  // cancelled and why; the service maps that to the job-level status.
+  result.status =
+      result.report.ok ? JobStatus::kOk
+      : result.report.cancelled
+          ? (result.report.cancel_reason ==
+                     runtime::CancelReason::kDeadline
+                 ? JobStatus::kTimeout
+                 : JobStatus::kCancelled)
+          : JobStatus::kFailed;
 
   registry_
       .GetCounter("sc_jobs_total", "Finished refresh jobs",
                   {{"tenant", result.tenant},
-                   {"status", result.report.ok ? "ok" : "failed"}})
+                   {"status", JobStatusName(result.status)}})
       ->Increment();
+  if (result.report.node_retries > 0) {
+    registry_
+        .GetCounter("sc_job_retries_total",
+                    "Per-node retries of transient failures",
+                    {{"tenant", result.tenant}})
+        ->Increment(result.report.node_retries);
+  }
   registry_
       .GetHistogram("sc_job_queue_wait_seconds",
                     "Admission-queue + budget-arbitration wait per job")
@@ -548,6 +700,7 @@ JobResult RefreshService::Execute(Job& job) {
   observation.tenant = result.tenant;
   observation.priority = job.spec.priority;
   observation.ok = result.report.ok;
+  observation.status = result.status;
   observation.queue_wait_seconds = result.queue_wait_seconds;
   observation.exec_seconds = result.exec_seconds;
   observation.requested_bytes = result.requested_budget;

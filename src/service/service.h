@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -11,9 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "opt/alternating.h"
+#include "runtime/cancel.h"
 #include "runtime/controller.h"
 #include "runtime/lane_pool.h"
 #include "service/budget_broker.h"
@@ -114,6 +117,26 @@ struct ServiceOptions {
   /// trace JSON here at Shutdown — load the file in chrome://tracing or
   /// ui.perfetto.dev to see the run as a per-lane timeline.
   std::string trace_path;
+  /// Deterministic fault injection (tests / chaos CI): wired into the
+  /// disk, the shared catalog, the budget broker, and every job's
+  /// Controller. Not owned; must outlive the service. Null (default)
+  /// compiles every injection point down to one null check.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Per-node retry budget for transient failures, forwarded to every
+  /// job's Controller (ControllerOptions::retry_limit). 0 = fail fast.
+  int retry_limit = 0;
+  /// Base backoff before the first retry; doubles per attempt, capped at
+  /// 64x (ControllerOptions::retry_backoff_ms).
+  double retry_backoff_ms = 1.0;
+  /// Graceful degradation under overload: when the admission queue is
+  /// deeper than this at pickup time, the job's budget request is scaled
+  /// by overload_budget_fraction before hitting the broker — smaller
+  /// grants admit faster and free memory for the backlog; the existing
+  /// partial-grant path re-optimizes the plan at the reduced budget.
+  /// 0 (default) disables degradation.
+  std::size_t overload_queue_depth = 0;
+  /// Budget multiplier applied under overload (clamped to (0, 1]).
+  double overload_budget_fraction = 0.5;
 };
 
 /// One refresh job: an annotated workload (speedup scores present, e.g.
@@ -135,11 +158,24 @@ struct RefreshJobSpec {
   /// default. The grant may be smaller; the plan is then re-optimized at
   /// the granted budget.
   std::int64_t requested_budget = 0;
+  /// End-to-end deadline in seconds, relative to Submit. Once it expires
+  /// the job is cancelled wherever it is — queued, blocked in budget
+  /// arbitration, or executing (stopped at the next node / morsel /
+  /// materialize boundary) — and finishes with JobStatus::kTimeout.
+  /// 0 (default) = no deadline.
+  double deadline_seconds = 0.0;
+  /// Shedding bound: a job still queued after this many seconds is
+  /// dropped at pickup with JobStatus::kShed instead of being run late.
+  /// 0 (default) = never shed.
+  double max_queue_wait_seconds = 0.0;
 };
 
 struct JobResult {
   std::uint64_t job_id = 0;
   std::string tenant;
+  /// Terminal disposition (ok / failed / cancelled / timeout / shed);
+  /// report.ok == (status == JobStatus::kOk).
+  JobStatus status = JobStatus::kFailed;
   runtime::RunReport report;
   std::int64_t requested_budget = 0;
   std::int64_t granted_budget = 0;
@@ -190,10 +226,28 @@ class RefreshService {
   RefreshService& operator=(const RefreshService&) = delete;
 
   /// Enqueues a job; the future resolves when the job finishes (check
-  /// result.report.ok — execution failures are reported, not thrown).
+  /// result.status — execution failures are reported, not thrown).
   /// Throws std::invalid_argument for a null workload and
   /// std::runtime_error after Shutdown.
   std::future<JobResult> Submit(RefreshJobSpec spec);
+
+  /// Submit variant that also returns the job id, so the caller can
+  /// Cancel() the job later.
+  struct JobHandle {
+    std::uint64_t job_id = 0;
+    std::future<JobResult> future;
+  };
+  JobHandle SubmitJob(RefreshJobSpec spec);
+
+  /// Cooperatively cancels a submitted job. Queued jobs finish with
+  /// JobStatus::kCancelled without running; a job blocked in budget
+  /// arbitration abandons its wait; an executing job stops at the next
+  /// stage-dispatch / node / morsel-claim / materialize boundary, with
+  /// every grant, lane lease, shared pin, and reservation released and
+  /// no partial MV published. Returns false when the job already
+  /// finished (or was never submitted); cancellation of a finished job
+  /// is a no-op, not an error.
+  bool Cancel(std::uint64_t job_id);
 
   /// Stops accepting work. With `drain` (default) runs every queued job
   /// to completion first; otherwise pending jobs fail with a "service
@@ -244,6 +298,10 @@ class RefreshService {
     /// from execution time for jobs that die mid-run.
     double admit_seconds = 0.0;
     std::uint64_t fingerprint = 0;
+    /// Cooperative cancellation flag shared by Cancel(), the deadline,
+    /// and the job's Controller. Lives as long as the Job (shared_ptr),
+    /// so a late Cancel() after completion touches valid memory.
+    runtime::CancelToken cancel;
   };
   struct QueueOrder {
     bool operator()(const std::shared_ptr<Job>& a,
@@ -257,9 +315,20 @@ class RefreshService {
 
   void WorkerLoop(int worker_index);
   JobResult Execute(Job& job);
+  /// Common terminal bookkeeping for Execute paths: derives
+  /// JobResult::status from the report, emits the trace tail, and
+  /// records registry counters plus the metrics observation.
+  /// `held_grant` gates the budget-release trace instant (false on the
+  /// cancelled-while-waiting path, where no grant was ever held).
+  JobResult FinishJob(Job& job, JobResult result, double exec_start,
+                      const std::string& trace_args, bool held_grant);
   /// Resolves `job`'s promise with a failed report and records the
   /// failure in the metrics registry.
-  void FailJob(Job& job, const std::string& error);
+  void FailJob(Job& job, const std::string& error,
+               JobStatus status = JobStatus::kFailed);
+  /// Drops `job.id` from the cancellation registry (terminal states
+  /// only).
+  void ForgetJob(std::uint64_t job_id);
   /// Wires the callback gauges mirroring LanePool / SharedCatalog /
   /// BudgetBroker / PlanCache monitoring counters into registry_.
   void RegisterComponentGauges();
@@ -291,6 +360,9 @@ class RefreshService {
   bool accepting_ = true;
   bool stopping_ = false;
   std::uint64_t next_job_id_ = 1;
+  /// Cancellation registry: every job from Submit until its promise is
+  /// resolved. Cancel() flips the token here and pokes the broker.
+  std::map<std::uint64_t, std::shared_ptr<Job>> active_jobs_;
   std::vector<std::thread> workers_;
 };
 

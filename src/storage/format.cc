@@ -1,6 +1,7 @@
 #include "storage/format.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -143,9 +144,30 @@ std::int64_t SerializedSize(const engine::Table& table) {
 
 std::int64_t WriteTableFile(const engine::Table& table,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  return WriteTable(table, out);
+  // Write-then-rename so the destination is atomically either the old
+  // complete table or the new one: a write that dies mid-stream (fault
+  // injection, full disk, crash) must never leave a partial or truncated
+  // MV where readers — or a retry — expect a whole file.
+  const std::string tmp = path + ".tmp";
+  std::int64_t bytes = 0;
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for write: " + path);
+    bytes = WriteTable(table, out);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cannot commit write: " + path);
+  }
+  return bytes;
 }
 
 engine::Table ReadTableFile(const std::string& path) {

@@ -58,7 +58,17 @@ bool MemoryCatalog::Put(const std::string& name, engine::TablePtr table,
   }
   // Outside the view lock: the shared layer has its own mutex, and a
   // rejected publish (shared pressure) never affects private admission.
-  if (publish) shared_->Publish(key, std::move(table), size);
+  if (publish) {
+    std::uint64_t stamp = 0;
+    if (shared_->Publish(key, std::move(table), size, /*durable=*/false,
+                         &stamp) &&
+        stamp != 0) {
+      // Remember the claim ticket: if this output's materialization
+      // later fails, QuarantineShared(name) condemns exactly this entry.
+      std::lock_guard<std::mutex> lock(mutex_);
+      publish_stamps_[name] = {key, stamp};
+    }
+  }
   if (released.has_value()) {
     shared_->Unpin(released->key);
     if (released->charged && listener_) {
@@ -91,8 +101,24 @@ void MemoryCatalog::MarkSharedDurable(const std::string& name) {
     auto it = bindings_.find(name);
     if (it == bindings_.end()) return;
     key = it->second;
+    publish_stamps_.erase(name);  // write landed: nothing to quarantine
   }
   shared_->MarkDurable(key);
+}
+
+bool MemoryCatalog::QuarantineShared(const std::string& name) {
+  if (shared_ == nullptr) return false;
+  std::uint64_t key = 0;
+  std::uint64_t stamp = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = publish_stamps_.find(name);
+    if (it == publish_stamps_.end()) return false;
+    key = it->second.first;
+    stamp = it->second.second;
+    publish_stamps_.erase(it);
+  }
+  return shared_->Invalidate(key, stamp);
 }
 
 engine::TablePtr MemoryCatalog::SharedLookup(const std::string& name,

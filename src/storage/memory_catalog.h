@@ -125,6 +125,14 @@ class MemoryCatalog {
   /// layer or binding.
   void MarkSharedDurable(const std::string& name);
 
+  /// Failure unwind for an optimistic publish: condemns the shared entry
+  /// this view published for `name` (stamp-guarded, see
+  /// SharedCatalog::Invalidate) because its materialization failed or
+  /// was cancelled before the write landed. A later republish or an
+  /// already-durable entry is untouched. Returns true when an entry was
+  /// quarantined.
+  bool QuarantineShared(const std::string& name);
+
   /// Dispatch-time pin: ensures `name`'s bound shared entry (if any) is
   /// pinned by this view so it cannot be evicted between a scheduling
   /// decision and the read. Counts nothing; reads through Get() do the
@@ -236,6 +244,11 @@ class MemoryCatalog {
   /// Names this view itself published into the shared layer: reading
   /// them back is *not* a cross-job hit (no gauge, no tenant charge).
   std::set<std::string> self_published_;
+  /// name → (content key, publish stamp) for entries this view inserted
+  /// non-durably (write still in flight) — the claim tickets
+  /// QuarantineShared() redeems on failure.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      publish_stamps_;
   mutable std::map<std::string, SharedPin> pinned_;
   std::atomic<std::int64_t> reserved_{0};
   mutable std::atomic<std::int64_t> reserve_denials_{0};

@@ -12,16 +12,45 @@ SharedCatalog::SharedCatalog(std::int64_t budget_bytes,
     : budget_(budget_bytes), damp_limit_(negative_lookup_damp_limit) {}
 
 bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
-                            std::int64_t size, bool durable) {
+                            std::int64_t size, bool durable,
+                            std::uint64_t* stamp) {
+  if (stamp != nullptr) *stamp = 0;
+  // Degrade on injected publish faults: the caller already treats a
+  // false return as the (routine) budget-reject path, so a firing rule
+  // costs shared residency, never correctness.
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ShouldFail(fault::Site::kCatalogPublish,
+                                  std::to_string(key))) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("shared", "fault",
+                      StrFormat("\"key\":%llu",
+                                static_cast<unsigned long long>(key)));
+    }
+    return false;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (size < 0) return false;
   auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.quarantined) {
+    // A condemned entry must serve nobody; a fresh publish of the same
+    // content supersedes it once every stale pin is gone.
+    if (it->second.pins > 0) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    lru_.erase(it->second.lru);
+    used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+    entries_.erase(it);
+    it = entries_.end();
+  }
   if (it != entries_.end()) {
     // Content keys are immutable: refresh recency, keep the first table.
     it->second.durable |= durable;
     if (it->second.pins == 0) {
       lru_.splice(lru_.begin(), lru_, it->second.lru);
     }
+    if (stamp != nullptr) *stamp = it->second.stamp;
     return true;
   }
   // Feasibility first: evicting the whole unpinned LRU leaves exactly
@@ -52,7 +81,9 @@ bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
   entry.table = std::move(table);
   entry.size = size;
   entry.durable = durable;
+  entry.stamp = next_stamp_++;
   entry.lru = lru_.begin();
+  if (stamp != nullptr) *stamp = entry.stamp;
   entries_.emplace(key, std::move(entry));
   used += size;
   used_.store(used, std::memory_order_relaxed);
@@ -83,7 +114,7 @@ engine::TablePtr SharedCatalog::Pin(std::uint64_t key,
                                     bool* durable) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  if (it == entries_.end() || it->second.quarantined) {
     if (count) CountMissLocked(key);
     return nullptr;
   }
@@ -105,15 +136,51 @@ void SharedCatalog::Unpin(std::uint64_t key) {
   if (it == entries_.end() || it->second.pins == 0) return;
   Entry& entry = it->second;
   if (--entry.pins == 0) {
+    pinned_.fetch_sub(entry.size, std::memory_order_relaxed);
+    if (entry.quarantined) {
+      // Last reader of a condemned entry: erase instead of re-entering
+      // the LRU, so quarantined content can never be served again.
+      used_.fetch_sub(entry.size, std::memory_order_relaxed);
+      entries_.erase(it);
+      return;
+    }
     lru_.push_front(key);
     entry.lru = lru_.begin();
-    pinned_.fetch_sub(entry.size, std::memory_order_relaxed);
   }
+}
+
+bool SharedCatalog::Invalidate(std::uint64_t key, std::uint64_t stamp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  // Only the exact publish being unwound may be condemned: a stamp
+  // mismatch means someone republished the key since, and a durable
+  // entry's content is already safely on external storage.
+  if (entry.stamp != stamp || entry.durable || entry.quarantined) {
+    return false;
+  }
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant("shared", "quarantine",
+                    StrFormat("\"key\":%llu,\"bytes\":%lld",
+                              static_cast<unsigned long long>(key),
+                              static_cast<long long>(entry.size)));
+  }
+  if (entry.pins == 0) {
+    lru_.erase(entry.lru);
+    used_.fetch_sub(entry.size, std::memory_order_relaxed);
+    entries_.erase(it);
+  } else {
+    entry.quarantined = true;  // erased when the last pin drops
+  }
+  return true;
 }
 
 bool SharedCatalog::Contains(std::uint64_t key) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.count(key) > 0;
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second.quarantined;
 }
 
 std::vector<bool> SharedCatalog::ContainsAll(
@@ -121,7 +188,8 @@ std::vector<bool> SharedCatalog::ContainsAll(
   std::vector<bool> resident(keys.size(), false);
   std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < keys.size(); ++i) {
-    resident[i] = entries_.count(keys[i]) > 0;
+    auto it = entries_.find(keys[i]);
+    resident[i] = it != entries_.end() && !it->second.quarantined;
   }
   return resident;
 }

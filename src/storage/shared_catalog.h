@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/table.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 
 namespace sc::storage {
@@ -56,6 +57,15 @@ class SharedCatalog {
   /// concurrent use; nullptr detaches.
   void SetTraceRecorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches a seeded fault injector probed at Site::kCatalogPublish.
+  /// A firing rule degrades the publish into a reject (returns false)
+  /// rather than throwing — losing shared residency is the designed
+  /// overload behaviour, so injected publish faults must never corrupt a
+  /// run. nullptr detaches. Call before concurrent use.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Inserts `table` under content key `key`, accounting `size` bytes.
   /// Evicts unpinned entries (least-recently-used first) as needed to
   /// fit. Returns false if the entry still cannot fit (pinned bytes or
@@ -66,8 +76,14 @@ class SharedCatalog {
   /// already sits on external storage; publishers whose write is still
   /// in flight pass false and MarkDurable() once it lands, so readers
   /// know when skipping their own write is safe.
+  /// `stamp` (optional) receives a unique per-insert publish stamp; a
+  /// refresh of an existing key returns the standing entry's stamp. The
+  /// stamp is the publisher's claim ticket for Invalidate(): it lets a
+  /// failed materialization quarantine exactly the entry it published
+  /// and never a later republish of the same content.
   bool Publish(std::uint64_t key, engine::TablePtr table,
-               std::int64_t size, bool durable = false);
+               std::int64_t size, bool durable = false,
+               std::uint64_t* stamp = nullptr);
 
   /// Records that `key`'s content has reached external storage (the
   /// publisher's materialization completed). No-op if absent.
@@ -86,6 +102,16 @@ class SharedCatalog {
   /// Drops one pin reference of `key`; at zero references the entry
   /// re-enters the LRU list as most recently used. No-op if absent.
   void Unpin(std::uint64_t key);
+
+  /// Quarantines the entry for `key` if it still carries publish stamp
+  /// `stamp` and its write never landed (durable == false): the entry
+  /// stops being served immediately and is erased once the last pin
+  /// drops (immediately when unpinned). Called by the failure-unwind
+  /// path when a materialization dies after its optimistic publish, so
+  /// the shared layer only ever serves complete, persisted MVs. A
+  /// durable or republished (stamp mismatch) entry is left alone.
+  /// Returns true when an entry was quarantined.
+  bool Invalidate(std::uint64_t key, std::uint64_t stamp);
 
   /// True if `key` is resident right now (no pin taken, no hit/miss
   /// counted). A sharing-aware optimizer pre-pass uses this snapshot;
@@ -128,6 +154,10 @@ class SharedCatalog {
   std::int64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Entries quarantined by Invalidate() (failed materializations).
+  std::int64_t quarantines() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
   /// Miss-path probes short-circuited by negative-lookup damping (the
   /// key had already missed `negative_lookup_damp_limit` times this
   /// epoch). Not counted in misses().
@@ -151,6 +181,11 @@ class SharedCatalog {
     std::int64_t pins = 0;
     /// Content has reached external storage (publisher's write landed).
     bool durable = false;
+    /// Condemned by Invalidate() while pinned: served to nobody new,
+    /// erased when the last pin drops.
+    bool quarantined = false;
+    /// Unique per-insert publish stamp (Invalidate's ABA guard).
+    std::uint64_t stamp = 0;
     /// Position in lru_; valid iff pins == 0.
     std::list<std::uint64_t>::iterator lru;
   };
@@ -163,6 +198,7 @@ class SharedCatalog {
   const std::int64_t budget_;
   const int damp_limit_;
   obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
+  fault::FaultInjector* fault_injector_ = nullptr;  // not owned
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // unpinned keys, front = most recent
@@ -174,8 +210,10 @@ class SharedCatalog {
   std::atomic<std::int64_t> publishes_{0};
   std::atomic<std::int64_t> rejects_{0};
   std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> quarantines_{0};
   mutable std::atomic<std::int64_t> damped_{0};
   std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t next_stamp_ = 1;  // guarded by mutex_; 0 = "no stamp"
   /// Per-key miss bookkeeping for negative-lookup damping: stamped with
   /// the epoch the count belongs to, so a publish invalidates every
   /// stale count in O(1) (no sweep). Guarded by mutex_.

@@ -70,6 +70,11 @@ void ThrottledDisk::InjectWriteFailure(const std::string& name) {
   write_failures_.insert(name);
 }
 
+void ThrottledDisk::SetFaultInjector(fault::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_injector_ = injector;
+}
+
 std::int64_t ThrottledDisk::WriteTable(const std::string& name,
                                        const engine::Table& table) {
   // Lock order: per-file lock, then a channel slot. Writers exclude
@@ -77,6 +82,7 @@ std::int64_t ThrottledDisk::WriteTable(const std::string& name,
   // to the channel count.
   const std::shared_ptr<std::shared_mutex> file_lock = FileLock(name);
   std::unique_lock<std::shared_mutex> file_guard(*file_lock);
+  fault::FaultInjector* injector = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = write_failures_.find(name);
@@ -84,6 +90,12 @@ std::int64_t ThrottledDisk::WriteTable(const std::string& name,
       write_failures_.erase(it);
       throw std::runtime_error("injected write failure for table " + name);
     }
+    injector = fault_injector_;
+  }
+  // Faults fire before any bytes land, so a failed write never leaves a
+  // partial file behind (the Materializer still Remove()s defensively).
+  if (injector != nullptr) {
+    injector->MaybeThrow(fault::Site::kDiskWrite, name);
   }
   AcquireChannel();
   const double start = Now();
@@ -105,6 +117,14 @@ std::int64_t ThrottledDisk::WriteTable(const std::string& name,
 engine::Table ThrottledDisk::ReadTable(const std::string& name) {
   const std::shared_ptr<std::shared_mutex> file_lock = FileLock(name);
   std::shared_lock<std::shared_mutex> file_guard(*file_lock);
+  fault::FaultInjector* injector = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector = fault_injector_;
+  }
+  if (injector != nullptr) {
+    injector->MaybeThrow(fault::Site::kDiskRead, name);
+  }
   AcquireChannel();
   const double start = Now();
   std::optional<engine::Table> table;

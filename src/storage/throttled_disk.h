@@ -11,6 +11,7 @@
 #include <string>
 
 #include "engine/table.h"
+#include "fault/fault.h"
 
 namespace sc::storage {
 
@@ -73,6 +74,12 @@ class ThrottledDisk {
   /// writer into the Controller's run report.
   void InjectWriteFailure(const std::string& name);
 
+  /// Attaches a seeded fault injector: every read/write first probes it
+  /// at Site::kDiskRead / kDiskWrite with the table name and throws
+  /// fault::FaultError when a rule fires. nullptr detaches. The injector
+  /// must outlive the disk.
+  void SetFaultInjector(fault::FaultInjector* injector);
+
  private:
   std::string PathFor(const std::string& name) const;
   /// Sleeps until `elapsed` reaches the target duration for `bytes`.
@@ -92,6 +99,7 @@ class ThrottledDisk {
   double total_read_seconds_ = 0.0;
   double total_write_seconds_ = 0.0;
   std::set<std::string> write_failures_;
+  fault::FaultInjector* fault_injector_ = nullptr;  // not owned
 };
 
 }  // namespace sc::storage

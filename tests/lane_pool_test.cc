@@ -41,6 +41,24 @@ TEST(LanePoolTest, SpawnsLanesOnDemandUpToCapacity) {
   EXPECT_EQ(pool.tasks_completed(), 64);
 }
 
+TEST(LanePoolTest, ThrowingTaskIsCapturedNotFatal) {
+  LanePool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    if (i % 4 == 0) {
+      pool.Submit([] { throw std::runtime_error("task bug"); });
+    } else {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }
+  // The pool survives escaped exceptions (no std::terminate), keeps
+  // executing queued work, and reports the failures on a counter.
+  WaitFor([&] { return pool.tasks_failed() == 4 && done.load() == 12; });
+  EXPECT_EQ(pool.tasks_failed(), 4);
+  EXPECT_EQ(done.load(), 12);
+  EXPECT_EQ(pool.tasks_completed(), 16);  // failed tasks still complete
+}
+
 TEST(LanePoolTest, ReusesLanesAcrossBursts) {
   LanePool pool(4);
   std::atomic<int> done{0};
