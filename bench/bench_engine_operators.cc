@@ -317,6 +317,129 @@ int Main(int argc, char** argv) {
     if (sink == 0) std::cout << " ";
   }
 
+  // -------------------------------------------------------------------
+  // Dictionary-encoded string keys: hash join and hash aggregate on a
+  // low-cardinality (<= 1k distinct) long-string key, plain string
+  // columns vs shared-dictionary columns. With one dictionary object on
+  // both sides the engine hashes and compares int32 codes instead of
+  // strings — the compressed-residency fast path. Bit-identity between
+  // the two representations is checked before timing.
+  // -------------------------------------------------------------------
+  Banner("Dictionary-encoded string keys (compressed residency)",
+         "shared-dictionary int32 code path vs plain std::string hashing "
+         "for hash join / hash aggregate at <= 1k distinct keys");
+  struct DictSample {
+    std::string op;
+    std::size_t rows = 0;
+    std::size_t distinct = 0;
+    double plain_mrows = 0.0;
+    double dict_mrows = 0.0;
+    double speedup = 0.0;  // plain seconds / dict seconds
+  };
+  std::vector<DictSample> dict_samples;
+  {
+    const std::size_t distinct = 1'000;
+    // Long (non-SSO) category names; zero-padding keeps lexicographic
+    // order equal to numeric order, so code i == name index i.
+    std::vector<std::string> names(distinct);
+    for (std::size_t i = 0; i < distinct; ++i) {
+      std::string digits = std::to_string(i);
+      names[i] = "warehouse_category_" +
+                 std::string(6 - digits.size(), '0') + digits;
+    }
+    const Column::DictionaryPtr dict =
+        Column::MakeDictionary(std::vector<std::string>(names));
+
+    const auto make_pair = [&](Rng* rng, std::size_t rows)
+        -> std::pair<Table, Table> {  // {plain, dict-encoded twin}
+      std::vector<std::int64_t> id(rows);
+      std::vector<double> val(rows);
+      std::vector<std::int32_t> codes(rows);
+      std::vector<std::string> cat(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        id[r] = static_cast<std::int64_t>(r);
+        val[r] = rng->UniformDouble(0.0, 100.0);
+        codes[r] = static_cast<std::int32_t>(
+            rng->UniformInt(0, static_cast<std::int64_t>(distinct) - 1));
+        cat[r] = names[static_cast<std::size_t>(codes[r])];
+      }
+      const Schema schema({Field{"id", DataType::kInt64},
+                           Field{"val", DataType::kFloat64},
+                           Field{"cat", DataType::kString}});
+      Table plain(schema, {Column::FromInts(std::vector<std::int64_t>(id)),
+                           Column::FromDoubles(std::vector<double>(val)),
+                           Column::FromStrings(std::move(cat))});
+      Table encoded(schema,
+                    {Column::FromInts(std::move(id)),
+                     Column::FromDoubles(std::move(val)),
+                     Column::FromDictionary(dict, std::move(codes))});
+      return {std::move(plain), std::move(encoded)};
+    };
+
+    TablePrinter dtable({"operator", "rows", "distinct", "plain Mrows/s",
+                         "dict Mrows/s", "speedup"});
+    for (const std::size_t rows : row_sweep) {
+      if (rows < 100'000) continue;  // the acceptance range is 1e5..1e6
+      Rng rng(161803);
+      const auto [probe_plain, probe_dict] = make_pair(&rng, rows);
+      // Dimension-shaped build side (~1 row per key): the join output
+      // stays ~`rows` rows instead of fanning out by rows/distinct.
+      const auto [build_plain, build_dict] = make_pair(&rng, distinct);
+
+      struct DictVariant {
+        std::string name;
+        std::function<Table()> plain;
+        std::function<Table()> dict;
+      };
+      const std::vector<DictVariant> dvariants = {
+          {"dict_hash_join",
+           [&] {
+             return engine::HashJoinTables(probe_plain, build_plain,
+                                           {"cat"}, {"cat"});
+           },
+           [&] {
+             return engine::HashJoinTables(probe_dict, build_dict,
+                                           {"cat"}, {"cat"});
+           }},
+          {"dict_hash_aggregate",
+           [&] {
+             return engine::AggregateTable(probe_plain, {"cat"},
+                                           aggregates);
+           },
+           [&] {
+             return engine::AggregateTable(probe_dict, {"cat"},
+                                           aggregates);
+           }},
+      };
+      for (const DictVariant& v : dvariants) {
+        if (!(v.plain() == v.dict())) {
+          std::cerr << "MISMATCH between plain and dictionary " << v.name
+                    << " at " << rows << " rows\n";
+          return 1;
+        }
+        const double plain_s =
+            BestOfSeconds(reps, [&] { sink += v.plain().num_rows(); });
+        const double dict_s =
+            BestOfSeconds(reps, [&] { sink += v.dict().num_rows(); });
+        DictSample d;
+        d.op = v.name;
+        d.rows = rows;
+        d.distinct = distinct;
+        d.plain_mrows = static_cast<double>(rows) / plain_s / 1e6;
+        d.dict_mrows = static_cast<double>(rows) / dict_s / 1e6;
+        d.speedup = plain_s / dict_s;
+        dict_samples.push_back(d);
+        dtable.AddRow({d.op, std::to_string(rows),
+                       std::to_string(distinct),
+                       StrFormat("%.2f", d.plain_mrows),
+                       StrFormat("%.2f", d.dict_mrows),
+                       StrFormat("%.2fx", d.speedup)});
+      }
+    }
+    dtable.Print(std::cout);
+    if (sink == 0) std::cout << " ";
+  }
+
   std::ostringstream json;
   json << "{\"bench\":\"engine_operators\",\"samples\":[";
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -336,6 +459,17 @@ int Main(int argc, char** argv) {
         "{\"op\":\"%s\",\"rows\":%zu,\"morsels\":%d,"
         "\"mrows_per_sec\":%.3f,\"speedup_vs_1\":%.3f}",
         m.op.c_str(), m.rows, m.morsels, m.mrows, m.speedup);
+  }
+  json << "],\"dictionary\":[";
+  for (std::size_t i = 0; i < dict_samples.size(); ++i) {
+    const DictSample& d = dict_samples[i];
+    if (i > 0) json << ",";
+    json << StrFormat(
+        "{\"op\":\"%s\",\"rows\":%zu,\"distinct\":%zu,"
+        "\"plain_mrows_per_sec\":%.3f,\"dict_mrows_per_sec\":%.3f,"
+        "\"speedup\":%.3f}",
+        d.op.c_str(), d.rows, d.distinct, d.plain_mrows, d.dict_mrows,
+        d.speedup);
   }
   json << "]}";
   std::cout << "\n" << json.str() << "\n";
@@ -391,6 +525,30 @@ int Main(int argc, char** argv) {
       std::cout << StrFormat(
           "floor check %s: 4-morsel speedup %.2fx vs floor %.2fx "
           "(baseline %.2fx - 30%%): %s\n",
+          op.c_str(), measured, floor, baseline,
+          measured >= floor ? "ok" : "REGRESSION");
+      if (measured < floor) ok = false;
+    }
+    // Dictionary code-path floor: the shared-dict join/aggregate speedup
+    // over the plain string path at the largest size must stay above
+    // 0.7 x the committed baseline AND above the 2x acceptance bar for
+    // low-cardinality keys — the compressed-residency fast path must
+    // never quietly decay into string hashing.
+    for (const std::string op : {"dict_hash_join", "dict_hash_aggregate"}) {
+      double baseline = 0.0;
+      if (!ParseJsonNumber(text, op + "_speedup", &baseline)) {
+        std::cerr << "floor file missing " << op << "_speedup\n";
+        ok = false;
+        continue;
+      }
+      double measured = 0.0;
+      for (const DictSample& d : dict_samples) {
+        if (d.op == op) measured = d.speedup;  // last = largest
+      }
+      const double floor = std::max(0.7 * baseline, 2.0);
+      std::cout << StrFormat(
+          "floor check %s: dict speedup %.2fx vs floor %.2fx (baseline "
+          "%.2fx - 30%%, min 2x): %s\n",
           op.c_str(), measured, floor, baseline,
           measured >= floor ? "ok" : "REGRESSION");
       if (measured < floor) ok = false;

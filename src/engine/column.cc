@@ -1,9 +1,17 @@
 #include "engine/column.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace sc::engine {
+
+namespace {
+// Process-wide tally backing the sc_dict_columns_total gauge.
+std::atomic<std::int64_t> g_dict_columns_created{0};
+}  // namespace
 
 Column Column::FromInts(std::vector<std::int64_t> values) {
   Column c(DataType::kInt64);
@@ -23,6 +31,77 @@ Column Column::FromStrings(std::vector<std::string> values) {
   return c;
 }
 
+Column Column::FromDictionary(DictionaryPtr dictionary,
+                              std::vector<std::int32_t> codes) {
+  if (dictionary == nullptr) {
+    throw std::invalid_argument("Column::FromDictionary: null dictionary");
+  }
+  Column c(DataType::kString);
+  c.AdoptDictionary(dictionary);
+  c.codes_ = std::move(codes);
+  return c;
+}
+
+Column::DictionaryPtr Column::MakeDictionary(
+    std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return std::make_shared<const Dictionary>(std::move(values));
+}
+
+void Column::AdoptDictionary(const DictionaryPtr& dict) {
+  dict_ = dict;
+  g_dict_columns_created.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Column::dict_columns_created() {
+  return g_dict_columns_created.load(std::memory_order_relaxed);
+}
+
+void Column::EnsurePlainStrings() {
+  if (dict_ == nullptr) return;
+  std::vector<std::string> plain;
+  plain.reserve(codes_.size());
+  const Dictionary& dict = *dict_;
+  for (const std::int32_t code : codes_) {
+    plain.push_back(dict[static_cast<std::size_t>(code)]);
+  }
+  strings_ = std::move(plain);
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_.reset();
+}
+
+Column Column::DictionaryEncode() const {
+  if (type_ != DataType::kString) {
+    throw std::invalid_argument("Column::DictionaryEncode: not a string column");
+  }
+  if (dict_ != nullptr) return *this;
+  DictionaryPtr dict = MakeDictionary(strings_);
+  std::vector<std::int32_t> codes(strings_.size());
+  const auto begin = dict->begin();
+  const auto end = dict->end();
+  for (std::size_t r = 0; r < strings_.size(); ++r) {
+    codes[r] = static_cast<std::int32_t>(
+        std::lower_bound(begin, end, strings_[r]) - begin);
+  }
+  return FromDictionary(std::move(dict), std::move(codes));
+}
+
+Column Column::DecodeDictionary() const {
+  if (type_ != DataType::kString) {
+    throw std::invalid_argument("Column::DecodeDictionary: not a string column");
+  }
+  if (dict_ == nullptr) return *this;
+  Column c(DataType::kString);
+  c.strings_.reserve(codes_.size());
+  const Dictionary& dict = *dict_;
+  for (const std::int32_t code : codes_) {
+    c.strings_.push_back(dict[static_cast<std::size_t>(code)]);
+  }
+  return c;
+}
+
 std::size_t Column::size() const {
   switch (type_) {
     case DataType::kInt64:
@@ -30,7 +109,7 @@ std::size_t Column::size() const {
     case DataType::kFloat64:
       return doubles_.size();
     case DataType::kString:
-      return strings_.size();
+      return dict_ != nullptr ? codes_.size() : strings_.size();
   }
   return 0;
 }
@@ -42,7 +121,7 @@ Value Column::GetValue(std::size_t row) const {
     case DataType::kFloat64:
       return doubles_[row];
     case DataType::kString:
-      return strings_[row];
+      return GetString(row);
   }
   throw std::logic_error("Column::GetValue: bad type");
 }
@@ -56,10 +135,20 @@ void Column::AppendValue(const Value& value) {
       doubles_.push_back(AsDouble(value));
       return;
     case DataType::kString:
-      strings_.push_back(std::get<std::string>(value));
+      AppendString(std::get<std::string>(value));
       return;
   }
   throw std::logic_error("Column::AppendValue: bad type");
+}
+
+void Column::AppendString(std::string v) {
+  if (dict_ != nullptr) {
+    // Appending an arbitrary string cannot stay on a shared immutable
+    // dictionary; decode first. Hot paths append via AppendFrom /
+    // GatherFrom, which keep the encoding.
+    EnsurePlainStrings();
+  }
+  strings_.push_back(std::move(v));
 }
 
 void Column::AppendFrom(const Column& other, std::size_t row) {
@@ -74,7 +163,21 @@ void Column::AppendFrom(const Column& other, std::size_t row) {
       doubles_.push_back(other.doubles_[row]);
       return;
     case DataType::kString:
-      strings_.push_back(other.strings_[row]);
+      if (other.dict_ != nullptr) {
+        if (dict_ == other.dict_) {
+          codes_.push_back(other.codes_[row]);
+          return;
+        }
+        if (dict_ == nullptr && strings_.empty()) {
+          // Fresh destination adopts the source's dictionary, so
+          // row-at-a-time materialization keeps the encoding.
+          AdoptDictionary(other.dict_);
+          codes_.push_back(other.codes_[row]);
+          return;
+        }
+      }
+      EnsurePlainStrings();
+      strings_.push_back(other.GetString(row));
       return;
   }
 }
@@ -111,9 +214,26 @@ void Column::GatherFrom(const Column& other,
       return;
     }
     case DataType::kString: {
+      if (other.dict_ != nullptr &&
+          (dict_ == other.dict_ ||
+           (dict_ == nullptr && strings_.empty()))) {
+        if (dict_ == nullptr) AdoptDictionary(other.dict_);
+        // Selection/join materialization of an encoded column is an
+        // int32 gather — no string copies at all.
+        const std::size_t base = codes_.size();
+        if (base + rows.size() > codes_.capacity()) {
+          codes_.reserve(base + rows.size());
+        }
+        codes_.resize(base + rows.size());
+        const std::int32_t* src = other.codes_.data();
+        std::int32_t* dst = codes_.data() + base;
+        for (std::size_t i = 0; i < rows.size(); ++i) dst[i] = src[rows[i]];
+        return;
+      }
+      EnsurePlainStrings();
       strings_.reserve(strings_.size() + rows.size());
       for (const std::uint32_t r : rows) {
-        strings_.push_back(other.strings_[r]);
+        strings_.push_back(other.GetString(r));
       }
       return;
     }
@@ -143,11 +263,24 @@ void Column::AppendRangeFrom(const Column& other, std::size_t begin,
                       other.doubles_.begin() + end);
       return;
     case DataType::kString:
+      if (other.dict_ != nullptr &&
+          (dict_ == other.dict_ ||
+           (dict_ == nullptr && strings_.empty()))) {
+        if (dict_ == nullptr) AdoptDictionary(other.dict_);
+        if (codes_.size() + (end - begin) > codes_.capacity()) {
+          codes_.reserve(codes_.size() + (end - begin));
+        }
+        codes_.insert(codes_.end(), other.codes_.begin() + begin,
+                      other.codes_.begin() + end);
+        return;
+      }
+      EnsurePlainStrings();
       if (strings_.size() + (end - begin) > strings_.capacity()) {
         strings_.reserve(strings_.size() + (end - begin));
       }
-      strings_.insert(strings_.end(), other.strings_.begin() + begin,
-                      other.strings_.begin() + end);
+      for (std::size_t r = begin; r < end; ++r) {
+        strings_.push_back(other.GetString(r));
+      }
       return;
   }
 }
@@ -161,7 +294,11 @@ void Column::Reserve(std::size_t n) {
       doubles_.reserve(n);
       return;
     case DataType::kString:
-      strings_.reserve(n);
+      if (dict_ != nullptr) {
+        codes_.reserve(n);
+      } else {
+        strings_.reserve(n);
+      }
       return;
   }
 }
@@ -173,11 +310,28 @@ std::int64_t Column::ByteSize() const {
     case DataType::kFloat64:
       return static_cast<std::int64_t>(doubles_.size() * sizeof(double));
     case DataType::kString: {
+      static const std::size_t kSsoCapacity = std::string().capacity();
+      if (dict_ != nullptr) {
+        // Encoded footprint: 4 bytes per row plus the dictionary. The
+        // dictionary is charged in full to each referencing column —
+        // conservative when shared, but it keeps per-column accounting
+        // local, and dictionaries are small (<=~64k entries) next to
+        // the row vectors they replace.
+        std::int64_t total = static_cast<std::int64_t>(
+            codes_.size() * sizeof(std::int32_t));
+        total += static_cast<std::int64_t>(dict_->size() *
+                                           sizeof(std::string));
+        for (const auto& s : *dict_) {
+          if (s.capacity() > kSsoCapacity) {
+            total += static_cast<std::int64_t>(s.capacity()) + 1;
+          }
+        }
+        return total;
+      }
       // The std::string objects themselves, plus each string's heap
       // block. Heap blocks are sized by capacity (what the allocator
       // handed out), not size; strings short enough for the small-string
       // optimization live inside the object and add nothing.
-      static const std::size_t kSsoCapacity = std::string().capacity();
       std::int64_t total = static_cast<std::int64_t>(
           strings_.size() * sizeof(std::string));
       for (const auto& s : strings_) {
@@ -204,10 +358,24 @@ double Column::NumericAt(std::size_t row) const {
 }
 
 bool Column::operator==(const Column& other) const {
-  if (type_ != other.type_ || ints_ != other.ints_ ||
-      strings_ != other.strings_) {
-    return false;
+  if (type_ != other.type_) return false;
+  if (type_ == DataType::kString) {
+    const std::size_t n = size();
+    if (n != other.size()) return false;
+    if (dict_ != nullptr && dict_ == other.dict_) {
+      return codes_ == other.codes_;
+    }
+    if (dict_ == nullptr && other.dict_ == nullptr) {
+      return strings_ == other.strings_;
+    }
+    // Mixed (or differently-dictionaried) representations: compare
+    // logical content row by row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (GetString(r) != other.GetString(r)) return false;
+    }
+    return true;
   }
+  if (ints_ != other.ints_) return false;
   // Doubles compare by bit pattern (NaN == NaN, 0.0 != -0.0): equality
   // means bit-identical contents, which is what the golden equivalence
   // suite and the runtime's disk round-trip checks assert.

@@ -1,5 +1,6 @@
 #include "engine/expr.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
@@ -228,6 +229,13 @@ struct StrVecAcc {
   const std::string* p;
   const std::string& operator()(std::size_t r) const { return p[r]; }
 };
+struct StrDictAcc {
+  const std::string* dict;
+  const std::int32_t* codes;
+  const std::string& operator()(std::size_t r) const {
+    return dict[codes[r]];
+  }
+};
 struct StrConstAcc {
   const std::string* v;
   const std::string& operator()(std::size_t) const { return *v; }
@@ -261,7 +269,11 @@ decltype(auto) WithStringAcc(const EvalOut& e, Fn&& fn) {
   if (e.is_literal()) {
     return fn(StrConstAcc{&std::get<std::string>(*e.literal)});
   }
-  return fn(StrVecAcc{e.col().strings().data()});
+  const Column& c = e.col();
+  if (c.dictionary_encoded()) {
+    return fn(StrDictAcc{c.dictionary()->data(), c.codes().data()});
+  }
+  return fn(StrVecAcc{c.strings().data()});
 }
 
 /// Claims an operand's owned buffer of the right type and length as the
@@ -412,6 +424,76 @@ Column EvalComparison(Expr::Op op, EvalOut& lhs, EvalOut& rhs,
     }
   };
   if (a_str) {
+    // Dictionary-vs-literal fast path: on a sorted dictionary the
+    // literal resolves to one binary search (`lo` = first code not less
+    // than it, `hit` = exact member), after which every row comparison
+    // is int32-only. Equivalent to the generic three-way string loop:
+    // dict[c] < lit <=> c < lo, dict[c] == lit <=> hit && c == lo.
+    const EvalOut* col_side = nullptr;
+    const EvalOut* lit_side = nullptr;
+    bool col_is_lhs = true;
+    if (!lhs.is_literal() && lhs.col().dictionary_encoded() &&
+        rhs.is_literal()) {
+      col_side = &lhs;
+      lit_side = &rhs;
+    } else if (!rhs.is_literal() && rhs.col().dictionary_encoded() &&
+               lhs.is_literal()) {
+      col_side = &rhs;
+      lit_side = &lhs;
+      col_is_lhs = false;
+    }
+    if (col_side != nullptr) {
+      const Column::Dictionary& dict = *col_side->col().dictionary();
+      const std::string& lit = std::get<std::string>(*lit_side->literal);
+      const std::int32_t lo = static_cast<std::int32_t>(
+          std::lower_bound(dict.begin(), dict.end(), lit) - dict.begin());
+      const bool hit = static_cast<std::size_t>(lo) < dict.size() &&
+                       dict[static_cast<std::size_t>(lo)] == lit;
+      const std::int32_t* codes = col_side->col().codes().data();
+      // Canonical orientation: column on the left (flip the op when the
+      // literal was the lhs).
+      Expr::Op cop = op;
+      if (!col_is_lhs) {
+        switch (op) {
+          case Expr::Op::kLt: cop = Expr::Op::kGt; break;
+          case Expr::Op::kGt: cop = Expr::Op::kLt; break;
+          case Expr::Op::kLe: cop = Expr::Op::kGe; break;
+          case Expr::Op::kGe: cop = Expr::Op::kLe; break;
+          default: break;  // kEq / kNe are symmetric
+        }
+      }
+      switch (cop) {
+        case Expr::Op::kLt:
+          for (std::size_t r = 0; r < n; ++r) out[r] = codes[r] < lo;
+          break;
+        case Expr::Op::kLe:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = codes[r] < lo || (hit && codes[r] == lo);
+          }
+          break;
+        case Expr::Op::kGt:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = !(codes[r] < lo || (hit && codes[r] == lo));
+          }
+          break;
+        case Expr::Op::kGe:
+          for (std::size_t r = 0; r < n; ++r) out[r] = !(codes[r] < lo);
+          break;
+        case Expr::Op::kEq:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = hit && codes[r] == lo;
+          }
+          break;
+        case Expr::Op::kNe:
+          for (std::size_t r = 0; r < n; ++r) {
+            out[r] = !(hit && codes[r] == lo);
+          }
+          break;
+        default:
+          throw std::logic_error("bad comparison op");
+      }
+      return Column::FromInts(std::move(out));
+    }
     WithStringAcc(lhs, [&](auto ga) {
       WithStringAcc(rhs, [&](auto gb) { run(ga, gb); });
     });

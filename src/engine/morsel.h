@@ -98,6 +98,16 @@ class MorselScope {
 std::vector<std::size_t> MorselBounds(std::size_t rows,
                                       std::size_t morsels);
 
+/// Skew-aware task binning: assigns items (hash-join build partitions,
+/// identified by index into `masses`) to at most `bins` task bins so the
+/// per-bin mass is balanced even when one item dominates. Deterministic
+/// longest-processing-time-first: items in (mass desc, index asc) order,
+/// each into the currently lightest bin (ties to the lowest bin index);
+/// item indices within a bin are returned ascending. Empty bins are
+/// dropped, so every returned bin holds at least one item.
+std::vector<std::vector<std::uint32_t>> BalanceTaskBins(
+    const std::vector<std::size_t>& masses, std::size_t bins);
+
 }  // namespace sc::engine
 
 #endif  // SC_ENGINE_MORSEL_H_

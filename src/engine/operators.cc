@@ -33,9 +33,17 @@ std::vector<const Column*> ResolveColumns(
 /// collisions are resolved by KeyRowsEqual, never trusted. The range
 /// form is the morsel body: concurrent morsels hash disjoint row ranges
 /// of one shared buffer.
+///
+/// `code_keys` selects the dictionary fast path for string columns:
+/// hash the int32 code instead of the string bytes. Hashes must agree
+/// between a join's build and probe side, so the caller may only set it
+/// after proving every string key column (on both sides) carries the
+/// same dictionary object — see SharedDictStringKeys. An encoded column
+/// hashed WITHOUT the flag hashes its decoded strings, staying
+/// compatible with a plain other side.
 void HashKeyRowsRange(const std::vector<const Column*>& cols,
-                      std::size_t begin, std::size_t end,
-                      std::uint64_t* h) {
+                      std::size_t begin, std::size_t end, std::uint64_t* h,
+                      bool code_keys) {
   for (std::size_t r = begin; r < end; ++r) h[r] = kFnvOffset;
   for (const Column* c : cols) {
     switch (c->type()) {
@@ -52,14 +60,46 @@ void HashKeyRowsRange(const std::vector<const Column*>& cols,
         break;
       }
       case DataType::kString: {
-        const std::string* v = c->strings().data();
-        for (std::size_t r = begin; r < end; ++r) {
-          FnvMixString(&h[r], v[r]);
+        if (c->dictionary_encoded()) {
+          const std::int32_t* v = c->codes().data();
+          if (code_keys) {
+            for (std::size_t r = begin; r < end; ++r) {
+              FnvMixInt(&h[r], v[r]);
+            }
+          } else {
+            const std::string* dict = c->dictionary()->data();
+            for (std::size_t r = begin; r < end; ++r) {
+              FnvMixString(&h[r], dict[v[r]]);
+            }
+          }
+        } else {
+          const std::string* v = c->strings().data();
+          for (std::size_t r = begin; r < end; ++r) {
+            FnvMixString(&h[r], v[r]);
+          }
         }
         break;
       }
     }
   }
+}
+
+/// True iff the key lists contain at least one string column and every
+/// string column pair shares one dictionary object — the precondition
+/// for hashing string keys as int32 codes on both sides. Pass the same
+/// list twice for single-table (aggregate) keys.
+bool SharedDictStringKeys(const std::vector<const Column*>& a,
+                          const std::vector<const Column*>& b) {
+  bool any_string = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k]->type() != DataType::kString) continue;
+    any_string = true;
+    if (!a[k]->dictionary_encoded() ||
+        a[k]->dictionary() != b[k]->dictionary()) {
+      return false;
+    }
+  }
+  return any_string;
 }
 
 /// HashKeyRows buffer that recycles allocations through the current
@@ -110,7 +150,15 @@ bool KeyRowsEqual(const std::vector<const Column*>& a, std::size_t ra,
         break;
       }
       case DataType::kString:
-        if (a[k]->strings()[ra] != b[k]->strings()[rb]) return false;
+        // Same dictionary object => codes compare as the strings do (no
+        // flag needed: this check is per-column and always sound, unlike
+        // hashing, which must agree across both sides up front).
+        if (a[k]->dictionary_encoded() &&
+            a[k]->dictionary() == b[k]->dictionary()) {
+          if (a[k]->codes()[ra] != b[k]->codes()[rb]) return false;
+        } else if (a[k]->GetString(ra) != b[k]->GetString(rb)) {
+          return false;
+        }
         break;
     }
   }
@@ -169,7 +217,13 @@ void PartitionedJoinMatches(MorselContext& ctx, std::size_t morsels,
                             std::vector<std::uint32_t>* match_left,
                             std::vector<std::uint32_t>* match_right) {
   MorselRunner& runner = *ctx.runner();
-  const std::size_t partitions = NextPow2(morsels);  // >= 2
+  // Over-partition 4x past the morsel count, then bin partitions onto
+  // build tasks by measured row mass (LPT below). With one partition
+  // per task, a heavy-hitter key made its partition dominant and the
+  // build ran at the speed of the slowest task; with 4x partitions the
+  // balancer can pack the heavy partition alone and spread the rest.
+  const std::size_t partitions =
+      NextPow2(std::max<std::size_t>(morsels * 4, 2));
   int bits = 0;
   while ((static_cast<std::size_t>(1) << bits) < partitions) ++bits;
   const int shift = 64 - bits;
@@ -222,20 +276,33 @@ void PartitionedJoinMatches(MorselContext& ctx, std::size_t morsels,
   };
   std::vector<PartTable> tables(partitions);
   std::vector<std::uint32_t> next(rn);
-  runner.Run(partitions, [&](std::size_t p) {
-    const std::size_t lo = part_begin[p];
-    const std::size_t hi = part_begin[p + 1];
-    PartTable& t = tables[p];
-    const std::size_t cap =
-        NextPow2(std::max<std::size_t>((hi - lo) * 2, 1));
-    t.slot_mask = cap - 1;
-    t.head.assign(cap, kNoRow);
-    for (std::size_t i = hi; i > lo;) {
-      --i;
-      const std::uint32_t r = part_rows[i];
-      const std::size_t slot = rh[r] & t.slot_mask;
-      next[r] = t.head[slot];
-      t.head[slot] = r;
+  // Skew-aware build scheduling: partitions carry their exact row mass
+  // (part_begin deltas), so bin them onto `morsels` build tasks with
+  // longest-processing-time-first instead of one task per partition.
+  // Partition builds are independent, so the binning cannot change the
+  // emitted matches — only which lane builds which table.
+  std::vector<std::size_t> part_mass(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    part_mass[p] = part_begin[p + 1] - part_begin[p];
+  }
+  const std::vector<std::vector<std::uint32_t>> bins =
+      BalanceTaskBins(part_mass, morsels);
+  runner.Run(bins.size(), [&](std::size_t b) {
+    for (const std::uint32_t p : bins[b]) {
+      const std::size_t lo = part_begin[p];
+      const std::size_t hi = part_begin[p + 1];
+      PartTable& t = tables[p];
+      const std::size_t cap =
+          NextPow2(std::max<std::size_t>((hi - lo) * 2, 1));
+      t.slot_mask = cap - 1;
+      t.head.assign(cap, kNoRow);
+      for (std::size_t i = hi; i > lo;) {
+        --i;
+        const std::uint32_t r = part_rows[i];
+        const std::size_t slot = rh[r] & t.slot_mask;
+        next[r] = t.head[slot];
+        t.head[slot] = r;
+      }
     }
   });
 
@@ -284,7 +351,7 @@ void PartitionedJoinMatches(MorselContext& ctx, std::size_t morsels,
 /// exactly.
 void ParallelGroupRows(MorselContext& ctx, std::size_t morsels,
                        const std::vector<const Column*>& key_cols,
-                       std::size_t n,
+                       std::size_t n, bool code_keys,
                        std::vector<std::uint32_t>* group_of_row,
                        std::vector<std::uint32_t>* representative,
                        std::vector<std::int64_t>* counts) {
@@ -292,7 +359,8 @@ void ParallelGroupRows(MorselContext& ctx, std::size_t morsels,
   const std::vector<std::size_t> bounds = MorselBounds(n, morsels);
   HashBuffer h(&ctx, n);
   runner.Run(morsels, [&](std::size_t m) {
-    HashKeyRowsRange(key_cols, bounds[m], bounds[m + 1], h.data());
+    HashKeyRowsRange(key_cols, bounds[m], bounds[m + 1], h.data(),
+                     code_keys);
   });
 
   // Per-morsel partial group tables over the shared hashes.
@@ -435,6 +503,12 @@ Table HashJoinTables(const Table& left, const Table& right,
   // of shared scratch buffers.
   const std::size_t rn = right.num_rows();
   const std::size_t ln = left.num_rows();
+  // Dictionary fast path: when every string key column shares one
+  // dictionary object across both sides, hash and compare int32 codes
+  // instead of string bytes. Cross-dictionary (or mixed plain/encoded)
+  // sides fall back to decoded-string hashing, which is representation-
+  // agnostic and therefore always consistent.
+  const bool code_keys = SharedDictStringKeys(lcols, rcols);
   MorselContext* ctx = CurrentMorselContext();
   const std::size_t morsels = ctx != nullptr ? ctx->PlanMorsels(ln) : 1;
   HashBuffer rh(ctx, rn);
@@ -444,15 +518,15 @@ Table HashJoinTables(const Table& left, const Table& right,
     const std::vector<std::size_t> lb = MorselBounds(ln, morsels);
     ctx->runner()->Run(2 * morsels, [&](std::size_t t) {
       if (t < morsels) {
-        HashKeyRowsRange(rcols, rb[t], rb[t + 1], rh.data());
+        HashKeyRowsRange(rcols, rb[t], rb[t + 1], rh.data(), code_keys);
       } else {
         const std::size_t m = t - morsels;
-        HashKeyRowsRange(lcols, lb[m], lb[m + 1], lh.data());
+        HashKeyRowsRange(lcols, lb[m], lb[m + 1], lh.data(), code_keys);
       }
     });
   } else {
-    HashKeyRowsRange(rcols, 0, rn, rh.data());
-    HashKeyRowsRange(lcols, 0, ln, lh.data());
+    HashKeyRowsRange(rcols, 0, rn, rh.data(), code_keys);
+    HashKeyRowsRange(lcols, 0, ln, lh.data(), code_keys);
   }
 
   std::vector<std::uint32_t> match_left;
@@ -554,6 +628,10 @@ Table AggregateTable(const Table& input,
   // order). No per-row allocation: the scalar path built a std::string
   // key per row here.
   const bool global = group_keys.empty();
+  // Single-table keys: each string key column trivially "shares" its
+  // dictionary with itself, so any fully-encoded key set groups on
+  // int32 codes.
+  const bool code_keys = SharedDictStringKeys(key_cols, key_cols);
   MorselContext* ctx = CurrentMorselContext();
   const std::size_t morsels =
       (!global && ctx != nullptr) ? ctx->PlanMorsels(n) : 1;
@@ -567,11 +645,11 @@ Table AggregateTable(const Table& input,
     std::fill(group_of_row.begin(), group_of_row.end(), 0u);
     counts.assign(1, static_cast<std::int64_t>(n));
   } else if (morsels > 1) {
-    ParallelGroupRows(*ctx, morsels, key_cols, n, &group_of_row,
+    ParallelGroupRows(*ctx, morsels, key_cols, n, code_keys, &group_of_row,
                       &representative, &counts);
   } else {
     HashBuffer hb(ctx, n);
-    HashKeyRowsRange(key_cols, 0, n, hb.data());
+    HashKeyRowsRange(key_cols, 0, n, hb.data(), code_keys);
     const std::uint64_t* h = hb.data();
     const std::size_t cap = NextPow2(std::max<std::size_t>(n * 2, 1));
     const std::size_t slot_mask = cap - 1;
@@ -708,6 +786,24 @@ Table AggregateTable(const Table& input,
             return Column::FromDoubles(std::move(best));
           }
           case DataType::kString: {
+            if (arg.dictionary_encoded()) {
+              // Sorted dictionary => code order is string order, so
+              // MIN/MAX fold over int32 codes and the result keeps the
+              // input's dictionary (no string copies at all).
+              std::vector<std::int32_t> best(num_groups, 0);
+              const std::int32_t* v = arg.codes().data();
+              for (std::size_t r = 0; r < n; ++r) {
+                const std::uint32_t g = gid[r];
+                if (!has[g]) {
+                  best[g] = v[r];
+                  has[g] = 1;
+                } else if (want_min ? v[r] < best[g] : best[g] < v[r]) {
+                  best[g] = v[r];
+                }
+              }
+              return Column::FromDictionary(arg.dictionary(),
+                                            std::move(best));
+            }
             std::vector<std::string> best(num_groups);
             const std::string* v = arg.strings().data();
             for (std::size_t r = 0; r < n; ++r) {
@@ -767,6 +863,12 @@ Table SortTable(const Table& input, const std::vector<std::string>& keys,
         return va < vb ? -1 : (vb < va ? 1 : 0);
       }
       case DataType::kString: {
+        if (c.dictionary_encoded()) {
+          // Sorted dictionary: comparing codes compares the strings.
+          const std::int32_t va = c.codes()[a];
+          const std::int32_t vb = c.codes()[b];
+          return va < vb ? -1 : (vb < va ? 1 : 0);
+        }
         const std::string& va = c.strings()[a];
         const std::string& vb = c.strings()[b];
         return va < vb ? -1 : (vb < va ? 1 : 0);

@@ -357,6 +357,41 @@ struct NodeResult {
   bool reused_durable = false;
 };
 
+/// Compressed columnar residency (ControllerOptions::compress_residency):
+/// dictionary-encodes the plain string columns of a node output before
+/// it enters residency accounting, keeping an encoding only when it is
+/// actually smaller (an all-unique column stays plain). Downstream
+/// consumers see the same logical values — operators, Table::operator==,
+/// and the SCT1 disk format are representation-agnostic — while ByteSize
+/// drops, so budgets, grants, and profiled output sizes all shrink.
+engine::TablePtr CompressResidency(engine::TablePtr table) {
+  bool candidate = false;
+  for (std::size_t i = 0; i < table->num_columns(); ++i) {
+    const engine::Column& col = table->column(i);
+    if (col.type() == engine::DataType::kString &&
+        !col.dictionary_encoded()) {
+      candidate = true;
+      break;
+    }
+  }
+  if (!candidate) return table;
+  auto compressed = std::make_shared<engine::Table>(*table);
+  bool changed = false;
+  for (std::size_t i = 0; i < compressed->num_columns(); ++i) {
+    engine::Column& col = compressed->mutable_column(i);
+    if (col.type() != engine::DataType::kString ||
+        col.dictionary_encoded()) {
+      continue;
+    }
+    engine::Column encoded = col.DictionaryEncode();
+    if (encoded.ByteSize() < col.ByteSize()) {
+      col = std::move(encoded);
+      changed = true;
+    }
+  }
+  return changed ? std::move(compressed) : std::move(table);
+}
+
 /// Executes node `v`'s plan, resolving inputs through the Memory Catalog
 /// first and external storage second, and — for unflagged nodes — writes
 /// the output to external storage. Safe to call from concurrent lanes:
@@ -486,6 +521,9 @@ NodeResult ExecuteNode(RunState& s, graph::NodeId v,
       } else {
         result.output = std::make_shared<engine::Table>(
             engine::ExecutePlan(*s.wl.plans[v], resolver));
+      }
+      if (s.options.compress_residency) {
+        result.output = CompressResidency(std::move(result.output));
       }
       const double exec_seconds = MonotonicSeconds() - exec_start;
       stats.read_seconds = read_seconds;

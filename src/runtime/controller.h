@@ -180,6 +180,17 @@ struct ControllerOptions {
   /// runner this disables fan-out outright). An explicit value overrides
   /// the hardware cap — tests pin it for machine-independent behaviour.
   int morsel_max_lanes = 0;
+  /// Compressed columnar residency: node outputs have their plain string
+  /// columns dictionary-encoded (engine::Column::DictionaryEncode)
+  /// before they enter residency accounting, whenever the encoding is
+  /// actually smaller (all-unique strings stay plain). Representation is
+  /// invisible to consumers — Table::operator== and the SCT1 disk format
+  /// are representation-agnostic, and every operator accepts encoded
+  /// inputs — but the smaller ByteSize is what the Memory Catalog, the
+  /// cross-job SharedCatalog, and the profiled NodeScale (hence the
+  /// knapsack optimizer) see, so string-heavy workloads pack more MVs
+  /// per byte of budget. Off reproduces the pre-compression footprints.
+  bool compress_residency = true;
   /// Applies the opt::WidenStagesPrefix post-pass to the plan before
   /// executing: reorders the total order stage-major among
   /// budget-feasible leading stages so early antichains are as wide as

@@ -35,7 +35,9 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
           std::max(1, options_.num_workers),
           options_.lane_idle_shutdown_seconds}),
       plan_cache_(options_.plan_cache_capacity),
-      shared_catalog_(options_.global_budget) {
+      shared_catalog_(options_.global_budget, 8,
+                      storage::SpillOptions{options_.spill_directory,
+                                            options_.spill_max_bytes}) {
   // Trace wiring happens before any worker spawns: the SharedCatalog's
   // recorder hook must be set before concurrent use.
   if (options_.trace != nullptr) {
@@ -110,6 +112,24 @@ void RefreshService::RegisterComponentGauges() {
       {"sc_shared_catalog_evictions",
        "Entries dropped under shared-catalog budget pressure",
        [this] { return static_cast<double>(shared_catalog_.evictions()); }},
+      {"sc_shared_spill_bytes",
+       "Compressed bytes currently parked in shared-catalog spill files",
+       [this] {
+         return static_cast<double>(shared_catalog_.spill_bytes());
+       }},
+      {"sc_shared_refills_total",
+       "Pins served by refilling a spilled entry instead of recompute",
+       [this] {
+         return static_cast<double>(shared_catalog_.spill_refills());
+       }},
+      {"sc_shared_spills_total",
+       "Evictions demoted to compressed spill files",
+       [this] { return static_cast<double>(shared_catalog_.spills()); }},
+      {"sc_dict_columns_total",
+       "Dictionary-encoded string columns materialized process-wide",
+       [this] {
+         return static_cast<double>(engine::Column::dict_columns_created());
+       }},
       {"sc_budget_reserved_bytes",
        "Memory-catalog bytes currently granted to running jobs",
        [this] { return static_cast<double>(broker_.reserved_bytes()); }},
@@ -572,6 +592,7 @@ JobResult RefreshService::Execute(Job& job) {
         options_.morsel_target_seconds;
     controller_options.morsel_min_rows = options_.morsel_min_rows;
     controller_options.morsel_max_lanes = options_.morsel_max_lanes;
+    controller_options.compress_residency = options_.compress_residency;
     // Parallel runs borrow threads from the service-wide pool — zero
     // thread construction per job in steady state.
     controller_options.lane_pool = &lane_pool_;

@@ -84,6 +84,19 @@ struct ServiceOptions {
   /// resident — instead of each funding a private catalog slice. Off
   /// reproduces the PR-3 private-catalog behaviour exactly.
   bool share_catalog = true;
+  /// SharedCatalog spill tier: when non-empty, entries evicted under
+  /// budget pressure are demoted to compressed SCC1 files in this
+  /// directory and lazily refilled on their next Pin (counted as
+  /// spill_refills / cross-job hits, not recompute). Empty = disabled
+  /// (evictions drop entries, the pre-spill behaviour).
+  std::string spill_directory;
+  /// Cap on total compressed spill bytes on disk; <= 0 = unbounded.
+  std::int64_t spill_max_bytes = 0;
+  /// Compressed columnar residency: dictionary-encode string columns of
+  /// node outputs before they enter catalog accounting (see
+  /// runtime::ControllerOptions::compress_residency). Off reproduces the
+  /// plain-string footprints of the pre-compression service.
+  bool compress_residency = true;
   /// Sharing-aware optimization pre-pass: snapshot shared residency
   /// before planning and re-cost resident nodes
   /// (opt::ReOptimizeWithResidency), steering the knapsack budget to

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 
 namespace sc::storage {
@@ -10,6 +11,12 @@ namespace sc::storage {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'C', 'T', '1'};
+constexpr char kMagicCompressed[4] = {'S', 'C', 'C', '1'};
+
+// SCC1 per-column encodings (the u8 after the type byte).
+constexpr std::uint8_t kEncRaw = 0;
+constexpr std::uint8_t kEncForVarint = 1;
+constexpr std::uint8_t kEncDict = 2;
 
 template <typename T>
 void WriteRaw(std::ostream& out, const T& value) {
@@ -22,6 +29,78 @@ T ReadRaw(std::istream& in) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!in) throw std::runtime_error("SCT1: truncated stream");
   return value;
+}
+
+// LEB128 varints, buffered into `buf` (one buffer per column payload —
+// spill writes go through the stream once, not byte-at-a-time).
+void PutVarint(std::string* buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf->push_back(static_cast<char>(v));
+}
+
+std::uint64_t GetVarint(const char* data, std::size_t size,
+                        std::size_t* pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= size || shift > 63) {
+      throw std::runtime_error("SCC1: bad varint");
+    }
+    const std::uint8_t byte = static_cast<std::uint8_t>(data[(*pos)++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+// Zig-zag maps signed deltas onto small unsigned varints. Arithmetic is
+// done in uint64 so int64-range-spanning frames wrap instead of
+// overflowing; the decode wraps back identically.
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+std::string ReadPayload(std::istream& in, std::uint64_t bytes) {
+  std::string buf(bytes, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(bytes));
+  if (!in) throw std::runtime_error("SCC1: truncated column payload");
+  return buf;
+}
+
+template <typename WriteFn>
+std::int64_t WriteFileAtomic(const std::string& path, WriteFn&& write_fn) {
+  // Write-then-rename so the destination is atomically either the old
+  // complete table or the new one: a write that dies mid-stream (fault
+  // injection, full disk, crash) must never leave a partial or truncated
+  // MV where readers — or a retry — expect a whole file.
+  const std::string tmp = path + ".tmp";
+  std::int64_t bytes = 0;
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for write: " + path);
+    bytes = write_fn(out);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cannot commit write: " + path);
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -52,7 +131,11 @@ std::int64_t WriteTable(const engine::Table& table, std::ostream& out) {
                                                sizeof(double)));
         break;
       case engine::DataType::kString:
-        for (const std::string& s : col.strings()) {
+        // Row-wise through GetString: dictionary-encoded columns write
+        // the same decoded bytes a plain column would, keeping SCT1
+        // representation-independent.
+        for (std::size_t r = 0; r < col.size(); ++r) {
+          const std::string& s = col.GetString(r);
           WriteRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
           out.write(s.data(), static_cast<std::streamsize>(s.size()));
         }
@@ -133,8 +216,8 @@ std::int64_t SerializedSize(const engine::Table& table) {
         total += static_cast<std::int64_t>(col.doubles().size() * 8);
         break;
       case engine::DataType::kString:
-        for (const std::string& s : col.strings()) {
-          total += 4 + static_cast<std::int64_t>(s.size());
+        for (std::size_t r = 0; r < col.size(); ++r) {
+          total += 4 + static_cast<std::int64_t>(col.GetString(r).size());
         }
         break;
     }
@@ -144,36 +227,190 @@ std::int64_t SerializedSize(const engine::Table& table) {
 
 std::int64_t WriteTableFile(const engine::Table& table,
                             const std::string& path) {
-  // Write-then-rename so the destination is atomically either the old
-  // complete table or the new one: a write that dies mid-stream (fault
-  // injection, full disk, crash) must never leave a partial or truncated
-  // MV where readers — or a retry — expect a whole file.
-  const std::string tmp = path + ".tmp";
-  std::int64_t bytes = 0;
-  try {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("cannot open for write: " + path);
-    bytes = WriteTable(table, out);
-    out.flush();
-    if (!out) throw std::runtime_error("write failed: " + path);
-  } catch (...) {
-    std::error_code ec;
-    std::filesystem::remove(tmp, ec);
-    throw;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw std::runtime_error("cannot commit write: " + path);
-  }
-  return bytes;
+  return WriteFileAtomic(
+      path, [&](std::ostream& out) { return WriteTable(table, out); });
 }
 
 engine::Table ReadTableFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   return ReadTable(in);
+}
+
+std::int64_t WriteTableCompressed(const engine::Table& table,
+                                  std::ostream& out) {
+  const std::streampos begin = out.tellp();
+  out.write(kMagicCompressed, sizeof(kMagicCompressed));
+  WriteRaw<std::uint32_t>(out,
+                          static_cast<std::uint32_t>(table.num_columns()));
+  WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(table.num_rows()));
+  std::string buf;  // reused per-column payload buffer
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const engine::Field& field = table.schema().field(c);
+    WriteRaw<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(field.name.size()));
+    out.write(field.name.data(),
+              static_cast<std::streamsize>(field.name.size()));
+    WriteRaw<std::uint8_t>(out, static_cast<std::uint8_t>(field.type));
+    const engine::Column& col = table.column(c);
+    buf.clear();
+    switch (field.type) {
+      case engine::DataType::kInt64: {
+        // Frame-of-reference: one raw minimum, zig-zag varint deltas.
+        WriteRaw<std::uint8_t>(out, kEncForVarint);
+        std::int64_t min = 0;
+        for (std::size_t r = 0; r < col.ints().size(); ++r) {
+          if (r == 0 || col.ints()[r] < min) min = col.ints()[r];
+        }
+        for (const std::int64_t v : col.ints()) {
+          PutVarint(&buf, ZigZag(static_cast<std::int64_t>(
+                              static_cast<std::uint64_t>(v) -
+                              static_cast<std::uint64_t>(min))));
+        }
+        WriteRaw<std::int64_t>(out, min);
+        break;
+      }
+      case engine::DataType::kFloat64: {
+        // Doubles stay raw: the bit-identity contract (NaN payloads,
+        // -0.0) leaves no room for lossy packing, and these columns are
+        // rarely the budget's heavy end.
+        WriteRaw<std::uint8_t>(out, kEncRaw);
+        buf.assign(reinterpret_cast<const char*>(col.doubles().data()),
+                   col.doubles().size() * sizeof(double));
+        break;
+      }
+      case engine::DataType::kString: {
+        // Dictionary page. Plain columns are encoded on the fly, so a
+        // spilled plain MV refills compressed.
+        WriteRaw<std::uint8_t>(out, kEncDict);
+        const engine::Column encoded =
+            col.dictionary_encoded() ? col : col.DictionaryEncode();
+        const engine::Column::Dictionary& dict = *encoded.dictionary();
+        PutVarint(&buf, dict.size());
+        for (const std::string& s : dict) {
+          PutVarint(&buf, s.size());
+          buf.append(s);
+        }
+        for (const std::int32_t code : encoded.codes()) {
+          PutVarint(&buf, static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(code)));
+        }
+        break;
+      }
+    }
+    WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(buf.size()));
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  if (!out) throw std::runtime_error("SCC1: write failure");
+  return static_cast<std::int64_t>(out.tellp() - begin);
+}
+
+engine::Table ReadTableCompressed(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in ||
+      std::memcmp(magic, kMagicCompressed, sizeof(kMagicCompressed)) != 0) {
+    throw std::runtime_error("SCC1: bad magic");
+  }
+  const std::uint32_t num_cols = ReadRaw<std::uint32_t>(in);
+  const std::uint64_t num_rows = ReadRaw<std::uint64_t>(in);
+  std::vector<engine::Field> fields;
+  std::vector<engine::Column> columns;
+  fields.reserve(num_cols);
+  columns.reserve(num_cols);
+  for (std::uint32_t c = 0; c < num_cols; ++c) {
+    const std::uint32_t name_len = ReadRaw<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto type =
+        static_cast<engine::DataType>(ReadRaw<std::uint8_t>(in));
+    const std::uint8_t encoding = ReadRaw<std::uint8_t>(in);
+    switch (type) {
+      case engine::DataType::kInt64: {
+        if (encoding != kEncForVarint) {
+          throw std::runtime_error("SCC1: bad int64 encoding");
+        }
+        const std::int64_t min = ReadRaw<std::int64_t>(in);
+        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
+        const std::string buf = ReadPayload(in, bytes);
+        std::vector<std::int64_t> values(num_rows);
+        std::size_t pos = 0;
+        for (std::uint64_t r = 0; r < num_rows; ++r) {
+          values[r] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(min) +
+              static_cast<std::uint64_t>(
+                  UnZigZag(GetVarint(buf.data(), buf.size(), &pos))));
+        }
+        columns.push_back(engine::Column::FromInts(std::move(values)));
+        break;
+      }
+      case engine::DataType::kFloat64: {
+        if (encoding != kEncRaw) {
+          throw std::runtime_error("SCC1: bad float64 encoding");
+        }
+        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
+        if (bytes != num_rows * sizeof(double)) {
+          throw std::runtime_error("SCC1: bad float64 payload size");
+        }
+        std::vector<double> values(num_rows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(bytes));
+        columns.push_back(engine::Column::FromDoubles(std::move(values)));
+        break;
+      }
+      case engine::DataType::kString: {
+        if (encoding != kEncDict) {
+          throw std::runtime_error("SCC1: bad string encoding");
+        }
+        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
+        const std::string buf = ReadPayload(in, bytes);
+        std::size_t pos = 0;
+        const std::uint64_t dict_size =
+            GetVarint(buf.data(), buf.size(), &pos);
+        std::vector<std::string> dict(dict_size);
+        for (std::uint64_t i = 0; i < dict_size; ++i) {
+          const std::uint64_t len = GetVarint(buf.data(), buf.size(), &pos);
+          if (pos + len > buf.size()) {
+            throw std::runtime_error("SCC1: truncated dictionary entry");
+          }
+          dict[i].assign(buf.data() + pos, len);
+          pos += len;
+        }
+        std::vector<std::int32_t> codes(num_rows);
+        for (std::uint64_t r = 0; r < num_rows; ++r) {
+          const std::uint64_t code = GetVarint(buf.data(), buf.size(), &pos);
+          if (code >= dict_size) {
+            throw std::runtime_error("SCC1: code out of dictionary range");
+          }
+          codes[r] = static_cast<std::int32_t>(code);
+        }
+        columns.push_back(engine::Column::FromDictionary(
+            std::make_shared<const engine::Column::Dictionary>(
+                std::move(dict)),
+            std::move(codes)));
+        break;
+      }
+      default:
+        throw std::runtime_error("SCC1: bad column type");
+    }
+    if (!in) throw std::runtime_error("SCC1: truncated column data");
+    fields.push_back(engine::Field{std::move(name), type});
+  }
+  return engine::Table(engine::Schema(std::move(fields)),
+                       std::move(columns));
+}
+
+std::int64_t WriteTableFileCompressed(const engine::Table& table,
+                                      const std::string& path) {
+  return WriteFileAtomic(path, [&](std::ostream& out) {
+    return WriteTableCompressed(table, out);
+  });
+}
+
+engine::Table ReadTableFileCompressed(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return ReadTableCompressed(in);
 }
 
 }  // namespace sc::storage

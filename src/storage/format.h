@@ -16,7 +16,8 @@ namespace sc::storage {
 ///   payload: int64/float64 -> raw array; string -> per value u32 len+bytes
 ///
 /// All integers little-endian (host order; the format is not meant for
-/// cross-architecture exchange).
+/// cross-architecture exchange). Dictionary-encoded string columns are
+/// written decoded, so SCT1 bytes are representation-independent.
 
 /// Serializes `table` to `out`. Returns bytes written.
 std::int64_t WriteTable(const engine::Table& table, std::ostream& out);
@@ -32,6 +33,39 @@ std::int64_t SerializedSize(const engine::Table& table);
 std::int64_t WriteTableFile(const engine::Table& table,
                             const std::string& path);
 engine::Table ReadTableFile(const std::string& path);
+
+/// Compressed columnar block format ("SCC1"): what SharedCatalog spill
+/// files use, sized for residency rather than exchange. Layout:
+///
+///   magic "SCC1" | u32 num_cols | u64 num_rows
+///   per column: u32 name_len | name | u8 type | u8 encoding | payload
+///
+/// Encodings:
+///   0 raw      — float64 payload, raw array (doubles round-trip by bit
+///                pattern; no lossy packing).
+///   1 for-varint — int64 payload: raw i64 frame minimum, then one
+///                zig-zag LEB128 varint per value of (v - min). Cold
+///                surrogate-key/date columns shrink to 1-2 bytes/value.
+///   2 dict     — string payload: u32 dict_size, dictionary entries
+///                (u32 len + bytes, sorted unique), then one LEB128
+///                varint code per row. Plain string columns are
+///                dictionary-encoded on write; the reader always
+///                returns a dictionary-encoded engine::Column, so a
+///                refilled entry stays compressed in memory too.
+
+/// Serializes `table` compressed to `out`. Returns bytes written.
+std::int64_t WriteTableCompressed(const engine::Table& table,
+                                  std::ostream& out);
+
+/// Deserializes an SCC1 stream. String columns come back
+/// dictionary-encoded. Throws std::runtime_error on a malformed stream.
+engine::Table ReadTableCompressed(std::istream& in);
+
+/// File wrappers with the same write-then-rename atomicity as
+/// WriteTableFile; throw std::runtime_error on I/O failure.
+std::int64_t WriteTableFileCompressed(const engine::Table& table,
+                                      const std::string& path);
+engine::Table ReadTableFileCompressed(const std::string& path);
 
 }  // namespace sc::storage
 

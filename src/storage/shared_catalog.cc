@@ -1,15 +1,33 @@
 #include "storage/shared_catalog.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/str_util.h"
+#include "storage/format.h"
 
 namespace sc::storage {
 
 SharedCatalog::SharedCatalog(std::int64_t budget_bytes,
-                             int negative_lookup_damp_limit)
-    : budget_(budget_bytes), damp_limit_(negative_lookup_damp_limit) {}
+                             int negative_lookup_damp_limit,
+                             SpillOptions spill)
+    : budget_(budget_bytes),
+      damp_limit_(negative_lookup_damp_limit),
+      spill_(std::move(spill)) {
+  if (!spill_.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_.directory, ec);
+    spill_enabled_ = std::filesystem::is_directory(spill_.directory, ec);
+  }
+}
+
+SharedCatalog::~SharedCatalog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!spill_lru_.empty()) EraseSpillLocked(spill_lru_.back());
+}
 
 bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
                             std::int64_t size, bool durable,
@@ -76,6 +94,9 @@ bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
     rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // A fresh publish supersedes any spill file left from a prior
+  // eviction of this key: the resident entry is now the authority.
+  EraseSpillLocked(key);
   lru_.push_front(key);
   Entry entry;
   entry.table = std::move(table);
@@ -115,6 +136,10 @@ engine::TablePtr SharedCatalog::Pin(std::uint64_t key,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.quarantined) {
+    if (it == entries_.end() && spill_enabled_) {
+      engine::TablePtr refilled = RefillLocked(key, size, count, durable);
+      if (refilled != nullptr) return refilled;
+    }
     if (count) CountMissLocked(key);
     return nullptr;
   }
@@ -152,7 +177,27 @@ void SharedCatalog::Unpin(std::uint64_t key) {
 bool SharedCatalog::Invalidate(std::uint64_t key, std::uint64_t stamp) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
+  if (it == entries_.end()) {
+    // The entry may have been spilled since its publish. The same
+    // guards apply: only the exact stamped publish, never a durable
+    // entry. A quarantined spill file is deleted outright — spilled
+    // entries hold no pins, so there is no reader to wait out.
+    auto sit = spilled_.find(key);
+    if (sit == spilled_.end() || sit->second.stamp != stamp ||
+        sit->second.durable) {
+      return false;
+    }
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("shared", "quarantine",
+                      StrFormat("\"key\":%llu,\"bytes\":%lld",
+                                static_cast<unsigned long long>(key),
+                                static_cast<long long>(
+                                    sit->second.file_bytes)));
+    }
+    EraseSpillLocked(key);
+    return true;
+  }
   Entry& entry = it->second;
   // Only the exact publish being unwound may be condemned: a stamp
   // mismatch means someone republished the key since, and a durable
@@ -178,9 +223,13 @@ bool SharedCatalog::Invalidate(std::uint64_t key, std::uint64_t stamp) {
 }
 
 bool SharedCatalog::Contains(std::uint64_t key) const {
+  // Spilled entries count as resident: a Pin will refill them at disk
+  // cost, which still beats the recompute the optimizer would otherwise
+  // schedule.
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  return it != entries_.end() && !it->second.quarantined;
+  if (it != entries_.end()) return !it->second.quarantined;
+  return spilled_.count(key) != 0;
 }
 
 std::vector<bool> SharedCatalog::ContainsAll(
@@ -189,7 +238,8 @@ std::vector<bool> SharedCatalog::ContainsAll(
   std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = entries_.find(keys[i]);
-    resident[i] = it != entries_.end() && !it->second.quarantined;
+    resident[i] = it != entries_.end() ? !it->second.quarantined
+                                       : spilled_.count(keys[i]) != 0;
   }
   return resident;
 }
@@ -204,6 +254,39 @@ void SharedCatalog::EvictOneLocked() {
   lru_.pop_back();
   auto it = entries_.find(victim);
   const std::int64_t size = it->second.size;
+  if (spill_enabled_) {
+    // Demote to a compressed spill file instead of dropping. The
+    // record carries the publish stamp and durable flag so Invalidate
+    // and refill see the entry exactly as if it had stayed resident. A
+    // failed write (full disk, injected fault upstream) degrades to the
+    // plain drop — spilling is an optimization, never a correctness
+    // dependency.
+    EraseSpillLocked(victim);  // defensive: stale record for this key
+    const std::string path = spill_.directory + "/spill_" +
+                             std::to_string(next_spill_file_++) + ".scc";
+    try {
+      SpillRecord rec;
+      rec.file_bytes = WriteTableFileCompressed(*it->second.table, path);
+      rec.path = path;
+      rec.durable = it->second.durable;
+      rec.stamp = it->second.stamp;
+      spill_lru_.push_front(victim);
+      rec.lru = spill_lru_.begin();
+      spill_bytes_.fetch_add(rec.file_bytes, std::memory_order_relaxed);
+      spilled_.emplace(victim, std::move(rec));
+      spills_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Instant("shared", "spill",
+                        StrFormat("\"key\":%llu,\"bytes\":%lld",
+                                  static_cast<unsigned long long>(victim),
+                                  static_cast<long long>(size)));
+      }
+      EnforceSpillCapLocked();
+    } catch (...) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
   used_.fetch_sub(size, std::memory_order_relaxed);
   entries_.erase(it);
   evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -213,6 +296,91 @@ void SharedCatalog::EvictOneLocked() {
                               static_cast<unsigned long long>(victim),
                               static_cast<long long>(size)));
   }
+}
+
+void SharedCatalog::EraseSpillLocked(std::uint64_t key) {
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  std::error_code ec;
+  std::filesystem::remove(it->second.path, ec);
+  spill_bytes_.fetch_sub(it->second.file_bytes, std::memory_order_relaxed);
+  spill_lru_.erase(it->second.lru);
+  spilled_.erase(it);
+}
+
+void SharedCatalog::EnforceSpillCapLocked() {
+  if (spill_.max_bytes <= 0) return;
+  while (spill_bytes_.load(std::memory_order_relaxed) > spill_.max_bytes &&
+         !spill_lru_.empty()) {
+    // Oldest spill first: its entry falls back to recompute, exactly the
+    // pre-spill behaviour.
+    EraseSpillLocked(spill_lru_.back());
+  }
+}
+
+engine::TablePtr SharedCatalog::RefillLocked(std::uint64_t key,
+                                             std::int64_t* size,
+                                             bool count, bool* durable) {
+  auto sit = spilled_.find(key);
+  if (sit == spilled_.end()) return nullptr;
+  // Copy the record fields now: the evict loop below can insert into /
+  // erase from spilled_ (cascading spills), invalidating `sit`.
+  const std::string path = sit->second.path;
+  const bool rec_durable = sit->second.durable;
+  const std::uint64_t rec_stamp = sit->second.stamp;
+  engine::TablePtr table;
+  try {
+    table = std::make_shared<engine::Table>(ReadTableFileCompressed(path));
+  } catch (...) {
+    // Unreadable spill file: drop the record; the caller counts a miss
+    // and the content falls back to recompute.
+    EraseSpillLocked(key);
+    return nullptr;
+  }
+  // String columns come back dictionary-encoded, so the refilled entry
+  // re-enters the budget at its compressed size.
+  const std::int64_t sz = table->ByteSize();
+  if (sz > budget_ - pinned_.load(std::memory_order_relaxed)) {
+    // Cannot fit next to the pinned bytes right now; keep the file for
+    // a later, less contended Pin.
+    return nullptr;
+  }
+  std::int64_t used = used_.load(std::memory_order_relaxed);
+  while (used + sz > budget_ && !lru_.empty()) {
+    used -= entries_.at(lru_.back()).size;
+    EvictOneLocked();  // may itself spill — the compressed tier rotates
+  }
+  if (used + sz > budget_) return nullptr;
+  Entry entry;
+  entry.table = table;
+  entry.size = sz;
+  entry.pins = 1;  // born pinned: the caller is the reader
+  entry.durable = rec_durable;
+  entry.stamp = rec_stamp;
+  entries_.emplace(key, std::move(entry));
+  used += sz;
+  used_.store(used, std::memory_order_relaxed);
+  if (used > peak_.load(std::memory_order_relaxed)) {
+    peak_.store(used, std::memory_order_relaxed);
+  }
+  pinned_.fetch_add(sz, std::memory_order_relaxed);
+  spill_refills_.fetch_add(1, std::memory_order_relaxed);
+  if (count) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (size != nullptr) *size = sz;
+  if (durable != nullptr) *durable = rec_durable;
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant("shared", "refill",
+                    StrFormat("\"key\":%llu,\"bytes\":%lld",
+                              static_cast<unsigned long long>(key),
+                              static_cast<long long>(sz)));
+  }
+  EraseSpillLocked(key);
+  return table;
+}
+
+std::size_t SharedCatalog::spilled_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spilled_.size();
 }
 
 void SharedCatalog::CountMissLocked(std::uint64_t key) {
@@ -242,6 +410,8 @@ void SharedCatalog::Clear() {
     entries_.erase(it);
   }
   lru_.clear();
+  // Spilled entries are unpinned by construction — drop them too.
+  while (!spill_lru_.empty()) EraseSpillLocked(spill_lru_.back());
   epoch_.fetch_add(1, std::memory_order_relaxed);
   miss_counts_.clear();
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,6 +15,21 @@
 #include "obs/trace.h"
 
 namespace sc::storage {
+
+/// Spill/refill configuration for SharedCatalog. An empty directory
+/// disables spilling entirely (evictions drop entries, the pre-spill
+/// behaviour). With a directory set, entries evicted under budget
+/// pressure are demoted to compressed SCC1 files there and lazily
+/// refilled — counted as spill_refills, not recomputes — on their next
+/// Pin.
+struct SpillOptions {
+  /// Directory for spill files (created if missing); empty = disabled.
+  std::string directory;
+  /// Cap on total compressed spill bytes on disk; <= 0 = unbounded.
+  /// When exceeded, the oldest spill files are dropped (those entries
+  /// fall back to recompute, exactly as without spilling).
+  std::int64_t max_bytes = 0;
+};
 
 /// Cross-job shared residency layer: a content-keyed, budget-bounded
 /// table store that outlives any single refresh run. Keys are per-node
@@ -46,8 +62,15 @@ class SharedCatalog {
   /// traffic the shared layer absorbs for nothing. A publish starts a
   /// new epoch (fresh content can turn any miss into a hit).
   /// <= 0 disables damping.
+  ///
+  /// `spill` (see SpillOptions) demotes evicted entries to compressed
+  /// on-disk files instead of dropping them; defaults to disabled.
   explicit SharedCatalog(std::int64_t budget_bytes,
-                         int negative_lookup_damp_limit = 8);
+                         int negative_lookup_damp_limit = 8,
+                         SpillOptions spill = {});
+
+  /// Removes this catalog's spill files (best-effort).
+  ~SharedCatalog();
 
   SharedCatalog(const SharedCatalog&) = delete;
   SharedCatalog& operator=(const SharedCatalog&) = delete;
@@ -164,6 +187,22 @@ class SharedCatalog {
   std::int64_t damped_lookups() const {
     return damped_.load(std::memory_order_relaxed);
   }
+  /// Evictions demoted to a compressed spill file instead of dropped
+  /// (subset of evictions()).
+  std::int64_t spills() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
+  /// Pins served by reading a spill file back instead of recomputing
+  /// (each also counts as a hit).
+  std::int64_t spill_refills() const {
+    return spill_refills_.load(std::memory_order_relaxed);
+  }
+  /// Compressed bytes currently parked in spill files.
+  std::int64_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Entries currently spilled (on disk, not resident).
+  std::size_t spilled_entries() const;
   /// Publish epoch: bumps on every successful publish (and Clear), the
   /// boundary at which negative-lookup damping forgets past misses.
   std::uint64_t epoch() const {
@@ -190,13 +229,40 @@ class SharedCatalog {
     std::list<std::uint64_t>::iterator lru;
   };
 
-  /// Erases the LRU tail entry. Requires mutex_; lru_ must be non-empty.
+  /// One evicted-to-disk entry. Carries the publish stamp and durable
+  /// flag across the spill so Invalidate() and a refill behave exactly
+  /// as if the entry had stayed resident.
+  struct SpillRecord {
+    std::string path;
+    std::int64_t file_bytes = 0;  // compressed bytes on disk
+    bool durable = false;
+    std::uint64_t stamp = 0;
+    /// Position in spill_lru_ (front = most recently spilled).
+    std::list<std::uint64_t>::iterator lru;
+  };
+
+  /// Erases the LRU tail entry, spilling it to disk first when spill is
+  /// enabled (a failed spill write degrades to a plain drop). Requires
+  /// mutex_; lru_ must be non-empty.
   void EvictOneLocked();
   /// Counts a miss or a damped probe for absent `key`. Requires mutex_.
   void CountMissLocked(std::uint64_t key);
+  /// Deletes `key`'s spill file and record, if any. Requires mutex_.
+  void EraseSpillLocked(std::uint64_t key);
+  /// Drops oldest spill files until within spill_.max_bytes. Requires
+  /// mutex_.
+  void EnforceSpillCapLocked();
+  /// Refills `key` from its spill record (file reads happen under
+  /// mutex_ — acceptable for the spill tier, noted as a follow-up) and
+  /// returns the pinned table, or nullptr when the refill cannot fit or
+  /// the file is unreadable. Requires mutex_.
+  engine::TablePtr RefillLocked(std::uint64_t key, std::int64_t* size,
+                                bool count, bool* durable);
 
   const std::int64_t budget_;
   const int damp_limit_;
+  const SpillOptions spill_;
+  bool spill_enabled_ = false;
   obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   fault::FaultInjector* fault_injector_ = nullptr;  // not owned
   mutable std::mutex mutex_;
@@ -212,8 +278,16 @@ class SharedCatalog {
   std::atomic<std::int64_t> evictions_{0};
   std::atomic<std::int64_t> quarantines_{0};
   mutable std::atomic<std::int64_t> damped_{0};
+  std::atomic<std::int64_t> spills_{0};
+  std::atomic<std::int64_t> spill_refills_{0};
+  std::atomic<std::int64_t> spill_bytes_{0};
   std::atomic<std::uint64_t> epoch_{0};
   std::uint64_t next_stamp_ = 1;  // guarded by mutex_; 0 = "no stamp"
+  std::uint64_t next_spill_file_ = 0;  // guarded by mutex_
+  /// Spilled (on-disk) entries; disjoint from entries_. Guarded by
+  /// mutex_.
+  std::unordered_map<std::uint64_t, SpillRecord> spilled_;
+  std::list<std::uint64_t> spill_lru_;  // front = most recently spilled
   /// Per-key miss bookkeeping for negative-lookup damping: stamped with
   /// the epoch the count belongs to, so a publish invalidates every
   /// stale count in O(1) (no sweep). Guarded by mutex_.

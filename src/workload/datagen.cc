@@ -1,5 +1,6 @@
 #include "workload/datagen.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -180,6 +181,133 @@ std::map<std::string, engine::TablePtr> GenerateTpcdsData(
     tables[fact] = MakeSales(ChannelPrefix(fact), counts.sales_per_channel,
                              *date_dim, counts.item, counts.customer,
                              counts.store, counts.promotion, rng);
+  }
+  return tables;
+}
+
+namespace {
+
+/// Zero-padded so the sorted string order equals the numeric order, and
+/// long enough (25 chars) to defeat SSO — every plain value carries a
+/// heap block, which is exactly the footprint dictionary encoding wins
+/// back.
+std::string CategoryName(std::int64_t i) {
+  std::string digits = std::to_string(i);
+  return "warehouse_category_" + std::string(6 - digits.size(), '0') +
+         std::move(digits);
+}
+
+engine::Column CategoryColumn(const engine::Column::DictionaryPtr& dict,
+                              std::vector<std::int32_t> codes,
+                              bool dictionary_encode) {
+  if (dictionary_encode) {
+    return Column::FromDictionary(dict, std::move(codes));
+  }
+  std::vector<std::string> plain;
+  plain.reserve(codes.size());
+  for (const std::int32_t code : codes) {
+    plain.push_back((*dict)[static_cast<std::size_t>(code)]);
+  }
+  return Column::FromStrings(std::move(plain));
+}
+
+}  // namespace
+
+std::int64_t StringCardinalityValues(StringCardinality cardinality) {
+  switch (cardinality) {
+    case StringCardinality::kLow:
+      return 32;
+    case StringCardinality::kMedium:
+      return 1024;
+    case StringCardinality::kHigh:
+      return 65536;
+  }
+  return 1024;
+}
+
+std::map<std::string, engine::TablePtr> GenerateStringHeavyData(
+    const StringHeavyOptions& options) {
+  Rng rng(options.seed);
+  const std::int64_t cardinality =
+      StringCardinalityValues(options.cardinality);
+  const std::int64_t events =
+      std::max<std::int64_t>(1, std::llround(60000 * options.scale));
+
+  // One dictionary per logical string domain, shared by both tables:
+  // with dictionary_encode on, the fact and dimension category columns
+  // carry the same DictionaryPtr object, so joins and aggregates
+  // between them stay on the int32-code fast paths.
+  std::vector<std::string> domain;
+  domain.reserve(static_cast<std::size_t>(cardinality));
+  for (std::int64_t i = 0; i < cardinality; ++i) {
+    domain.push_back(CategoryName(i));
+  }
+  const engine::Column::DictionaryPtr dict =
+      Column::MakeDictionary(std::move(domain));
+
+  std::vector<std::int32_t> fact_codes(static_cast<std::size_t>(events));
+  std::vector<std::int64_t> bucket(static_cast<std::size_t>(events));
+  std::vector<std::int64_t> qty(static_cast<std::size_t>(events));
+  std::vector<double> amount(static_cast<std::size_t>(events));
+  for (std::int64_t r = 0; r < events; ++r) {
+    const auto row = static_cast<std::size_t>(r);
+    // Zipf-skewed category popularity: a few heavy hitters dominate, so
+    // join-build partitions have very unequal row mass (the skew-aware
+    // morsel shape).
+    fact_codes[row] =
+        static_cast<std::int32_t>(rng.Zipf(cardinality, 1.2) - 1);
+    bucket[row] = rng.UniformInt(0, 31);
+    qty[row] = rng.UniformInt(1, 100);
+    amount[row] = rng.UniformDouble(0.5, 500.0);
+  }
+
+  std::vector<std::int32_t> dim_codes(
+      static_cast<std::size_t>(cardinality));
+  std::vector<std::string> region(static_cast<std::size_t>(cardinality));
+  std::vector<double> weight(static_cast<std::size_t>(cardinality));
+  std::vector<std::int64_t> priority(
+      static_cast<std::size_t>(cardinality));
+  static const char* kRegions[] = {"north", "south", "east",
+                                   "west",  "core",  "edge"};
+  for (std::int64_t i = 0; i < cardinality; ++i) {
+    const auto row = static_cast<std::size_t>(i);
+    dim_codes[row] = static_cast<std::int32_t>(i);
+    region[row] = kRegions[rng.UniformInt(0, 5)];
+    weight[row] = rng.UniformDouble(0.1, 2.0);
+    priority[row] = rng.UniformInt(1, 5);
+  }
+
+  using engine::DataType;
+  using engine::Field;
+  using engine::Schema;
+  std::map<std::string, engine::TablePtr> tables;
+  {
+    std::vector<Column> cols;
+    cols.push_back(CategoryColumn(dict, std::move(fact_codes),
+                                  options.dictionary_encode));
+    cols.push_back(Column::FromInts(std::move(bucket)));
+    cols.push_back(Column::FromInts(std::move(qty)));
+    cols.push_back(Column::FromDoubles(std::move(amount)));
+    tables["events"] = std::make_shared<Table>(
+        Schema({Field{"category", DataType::kString},
+                Field{"bucket", DataType::kInt64},
+                Field{"qty", DataType::kInt64},
+                Field{"amount", DataType::kFloat64}}),
+        std::move(cols));
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(CategoryColumn(dict, std::move(dim_codes),
+                                  options.dictionary_encode));
+    cols.push_back(Column::FromStrings(std::move(region)));
+    cols.push_back(Column::FromDoubles(std::move(weight)));
+    cols.push_back(Column::FromInts(std::move(priority)));
+    tables["category_dim"] = std::make_shared<Table>(
+        Schema({Field{"category", DataType::kString},
+                Field{"region", DataType::kString},
+                Field{"weight", DataType::kFloat64},
+                Field{"priority", DataType::kInt64}}),
+        std::move(cols));
   }
   return tables;
 }

@@ -39,6 +39,39 @@ RowCounts RowCountsFor(const DataGenOptions& options);
 std::map<std::string, engine::TablePtr> GenerateTpcdsData(
     const DataGenOptions& options);
 
+/// String-column cardinality knob for the string-heavy generator below:
+/// how many distinct category strings the fact table draws from.
+enum class StringCardinality { kLow, kMedium, kHigh };
+
+/// Distinct category values per knob setting: 32 / 1024 / 65536.
+std::int64_t StringCardinalityValues(StringCardinality cardinality);
+
+/// Options for the string-heavy dataset (the dictionary-encoding /
+/// compressed-residency benchmark shape — no TPC-DS counterpart).
+struct StringHeavyOptions {
+  /// Fact rows scale linearly: scale 1.0 is 60k events.
+  double scale = 1.0;
+  std::uint64_t seed = 43;
+  StringCardinality cardinality = StringCardinality::kMedium;
+  /// When true, the `category` columns of both tables are built
+  /// dictionary-encoded over ONE shared engine::Column::DictionaryPtr,
+  /// so joins and aggregates between them take the int32-code fast
+  /// paths end-to-end. When false, plain string columns with identical
+  /// contents (the pre-dictionary baseline representation).
+  bool dictionary_encode = true;
+};
+
+/// Generates the string-heavy base tables:
+///   events(category:str, bucket:i64, qty:i64, amount:f64) — fact,
+///     Zipf-skewed category draws (heavy hitters exercise the
+///     skew-aware morsel build);
+///   category_dim(category:str, region:str, weight:f64, priority:i64)
+///     — one row per distinct category.
+/// Every fact category resolves in category_dim, so the canonical
+/// join is never silently empty.
+std::map<std::string, engine::TablePtr> GenerateStringHeavyData(
+    const StringHeavyOptions& options);
+
 }  // namespace sc::workload
 
 #endif  // SC_WORKLOAD_DATAGEN_H_

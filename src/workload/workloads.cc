@@ -739,6 +739,52 @@ MvWorkload BuildWideSynthetic(int width, bool heavy) {
   return wl;
 }
 
+MvWorkload BuildStringHeavySynthetic(int width) {
+  using engine::Col;
+  using engine::CountAll;
+  using engine::Lit;
+  using engine::Scan;
+  MvWorkload wl;
+  wl.name = "string_heavy_synthetic";
+  wl.description =
+      "string-keyed join + rollup antichain over the events/category_dim "
+      "tables (compressed-residency shape)";
+  std::vector<std::string> names;
+  for (int i = 0; i < width; ++i) {
+    // Each MV filters a different qty slice so the content fingerprints
+    // (and outputs) are distinct, then joins on the string category key
+    // and rolls up by (category, bucket): every category string recurs
+    // once per bucket in the output, the dictionary-friendly shape.
+    PlanPtr rollup = engine::Aggregate(
+        engine::HashJoin(
+            engine::Filter(Scan("events"),
+                           engine::Gt(Col("qty"),
+                                      Lit(static_cast<std::int64_t>(i)))),
+            Scan("category_dim"), {"category"}, {"category"}),
+        {"category", "bucket"},
+        {SumOf(Col("qty"), "qty"), SumOf(Col("weight"), "wt"),
+         CountAll("cnt")});
+    const std::string name = "strheavy_mv_" + std::to_string(i);
+    wl.graph.AddNode(name);
+    wl.plans.push_back(std::move(rollup));
+    wl.scale.push_back(MedMv());
+    names.push_back(name);
+  }
+  PlanPtr all = Scan(names[0]);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    all = engine::UnionAll(all, Scan(names[i]));
+  }
+  const graph::NodeId sink = wl.graph.AddNode("strheavy_sink");
+  wl.plans.push_back(engine::Aggregate(
+      all, {"category"},
+      {SumOf(Col("qty"), "total_qty"), SumOf(Col("cnt"), "total_cnt")}));
+  wl.scale.push_back(SmallMv());
+  for (const std::string& name : names) {
+    wl.graph.AddEdge(*wl.graph.FindByName(name), sink);
+  }
+  return wl;
+}
+
 MvWorkload BuildChainsSynthetic(int chains, int depth) {
   using engine::Col;
   using engine::CountAll;

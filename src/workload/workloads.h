@@ -57,6 +57,16 @@ std::vector<MvWorkload> StandardWorkloads();
 /// node); tests use the light shape.
 MvWorkload BuildWideSynthetic(int width, bool heavy = false);
 
+/// A synthetic string-heavy workload over the GenerateStringHeavyData
+/// base tables: `width` independent category rollups
+/// ("strheavy_mv_<i>"), each a fact-dimension hash join on the string
+/// `category` key aggregated by (category, bucket) — so every MV output
+/// repeats each category string ~32x and dictionary encoding compresses
+/// it hard — feeding one union-aggregate sink ("strheavy_sink"). The
+/// shape where compressed residency packs visibly more MVs per byte of
+/// Memory-Catalog budget.
+MvWorkload BuildStringHeavySynthetic(int width);
+
 /// A synthetic multi-chain workload: `chains` independent linear chains
 /// of `depth` rollups over the sales channels ("chain_<c>_<d>"), i.e.
 /// `depth` antichain stages of width `chains`. This is the shape where

@@ -196,6 +196,77 @@ TEST(MorselPlanTest, BoundsAndBudget) {
   EXPECT_EQ(off.PlanMorsels(100000), 1u);  // no runner -> sequential
 }
 
+/// Skew-aware morsel build: one heavy-hitter key owns ~90% of the build
+/// rows, so per-partition row mass is wildly unequal and the LPT binning
+/// (BalanceTaskBins) decides the build schedule. The output must stay
+/// bit-identical to the sequential path and the scalar reference at
+/// every morsel count regardless of how partitions were binned.
+TEST(MorselJoinTest, HeavyHitterSkewStaysBitIdentical) {
+  Rng rng(606);
+  runtime::LanePool pool(4);
+  const std::size_t rows = 4000;
+  std::vector<std::int64_t> id(rows), key(rows);
+  std::vector<std::string> s(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    id[r] = static_cast<std::int64_t>(r);
+    // ~90% of rows share one key; the rest spread over 1000 keys.
+    key[r] = rng.Bernoulli(0.9) ? 7 : rng.UniformInt(100, 1100);
+    s[r] = "hh_" + std::to_string(key[r]);
+  }
+  const Table skewed(Schema({Field{"id", DataType::kInt64},
+                             Field{"key", DataType::kInt64},
+                             Field{"s", DataType::kString}}),
+                     {Column::FromInts(std::move(id)),
+                      Column::FromInts(std::move(key)),
+                      Column::FromStrings(std::move(s))});
+  const Table probe = RandomTable(&rng, 900);
+  const Table ref =
+      scalar::HashJoinTablesScalar(probe, skewed, {"key"}, {"key"});
+  const Table seq = HashJoinTables(probe, skewed, {"key"}, {"key"});
+  EXPECT_TRUE(seq == ref);
+  for (const int morsels : {2, 3, 4, 8}) {
+    const Table par = RunWithMorsels(&pool, morsels, [&] {
+      return HashJoinTables(probe, skewed, {"key"}, {"key"});
+    });
+    EXPECT_TRUE(par == seq) << "morsels=" << morsels;
+  }
+}
+
+TEST(MorselPlanTest, BalanceTaskBinsCoversAllItemsAndBalances) {
+  // Every partition index appears in exactly one bin (zero-mass
+  // partitions included — the probe side indexes every partition's
+  // table), bins are capped, and LPT keeps the heaviest bin at most one
+  // item above optimal for this shape.
+  const std::vector<std::size_t> masses = {900, 1, 0, 50, 50, 3, 0, 400};
+  const auto bins = BalanceTaskBins(masses, 3);
+  ASSERT_LE(bins.size(), 3u);
+  std::vector<int> seen(masses.size(), 0);
+  for (const auto& bin : bins) {
+    for (const std::uint32_t p : bin) {
+      ASSERT_LT(p, masses.size());
+      ++seen[p];
+    }
+  }
+  for (std::size_t p = 0; p < masses.size(); ++p) {
+    EXPECT_EQ(seen[p], 1) << "partition " << p;
+  }
+  // The 900-mass partition must sit alone in its bin under LPT with
+  // these masses: everything else sums to 504.
+  for (const auto& bin : bins) {
+    std::size_t mass = 0;
+    for (const std::uint32_t p : bin) mass += masses[p];
+    EXPECT_LE(mass, 900u);
+  }
+  // Determinism: same input, same binning.
+  EXPECT_EQ(bins, BalanceTaskBins(masses, 3));
+  // Degenerate shapes: zero bins clamps to one; more bins than items
+  // never produces empty bins.
+  EXPECT_EQ(BalanceTaskBins(masses, 0).size(), 1u);
+  for (const auto& bin : BalanceTaskBins({5, 5}, 8)) {
+    EXPECT_FALSE(bin.empty());
+  }
+}
+
 /// Concurrent jobs sharing one LanePool for interior morsels: each
 /// thread runs its own join + aggregate under its own MorselScope while
 /// helper tasks from all threads interleave on the same lanes. Verifies

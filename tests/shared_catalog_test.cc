@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -223,6 +225,228 @@ TEST(SharedCatalogTest, DampingDisabledCountsEveryMiss) {
   for (int i = 0; i < 10; ++i) catalog.Pin(7);
   EXPECT_EQ(catalog.misses(), 10);
   EXPECT_EQ(catalog.damped_lookups(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Spill/refill tier (compressed columnar residency).
+// ---------------------------------------------------------------------
+
+/// Distinguishable content per tag, with a string column so the spill
+/// round-trip exercises the SCC1 dictionary pages.
+engine::TablePtr Tagged(std::int64_t tag) {
+  std::vector<std::int64_t> v = {tag, tag + 1, tag + 2};
+  std::vector<std::string> s = {"spill_" + std::to_string(tag), "x",
+                                "spill_" + std::to_string(tag)};
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts(std::move(v)));
+  cols.push_back(Column::FromStrings(std::move(s)));
+  return std::make_shared<Table>(
+      Table(Schema({Field{"v", DataType::kInt64},
+                    Field{"s", DataType::kString}}),
+            std::move(cols)));
+}
+
+/// Fresh empty spill directory for one test.
+std::string SpillDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("sc_spill_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SharedCatalogSpillTest, EvictSpillsAndPinRefillsBitIdentical) {
+  const std::string dir = SpillDir("roundtrip");
+  SharedCatalog catalog(4096, 8, SpillOptions{dir, 0});
+  engine::TablePtr original = Tagged(100);
+  EXPECT_TRUE(catalog.Publish(1, original, 3000));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(200), 3000));  // evicts + spills 1
+  EXPECT_EQ(catalog.evictions(), 1);
+  EXPECT_EQ(catalog.spills(), 1);
+  EXPECT_GT(catalog.spill_bytes(), 0);
+  EXPECT_EQ(catalog.spilled_entries(), 1u);
+  // A spilled entry still counts as resident for the optimizer's
+  // residency snapshot — pinning it is a refill, not a recompute.
+  EXPECT_TRUE(catalog.Contains(1));
+  const auto residency = catalog.ContainsAll({1, 2, 3});
+  EXPECT_TRUE(residency[0]);
+  EXPECT_TRUE(residency[1]);
+  EXPECT_FALSE(residency[2]);
+
+  const std::int64_t hits_before = catalog.hits();
+  std::int64_t size = 0;
+  engine::TablePtr refilled = catalog.Pin(1, &size);
+  ASSERT_NE(refilled, nullptr);
+  EXPECT_TRUE(*refilled == *original);  // bit-identical round trip
+  // Refilled strings come back dictionary-encoded, so the re-admitted
+  // accounted size is the compressed ByteSize.
+  EXPECT_TRUE(refilled->column(1).dictionary_encoded());
+  EXPECT_EQ(size, refilled->ByteSize());
+  EXPECT_EQ(catalog.spill_refills(), 1);
+  EXPECT_EQ(catalog.hits(), hits_before + 1);
+  EXPECT_EQ(catalog.spilled_entries(), 0u);
+  EXPECT_EQ(catalog.spill_bytes(), 0);
+  EXPECT_GT(catalog.pinned_bytes(), 0);  // refill is born pinned
+  catalog.Unpin(1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, PinnedEntriesAreNeverSpilled) {
+  const std::string dir = SpillDir("pinned");
+  SharedCatalog catalog(100, 8, SpillOptions{dir, 0});
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 60));
+  ASSERT_NE(catalog.Pin(1), nullptr);
+  // Fits only by evicting the pinned entry — rejected, nothing spilled.
+  EXPECT_FALSE(catalog.Publish(2, Tagged(2), 60));
+  EXPECT_EQ(catalog.spills(), 0);
+  EXPECT_EQ(catalog.spilled_entries(), 0u);
+  EXPECT_TRUE(catalog.Contains(1));
+  catalog.Unpin(1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, QuarantinedSpillIsNeverRefilled) {
+  const std::string dir = SpillDir("quarantine");
+  SharedCatalog catalog(4096, 8, SpillOptions{dir, 0});
+  std::uint64_t stamp = 0;
+  // Non-durable: the publisher's write never landed.
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 3000, /*durable=*/false,
+                              &stamp));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(2), 3000));  // spills 1
+  EXPECT_EQ(catalog.spilled_entries(), 1u);
+  // The failure-unwind path condemns the spilled entry by stamp: it must
+  // vanish rather than ever be served again.
+  EXPECT_TRUE(catalog.Invalidate(1, stamp));
+  EXPECT_EQ(catalog.quarantines(), 1);
+  EXPECT_EQ(catalog.spilled_entries(), 0u);
+  EXPECT_FALSE(catalog.Contains(1));
+  EXPECT_EQ(catalog.Pin(1), nullptr);
+  EXPECT_EQ(catalog.spill_refills(), 0);
+  // A stale stamp never condemns a spilled republish.
+  std::uint64_t stamp3 = 0;
+  EXPECT_TRUE(catalog.Publish(3, Tagged(3), 3000, false, &stamp3));
+  EXPECT_TRUE(catalog.Publish(4, Tagged(4), 3000));  // spills 3
+  EXPECT_FALSE(catalog.Invalidate(3, stamp3 + 999));
+  EXPECT_TRUE(catalog.Contains(3));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, DurableSpillIgnoresInvalidate) {
+  const std::string dir = SpillDir("durable");
+  SharedCatalog catalog(4096, 8, SpillOptions{dir, 0});
+  std::uint64_t stamp = 0;
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 3000, /*durable=*/true,
+                              &stamp));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(2), 3000));  // spills 1
+  // The content is already on external storage: a late failure unwind
+  // must not condemn it.
+  EXPECT_FALSE(catalog.Invalidate(1, stamp));
+  EXPECT_EQ(catalog.quarantines(), 0);
+  bool durable = false;
+  engine::TablePtr refilled = catalog.Pin(1, nullptr, true, &durable);
+  ASSERT_NE(refilled, nullptr);
+  EXPECT_TRUE(durable);  // durability survives the spill round trip
+  catalog.Unpin(1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, SpillCapDropsOldestFiles) {
+  const std::string dir = SpillDir("cap");
+  // Each Tagged table compresses to ~73 bytes: a 100-byte cap holds at
+  // most one spill file.
+  SharedCatalog catalog(4096, 8, SpillOptions{dir, 100});
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 3000));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(2), 3000));  // spills 1
+  EXPECT_TRUE(catalog.Publish(3, Tagged(3), 3000));  // spills 2, drops 1
+  EXPECT_EQ(catalog.spills(), 2);
+  EXPECT_EQ(catalog.spilled_entries(), 1u);
+  EXPECT_LE(catalog.spill_bytes(), 100);
+  EXPECT_FALSE(catalog.Contains(1));  // dropped: back to recompute
+  EXPECT_TRUE(catalog.Contains(2));
+  EXPECT_EQ(catalog.Pin(1), nullptr);
+  ASSERT_NE(catalog.Pin(2), nullptr);
+  catalog.Unpin(2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, FreshPublishSupersedesStaleSpill) {
+  const std::string dir = SpillDir("supersede");
+  SharedCatalog catalog(4096, 8, SpillOptions{dir, 0});
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 3000));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(2), 3000));  // spills 1
+  EXPECT_EQ(catalog.spilled_entries(), 1u);
+  // The same content republished fresh (a concurrent job recomputed it):
+  // the stale spill file is dropped, the resident entry stands.
+  engine::TablePtr fresh = Tagged(1);
+  EXPECT_TRUE(catalog.Publish(1, fresh, 500));
+  EXPECT_EQ(catalog.spilled_entries(), 0u);
+  EXPECT_EQ(catalog.spill_bytes(), 0);
+  EXPECT_EQ(catalog.Pin(1), fresh);
+  EXPECT_EQ(catalog.spill_refills(), 0);
+  catalog.Unpin(1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, DestructorRemovesSpillFiles) {
+  const std::string dir = SpillDir("cleanup");
+  {
+    SharedCatalog catalog(4096, 8, SpillOptions{dir, 0});
+    EXPECT_TRUE(catalog.Publish(1, Tagged(1), 3000));
+    EXPECT_TRUE(catalog.Publish(2, Tagged(2), 3000));
+    EXPECT_EQ(catalog.spilled_entries(), 1u);
+    ASSERT_TRUE(std::filesystem::exists(dir));
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SharedCatalogSpillTest, DisabledSpillKeepsDropSemantics) {
+  SharedCatalog catalog(100);  // no spill directory
+  EXPECT_TRUE(catalog.Publish(1, Tagged(1), 60));
+  EXPECT_TRUE(catalog.Publish(2, Tagged(2), 60));  // plain drop of 1
+  EXPECT_EQ(catalog.spills(), 0);
+  EXPECT_EQ(catalog.spilled_entries(), 0u);
+  EXPECT_FALSE(catalog.Contains(1));
+  EXPECT_EQ(catalog.Pin(1), nullptr);
+}
+
+/// Spill-tier variant of the TSAN stress: publish/pin churn against a
+/// tight budget with spilling enabled, so evict→spill, refill, and
+/// supersede races all fire concurrently. The budget invariant and the
+/// pinned-never-evicted contract must hold throughout.
+TEST(SharedCatalogSpillTest, ConcurrentSpillRefillStress) {
+  constexpr std::int64_t kBudget = 8192;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 150;
+  const std::string dir = SpillDir("stress");
+  std::atomic<bool> failed{false};
+  {
+    SharedCatalog catalog(kBudget, 8, SpillOptions{dir, 4096});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&catalog, &failed, t] {
+        for (int i = 0; i < kIters; ++i) {
+          const auto key = static_cast<std::uint64_t>((t + i) % 12);
+          catalog.Publish(key, Tagged(static_cast<std::int64_t>(key)),
+                          1500);
+          if (engine::TablePtr table = catalog.Pin(key)) {
+            // Whether served resident or refilled from spill, content
+            // under one key is immutable.
+            if (table->num_rows() != 3) failed.store(true);
+            catalog.Unpin(key);
+          }
+          if (catalog.used_bytes() > kBudget) failed.store(true);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_LE(catalog.used_bytes(), kBudget);
+    EXPECT_EQ(catalog.pinned_bytes(), 0);
+  }
+  EXPECT_TRUE(!std::filesystem::exists(dir) ||
+              std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
