@@ -1,5 +1,9 @@
 #include "fault/fault.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
 namespace sc::fault {
 
 const char* SiteName(Site site) {
@@ -9,8 +13,57 @@ const char* SiteName(Site site) {
     case Site::kCatalogPublish: return "catalog-publish";
     case Site::kBudgetGrant: return "budget-grant";
     case Site::kNodeExecute: return "node-execute";
+    case Site::kSpillWrite: return "spill-write";
   }
   return "unknown";
+}
+
+const char* CorruptKindName(CorruptKind kind) {
+  switch (kind) {
+    case CorruptKind::kNone: return "none";
+    case CorruptKind::kBitFlip: return "bit-flip";
+    case CorruptKind::kTruncate: return "truncate";
+    case CorruptKind::kTornRename: return "torn-rename";
+  }
+  return "unknown";
+}
+
+void CorruptFile(const std::string& path, const CorruptionSpec& spec) {
+  namespace fs = std::filesystem;
+  if (spec.kind == CorruptKind::kNone) return;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || size == 0) return;
+  const auto offset = static_cast<std::uintmax_t>(
+      std::clamp(spec.offset_u, 0.0, 1.0) * static_cast<double>(size));
+  switch (spec.kind) {
+    case CorruptKind::kNone:
+      return;
+    case CorruptKind::kBitFlip: {
+      const std::uintmax_t at = std::min<std::uintmax_t>(offset, size - 1);
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      if (!f) return;
+      f.seekg(static_cast<std::streamoff>(at));
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(
+          byte ^ static_cast<char>(1 << (static_cast<int>(spec.bit_u * 8) & 7)));
+      f.seekp(static_cast<std::streamoff>(at));
+      f.write(&byte, 1);
+      return;
+    }
+    case CorruptKind::kTruncate:
+      fs::resize_file(path, std::min<std::uintmax_t>(offset, size - 1), ec);
+      return;
+    case CorruptKind::kTornRename:
+      // Shrink-then-regrow leaves the original length with a zero-filled
+      // tail: the "rename landed but the tail pages never did" shape that
+      // structural EOF checks cannot see — only checksums (or the footer
+      // end marker) catch it.
+      fs::resize_file(path, std::min<std::uintmax_t>(offset, size - 1), ec);
+      if (!ec) fs::resize_file(path, size, ec);
+      return;
+  }
 }
 
 bool IsTransient(const std::exception& error) {
@@ -31,6 +84,9 @@ bool FaultInjector::CheckLocked(Site site, const std::string& name,
   for (RuleState& state : rules_) {
     const FaultRule& rule = state.rule;
     if (rule.site != site) continue;
+    // Corruption rules damage files post-write via ShouldCorrupt; they
+    // never surface as thrown/degraded faults.
+    if (rule.corrupt != CorruptKind::kNone) continue;
     if (!rule.match.empty() && name.find(rule.match) == std::string::npos) {
       continue;
     }
@@ -69,6 +125,39 @@ bool FaultInjector::ShouldFail(Site site, const std::string& name) {
   return CheckLocked(site, name, &transient);
 }
 
+CorruptionSpec FaultInjector::ShouldCorrupt(Site site,
+                                            const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.corrupt == CorruptKind::kNone || rule.site != site) continue;
+    if (!rule.match.empty() && name.find(rule.match) == std::string::npos) {
+      continue;
+    }
+    ++state.hits;
+    if (rule.max_fires > 0 && state.fires >= rule.max_fires) continue;
+    bool fire = false;
+    if (rule.nth_hit > 0) {
+      fire = state.hits == rule.nth_hit;
+    } else if (rule.probability > 0.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fire = dist(rng_) < rule.probability;
+    }
+    if (fire) {
+      ++state.fires;
+      ++fires_;
+      ++corruptions_;
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      CorruptionSpec spec;
+      spec.kind = rule.corrupt;
+      spec.offset_u = dist(rng_);
+      spec.bit_u = dist(rng_);
+      return spec;
+    }
+  }
+  return CorruptionSpec{};
+}
+
 std::int64_t FaultInjector::hits(Site site) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return site_hits_[static_cast<int>(site)];
@@ -77,6 +166,11 @@ std::int64_t FaultInjector::hits(Site site) const {
 std::int64_t FaultInjector::total_fires() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fires_;
+}
+
+std::int64_t FaultInjector::total_corruptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corruptions_;
 }
 
 }  // namespace sc::fault

@@ -11,16 +11,52 @@
 namespace sc::fault {
 
 /// Where in the stack a fault fires. Each site corresponds to one
-/// explicit `MaybeThrow` (or degrade) hook in production code.
+/// explicit `MaybeThrow` (or degrade / corrupt) hook in production code.
 enum class Site {
   kDiskRead = 0,
   kDiskWrite = 1,
   kCatalogPublish = 2,
   kBudgetGrant = 3,
   kNodeExecute = 4,
+  /// SharedCatalog spill-file writes (eviction demotions).
+  kSpillWrite = 5,
 };
 
+inline constexpr int kNumSites = 6;
+
 const char* SiteName(Site site);
+
+/// On-disk corruption injected *after* a write lands — the chaos proof
+/// for the checksummed storage formats. A rule carrying one of these
+/// never throws at its site; instead the writer damages the just-written
+/// file, and the harness asserts the *reader* detects it
+/// (storage::CorruptFileError) instead of serving garbage.
+enum class CorruptKind {
+  kNone = 0,
+  /// Flip one bit at a seeded offset (silent media corruption).
+  kBitFlip = 1,
+  /// Cut the file at a seeded offset (crash mid-append).
+  kTruncate = 2,
+  /// Keep a seeded prefix, zero-fill the tail to the original length
+  /// (torn multi-page write racing a rename: size right, content not).
+  kTornRename = 3,
+};
+
+const char* CorruptKindName(CorruptKind kind);
+
+/// A fired corruption: the kind plus two seeded uniforms in [0, 1) that
+/// the applier turns into a byte offset and a bit index, so the same
+/// injector seed damages the same file the same way on every run.
+struct CorruptionSpec {
+  CorruptKind kind = CorruptKind::kNone;
+  double offset_u = 0.0;
+  double bit_u = 0.0;
+};
+
+/// Applies `spec` to the file at `path` (no-op for kNone, a missing
+/// file, or an empty file). Lives here rather than in storage so chaos
+/// tests can also damage files directly, without a disk in the loop.
+void CorruptFile(const std::string& path, const CorruptionSpec& spec);
 
 /// Marker base: exceptions deriving from this are retryable. Real I/O
 /// errors can opt in by inheriting it; injected faults carry an explicit
@@ -63,6 +99,10 @@ struct FaultRule {
   std::int64_t nth_hit = 0;
   std::int64_t max_fires = 1;
   bool transient = true;
+  /// != kNone turns this into a corruption rule: it is only consulted by
+  /// ShouldCorrupt (post-write file damage) and never makes MaybeThrow /
+  /// ShouldFail fire.
+  CorruptKind corrupt = CorruptKind::kNone;
 };
 
 /// A seeded failure schedule. Thread-safe; the same seed + same sequence
@@ -84,8 +124,16 @@ class FaultInjector {
   /// (SharedCatalog publish). Returns true when a rule fired.
   bool ShouldFail(Site site, const std::string& name);
 
+  /// Probes the corruption rules for `site` after a write of `name`
+  /// landed; returns the damage to apply (kind == kNone when no rule
+  /// fired). Does not count toward hits(site) — the write itself already
+  /// did.
+  CorruptionSpec ShouldCorrupt(Site site, const std::string& name);
+
   std::int64_t hits(Site site) const;
   std::int64_t total_fires() const;
+  /// Corruption rules fired (subset of total_fires()).
+  std::int64_t total_corruptions() const;
 
  private:
   struct RuleState {
@@ -99,8 +147,9 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::mt19937_64 rng_;
   std::vector<RuleState> rules_;
-  std::int64_t site_hits_[5] = {0, 0, 0, 0, 0};
+  std::int64_t site_hits_[kNumSites] = {0, 0, 0, 0, 0, 0};
   std::int64_t fires_ = 0;
+  std::int64_t corruptions_ = 0;
 };
 
 }  // namespace sc::fault

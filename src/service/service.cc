@@ -35,9 +35,13 @@ RefreshService::RefreshService(storage::ThrottledDisk* disk,
           std::max(1, options_.num_workers),
           options_.lane_idle_shutdown_seconds}),
       plan_cache_(options_.plan_cache_capacity),
-      shared_catalog_(options_.global_budget, 8,
-                      storage::SpillOptions{options_.spill_directory,
-                                            options_.spill_max_bytes}) {
+      shared_catalog_(options_.global_budget, 8, [&] {
+        storage::SpillOptions spill;
+        spill.directory = options_.spill_directory;
+        spill.max_bytes = options_.spill_max_bytes;
+        spill.recover = options_.spill_recover;
+        return spill;
+      }()) {
   // Trace wiring happens before any worker spawns: the SharedCatalog's
   // recorder hook must be set before concurrent use.
   if (options_.trace != nullptr) {
@@ -125,6 +129,31 @@ void RefreshService::RegisterComponentGauges() {
       {"sc_shared_spills_total",
        "Evictions demoted to compressed spill files",
        [this] { return static_cast<double>(shared_catalog_.spills()); }},
+      {"sc_corrupt_files_total",
+       "Damaged spill files detected and removed, never served",
+       [this] {
+         return static_cast<double>(shared_catalog_.corrupt_files());
+       }},
+      {"sc_recovered_entries_total",
+       "Spilled entries adopted from the manifest at startup recovery",
+       [this] {
+         return static_cast<double>(shared_catalog_.recovered_entries());
+       }},
+      {"sc_recovered_bytes",
+       "Compressed bytes adopted at startup recovery",
+       [this] {
+         return static_cast<double>(shared_catalog_.recovered_bytes());
+       }},
+      {"sc_spill_orphans_removed_total",
+       "Unmanifested spill-directory files removed at startup",
+       [this] {
+         return static_cast<double>(shared_catalog_.orphans_removed());
+       }},
+      {"sc_manifest_compactions_total",
+       "Atomic rotate/compact cycles of the spill manifest journal",
+       [this] {
+         return static_cast<double>(shared_catalog_.manifest_compactions());
+       }},
       {"sc_dict_columns_total",
        "Dictionary-encoded string columns materialized process-wide",
        [this] {

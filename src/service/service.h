@@ -92,6 +92,14 @@ struct ServiceOptions {
   std::string spill_directory;
   /// Cap on total compressed spill bytes on disk; <= 0 = unbounded.
   std::int64_t spill_max_bytes = 0;
+  /// Durable spill tier with crash recovery (storage::SpillOptions::
+  /// recover): spill files and the manifest journal survive service
+  /// shutdown, and a fresh service pointed at the same spill_directory
+  /// re-registers every surviving entry as warm spilled residency —
+  /// cross-job hits resume with zero recompute. Damaged files are
+  /// detected (checksums), counted, and never served; orphan files are
+  /// removed at startup. Off (default) treats the directory as scratch.
+  bool spill_recover = false;
   /// Compressed columnar residency: dictionary-encode string columns of
   /// node outputs before they enter catalog accounting (see
   /// runtime::ControllerOptions::compress_residency). Off reproduces the

@@ -1,10 +1,13 @@
 #include "storage/format.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
+
+#include "common/crc32c.h"
 
 namespace sc::storage {
 
@@ -12,23 +15,210 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'C', 'T', '1'};
 constexpr char kMagicCompressed[4] = {'S', 'C', 'C', '1'};
+constexpr char kFooterMagic[4] = {'S', 'C', 'T', 'F'};
+constexpr char kFooterMagicCompressed[4] = {'S', 'C', 'C', 'F'};
 
 // SCC1 per-column encodings (the u8 after the type byte).
 constexpr std::uint8_t kEncRaw = 0;
 constexpr std::uint8_t kEncForVarint = 1;
 constexpr std::uint8_t kEncDict = 2;
 
-template <typename T>
-void WriteRaw(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// Structural sanity caps: headers declaring more than this are treated
+// as corruption before a single byte of payload is allocated. Both are
+// far above anything the engine produces (tables here are MV outputs
+// with at most a handful of columns).
+constexpr std::uint32_t kMaxColumns = 1u << 16;
+constexpr std::uint32_t kMaxNameLen = 1u << 16;
+
+// Hostile or torn length fields must never translate into allocations:
+// payloads are read in chunks of this many bytes, so a declared
+// multi-terabyte payload over a 1 KB file fails after at most one chunk
+// of over-allocation.
+constexpr std::uint64_t kReadChunk = 4u << 20;
+
+// Footer size: u64 num_rows + u32 num_cols + u32 file_crc + 4-byte end
+// marker.
+constexpr std::int64_t kFooterBytes = 8 + 4 + 4 + 4;
 
 template <typename T>
-T ReadRaw(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("SCT1: truncated stream");
-  return value;
+void AppendRaw(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Write-side stream wrapper: every metadata byte written is folded into
+/// the running whole-file CRC32C, so the footer checksum seals the
+/// header, the column descriptors, and the per-column checksum words.
+/// Column payload bytes go through WriteUnfolded — they are sealed by
+/// their own per-column CRC32C, which the file checksum in turn covers,
+/// so each byte is hashed exactly once while integrity stays transitive.
+class CrcSink {
+ public:
+  explicit CrcSink(std::ostream& out) : out_(out) {}
+
+  void Write(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    crc_ = common::Crc32c(data, size, crc_);
+    bytes_ += static_cast<std::int64_t>(size);
+  }
+
+  /// Writes payload bytes without folding them into the file checksum
+  /// (their per-column checksum covers them).
+  void WriteUnfolded(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    bytes_ += static_cast<std::int64_t>(size);
+  }
+
+  template <typename T>
+  void WriteRaw(const T& value) {
+    Write(&value, sizeof(T));
+  }
+
+  std::uint32_t crc() const { return crc_; }
+  std::int64_t bytes() const { return bytes_; }
+  std::ostream& stream() { return out_; }
+
+ private:
+  std::ostream& out_;
+  std::uint32_t crc_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Read-side mirror of CrcSink: folds consumed bytes into the running
+/// file checksum only when verification is on (the unverified fast path
+/// costs a branch per read). Every structural read failure throws
+/// CorruptFileError — a short read is indistinguishable from truncation.
+class CrcSource {
+ public:
+  CrcSource(std::istream& in, bool verify, const char* format)
+      : in_(in), verify_(verify), format_(format) {}
+
+  void Read(void* data, std::size_t size, const char* what) {
+    in_.read(static_cast<char*>(data),
+             static_cast<std::streamsize>(size));
+    if (!in_) Fail(what);
+    if (verify_) crc_ = common::Crc32c(data, size, crc_);
+  }
+
+  template <typename T>
+  T ReadRaw(const char* what) {
+    T value{};
+    Read(&value, sizeof(T), what);
+    return value;
+  }
+
+  /// Reads `size` bytes in bounded chunks: a hostile length field fails
+  /// with at most kReadChunk bytes of speculative allocation instead of
+  /// reserving the declared size up front. Folds the bytes into the file
+  /// checksum (metadata blobs such as column names); payloads go through
+  /// ReadPayloadBlob instead.
+  std::string ReadBlob(std::uint64_t size, const char* what) {
+    std::string buf = ReadPayloadBlob(size, what);
+    if (verify_) crc_ = common::Crc32c(buf.data(), buf.size(), crc_);
+    return buf;
+  }
+
+  /// ReadBlob minus the file-checksum fold: column payloads are verified
+  /// against their own per-column checksum (one CRC pass per byte), and
+  /// the file checksum seals that checksum word instead.
+  std::string ReadPayloadBlob(std::uint64_t size, const char* what) {
+    std::string buf;
+    while (buf.size() < size) {
+      const std::uint64_t step =
+          std::min<std::uint64_t>(kReadChunk, size - buf.size());
+      const std::size_t old = buf.size();
+      buf.resize(old + static_cast<std::size_t>(step));
+      in_.read(buf.data() + old, static_cast<std::streamsize>(step));
+      if (!in_) Fail(what);
+    }
+    return buf;
+  }
+
+  [[noreturn]] void Fail(const char* what) const {
+    throw CorruptFileError(std::string(format_) + ": truncated " + what);
+  }
+
+  /// Folds bytes consumed outside Read (the magic, matched raw) into the
+  /// running file checksum.
+  void FoldCrc(const void* data, std::size_t size) {
+    if (verify_) crc_ = common::Crc32c(data, size, crc_);
+  }
+
+  bool verify() const { return verify_; }
+  std::uint32_t crc() const { return crc_; }
+  std::istream& stream() { return in_; }
+  const char* format() const { return format_; }
+
+ private:
+  std::istream& in_;
+  const bool verify_;
+  const char* format_;
+  std::uint32_t crc_ = 0;
+};
+
+void WriteFooter(CrcSink& sink, std::uint64_t num_rows,
+                 std::uint32_t num_cols, const char magic[4]) {
+  // The footer itself is excluded from the file checksum (it contains
+  // it); capture before writing.
+  const std::uint32_t file_crc = sink.crc();
+  sink.WriteRaw<std::uint64_t>(num_rows);
+  sink.WriteRaw<std::uint32_t>(num_cols);
+  sink.WriteRaw<std::uint32_t>(file_crc);
+  sink.Write(magic, 4);
+}
+
+/// Footer validation runs in both modes: the row/column cross-check and
+/// the end marker catch truncation and torn (zero-filled) tails even
+/// without checksum arithmetic; the file CRC comparison is gated on
+/// verify.
+void ReadFooter(CrcSource& source, std::uint64_t num_rows,
+                std::uint32_t num_cols, const char magic[4]) {
+  const std::uint32_t computed = source.crc();
+  std::istream& in = source.stream();
+  std::uint64_t footer_rows = 0;
+  std::uint32_t footer_cols = 0;
+  std::uint32_t file_crc = 0;
+  char tail[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(&footer_rows), sizeof(footer_rows));
+  in.read(reinterpret_cast<char*>(&footer_cols), sizeof(footer_cols));
+  in.read(reinterpret_cast<char*>(&file_crc), sizeof(file_crc));
+  in.read(tail, sizeof(tail));
+  if (!in) source.Fail("footer");
+  if (std::memcmp(tail, magic, 4) != 0) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": bad footer marker");
+  }
+  if (footer_rows != num_rows || footer_cols != num_cols) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": footer row/column mismatch");
+  }
+  if (source.verify() && file_crc != computed) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": file checksum mismatch");
+  }
+}
+
+/// Writes one column's buffered payload with its length prefix and
+/// CRC32C trailer — the per-block integrity unit of both formats.
+void WriteColumnPayload(CrcSink& sink, const std::string& buf) {
+  sink.WriteRaw<std::uint64_t>(static_cast<std::uint64_t>(buf.size()));
+  sink.WriteUnfolded(buf.data(), buf.size());
+  sink.WriteRaw<std::uint32_t>(common::Crc32c(buf.data(), buf.size()));
+}
+
+/// Reads one column payload and its checksum trailer; verifies when the
+/// source does.
+std::string ReadColumnPayload(CrcSource& source) {
+  const auto payload_len = source.ReadRaw<std::uint64_t>("payload length");
+  std::string buf = source.ReadPayloadBlob(payload_len, "column payload");
+  const auto stored = source.ReadRaw<std::uint32_t>("column checksum");
+  if (source.verify() &&
+      stored != common::Crc32c(buf.data(), buf.size())) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": column checksum mismatch");
+  }
+  return buf;
 }
 
 // LEB128 varints, buffered into `buf` (one buffer per column payload —
@@ -47,7 +237,7 @@ std::uint64_t GetVarint(const char* data, std::size_t size,
   int shift = 0;
   while (true) {
     if (*pos >= size || shift > 63) {
-      throw std::runtime_error("SCC1: bad varint");
+      throw CorruptFileError("SCC1: bad varint");
     }
     const std::uint8_t byte = static_cast<std::uint8_t>(data[(*pos)++]);
     v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
@@ -68,11 +258,26 @@ std::int64_t UnZigZag(std::uint64_t u) {
   return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
-std::string ReadPayload(std::istream& in, std::uint64_t bytes) {
-  std::string buf(bytes, '\0');
-  in.read(buf.data(), static_cast<std::streamsize>(bytes));
-  if (!in) throw std::runtime_error("SCC1: truncated column payload");
-  return buf;
+struct ColumnHeader {
+  std::string name;
+  engine::DataType type = engine::DataType::kInt64;
+};
+
+ColumnHeader ReadColumnHeader(CrcSource& source) {
+  ColumnHeader header;
+  const auto name_len = source.ReadRaw<std::uint32_t>("column name length");
+  if (name_len > kMaxNameLen) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": column name length exceeds sanity cap");
+  }
+  header.name = source.ReadBlob(name_len, "column name");
+  const auto type_byte = source.ReadRaw<std::uint8_t>("column type");
+  if (type_byte > static_cast<std::uint8_t>(engine::DataType::kString)) {
+    throw CorruptFileError(std::string(source.format()) +
+                           ": bad column type");
+  }
+  header.type = static_cast<engine::DataType>(type_byte);
+  return header;
 }
 
 template <typename WriteFn>
@@ -106,29 +311,29 @@ std::int64_t WriteFileAtomic(const std::string& path, WriteFn&& write_fn) {
 }  // namespace
 
 std::int64_t WriteTable(const engine::Table& table, std::ostream& out) {
-  const std::streampos begin = out.tellp();
-  out.write(kMagic, sizeof(kMagic));
-  WriteRaw<std::uint32_t>(out,
-                          static_cast<std::uint32_t>(table.num_columns()));
-  WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(table.num_rows()));
+  CrcSink sink(out);
+  sink.Write(kMagic, sizeof(kMagic));
+  sink.WriteRaw<std::uint32_t>(
+      static_cast<std::uint32_t>(table.num_columns()));
+  sink.WriteRaw<std::uint64_t>(
+      static_cast<std::uint64_t>(table.num_rows()));
+  std::string buf;  // reused per-column payload buffer
   for (std::size_t c = 0; c < table.num_columns(); ++c) {
     const engine::Field& field = table.schema().field(c);
-    WriteRaw<std::uint32_t>(out,
-                            static_cast<std::uint32_t>(field.name.size()));
-    out.write(field.name.data(),
-              static_cast<std::streamsize>(field.name.size()));
-    WriteRaw<std::uint8_t>(out, static_cast<std::uint8_t>(field.type));
+    sink.WriteRaw<std::uint32_t>(
+        static_cast<std::uint32_t>(field.name.size()));
+    sink.Write(field.name.data(), field.name.size());
+    sink.WriteRaw<std::uint8_t>(static_cast<std::uint8_t>(field.type));
     const engine::Column& col = table.column(c);
+    buf.clear();
     switch (field.type) {
       case engine::DataType::kInt64:
-        out.write(reinterpret_cast<const char*>(col.ints().data()),
-                  static_cast<std::streamsize>(col.ints().size() *
-                                               sizeof(std::int64_t)));
+        buf.assign(reinterpret_cast<const char*>(col.ints().data()),
+                   col.ints().size() * sizeof(std::int64_t));
         break;
       case engine::DataType::kFloat64:
-        out.write(reinterpret_cast<const char*>(col.doubles().data()),
-                  static_cast<std::streamsize>(col.doubles().size() *
-                                               sizeof(double)));
+        buf.assign(reinterpret_cast<const char*>(col.doubles().data()),
+                   col.doubles().size() * sizeof(double));
         break;
       case engine::DataType::kString:
         // Row-wise through GetString: dictionary-encoded columns write
@@ -136,68 +341,93 @@ std::int64_t WriteTable(const engine::Table& table, std::ostream& out) {
         // representation-independent.
         for (std::size_t r = 0; r < col.size(); ++r) {
           const std::string& s = col.GetString(r);
-          WriteRaw<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
-          out.write(s.data(), static_cast<std::streamsize>(s.size()));
+          AppendRaw<std::uint32_t>(&buf,
+                                   static_cast<std::uint32_t>(s.size()));
+          buf.append(s);
         }
         break;
     }
+    WriteColumnPayload(sink, buf);
   }
+  WriteFooter(sink, static_cast<std::uint64_t>(table.num_rows()),
+              static_cast<std::uint32_t>(table.num_columns()),
+              kFooterMagic);
   if (!out) throw std::runtime_error("SCT1: write failure");
-  return static_cast<std::int64_t>(out.tellp() - begin);
+  return sink.bytes();
 }
 
-engine::Table ReadTable(std::istream& in) {
+engine::Table ReadTable(std::istream& in, const ReadOptions& options) {
+  CrcSource source(in, options.verify_checksums, "SCT1");
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("SCT1: bad magic");
+    throw CorruptFileError("SCT1: bad magic");
   }
-  const std::uint32_t num_cols = ReadRaw<std::uint32_t>(in);
-  const std::uint64_t num_rows = ReadRaw<std::uint64_t>(in);
+  source.FoldCrc(magic, sizeof(magic));
+  const auto num_cols = source.ReadRaw<std::uint32_t>("column count");
+  if (num_cols > kMaxColumns) {
+    throw CorruptFileError("SCT1: column count exceeds sanity cap");
+  }
+  const auto num_rows = source.ReadRaw<std::uint64_t>("row count");
   std::vector<engine::Field> fields;
   std::vector<engine::Column> columns;
   fields.reserve(num_cols);
   columns.reserve(num_cols);
   for (std::uint32_t c = 0; c < num_cols; ++c) {
-    const std::uint32_t name_len = ReadRaw<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto type =
-        static_cast<engine::DataType>(ReadRaw<std::uint8_t>(in));
-    switch (type) {
+    ColumnHeader header = ReadColumnHeader(source);
+    const std::string payload = ReadColumnPayload(source);
+    switch (header.type) {
       case engine::DataType::kInt64: {
+        // Division form: num_rows * 8 could wrap for hostile row counts.
+        if (payload.size() % sizeof(std::int64_t) != 0 ||
+            num_rows != payload.size() / sizeof(std::int64_t)) {
+          throw CorruptFileError("SCT1: bad int64 payload size");
+        }
         std::vector<std::int64_t> values(num_rows);
-        in.read(reinterpret_cast<char*>(values.data()),
-                static_cast<std::streamsize>(num_rows *
-                                             sizeof(std::int64_t)));
+        std::memcpy(values.data(), payload.data(), payload.size());
         columns.push_back(engine::Column::FromInts(std::move(values)));
         break;
       }
       case engine::DataType::kFloat64: {
+        if (payload.size() % sizeof(double) != 0 ||
+            num_rows != payload.size() / sizeof(double)) {
+          throw CorruptFileError("SCT1: bad float64 payload size");
+        }
         std::vector<double> values(num_rows);
-        in.read(reinterpret_cast<char*>(values.data()),
-                static_cast<std::streamsize>(num_rows * sizeof(double)));
+        std::memcpy(values.data(), payload.data(), payload.size());
         columns.push_back(engine::Column::FromDoubles(std::move(values)));
         break;
       }
       case engine::DataType::kString: {
         std::vector<std::string> values;
-        values.reserve(num_rows);
+        // Each value costs at least its 4-byte length prefix, so the
+        // payload bounds the row count — reserve never exceeds it.
+        values.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+            num_rows, payload.size() / 4 + 1)));
+        std::size_t pos = 0;
         for (std::uint64_t r = 0; r < num_rows; ++r) {
-          const std::uint32_t len = ReadRaw<std::uint32_t>(in);
-          std::string s(len, '\0');
-          in.read(s.data(), len);
-          values.push_back(std::move(s));
+          if (pos + 4 > payload.size()) {
+            throw CorruptFileError("SCT1: truncated string length");
+          }
+          std::uint32_t len = 0;
+          std::memcpy(&len, payload.data() + pos, 4);
+          pos += 4;
+          if (pos + len > payload.size()) {
+            throw CorruptFileError("SCT1: truncated string value");
+          }
+          values.emplace_back(payload.data() + pos, len);
+          pos += len;
+        }
+        if (pos != payload.size()) {
+          throw CorruptFileError("SCT1: string payload has trailing bytes");
         }
         columns.push_back(engine::Column::FromStrings(std::move(values)));
         break;
       }
-      default:
-        throw std::runtime_error("SCT1: bad column type");
     }
-    if (!in) throw std::runtime_error("SCT1: truncated column data");
-    fields.push_back(engine::Field{std::move(name), type});
+    fields.push_back(engine::Field{std::move(header.name), header.type});
   }
+  ReadFooter(source, num_rows, num_cols, kFooterMagic);
   return engine::Table(engine::Schema(std::move(fields)),
                        std::move(columns));
 }
@@ -206,7 +436,8 @@ std::int64_t SerializedSize(const engine::Table& table) {
   std::int64_t total = 4 + 4 + 8;
   for (std::size_t c = 0; c < table.num_columns(); ++c) {
     const engine::Field& field = table.schema().field(c);
-    total += 4 + static_cast<std::int64_t>(field.name.size()) + 1;
+    // name_len + name + type + payload_len + payload + payload_crc
+    total += 4 + static_cast<std::int64_t>(field.name.size()) + 1 + 8 + 4;
     const engine::Column& col = table.column(c);
     switch (field.type) {
       case engine::DataType::kInt64:
@@ -222,7 +453,7 @@ std::int64_t SerializedSize(const engine::Table& table) {
         break;
     }
   }
-  return total;
+  return total + kFooterBytes;
 }
 
 std::int64_t WriteTableFile(const engine::Table& table,
@@ -231,33 +462,34 @@ std::int64_t WriteTableFile(const engine::Table& table,
       path, [&](std::ostream& out) { return WriteTable(table, out); });
 }
 
-engine::Table ReadTableFile(const std::string& path) {
+engine::Table ReadTableFile(const std::string& path,
+                            const ReadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
-  return ReadTable(in);
+  return ReadTable(in, options);
 }
 
 std::int64_t WriteTableCompressed(const engine::Table& table,
                                   std::ostream& out) {
-  const std::streampos begin = out.tellp();
-  out.write(kMagicCompressed, sizeof(kMagicCompressed));
-  WriteRaw<std::uint32_t>(out,
-                          static_cast<std::uint32_t>(table.num_columns()));
-  WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(table.num_rows()));
+  CrcSink sink(out);
+  sink.Write(kMagicCompressed, sizeof(kMagicCompressed));
+  sink.WriteRaw<std::uint32_t>(
+      static_cast<std::uint32_t>(table.num_columns()));
+  sink.WriteRaw<std::uint64_t>(
+      static_cast<std::uint64_t>(table.num_rows()));
   std::string buf;  // reused per-column payload buffer
   for (std::size_t c = 0; c < table.num_columns(); ++c) {
     const engine::Field& field = table.schema().field(c);
-    WriteRaw<std::uint32_t>(out,
-                            static_cast<std::uint32_t>(field.name.size()));
-    out.write(field.name.data(),
-              static_cast<std::streamsize>(field.name.size()));
-    WriteRaw<std::uint8_t>(out, static_cast<std::uint8_t>(field.type));
+    sink.WriteRaw<std::uint32_t>(
+        static_cast<std::uint32_t>(field.name.size()));
+    sink.Write(field.name.data(), field.name.size());
+    sink.WriteRaw<std::uint8_t>(static_cast<std::uint8_t>(field.type));
     const engine::Column& col = table.column(c);
     buf.clear();
     switch (field.type) {
       case engine::DataType::kInt64: {
         // Frame-of-reference: one raw minimum, zig-zag varint deltas.
-        WriteRaw<std::uint8_t>(out, kEncForVarint);
+        sink.WriteRaw<std::uint8_t>(kEncForVarint);
         std::int64_t min = 0;
         for (std::size_t r = 0; r < col.ints().size(); ++r) {
           if (r == 0 || col.ints()[r] < min) min = col.ints()[r];
@@ -267,14 +499,14 @@ std::int64_t WriteTableCompressed(const engine::Table& table,
                               static_cast<std::uint64_t>(v) -
                               static_cast<std::uint64_t>(min))));
         }
-        WriteRaw<std::int64_t>(out, min);
+        sink.WriteRaw<std::int64_t>(min);
         break;
       }
       case engine::DataType::kFloat64: {
         // Doubles stay raw: the bit-identity contract (NaN payloads,
         // -0.0) leaves no room for lossy packing, and these columns are
         // rarely the budget's heavy end.
-        WriteRaw<std::uint8_t>(out, kEncRaw);
+        sink.WriteRaw<std::uint8_t>(kEncRaw);
         buf.assign(reinterpret_cast<const char*>(col.doubles().data()),
                    col.doubles().size() * sizeof(double));
         break;
@@ -282,7 +514,7 @@ std::int64_t WriteTableCompressed(const engine::Table& table,
       case engine::DataType::kString: {
         // Dictionary page. Plain columns are encoded on the fly, so a
         // spilled plain MV refills compressed.
-        WriteRaw<std::uint8_t>(out, kEncDict);
+        sink.WriteRaw<std::uint8_t>(kEncDict);
         const engine::Column encoded =
             col.dictionary_encoded() ? col : col.DictionaryEncode();
         const engine::Column::Dictionary& dict = *encoded.dictionary();
@@ -298,41 +530,50 @@ std::int64_t WriteTableCompressed(const engine::Table& table,
         break;
       }
     }
-    WriteRaw<std::uint64_t>(out, static_cast<std::uint64_t>(buf.size()));
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    WriteColumnPayload(sink, buf);
   }
+  WriteFooter(sink, static_cast<std::uint64_t>(table.num_rows()),
+              static_cast<std::uint32_t>(table.num_columns()),
+              kFooterMagicCompressed);
   if (!out) throw std::runtime_error("SCC1: write failure");
-  return static_cast<std::int64_t>(out.tellp() - begin);
+  return sink.bytes();
 }
 
-engine::Table ReadTableCompressed(std::istream& in) {
+engine::Table ReadTableCompressed(std::istream& in,
+                                  const ReadOptions& options) {
+  CrcSource source(in, options.verify_checksums, "SCC1");
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in ||
       std::memcmp(magic, kMagicCompressed, sizeof(kMagicCompressed)) != 0) {
-    throw std::runtime_error("SCC1: bad magic");
+    throw CorruptFileError("SCC1: bad magic");
   }
-  const std::uint32_t num_cols = ReadRaw<std::uint32_t>(in);
-  const std::uint64_t num_rows = ReadRaw<std::uint64_t>(in);
+  source.FoldCrc(magic, sizeof(magic));
+  const auto num_cols = source.ReadRaw<std::uint32_t>("column count");
+  if (num_cols > kMaxColumns) {
+    throw CorruptFileError("SCC1: column count exceeds sanity cap");
+  }
+  const auto num_rows = source.ReadRaw<std::uint64_t>("row count");
   std::vector<engine::Field> fields;
   std::vector<engine::Column> columns;
   fields.reserve(num_cols);
   columns.reserve(num_cols);
   for (std::uint32_t c = 0; c < num_cols; ++c) {
-    const std::uint32_t name_len = ReadRaw<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto type =
-        static_cast<engine::DataType>(ReadRaw<std::uint8_t>(in));
-    const std::uint8_t encoding = ReadRaw<std::uint8_t>(in);
-    switch (type) {
+    ColumnHeader header = ReadColumnHeader(source);
+    const auto encoding = source.ReadRaw<std::uint8_t>("column encoding");
+    switch (header.type) {
       case engine::DataType::kInt64: {
         if (encoding != kEncForVarint) {
-          throw std::runtime_error("SCC1: bad int64 encoding");
+          throw CorruptFileError("SCC1: bad int64 encoding");
         }
-        const std::int64_t min = ReadRaw<std::int64_t>(in);
-        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
-        const std::string buf = ReadPayload(in, bytes);
+        const auto min = source.ReadRaw<std::int64_t>("frame minimum");
+        const std::string buf = ReadColumnPayload(source);
+        // Every varint is at least one byte: a row count beyond the
+        // payload size is structurally impossible, and checking before
+        // the allocation keeps hostile counts from reserving anything.
+        if (num_rows > buf.size()) {
+          throw CorruptFileError("SCC1: row count exceeds int64 payload");
+        }
         std::vector<std::int64_t> values(num_rows);
         std::size_t pos = 0;
         for (std::uint64_t r = 0; r < num_rows; ++r) {
@@ -341,48 +582,61 @@ engine::Table ReadTableCompressed(std::istream& in) {
               static_cast<std::uint64_t>(
                   UnZigZag(GetVarint(buf.data(), buf.size(), &pos))));
         }
+        if (pos != buf.size()) {
+          throw CorruptFileError("SCC1: int64 payload has trailing bytes");
+        }
         columns.push_back(engine::Column::FromInts(std::move(values)));
         break;
       }
       case engine::DataType::kFloat64: {
         if (encoding != kEncRaw) {
-          throw std::runtime_error("SCC1: bad float64 encoding");
+          throw CorruptFileError("SCC1: bad float64 encoding");
         }
-        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
-        if (bytes != num_rows * sizeof(double)) {
-          throw std::runtime_error("SCC1: bad float64 payload size");
+        const std::string buf = ReadColumnPayload(source);
+        if (buf.size() % sizeof(double) != 0 ||
+            num_rows != buf.size() / sizeof(double)) {
+          throw CorruptFileError("SCC1: bad float64 payload size");
         }
         std::vector<double> values(num_rows);
-        in.read(reinterpret_cast<char*>(values.data()),
-                static_cast<std::streamsize>(bytes));
+        std::memcpy(values.data(), buf.data(), buf.size());
         columns.push_back(engine::Column::FromDoubles(std::move(values)));
         break;
       }
       case engine::DataType::kString: {
         if (encoding != kEncDict) {
-          throw std::runtime_error("SCC1: bad string encoding");
+          throw CorruptFileError("SCC1: bad string encoding");
         }
-        const std::uint64_t bytes = ReadRaw<std::uint64_t>(in);
-        const std::string buf = ReadPayload(in, bytes);
+        const std::string buf = ReadColumnPayload(source);
         std::size_t pos = 0;
         const std::uint64_t dict_size =
             GetVarint(buf.data(), buf.size(), &pos);
+        // Each dictionary entry needs at least its length varint, so the
+        // remaining payload bounds the dictionary size (allocation cap).
+        if (dict_size > buf.size() - pos) {
+          throw CorruptFileError("SCC1: dictionary size exceeds payload");
+        }
         std::vector<std::string> dict(dict_size);
         for (std::uint64_t i = 0; i < dict_size; ++i) {
           const std::uint64_t len = GetVarint(buf.data(), buf.size(), &pos);
-          if (pos + len > buf.size()) {
-            throw std::runtime_error("SCC1: truncated dictionary entry");
+          if (len > buf.size() - pos) {
+            throw CorruptFileError("SCC1: truncated dictionary entry");
           }
           dict[i].assign(buf.data() + pos, len);
           pos += len;
+        }
+        if (num_rows > buf.size() - pos) {
+          throw CorruptFileError("SCC1: row count exceeds code payload");
         }
         std::vector<std::int32_t> codes(num_rows);
         for (std::uint64_t r = 0; r < num_rows; ++r) {
           const std::uint64_t code = GetVarint(buf.data(), buf.size(), &pos);
           if (code >= dict_size) {
-            throw std::runtime_error("SCC1: code out of dictionary range");
+            throw CorruptFileError("SCC1: code out of dictionary range");
           }
           codes[r] = static_cast<std::int32_t>(code);
+        }
+        if (pos != buf.size()) {
+          throw CorruptFileError("SCC1: string payload has trailing bytes");
         }
         columns.push_back(engine::Column::FromDictionary(
             std::make_shared<const engine::Column::Dictionary>(
@@ -390,12 +644,10 @@ engine::Table ReadTableCompressed(std::istream& in) {
             std::move(codes)));
         break;
       }
-      default:
-        throw std::runtime_error("SCC1: bad column type");
     }
-    if (!in) throw std::runtime_error("SCC1: truncated column data");
-    fields.push_back(engine::Field{std::move(name), type});
+    fields.push_back(engine::Field{std::move(header.name), header.type});
   }
+  ReadFooter(source, num_rows, num_cols, kFooterMagicCompressed);
   return engine::Table(engine::Schema(std::move(fields)),
                        std::move(columns));
 }
@@ -407,10 +659,11 @@ std::int64_t WriteTableFileCompressed(const engine::Table& table,
   });
 }
 
-engine::Table ReadTableFileCompressed(const std::string& path) {
+engine::Table ReadTableFileCompressed(const std::string& path,
+                                      const ReadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
-  return ReadTableCompressed(in);
+  return ReadTableCompressed(in, options);
 }
 
 }  // namespace sc::storage

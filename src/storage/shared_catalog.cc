@@ -1,9 +1,11 @@
 #include "storage/shared_catalog.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "common/str_util.h"
@@ -22,11 +24,87 @@ SharedCatalog::SharedCatalog(std::int64_t budget_bytes,
     std::filesystem::create_directories(spill_.directory, ec);
     spill_enabled_ = std::filesystem::is_directory(spill_.directory, ec);
   }
+  if (spill_enabled_) {
+    manifest_ = std::make_unique<SpillManifest>(
+        spill_.directory, spill_.manifest_compact_bytes);
+    // Scratch mode treats whatever journal a prior owner left as stale.
+    if (!spill_.recover) manifest_->Erase();
+    SpillManifest::OpenResult opened = manifest_->Open();
+    if (spill_.recover) RecoverSpillDirectory(std::move(opened));
+  }
 }
 
 SharedCatalog::~SharedCatalog() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (spill_.recover) {
+    // Durable tier: files and journal stay for the next incarnation.
+    return;
+  }
   while (!spill_lru_.empty()) EraseSpillLocked(spill_lru_.back());
+  if (manifest_ != nullptr) manifest_->Erase();
+}
+
+void SharedCatalog::RecoverSpillDirectory(SpillManifest::OpenResult opened) {
+  namespace fs = std::filesystem;
+  // Oldest stamp first so push_front leaves the youngest entry at the
+  // spill-LRU front, approximating the pre-crash recency order.
+  std::sort(opened.live.begin(), opened.live.end(),
+            [](const SpillManifest::Entry& a, const SpillManifest::Entry& b) {
+              return a.stamp < b.stamp;
+            });
+  std::unordered_set<std::string> adopted;
+  std::int64_t spill_bytes = 0;
+  for (const SpillManifest::Entry& entry : opened.live) {
+    const std::string path = spill_.directory + "/" + entry.file;
+    std::error_code ec;
+    const std::uintmax_t on_disk = fs::file_size(path, ec);
+    if (ec || static_cast<std::int64_t>(on_disk) != entry.file_bytes) {
+      // Missing or wrong size (crash mid-write, external damage): the
+      // journal promised bytes the directory cannot deliver. Never
+      // serve it.
+      corrupt_files_.fetch_add(1, std::memory_order_relaxed);
+      fs::remove(path, ec);
+      manifest_->Remove(entry.key);
+      continue;
+    }
+    SpillRecord rec;
+    rec.path = path;
+    rec.file = entry.file;
+    rec.file_bytes = entry.file_bytes;
+    rec.durable = entry.durable;
+    rec.stamp = entry.stamp;
+    spill_lru_.push_front(entry.key);
+    rec.lru = spill_lru_.begin();
+    spilled_.emplace(entry.key, std::move(rec));
+    adopted.insert(entry.file);
+    spill_bytes += entry.file_bytes;
+    recovered_entries_.fetch_add(1, std::memory_order_relaxed);
+    recovered_bytes_.fetch_add(entry.file_bytes, std::memory_order_relaxed);
+    // Stamps must stay unique across the restart for Invalidate()'s ABA
+    // guard; file names must not collide with survivors.
+    next_stamp_ = std::max(next_stamp_, entry.stamp + 1);
+    if (entry.file.rfind("spill_", 0) == 0) {
+      const std::uint64_t n =
+          std::strtoull(entry.file.c_str() + 6, nullptr, 10);
+      next_spill_file_ = std::max(next_spill_file_, n + 1);
+    }
+  }
+  spill_bytes_.store(spill_bytes, std::memory_order_relaxed);
+  // Orphan hygiene: anything the journal does not name (spill files
+  // whose append never landed, stray temp files) is unreachable and
+  // unaccountable — delete it rather than leak disk forever.
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(spill_.directory, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string name = dirent.path().filename().string();
+    if (name == SpillManifest::kFileName || adopted.count(name) != 0) {
+      continue;
+    }
+    std::error_code remove_ec;
+    fs::remove(dirent.path(), remove_ec);
+    if (!remove_ec) orphans_removed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EnforceSpillCapLocked();  // the cap may have shrunk across the restart
 }
 
 bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
@@ -127,7 +205,21 @@ bool SharedCatalog::Publish(std::uint64_t key, engine::TablePtr table,
 void SharedCatalog::MarkDurable(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  if (it != entries_.end()) it->second.durable = true;
+  if (it != entries_.end()) {
+    it->second.durable = true;
+    return;
+  }
+  // The entry may have been spilled between publish and the write
+  // landing; the upgrade must reach the journal or a recovered catalog
+  // would re-demote the flag across a restart.
+  auto sit = spilled_.find(key);
+  if (sit != spilled_.end() && !sit->second.durable) {
+    sit->second.durable = true;
+    if (manifest_ != nullptr) {
+      manifest_->Append({key, sit->second.file_bytes, sit->second.stamp,
+                         true, sit->second.file});
+    }
+  }
 }
 
 engine::TablePtr SharedCatalog::Pin(std::uint64_t key,
@@ -262,14 +354,32 @@ void SharedCatalog::EvictOneLocked() {
     // plain drop — spilling is an optimization, never a correctness
     // dependency.
     EraseSpillLocked(victim);  // defensive: stale record for this key
-    const std::string path = spill_.directory + "/spill_" +
-                             std::to_string(next_spill_file_++) + ".scc";
+    const std::string file =
+        "spill_" + std::to_string(next_spill_file_++) + ".scc";
+    const std::string path = spill_.directory + "/" + file;
     try {
       SpillRecord rec;
       rec.file_bytes = WriteTableFileCompressed(*it->second.table, path);
       rec.path = path;
+      rec.file = file;
       rec.durable = it->second.durable;
       rec.stamp = it->second.stamp;
+      // Chaos hook: a corruption rule at kSpillWrite damages the file
+      // the write just produced. The record (and journal entry) stand —
+      // detection is the *reader's* job, on refill or recovery.
+      if (fault_injector_ != nullptr) {
+        const fault::CorruptionSpec spec = fault_injector_->ShouldCorrupt(
+            fault::Site::kSpillWrite, file);
+        if (spec.kind != fault::CorruptKind::kNone) {
+          fault::CorruptFile(path, spec);
+        }
+      }
+      // Journal before relying on the file: recovery trusts only
+      // manifest-named files, so the append must land first.
+      if (manifest_ != nullptr) {
+        manifest_->Append({victim, rec.file_bytes, rec.stamp, rec.durable,
+                           rec.file});
+      }
       spill_lru_.push_front(victim);
       rec.lru = spill_lru_.begin();
       spill_bytes_.fetch_add(rec.file_bytes, std::memory_order_relaxed);
@@ -303,6 +413,7 @@ void SharedCatalog::EraseSpillLocked(std::uint64_t key) {
   if (it == spilled_.end()) return;
   std::error_code ec;
   std::filesystem::remove(it->second.path, ec);
+  if (manifest_ != nullptr) manifest_->Remove(key);
   spill_bytes_.fetch_sub(it->second.file_bytes, std::memory_order_relaxed);
   spill_lru_.erase(it->second.lru);
   spilled_.erase(it);
@@ -330,10 +441,25 @@ engine::TablePtr SharedCatalog::RefillLocked(std::uint64_t key,
   const std::uint64_t rec_stamp = sit->second.stamp;
   engine::TablePtr table;
   try {
+    // Verifying read (the ReadOptions default): this is where lazily
+    // recovered entries — and spill files damaged after their write —
+    // earn the right to be served.
     table = std::make_shared<engine::Table>(ReadTableFileCompressed(path));
+  } catch (const CorruptFileError&) {
+    // Damaged spill file (bit rot, torn write, injected corruption):
+    // count it, drop it, never serve it. The caller counts a miss and
+    // the content falls back to recompute.
+    corrupt_files_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("shared", "corrupt-spill",
+                      StrFormat("\"key\":%llu",
+                                static_cast<unsigned long long>(key)));
+    }
+    EraseSpillLocked(key);
+    return nullptr;
   } catch (...) {
-    // Unreadable spill file: drop the record; the caller counts a miss
-    // and the content falls back to recompute.
+    // Environmental read failure: drop the record; same recompute
+    // fallback without the corruption count.
     EraseSpillLocked(key);
     return nullptr;
   }

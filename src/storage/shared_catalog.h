@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "engine/table.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
+#include "storage/spill_manifest.h"
 
 namespace sc::storage {
 
@@ -29,6 +31,22 @@ struct SpillOptions {
   /// When exceeded, the oldest spill files are dropped (those entries
   /// fall back to recompute, exactly as without spilling).
   std::int64_t max_bytes = 0;
+  /// Crash-recovery mode. When true the spill tier is *durable*: spill
+  /// files and the manifest journal survive catalog destruction, and a
+  /// new catalog pointed at the same directory re-registers every
+  /// manifest-live file as a warm spilled entry (content fingerprints
+  /// are stable across restarts, so a recovered entry serves the same
+  /// cross-job hits it would have before the crash). Recovered files
+  /// are size-checked at adoption and fully checksum-verified on their
+  /// first refill — a damaged file is deleted and counted, never
+  /// served. Files in the directory that the manifest does not name are
+  /// orphans (crash between file write and journal append) and are
+  /// removed at startup. When false (default), the prior lifecycle
+  /// stands: the directory is treated as scratch, wiped at destruction.
+  bool recover = false;
+  /// Journal size that triggers an atomic rotate/compact of the spill
+  /// manifest (rewrite as the live set); <= 0 compacts on every append.
+  std::int64_t manifest_compact_bytes = 64 * 1024;
 };
 
 /// Cross-job shared residency layer: a content-keyed, budget-bounded
@@ -69,7 +87,9 @@ class SharedCatalog {
                          int negative_lookup_damp_limit = 8,
                          SpillOptions spill = {});
 
-  /// Removes this catalog's spill files (best-effort).
+  /// Removes this catalog's spill files and manifest (best-effort) —
+  /// unless SpillOptions::recover is set, in which case both are left
+  /// behind for the next catalog to adopt.
   ~SharedCatalog();
 
   SharedCatalog(const SharedCatalog&) = delete;
@@ -203,6 +223,29 @@ class SharedCatalog {
   }
   /// Entries currently spilled (on disk, not resident).
   std::size_t spilled_entries() const;
+  /// Damaged spill files detected and removed instead of served: size
+  /// mismatches at recovery, checksum/parse failures (CorruptFileError)
+  /// on refill, and manifest records whose file vanished.
+  std::int64_t corrupt_files() const {
+    return corrupt_files_.load(std::memory_order_relaxed);
+  }
+  /// Spilled entries adopted from the manifest at construction
+  /// (SpillOptions::recover), and their compressed bytes.
+  std::int64_t recovered_entries() const {
+    return recovered_entries_.load(std::memory_order_relaxed);
+  }
+  std::int64_t recovered_bytes() const {
+    return recovered_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Startup hygiene: files in the spill directory the manifest did not
+  /// name (crash between file write and journal append), removed.
+  std::int64_t orphans_removed() const {
+    return orphans_removed_.load(std::memory_order_relaxed);
+  }
+  /// Atomic rotate/compact cycles of the spill manifest journal.
+  std::int64_t manifest_compactions() const {
+    return manifest_ != nullptr ? manifest_->compactions() : 0;
+  }
   /// Publish epoch: bumps on every successful publish (and Clear), the
   /// boundary at which negative-lookup damping forgets past misses.
   std::uint64_t epoch() const {
@@ -234,6 +277,9 @@ class SharedCatalog {
   /// as if the entry had stayed resident.
   struct SpillRecord {
     std::string path;
+    /// File name relative to the spill directory (the manifest key for
+    /// this file).
+    std::string file;
     std::int64_t file_bytes = 0;  // compressed bytes on disk
     bool durable = false;
     std::uint64_t stamp = 0;
@@ -258,6 +304,12 @@ class SharedCatalog {
   /// the file is unreadable. Requires mutex_.
   engine::TablePtr RefillLocked(std::uint64_t key, std::int64_t* size,
                                 bool count, bool* durable);
+  /// Construction-time crash recovery: adopts manifest-live spill files
+  /// (size-checked now, checksum-verified on first refill), drops and
+  /// counts damaged ones, removes orphan files, and advances the stamp
+  /// and file-name counters past everything recovered. Runs before any
+  /// concurrent use, so no lock is required.
+  void RecoverSpillDirectory(SpillManifest::OpenResult opened);
 
   const std::int64_t budget_;
   const int damp_limit_;
@@ -281,6 +333,10 @@ class SharedCatalog {
   std::atomic<std::int64_t> spills_{0};
   std::atomic<std::int64_t> spill_refills_{0};
   std::atomic<std::int64_t> spill_bytes_{0};
+  std::atomic<std::int64_t> corrupt_files_{0};
+  std::atomic<std::int64_t> recovered_entries_{0};
+  std::atomic<std::int64_t> recovered_bytes_{0};
+  std::atomic<std::int64_t> orphans_removed_{0};
   std::atomic<std::uint64_t> epoch_{0};
   std::uint64_t next_stamp_ = 1;  // guarded by mutex_; 0 = "no stamp"
   std::uint64_t next_spill_file_ = 0;  // guarded by mutex_
@@ -288,6 +344,9 @@ class SharedCatalog {
   /// mutex_.
   std::unordered_map<std::uint64_t, SpillRecord> spilled_;
   std::list<std::uint64_t> spill_lru_;  // front = most recently spilled
+  /// Journal of the spill directory; non-null iff spill is enabled.
+  /// Mutations happen under mutex_ (ctor/dtor excepted).
+  std::unique_ptr<SpillManifest> manifest_;
   /// Per-key miss bookkeeping for negative-lookup damping: stamped with
   /// the epoch the count belongs to, so a publish invalidates every
   /// stale count in O(1) (no sweep). Guarded by mutex_.

@@ -1,0 +1,174 @@
+#include "storage/spill_manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/crc32c.h"
+
+namespace sc::storage {
+
+namespace {
+
+/// Seals a record body with its own CRC32C: "<body> <crc-hex>".
+std::string SealLine(const std::string& body) {
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x",
+                common::Crc32c(body.data(), body.size()));
+  return body + " " + hex;
+}
+
+/// Splits "<body> <crc-hex>" and validates the checksum. Returns false
+/// for any parse or checksum failure.
+bool UnsealLine(const std::string& line, std::string* body) {
+  const std::size_t space = line.find_last_of(' ');
+  if (space == std::string::npos || line.size() - space - 1 != 8) return false;
+  std::uint32_t stored = 0;
+  for (std::size_t i = space + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    stored <<= 4;
+    if (c >= '0' && c <= '9') {
+      stored |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      stored |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *body = line.substr(0, space);
+  return common::Crc32c(body->data(), body->size()) == stored;
+}
+
+std::string FormatAdd(const SpillManifest::Entry& entry) {
+  std::ostringstream body;
+  body << "A " << entry.key << " " << entry.file_bytes << " " << entry.stamp
+       << " " << (entry.durable ? 1 : 0) << " " << entry.file;
+  return body.str();
+}
+
+}  // namespace
+
+SpillManifest::SpillManifest(std::string directory,
+                             std::int64_t compact_threshold_bytes)
+    : directory_(std::move(directory)),
+      path_(directory_ + "/" + kFileName),
+      compact_threshold_(compact_threshold_bytes) {}
+
+SpillManifest::OpenResult SpillManifest::Open() {
+  OpenResult result;
+  bool torn_tail = false;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string data = buffer.str();
+    bytes_ = static_cast<std::int64_t>(data.size());
+    // A journal that does not end in a newline was cut mid-append; its
+    // final fragment will fail its checksum below, but the file also
+    // needs a repair rewrite or the next append would glue onto the
+    // fragment.
+    torn_tail = !data.empty() && data.back() != '\n';
+    std::istringstream in_lines(data);
+    std::string line;
+    while (std::getline(in_lines, line)) {
+      if (line.empty()) continue;
+      std::string body;
+      if (!UnsealLine(line, &body)) {
+        ++result.corrupt_lines;
+        continue;
+      }
+      std::istringstream fields(body);
+      char op = 0;
+      fields >> op;
+      if (op == 'A') {
+        Entry entry;
+        int durable = 0;
+        fields >> entry.key >> entry.file_bytes >> entry.stamp >> durable >>
+            entry.file;
+        if (!fields || entry.file.empty() ||
+            entry.file.find('/') != std::string::npos) {
+          ++result.corrupt_lines;
+          continue;
+        }
+        entry.durable = durable != 0;
+        live_[entry.key] = entry;
+      } else if (op == 'R') {
+        std::uint64_t key = 0;
+        fields >> key;
+        if (!fields) {
+          ++result.corrupt_lines;
+          continue;
+        }
+        live_.erase(key);
+      } else {
+        ++result.corrupt_lines;
+      }
+    }
+  }
+  result.live.reserve(live_.size());
+  for (const auto& [key, entry] : live_) result.live.push_back(entry);
+  out_.open(path_, std::ios::app);
+  // Damage anywhere (or a torn tail) earns an immediate repair rewrite:
+  // the journal on disk returns to exactly the surviving live set.
+  if (result.corrupt_lines > 0 || torn_tail) Compact();
+  return result;
+}
+
+void SpillManifest::Append(const Entry& entry) {
+  live_[entry.key] = entry;
+  AppendLine(FormatAdd(entry));
+}
+
+void SpillManifest::Remove(std::uint64_t key) {
+  if (live_.erase(key) == 0) return;
+  AppendLine("R " + std::to_string(key));
+}
+
+void SpillManifest::Erase() {
+  out_.close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  bytes_ = 0;
+  live_.clear();
+}
+
+void SpillManifest::AppendLine(const std::string& body) {
+  const std::string line = SealLine(body);
+  out_ << line << "\n";
+  out_.flush();
+  bytes_ += static_cast<std::int64_t>(line.size()) + 1;
+  MaybeCompact();
+}
+
+void SpillManifest::MaybeCompact() {
+  if (bytes_ <= compact_threshold_) return;
+  Compact();
+}
+
+void SpillManifest::Compact() {
+  const std::string tmp = path_ + ".tmp";
+  std::int64_t rewritten = 0;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // compaction is best-effort; the journal stays valid
+    for (const auto& [key, entry] : live_) {
+      const std::string line = SealLine(FormatAdd(entry));
+      out << line << "\n";
+      rewritten += static_cast<std::int64_t>(line.size()) + 1;
+    }
+    out.flush();
+    if (!out) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  out_.close();
+  out_.open(path_, std::ios::app);
+  bytes_ = rewritten;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sc::storage

@@ -1,0 +1,112 @@
+#ifndef SC_STORAGE_SPILL_MANIFEST_H_
+#define SC_STORAGE_SPILL_MANIFEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sc::storage {
+
+/// Append-only journal of the SharedCatalog spill directory: the
+/// recovery authority for which spill files hold live, complete entries.
+/// One text line per operation, each sealed by its own CRC32C:
+///
+///   A <key> <file_bytes> <stamp> <durable> <file_name> <crc32c-hex>
+///   R <key> <crc32c-hex>
+///
+/// `A` records (re)register a spill file under its content fingerprint;
+/// `R` records tombstone one (refill consumed it, cap eviction, explicit
+/// invalidation). Later records win, so an append after a tombstone
+/// revives the key. Every append is flushed before the caller proceeds —
+/// the journal must name a file before the catalog relies on it.
+///
+/// Crash tolerance: a torn final line (the classic crash-mid-append
+/// shape) and flipped bits anywhere simply fail their line checksum; the
+/// loader skips and counts such lines and keeps parsing, so one damaged
+/// record never takes down the rest of the directory.
+///
+/// When the journal grows past `compact_threshold_bytes`, the next
+/// mutation rewrites it as the live `A` set into a temp file and
+/// atomically renames over the old journal (rotate/compact), so the
+/// journal stays proportional to the live population, not the churn.
+///
+/// Not internally synchronized: the owning SharedCatalog serializes all
+/// calls under its own mutex. `compactions()` alone is readable without
+/// that lock (monitoring gauge).
+class SpillManifest {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    /// Compressed size of the spill file when it was written (recovery
+    /// cross-checks it against the file on disk before trusting it).
+    std::int64_t file_bytes = 0;
+    /// The entry's publish stamp, carried across restart so
+    /// Invalidate()'s ABA guard keeps working on recovered entries.
+    std::uint64_t stamp = 0;
+    bool durable = false;
+    /// File name relative to the spill directory (no separators).
+    std::string file;
+  };
+
+  struct OpenResult {
+    std::vector<Entry> live;
+    /// Journal lines skipped for a failed parse or checksum (torn
+    /// appends, bit rot).
+    std::int64_t corrupt_lines = 0;
+  };
+
+  /// The journal lives at `<directory>/manifest.scm`.
+  explicit SpillManifest(std::string directory,
+                         std::int64_t compact_threshold_bytes = 64 * 1024);
+
+  SpillManifest(const SpillManifest&) = delete;
+  SpillManifest& operator=(const SpillManifest&) = delete;
+
+  /// Loads the existing journal (tolerating damage as documented above)
+  /// and opens the append stream. Returns the surviving live set in
+  /// journal order. Call exactly once, before any mutation.
+  OpenResult Open();
+
+  /// Appends (or refreshes) a live record. Flushed before returning.
+  void Append(const Entry& entry);
+
+  /// Appends a tombstone for `key`. No-op if the key is not live.
+  void Remove(std::uint64_t key);
+
+  /// Deletes the journal file (explicit teardown of the spill tier).
+  void Erase();
+
+  std::int64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  /// Current journal size in bytes (live records + not-yet-compacted
+  /// churn).
+  std::int64_t bytes() const { return bytes_; }
+  std::size_t live_entries() const { return live_.size(); }
+  const std::string& path() const { return path_; }
+
+  static constexpr const char kFileName[] = "manifest.scm";
+
+ private:
+  void AppendLine(const std::string& body);
+  /// Rewrites the journal as the live set when past the threshold.
+  void MaybeCompact();
+  /// Unconditional rotate/compact: atomically rewrites the journal as
+  /// the live `A` set (also the Open-time repair for damaged journals).
+  void Compact();
+
+  const std::string directory_;
+  const std::string path_;
+  const std::int64_t compact_threshold_;
+  std::ofstream out_;
+  std::int64_t bytes_ = 0;
+  std::unordered_map<std::uint64_t, Entry> live_;
+  std::atomic<std::int64_t> compactions_{0};
+};
+
+}  // namespace sc::storage
+
+#endif  // SC_STORAGE_SPILL_MANIFEST_H_

@@ -102,6 +102,15 @@ std::int64_t ThrottledDisk::WriteTable(const std::string& name,
   std::int64_t bytes = 0;
   try {
     bytes = WriteTableFile(table, PathFor(name));
+    // Post-write corruption probe: the write "succeeded" but the device
+    // lied. Damage the landed file; a verified read must catch it.
+    if (injector != nullptr) {
+      const fault::CorruptionSpec spec =
+          injector->ShouldCorrupt(fault::Site::kDiskWrite, name);
+      if (spec.kind != fault::CorruptKind::kNone) {
+        fault::CorruptFile(PathFor(name), spec);
+      }
+    }
     PadToTarget(start, bytes, profile_.write_bw);
   } catch (...) {
     ReleaseChannel();
@@ -129,7 +138,8 @@ engine::Table ThrottledDisk::ReadTable(const std::string& name) {
   const double start = Now();
   std::optional<engine::Table> table;
   try {
-    table.emplace(ReadTableFile(PathFor(name)));
+    table.emplace(ReadTableFile(PathFor(name),
+                                ReadOptions{profile_.verify_reads}));
     PadToTarget(start, SerializedSize(*table), profile_.read_bw);
   } catch (...) {
     ReleaseChannel();

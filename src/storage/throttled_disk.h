@@ -28,6 +28,12 @@ struct DiskProfile {
   /// serving deployments (RefreshService) raise it to match their
   /// worker count.
   int channels = 1;
+  /// Verify SCT1 checksums on every read (the serving default): a
+  /// damaged warehouse file surfaces as storage::CorruptFileError
+  /// instead of a garbage table. False skips the checksum arithmetic
+  /// (structural bounds checks still apply) — the bench overhead gate
+  /// compares the two modes.
+  bool verify_reads = true;
 };
 
 /// External storage emulation: persists tables as SCT1 files under a root
@@ -51,7 +57,9 @@ class ThrottledDisk {
   std::int64_t WriteTable(const std::string& name,
                           const engine::Table& table);
 
-  /// Loads `<root>/<name>.sct`.
+  /// Loads `<root>/<name>.sct`. With DiskProfile::verify_reads the read
+  /// is checksum-verified and throws storage::CorruptFileError on any
+  /// damage.
   engine::Table ReadTable(const std::string& name);
 
   bool Exists(const std::string& name) const;
@@ -76,8 +84,10 @@ class ThrottledDisk {
 
   /// Attaches a seeded fault injector: every read/write first probes it
   /// at Site::kDiskRead / kDiskWrite with the table name and throws
-  /// fault::FaultError when a rule fires. nullptr detaches. The injector
-  /// must outlive the disk.
+  /// fault::FaultError when a rule fires. Corruption rules at kDiskWrite
+  /// instead fire *after* the write lands and damage the on-disk file —
+  /// a later verified read detects them as CorruptFileError. nullptr
+  /// detaches. The injector must outlive the disk.
   void SetFaultInjector(fault::FaultInjector* injector);
 
  private:

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <random>
 #include <sstream>
 
 #include "storage/format.h"
@@ -76,6 +78,129 @@ TEST(FormatTest, FileRoundTrip) {
 TEST(FormatTest, MissingFileThrows) {
   EXPECT_THROW(ReadTableFile("/nonexistent/dir/x.sct"),
                std::runtime_error);
+}
+
+// ---- Durability: checksum verification and hostile-input hardening ----
+
+std::string Serialize(const Table& t, bool compressed) {
+  std::stringstream buffer;
+  if (compressed) {
+    WriteTableCompressed(t, buffer);
+  } else {
+    WriteTable(t, buffer);
+  }
+  return buffer.str();
+}
+
+Table Deserialize(const std::string& data, bool compressed,
+                  const ReadOptions& options = {}) {
+  std::stringstream in(data);
+  return compressed ? ReadTableCompressed(in, options)
+                    : ReadTable(in, options);
+}
+
+// A verifying read detects a single flipped bit anywhere in the stream —
+// header, column payloads, per-column checksums, footer. Randomized
+// offsets with a fixed seed keep the run deterministic while covering
+// the whole byte range over time.
+TEST(FormatTest, VerifiedReadDetectsSingleBitFlipsEverywhere) {
+  for (const bool compressed : {false, true}) {
+    const std::string clean = Serialize(SampleTable(), compressed);
+    std::mt19937_64 rng(42);
+    std::uniform_int_distribution<std::size_t> pos(0, clean.size() - 1);
+    std::uniform_int_distribution<int> bit(0, 7);
+    for (int trial = 0; trial < 64; ++trial) {
+      std::string damaged = clean;
+      damaged[pos(rng)] ^= static_cast<char>(1 << bit(rng));
+      EXPECT_THROW(Deserialize(damaged, compressed), CorruptFileError)
+          << (compressed ? "SCC1" : "SCT1") << " trial " << trial;
+    }
+  }
+}
+
+// Truncation at every prefix length must throw (never return a partial
+// table), in verifying AND non-verifying mode: the footer end marker
+// catches torn tails even without checksum arithmetic.
+TEST(FormatTest, TruncationAtEveryLengthThrowsBothModes) {
+  for (const bool compressed : {false, true}) {
+    const std::string clean = Serialize(SampleTable(), compressed);
+    for (std::size_t len = 0; len < clean.size(); ++len) {
+      const std::string cut = clean.substr(0, len);
+      EXPECT_THROW(Deserialize(cut, compressed), CorruptFileError);
+      EXPECT_THROW(Deserialize(cut, compressed, ReadOptions{false}),
+                   CorruptFileError);
+    }
+  }
+}
+
+// The torn-write shape: right length, tail zeroed. Structural EOF checks
+// cannot see it; checksums (and the footer end marker) must.
+TEST(FormatTest, ZeroedTailDetected) {
+  for (const bool compressed : {false, true}) {
+    std::string torn = Serialize(SampleTable(), compressed);
+    std::memset(torn.data() + torn.size() / 2, 0, torn.size() / 2);
+    EXPECT_THROW(Deserialize(torn, compressed), CorruptFileError);
+  }
+}
+
+// Hostile headers must never drive allocation: a count field claiming
+// 2^60 rows against a tiny stream has to fail fast (bounded reads), not
+// attempt the allocation. These streams are garbage after valid magic.
+TEST(FormatTest, HostileHeaderCountsNeverOverAllocate) {
+  const std::string magics[] = {"SCT1", "SCC1"};
+  for (const std::string& magic : magics) {
+    const bool compressed = magic == "SCC1";
+    // num_cols = 0xFFFFFFFF, num_rows = 2^60, then nothing.
+    std::string data = magic;
+    data += std::string("\xFF\xFF\xFF\xFF", 4);
+    std::uint64_t rows = 1ULL << 60;
+    data.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    EXPECT_THROW(Deserialize(data, compressed), CorruptFileError);
+
+    // Plausible col count but a payload_len far past the actual bytes.
+    std::string lying = magic;
+    std::uint32_t cols = 1;
+    lying.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    lying.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    std::uint32_t name_len = 1;
+    lying.append(reinterpret_cast<const char*>(&name_len),
+                 sizeof(name_len));
+    lying += "c";
+    lying += '\0';  // type = int64
+    if (compressed) lying += '\x01';  // encoding = for-varint
+    if (compressed) {
+      std::int64_t frame_min = 0;
+      lying.append(reinterpret_cast<const char*>(&frame_min),
+                   sizeof(frame_min));
+    }
+    std::uint64_t payload_len = 1ULL << 59;
+    lying.append(reinterpret_cast<const char*>(&payload_len),
+                 sizeof(payload_len));
+    lying += "only a few real bytes";
+    EXPECT_THROW(Deserialize(lying, compressed), CorruptFileError);
+  }
+}
+
+// Unverified mode still cross-checks the footer's row/column counts and
+// end marker, so swapping two files' tails (or garbage counts) is caught
+// without checksum arithmetic.
+TEST(FormatTest, UnverifiedModeRoundTripsAndChecksFooter) {
+  for (const bool compressed : {false, true}) {
+    const std::string clean = Serialize(SampleTable(), compressed);
+    const Table loaded = Deserialize(clean, compressed, ReadOptions{false});
+    EXPECT_TRUE(loaded == SampleTable());
+    // Damage the footer's end marker only.
+    std::string bad_marker = clean;
+    bad_marker[bad_marker.size() - 1] ^= 0x20;
+    EXPECT_THROW(Deserialize(bad_marker, compressed, ReadOptions{false}),
+                 CorruptFileError);
+  }
+}
+
+TEST(FormatTest, CorruptFileErrorIsRuntimeError) {
+  // Pre-durability catch sites use std::runtime_error; the typed error
+  // must keep satisfying them.
+  static_assert(std::is_base_of_v<std::runtime_error, CorruptFileError>);
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+#include "storage/spill_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace sc::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/sc_manifest_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+SpillManifest::Entry MakeEntry(std::uint64_t key) {
+  SpillManifest::Entry entry;
+  entry.key = key;
+  entry.file_bytes = static_cast<std::int64_t>(100 + key);
+  entry.stamp = 1000 + key;
+  entry.durable = key % 2 == 0;
+  entry.file = "spill_" + std::to_string(key) + ".scc";
+  return entry;
+}
+
+TEST(SpillManifestTest, RoundTripAppendRemove) {
+  const std::string dir = FreshDir("roundtrip");
+  {
+    SpillManifest manifest(dir);
+    EXPECT_EQ(manifest.Open().live.size(), 0u);
+    manifest.Append(MakeEntry(1));
+    manifest.Append(MakeEntry(2));
+    manifest.Append(MakeEntry(3));
+    manifest.Remove(2);
+  }
+  SpillManifest reopened(dir);
+  const auto result = reopened.Open();
+  EXPECT_EQ(result.corrupt_lines, 0);
+  ASSERT_EQ(result.live.size(), 2u);
+  for (const auto& entry : result.live) {
+    ASSERT_TRUE(entry.key == 1 || entry.key == 3);
+    const auto expected = MakeEntry(entry.key);
+    EXPECT_EQ(entry.file_bytes, expected.file_bytes);
+    EXPECT_EQ(entry.stamp, expected.stamp);
+    EXPECT_EQ(entry.durable, expected.durable);
+    EXPECT_EQ(entry.file, expected.file);
+  }
+}
+
+TEST(SpillManifestTest, ReAppendAfterRemoveRevives) {
+  const std::string dir = FreshDir("revive");
+  {
+    SpillManifest manifest(dir);
+    manifest.Open();
+    manifest.Append(MakeEntry(7));
+    manifest.Remove(7);
+    manifest.Append(MakeEntry(7));
+  }
+  SpillManifest reopened(dir);
+  EXPECT_EQ(reopened.Open().live.size(), 1u);
+}
+
+TEST(SpillManifestTest, CompactsPastThresholdAndStaysRecoverable) {
+  const std::string dir = FreshDir("compact");
+  SpillManifest manifest(dir, /*compact_threshold_bytes=*/256);
+  manifest.Open();
+  // Churn far past the threshold: every key is appended then removed,
+  // except the last ten survivors.
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    manifest.Append(MakeEntry(key));
+    if (key >= 10) manifest.Remove(key);
+  }
+  EXPECT_GT(manifest.compactions(), 0);
+  // The journal stays proportional to the live set, not the churn.
+  EXPECT_LT(manifest.bytes(), 1024);
+  SpillManifest reopened(dir);
+  const auto result = reopened.Open();
+  EXPECT_EQ(result.corrupt_lines, 0);
+  EXPECT_EQ(result.live.size(), 10u);
+}
+
+TEST(SpillManifestTest, TornFinalAppendIsSkippedNotFatal) {
+  const std::string dir = FreshDir("torn");
+  {
+    SpillManifest manifest(dir);
+    manifest.Open();
+    manifest.Append(MakeEntry(1));
+    manifest.Append(MakeEntry(2));
+  }
+  // Crash mid-append: cut the journal inside its final line.
+  const std::string path = dir + "/" + SpillManifest::kFileName;
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+  SpillManifest reopened(dir);
+  const auto result = reopened.Open();
+  EXPECT_EQ(result.corrupt_lines, 1);
+  ASSERT_EQ(result.live.size(), 1u);
+  EXPECT_EQ(result.live[0].key, 1u);
+  // The reopened journal accepts further appends.
+  reopened.Append(MakeEntry(3));
+  SpillManifest again(dir);
+  EXPECT_EQ(again.Open().live.size(), 2u);
+}
+
+TEST(SpillManifestTest, FlippedBitInEarlyLineSkipsOnlyThatLine) {
+  const std::string dir = FreshDir("bitflip");
+  {
+    SpillManifest manifest(dir);
+    manifest.Open();
+    manifest.Append(MakeEntry(1));
+    manifest.Append(MakeEntry(2));
+    manifest.Append(MakeEntry(3));
+  }
+  const std::string path = dir + "/" + SpillManifest::kFileName;
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);  // inside the first record's body
+  char byte = 0;
+  f.seekg(4);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x08);
+  f.seekp(4);
+  f.write(&byte, 1);
+  f.close();
+  SpillManifest reopened(dir);
+  const auto result = reopened.Open();
+  EXPECT_EQ(result.corrupt_lines, 1);
+  EXPECT_EQ(result.live.size(), 2u);
+}
+
+TEST(SpillManifestTest, GarbageJournalYieldsEmptyLiveSet) {
+  const std::string dir = FreshDir("garbage");
+  {
+    std::ofstream out(dir + "/" + SpillManifest::kFileName);
+    out << "this is not a manifest\nnor is this\n";
+  }
+  SpillManifest manifest(dir);
+  const auto result = manifest.Open();
+  EXPECT_EQ(result.corrupt_lines, 2);
+  EXPECT_EQ(result.live.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sc::storage
